@@ -1,0 +1,72 @@
+"""Ablation G (paper Sections 1 and 4): reputation systems.
+
+The paper lists reputation systems beside scrip systems as
+indirect-reciprocity victims.  The crucial difference this bench
+quantifies: scrip is conserved (the fixed supply bounds satiation —
+Ablation B), reputation is *minted* by ratings — so without per-rater
+normalization a single Sybil satiates any number of targets for free.
+EigenTrust-style caps restore a scrip-like cost that scales linearly
+with the satiated fraction.
+"""
+
+from repro.harness.ascii import render_table
+from repro.reputation import (
+    RatingInflationAttack,
+    ReputationConfig,
+    ReputationSystem,
+    sybils_needed,
+)
+
+from conftest import emit
+
+TARGETS = range(70)
+ROUNDS = 6000
+
+
+def _run(config, n_sybils=None):
+    system = ReputationSystem(config, seed=1)
+    if n_sybils is not None:
+        attack = RatingInflationAttack(targets=TARGETS, n_sybils=n_sybils)
+        attack.install(system)
+    for _ in range(ROUNDS):
+        system.step()
+    return system
+
+
+def test_reputation_attack_and_normalization(benchmark):
+    plain = ReputationConfig.paper()
+    capped = plain.replace(rater_cap=0.2)
+    need = sybils_needed(len(list(TARGETS)), plain.target, plain.decay, 0.2)
+
+    def run():
+        return {
+            "baseline": _run(plain),
+            "no cap, 1 sybil": _run(plain, n_sybils=1),
+            "cap, 1 sybil": _run(capped, n_sybils=1),
+            f"cap, {need + 2} sybils": _run(capped, n_sybils=need + 2),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, f"{system.service_rate():.3f}", f"{system.satiated_fraction():.2f}",
+         f"{system.injected_reputation:.0f}")
+        for name, system in results.items()
+    ]
+    emit(
+        "Rating inflation vs 70 targets (100 agents)",
+        render_table(
+            ["scenario", "service rate", "satiated", "reputation minted"], rows
+        ),
+    )
+    baseline = results["baseline"]
+    free_ride = results["no cap, 1 sybil"]
+    capped_one = results["cap, 1 sybil"]
+    capped_army = results[f"cap, {need + 2} sybils"]
+    # Unnormalized: one Sybil wrecks the economy.
+    assert free_ride.satiated_fraction() > 0.9
+    assert free_ride.service_rate() < baseline.service_rate() * 0.7
+    # Normalized: one Sybil is nearly harmless ...
+    assert capped_one.service_rate() > baseline.service_rate() * 0.8
+    # ... and holding 70 targets takes an army sized by the formula.
+    assert capped_army.satiated_fraction() > capped_one.satiated_fraction()
+    assert need >= 3

@@ -1,0 +1,110 @@
+"""Ablation B (paper Sections 1 and 4): the scrip economy.
+
+Regenerates the paper's scrip claims as numbers:
+
+* targeting the few providers of a rare resource denies that resource
+  to the whole system while the rest of the economy keeps running;
+* the fixed money supply bounds the satiable fraction — an attacker
+  whose war chest must come from inside the system cannot satiate
+  everyone;
+* altruists crowd out the paid economy (the crash caution).
+"""
+
+from repro.harness.ascii import render_table
+from repro.scrip import (
+    MoneyInjectionAttack,
+    ScripConfig,
+    ScripSystem,
+    altruist_sweep,
+    build_agents,
+    build_rare_resource_agents,
+    measure_economy,
+    satiation_holdings,
+)
+
+from conftest import emit
+
+
+def test_rare_provider_denial(benchmark):
+    config = ScripConfig.paper().replace(
+        n_resource_types=4, type_weights=(0.32, 0.32, 0.32, 0.04)
+    )
+    providers = [0, 1, 2]
+
+    def run():
+        results = {}
+        for name, budget in (("no attack", 0), ("satiate providers", 60)):
+            system = ScripSystem(
+                config,
+                agents=build_rare_resource_agents(config, 3, providers),
+                seed=1,
+            )
+            if budget:
+                attack = MoneyInjectionAttack(
+                    providers, top_up_to=config.threshold, budget=budget
+                )
+                attack.install(system)
+            report = measure_economy(system, rounds=2500, warmup=250)
+            results[name] = (report, system.service_rate_of_type(3),
+                             system.service_rate_of_type(0))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (name, f"{report.service_rate:.3f}", f"{rare:.3f}", f"{common:.3f}")
+        for name, (report, rare, common) in results.items()
+    ]
+    emit("Rare-resource lotus-eater attack on a scrip economy", render_table(
+        ["scenario", "overall rate", "rare-type rate", "common rate"], rows
+    ))
+    _, rare_clean, common_clean = results["no attack"]
+    _, rare_hit, common_hit = results["satiate providers"]
+    # The rare resource is denied ...
+    assert rare_hit < rare_clean * 0.6
+    # ... while the common economy barely notices.
+    assert common_hit > common_clean * 0.8
+
+
+def test_fixed_supply_bound(benchmark):
+    """Section 4: 'there may not even be enough money in the system to
+    satiate a significant fraction of the nodes.'"""
+    config = ScripConfig.paper()
+
+    def run():
+        rows = []
+        for fraction in (0.2, 0.5, 0.8):
+            n_targets = int(fraction * config.n_agents)
+            held = satiation_holdings(n_targets, config.threshold)
+            rows.append((f"{fraction:.0%}", held, config.money_supply,
+                         "feasible" if held <= config.money_supply else "infeasible"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("Holdings needed for satiation vs the fixed money supply", render_table(
+        ["fraction satiated", "scrip pinned", "total supply", "within supply?"], rows
+    ))
+    assert config.max_satiable_fraction() <= 0.5
+    # Keeping 80% satiated pins more scrip than exists in the system.
+    assert rows[-1][1] > config.money_supply
+
+
+def test_altruist_crowding(benchmark):
+    config = ScripConfig.small()
+
+    def run():
+        return altruist_sweep(
+            config, altruist_counts=[0, 5, 15], rounds=4000, warmup=400, seed=0
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (count, f"{report.service_rate:.3f}", f"{report.free_service_share:.3f}")
+        for count, report in zip([0, 5, 15], reports)
+    ]
+    emit("Altruists crowd out the paid economy", render_table(
+        ["altruists", "service rate", "free share"], rows
+    ))
+    # Altruists raise raw service quality (they are never satiated) ...
+    assert reports[2].service_rate >= reports[0].service_rate
+    # ... but the paid sector collapses (the crash mechanism).
+    assert reports[2].free_service_share > 0.8

@@ -1,0 +1,116 @@
+"""Ablation A (paper Section 3): the abstract token model's attacks.
+
+No figure in the paper corresponds to this — Section 3 argues in
+prose — so this bench regenerates the section's claims as numbers:
+
+* a rare-token attack denies the whole system one token for the cost
+  of satiating a single node;
+* a cut attack firewalls a grid;
+* mass satiation suppresses organic progress;
+* any altruism ``a > 0`` restores eventual completion.
+"""
+
+import numpy as np
+
+from repro.core.graphs import grid_column_cut, grid_graph
+from repro.harness.ascii import render_table
+from repro.tokenmodel import (
+    CutSatiationAttack,
+    MassSatiationAttack,
+    RareTokenAttack,
+    TokenSystem,
+    rare_token_allocation,
+    run_token_experiment,
+    uniform_allocation,
+)
+
+from conftest import emit
+
+
+def _grid_system(altruism, seed=0):
+    graph = grid_graph(8, 8)
+    allocation = uniform_allocation(graph, 6, 4, np.random.default_rng(seed))
+    return TokenSystem.complete_collection(graph, 6, allocation, altruism=altruism)
+
+
+def test_tokenmodel_attacks(benchmark):
+    def run():
+        rows = []
+        graph = grid_graph(8, 8)
+        rare_alloc = rare_token_allocation(
+            graph, 6, 4, rare_token=0, rare_holder=0, rng=np.random.default_rng(1)
+        )
+        scenarios = [
+            ("none, a=0.2", _grid_system(0.2), None),
+            ("mass 60%, a=0.2", _grid_system(0.2),
+             MassSatiationAttack(0.6, np.random.default_rng(2))),
+            ("cut col 4, a=0", _grid_system(0.0),
+             CutSatiationAttack(grid_column_cut(8, 8, 4))),
+            ("rare token, a=0",
+             TokenSystem.complete_collection(graph, 6, rare_alloc, altruism=0.0),
+             RareTokenAttack([0])),
+            ("rare token, a=0.2",
+             TokenSystem.complete_collection(graph, 6, rare_alloc, altruism=0.2),
+             RareTokenAttack([0])),
+        ]
+        summaries = {}
+        for name, system, attack in scenarios:
+            summary = run_token_experiment(system, attack, max_rounds=250, seed=3)
+            summaries[name] = summary
+            rows.append(
+                (name, summary.organically_satiated, summary.attacker_satiated,
+                 summary.starving, f"{summary.mean_coverage_of_starving:.2f}",
+                 summary.completion_round or "never")
+            )
+        return summaries, rows
+
+    summaries, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Token model (Section 3) attacks",
+        render_table(
+            ["scenario", "organic", "forced", "starving", "coverage", "completion"],
+            rows,
+        ),
+    )
+    # Rare-token attack at a=0: one node satiated, everyone else starves
+    # at high coverage (only the denied token missing).
+    rare = summaries["rare token, a=0"]
+    assert rare.attacker_satiated == 1
+    assert rare.completion_round is None
+    assert rare.mean_coverage_of_starving >= 0.8
+    # Altruism rescues the same system (the paper's a > 0 claim).
+    assert summaries["rare token, a=0.2"].completion_round is not None
+    # Mass satiation suppresses organic completion vs the clean run.
+    assert (
+        summaries["mass 60%, a=0.2"].organically_satiated
+        < summaries["none, a=0.2"].organically_satiated
+    )
+    # The cut keeps at least the far side starving.
+    assert summaries["cut col 4, a=0"].starving >= 16
+
+
+def test_altruism_sweep(benchmark):
+    """Completion time falls as a grows — altruism is the lever."""
+
+    def run():
+        results = {}
+        for altruism in (0.1, 0.3, 0.6):
+            summary = run_token_experiment(
+                _grid_system(altruism),
+                MassSatiationAttack(0.5, np.random.default_rng(0)),
+                max_rounds=400,
+                seed=1,
+            )
+            results[altruism] = summary
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (f"a={altruism}", summary.completion_round or "never")
+        for altruism, summary in results.items()
+    ]
+    emit("Altruism vs completion under 50% mass satiation", render_table(
+        ["altruism", "completion round"], rows
+    ))
+    assert all(summary.completion_round is not None for summary in results.values())
+    assert results[0.6].completion_round <= results[0.1].completion_round

@@ -1,0 +1,49 @@
+"""Figure 2: larger optimistic pushes reduce attack effectiveness.
+
+Paper: raising the push size from 2 to 10 means the ideal attack "now
+requires at least 15% of the nodes" (up from 4%) and the trade attack
+nearly doubles its requirement to ~40% (up from 22%).
+
+The reproduction asserts the defense's *direction and materiality*:
+every attack's crossover moves right by a substantial factor when the
+push size grows to 10.
+"""
+
+from repro.bargossip.config import GossipConfig
+from repro.harness.figures import FAST_FRACTIONS, crossovers, figure1, figure2
+
+from conftest import emit_crossovers, emit_curves
+
+PAPER_CROSSOVERS_PUSH10 = {
+    "Crash attack": None,  # not highlighted in the paper
+    "Ideal lotus-eater attack": 0.15,
+    "Trade lotus-eater attack": 0.40,
+}
+
+
+def test_figure2(benchmark, bench_rounds):
+    config = GossipConfig.paper()
+
+    def run():
+        baseline = figure1(config, fractions=FAST_FRACTIONS, rounds=bench_rounds)
+        defended = figure2(
+            config, push_size=10, fractions=FAST_FRACTIONS, rounds=bench_rounds
+        )
+        return baseline, defended
+
+    baseline, defended = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_cross = crossovers(baseline)
+    defended_cross = crossovers(defended)
+    emit_curves("Figure 2 (push size 10)", defended)
+    emit_crossovers("Figure 2 crossovers", defended_cross, PAPER_CROSSOVERS_PUSH10)
+
+    for label in ("Ideal lotus-eater attack", "Trade lotus-eater attack"):
+        before = base_cross[label]
+        after = defended_cross[label]
+        # The defense moves the crossover right materially (paper:
+        # ~3.7x for ideal, ~1.8x for trade; we require >= 1.2x).
+        assert after is None or after >= before * 1.2, label
+    # Delivery improves pointwise at every sampled fraction too.
+    for label in defended:
+        for y_before, y_after in zip(baseline[label].ys, defended[label].ys):
+            assert y_after >= y_before - 0.03, label

@@ -1,0 +1,54 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+reduced grid, *prints* the reproduced rows/series next to the paper's
+numbers, and asserts the qualitative shape (ordering of attacks,
+direction of defenses, crossover bands).  Timings come from
+pytest-benchmark; run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.core.metrics import TimeSeries
+from repro.harness.ascii import render_series_table, render_table
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block that survives pytest's capture with -s."""
+    print()
+    print(f"=== {title} ===")
+    print(body)
+
+
+def emit_curves(title: str, curves: Dict[str, TimeSeries]) -> None:
+    emit(title, render_series_table(curves, x_label="attacker fraction"))
+
+
+def emit_crossovers(
+    title: str,
+    measured: Dict[str, Optional[float]],
+    paper: Dict[str, Optional[float]],
+) -> None:
+    rows = []
+    for label in measured:
+        paper_value = paper.get(label)
+        rows.append(
+            (
+                label,
+                "-" if paper_value is None else f"{paper_value:.2f}",
+                "never" if measured[label] is None else f"{measured[label]:.3f}",
+            )
+        )
+    emit(title, render_table(["curve", "paper crossover", "measured"], rows))
+
+
+@pytest.fixture(scope="session")
+def bench_rounds() -> int:
+    """Gossip rounds per figure point in the benchmark profile."""
+    return 30

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Why the lotus-eater attack barely dents BitTorrent.
+
+The attacker joins a 30-leecher swarm with peers that hold the full
+file and uploads generously — but only to 10 chosen targets.  The
+targets fill their tit-for-tat slots with attacker peers and waste
+upload on them.  And yet: optimistic unchokes and the seed keep
+serving everyone, the attacker's bandwidth is real bandwidth, and the
+torrent as a whole often finishes *faster*.
+
+Also shows the rarest-first ablation: with a scarce seed, random piece
+picking drags out completion that rarest-first resolves.
+
+Run:  python examples/bittorrent_swarm.py
+"""
+
+from repro.bittorrent import (
+    RandomPicker,
+    SwarmConfig,
+    UploadSatiationAttack,
+    run_swarm_experiment,
+)
+
+config = SwarmConfig.paper()
+print(f"swarm: {config.n_leechers} leechers, {config.n_seeds} seed, "
+      f"{config.n_pieces} pieces\n")
+
+baseline = run_swarm_experiment(config, max_rounds=400, seed=3)
+print("-- no attack --")
+print(f"   mean completion round: {baseline.mean_completion_round:.1f}\n")
+
+attack = UploadSatiationAttack(n_attackers=3, targets=range(10), slots_per_attacker=4)
+attacked = run_swarm_experiment(config, attack=attack, max_rounds=400, seed=3)
+print("-- 3 attacker peers satiate 10 targets --")
+print(f"   mean completion round: {attacked.mean_completion_round:.1f}")
+print(f"   targets finish at    : {attacked.target_mean_completion:.1f} "
+      "(they are being *served*)")
+print(f"   non-targets finish at: {attacked.non_target_mean_completion:.1f}")
+print(f"   attacker uploaded    : {attacked.attacker_pieces_uploaded} pieces "
+      "(the attack's real cost)")
+print(f"   wasted on attackers  : {attacked.wasted_on_attackers} pieces\n")
+
+speedup = baseline.mean_completion_round / attacked.mean_completion_round
+print(f"The 'attack' changed mean completion by {speedup:.2f}x — "
+      "often a net benefit, exactly as the paper argues.\n")
+
+print("-- rarest-first vs random picking (scarce seed) --")
+scarce = SwarmConfig(
+    n_pieces=32, n_leechers=12, n_seeds=1, seed_slots=2,
+    random_first_pieces=2, endgame_threshold=1,
+)
+rarest = run_swarm_experiment(scarce, max_rounds=600, seed=2)
+random_pick = run_swarm_experiment(scarce, picker=RandomPicker(), max_rounds=600, seed=2)
+print(f"   rarest-first: {rarest.completed}/{scarce.n_leechers} done, "
+      f"mean {rarest.mean_completion_round:.1f} rounds")
+print(f"   random      : {random_pick.completed}/{scarce.n_leechers} done, "
+      f"mean {random_pick.mean_completion_round:.1f} rounds")
+print(
+    "\nRarest-first is the built-in answer to an attacker trying to\n"
+    "manufacture a 'last pieces problem' by satiating rare-piece holders."
+)

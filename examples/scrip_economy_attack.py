@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Buying silence in a scrip economy.
+
+A hundred agents trade services for scrip; rational agents work only
+while their balance is below a threshold.  Three agents are the only
+providers of a rare resource.  The attacker gives exactly those three
+agents money — they are now satiated, and the rare resource vanishes
+from the market while the rest of the economy hums along.
+
+The example then quantifies the paper's defense: with a *fixed* money
+supply, the scrip to satiate a large fraction of the system simply
+does not exist.
+
+Run:  python examples/scrip_economy_attack.py
+"""
+
+from repro.scrip import (
+    MoneyInjectionAttack,
+    ScripConfig,
+    ScripSystem,
+    build_rare_resource_agents,
+    measure_economy,
+    satiation_holdings,
+)
+
+RARE_TYPE = 3
+PROVIDERS = [0, 1, 2]
+
+config = ScripConfig.paper().replace(
+    n_resource_types=4,
+    type_weights=(0.32, 0.32, 0.32, 0.04),  # the rare service is rarely needed
+)
+
+
+def run(attack_budget):
+    system = ScripSystem(
+        config,
+        agents=build_rare_resource_agents(config, RARE_TYPE, PROVIDERS),
+        seed=7,
+    )
+    attack = None
+    if attack_budget:
+        attack = MoneyInjectionAttack(
+            PROVIDERS, top_up_to=config.threshold, budget=attack_budget
+        )
+        attack.install(system)
+    report = measure_economy(system, rounds=3000, warmup=300)
+    return system, report, attack
+
+
+print(f"{config.n_agents} agents, money supply {config.money_supply} scrip, "
+      f"threshold {config.threshold}")
+print(f"rare resource type {RARE_TYPE} has {len(PROVIDERS)} providers\n")
+
+for label, budget in (("no attack", 0), ("attacker gifts 60 scrip", 60)):
+    system, report, attack = run(budget)
+    print(f"-- {label} --")
+    print(f"   overall service rate : {report.service_rate:.3f}")
+    print(f"   rare-type rate       : {system.service_rate_of_type(RARE_TYPE):.3f}")
+    print(f"   common-type rate     : {system.service_rate_of_type(0):.3f}")
+    if attack:
+        print(f"   scrip spent          : {attack.total_injected}")
+    print()
+
+print("-- the fixed-supply defense --")
+for fraction in (0.1, 0.5, 0.9):
+    n_targets = int(fraction * config.n_agents)
+    held = satiation_holdings(n_targets, config.threshold)
+    verdict = (
+        "feasible" if held <= config.money_supply
+        else "exceeds ALL money in the system"
+    )
+    print(f"   keep {fraction:.0%} of agents satiated: pins {held} scrip — {verdict}")
+
+print(
+    f"\nAt most {config.max_satiable_fraction():.0%} of this economy can be "
+    "satiated at once, no matter how rich the attacker gets inside the system."
+)

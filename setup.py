@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip lack
+PEP 660 editable-install support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""Defenses against the lotus-eater attack (paper Section 4).
+
+Three of the paper's four design principles are protocol changes this
+module configures:
+
+* **Encouraging altruism, variant 1** — larger optimistic pushes
+  (Figure 2).  Configured with :func:`with_larger_pushes`.
+* **Encouraging altruism, variant 2 / leveraging obedience** —
+  slightly unbalanced exchanges (Figure 3).  Configured with
+  :func:`with_unbalanced_exchanges`.
+* **Leveraging obedience for enforcement** — obedient nodes report
+  excessive service; verified reports get the serving node evicted.
+  "Only two people know if an attacker provides excessive service: the
+  attacker and the node that benefits from it. ... a rational node
+  might not report it.  But an obedient node would, if its protocol
+  required it."  Implemented by :class:`ReportingPolicy`.
+
+(The fourth principle — tolerating non-random failures — is a topology
+and seeding property exercised in ``repro.tokenmodel``.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..core.behaviors import Behavior
+from ..core.errors import ConfigurationError
+from .config import GossipConfig
+from .messages import InteractionReceipt, verify_receipt
+
+__all__ = [
+    "with_larger_pushes",
+    "with_unbalanced_exchanges",
+    "figure3_variants",
+    "ReportingPolicy",
+    "EvictionAuthority",
+]
+
+
+def with_larger_pushes(config: GossipConfig, push_size: int = 10) -> GossipConfig:
+    """The Figure 2 defense: raise the optimistic push size.
+
+    "Nodes that are willing to initiate optimistic pushes will be ...
+    more altruistic towards other nodes; they are willing to give away
+    more updates at the risk of receiving junk."
+    """
+    if push_size <= 0:
+        raise ConfigurationError(f"push_size must be positive, got {push_size}")
+    return config.replace(push_size=push_size)
+
+
+def with_unbalanced_exchanges(config: GossipConfig) -> GossipConfig:
+    """The Figure 3 defense: allow giving one extra update per exchange."""
+    return config.replace(unbalanced_exchange=True)
+
+
+def with_rate_limit(
+    config: GossipConfig, accept_cap: int, obedient_fraction: float = 1.0
+) -> GossipConfig:
+    """The Section 5 defense: limit how fast anyone can provide service.
+
+    "Another concrete open problem ... is how we can design a system
+    that limits the rate at which nodes can provide service.  ...
+    this potentially is a strong technique for preventing lotus-eater
+    attacks by preventing an attacker from providing service
+    sufficiently rapidly to satiate targeted nodes."
+
+    The enforcement is receiver-side and therefore needs obedience:
+    an obedient node caps what it *accepts* per interaction, while a
+    rational node pockets the excess.  ``obedient_fraction`` sets how
+    much of the population enforces the cap.
+    """
+    if accept_cap < 1:
+        raise ConfigurationError(f"accept_cap must be >= 1, got {accept_cap}")
+    return config.replace(accept_cap=accept_cap, obedient_fraction=obedient_fraction)
+
+
+def figure3_variants(base: GossipConfig) -> Dict[str, GossipConfig]:
+    """The four protocol variants compared in Figure 3.
+
+    {push 2, push 4} x {balanced, unbalanced} — the paper's combination
+    of "two small changes" that together "increase the fraction of the
+    system the attacker needs to control by almost 50%".
+    """
+    return {
+        "push 2, balanced": base.replace(push_size=2, unbalanced_exchange=False),
+        "push 2, unbalanced": base.replace(push_size=2, unbalanced_exchange=True),
+        "push 4, balanced": base.replace(push_size=4, unbalanced_exchange=False),
+        "push 4, unbalanced": base.replace(push_size=4, unbalanced_exchange=True),
+    }
+
+
+@dataclass(frozen=True)
+class ReportingPolicy:
+    """Parameters of the excessive-service reporting defense.
+
+    Attributes
+    ----------
+    excess_threshold:
+        A transfer is *excessive* when one side receives more than this
+        many updates above what it returned in a single interaction.
+        The protocol's own rules never exceed an imbalance of 1 (the
+        unbalanced-exchange defense), so any threshold >= 2 never
+        penalizes correct nodes.
+    reports_to_evict:
+        Distinct verified reports required before a node is evicted.
+        Requiring more than one protects against a single Byzantine
+        node forging accusations (it cannot forge the receipt, but a
+        corrupted obedient node could replay real ones).
+    """
+
+    excess_threshold: int = 2
+    reports_to_evict: int = 2
+
+    def __post_init__(self) -> None:
+        if self.excess_threshold < 1:
+            raise ConfigurationError(
+                f"excess_threshold must be >= 1, got {self.excess_threshold}"
+            )
+        if self.reports_to_evict < 1:
+            raise ConfigurationError(
+                f"reports_to_evict must be >= 1, got {self.reports_to_evict}"
+            )
+
+    def is_excessive(self, receipt: InteractionReceipt) -> bool:
+        """Whether the service documented by ``receipt`` is excessive."""
+        return receipt.imbalance > self.excess_threshold
+
+    def beneficiary_reports(self, behavior: Behavior) -> bool:
+        """Whether a beneficiary with this behaviour files the report.
+
+        Excessive service benefits its receiver, so only obedient
+        nodes — who follow the protocol against their own interest —
+        report it.  Rational nodes stay quiet; Byzantine nodes
+        obviously do not report their own coalition.
+        """
+        return behavior is Behavior.OBEDIENT
+
+
+@dataclass
+class EvictionAuthority:
+    """Collects verified excessive-service reports and evicts offenders.
+
+    Models the system-level membership service BAR Gossip already
+    assumes ("get the reported node removed from the system").  The
+    authority verifies every receipt signature before counting it and
+    deduplicates reports per (reporter, offender) pair so one obedient
+    node cannot single-handedly evict anyone when
+    ``reports_to_evict > 1``.
+    """
+
+    policy: ReportingPolicy
+    reports: Dict[int, Set[int]] = field(default_factory=dict)
+    evicted: Set[int] = field(default_factory=set)
+
+    def file_report(self, reporter: int, receipt: InteractionReceipt) -> bool:
+        """File one report; returns True when it triggers an eviction."""
+        if not verify_receipt(receipt):
+            return False
+        if not self.policy.is_excessive(receipt):
+            return False
+        offender = receipt.giver
+        if offender in self.evicted:
+            return False
+        reporters = self.reports.setdefault(offender, set())
+        reporters.add(reporter)
+        if len(reporters) >= self.policy.reports_to_evict:
+            self.evicted.add(offender)
+            return True
+        return False
+
+    def report_count(self, offender: int) -> int:
+        """Distinct reporters on record against ``offender``."""
+        return len(self.reports.get(offender, set()))
+
+    def evicted_nodes(self) -> List[int]:
+        """All evicted node ids, sorted."""
+        return sorted(self.evicted)

@@ -1,0 +1,125 @@
+"""The balanced-exchange sub-protocol.
+
+"In a balanced exchange, nodes exchange as many updates as possible on
+a one-for-one basis."  Each side can only receive updates the other
+holds and it misses; the transfer count each way is the minimum of the
+two availabilities, further bounded by the per-exchange bandwidth cap.
+
+Satiation-compatibility is *emergent* here, exactly as the paper
+describes: a node that is missing nothing has nothing to trade for, so
+the one-for-one rule makes the exchange size zero — the satiated node
+provides no service without ever "refusing".
+
+The Figure 3 defense relaxes strict balance: "nodes are willing to
+give one more update than they receive, assuming they are receiving at
+least one update."  :func:`plan_balanced_exchange` implements both
+rules behind one flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.errors import ConfigurationError
+from .updates import UpdateStore
+
+__all__ = ["ExchangePlan", "plan_balanced_exchange", "apply_exchange"]
+
+
+@dataclass(frozen=True)
+class ExchangePlan:
+    """The outcome of negotiating one balanced exchange.
+
+    ``to_initiator`` and ``to_responder`` are the update id lists each
+    side will receive, oldest (most urgent) first.
+    """
+
+    to_initiator: Tuple[int, ...]
+    to_responder: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Total updates moved in both directions."""
+        return len(self.to_initiator) + len(self.to_responder)
+
+    @property
+    def imbalance(self) -> int:
+        """Absolute difference between the two directions' counts."""
+        return abs(len(self.to_initiator) - len(self.to_responder))
+
+
+def _select(updates: List[int], count: int, prefer_newest: bool) -> Tuple[int, ...]:
+    """Pick ``count`` updates by the configured priority.
+
+    Newest-first is the default and the rational choice: freshly
+    released updates are the scarcest and hence the best future trade
+    currency (the gossip analogue of BitTorrent's rarest-first), and
+    near-expiry stragglers have a dedicated recovery channel in the
+    optimistic push.  Oldest-first (pure urgency order) is kept for
+    ablations.
+    """
+    updates.sort(reverse=prefer_newest)
+    return tuple(updates[:count])
+
+
+def plan_balanced_exchange(
+    initiator: UpdateStore,
+    responder: UpdateStore,
+    cap: int,
+    unbalanced: bool = False,
+    prefer_newest: bool = True,
+) -> ExchangePlan:
+    """Negotiate one balanced exchange between two correct nodes.
+
+    Parameters
+    ----------
+    initiator, responder:
+        The two nodes' live-update stores.
+    cap:
+        Per-direction bandwidth cap (updates).
+    unbalanced:
+        When True, apply the Figure 3 defense: each side may give one
+        update more than it receives, provided it receives at least
+        one; the cap rises to ``cap + 1`` for the extra update.
+    prefer_newest:
+        Selection priority when availability exceeds the transfer
+        count; see :func:`_select`.
+
+    Returns
+    -------
+    ExchangePlan
+        Possibly empty (size 0) when either side has nothing the other
+        needs — in particular whenever either side is satiated.
+    """
+    if cap <= 0:
+        raise ConfigurationError(f"cap must be positive, got {cap}")
+    available_to_initiator = list(responder.have & initiator.missing)
+    available_to_responder = list(initiator.have & responder.missing)
+    base = min(len(available_to_initiator), len(available_to_responder), cap)
+    if base == 0:
+        return ExchangePlan(to_initiator=(), to_responder=())
+    if unbalanced:
+        count_initiator = min(len(available_to_initiator), base + 1, cap + 1)
+        count_responder = min(len(available_to_responder), base + 1, cap + 1)
+    else:
+        count_initiator = base
+        count_responder = base
+    return ExchangePlan(
+        to_initiator=_select(available_to_initiator, count_initiator, prefer_newest),
+        to_responder=_select(available_to_responder, count_responder, prefer_newest),
+    )
+
+
+def apply_exchange(
+    initiator: UpdateStore, responder: UpdateStore, plan: ExchangePlan
+) -> Tuple[int, int]:
+    """Apply a negotiated exchange to both stores.
+
+    Returns the number of *new* updates each side actually gained
+    (which equals the plan sizes unless a store was mutated between
+    planning and applying; the simulator never does that).
+    """
+    gained_initiator = initiator.receive_all(plan.to_initiator)
+    gained_responder = responder.receive_all(plan.to_responder)
+    return gained_initiator, gained_responder

@@ -1,0 +1,124 @@
+"""Gossip node state and behaviour decisions.
+
+A :class:`GossipNode` bundles a node's live-update store with its BAR
+behaviour class, the attack-assigned target group, per-node service
+counters, and the two behaviour decisions the protocol leaves open:
+
+* *whether to initiate an optimistic push* — rational nodes push only
+  when missing old updates; obedient nodes push whenever they have
+  recent updates to offer;
+* *whether to respond to a push* — any correct node responds when it
+  gains at least one update, declines otherwise (so a fully satiated
+  node declines: it cannot gain).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..core.behaviors import Behavior
+from .config import GossipConfig
+from .updates import UpdateStore
+
+__all__ = ["TargetGroup", "ServiceCounters", "GossipNode"]
+
+
+class TargetGroup(enum.Enum):
+    """How the attacker classifies a node (paper Section 2).
+
+    The attacker "divides the nodes into two groups": *satiated* nodes
+    receive as much service as he can deliver; *isolated* nodes receive
+    none.  His own nodes form the third class.  Figures 1-3 plot the
+    delivery fraction of the isolated group.
+    """
+
+    ATTACKER = "attacker"
+    SATIATED = "satiated"
+    ISOLATED = "isolated"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class ServiceCounters:
+    """Per-node tallies used by reports and the reporting defense."""
+
+    updates_sent: int = 0
+    updates_received: int = 0
+    junk_sent: int = 0
+    junk_received: int = 0
+    exchanges_initiated: int = 0
+    exchanges_nonempty: int = 0
+    pushes_initiated: int = 0
+    pushes_nonempty: int = 0
+
+    def record_exchange(self, sent: int, received: int) -> None:
+        self.updates_sent += sent
+        self.updates_received += received
+
+
+@dataclass
+class GossipNode:
+    """One participant in the gossip system."""
+
+    node_id: int
+    behavior: Behavior
+    group: TargetGroup
+    store: UpdateStore = field(default_factory=UpdateStore)
+    counters: ServiceCounters = field(default_factory=ServiceCounters)
+    evicted: bool = False
+
+    @property
+    def is_attacker(self) -> bool:
+        """Whether this node is controlled by the attacker."""
+        return self.group is TargetGroup.ATTACKER
+
+    @property
+    def is_correct(self) -> bool:
+        """Whether this node runs the real protocol (possibly rationally)."""
+        return not self.is_attacker
+
+    @property
+    def is_satiated(self) -> bool:
+        """Whether the node currently misses no live update."""
+        return self.store.is_satiated
+
+    def wants_to_push(self, config: GossipConfig, round_now: int) -> bool:
+        """Behaviour decision: initiate an optimistic push this round?
+
+        Rational: only when some missing update is old enough to be
+        "expiring relatively soon" — there is otherwise nothing to
+        gain.  Obedient: whenever there is a recent update to offer
+        (the recommended protocol's behaviour, followed even without
+        personal gain).  Evicted and attacker nodes never push through
+        this path (the attacker's pushes are driven by its strategy).
+        """
+        if self.evicted or self.is_attacker:
+            return False
+        old_cutoff = round_now - config.push_age_threshold + 1
+        has_old_needs = bool(
+            self.store.missing_older_than(old_cutoff, config.updates_per_round)
+        )
+        if self.behavior is Behavior.RATIONAL:
+            return has_old_needs
+        recent_cutoff = round_now - config.push_recent_window + 1
+        has_offers = bool(
+            self.store.have_newer_than(recent_cutoff, config.updates_per_round)
+        )
+        return has_old_needs or has_offers
+
+    def responds_to_push(self, gain: int) -> bool:
+        """Behaviour decision: accept an incoming push offer?
+
+        A correct node accepts iff it gains at least one update.  This
+        single rule covers both behaviours: obedient nodes follow the
+        protocol (which says accept useful offers), and rational nodes
+        accept exactly when profitable.  A satiated node can never gain
+        and therefore always declines — the satiation-compatibility at
+        the heart of the attack.
+        """
+        if self.evicted or self.is_attacker:
+            return False
+        return gain > 0

@@ -1,0 +1,101 @@
+"""Verifiable pseudorandom partner selection.
+
+In BAR Gossip every node initiates each of the two sub-protocols
+(balanced exchange, optimistic push) at most once per round "with a
+pseudorandomly chosen partner (nodes have no control over who their
+partner will be)".  The real protocol derives the partner from a
+signed, verifiable PRNG seed; what the attack analysis needs from that
+construction is only that
+
+* partner choice is uniform over the other nodes, and
+* no node — attacker included — can bias its own draws.
+
+We model this with a central deterministic schedule: partners for all
+(round, initiator, purpose) triples are drawn from a dedicated named
+RNG stream in a fixed order, so the schedule is a pure function of the
+root seed and no strategy can influence it.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["Purpose", "PartnerSchedule"]
+
+
+class Purpose(enum.Enum):
+    """Which sub-protocol an initiation belongs to."""
+
+    EXCHANGE = "exchange"
+    PUSH = "push"
+
+
+class PartnerSchedule:
+    """Deterministic per-round partner assignments for all nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Population size; partners are uniform over the other
+        ``n_nodes - 1`` nodes.
+    rng:
+        The dedicated generator partner draws consume.  Nothing else
+        may draw from it, which keeps the schedule reproducible
+        independent of other simulation randomness.
+    """
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator) -> None:
+        if n_nodes < 2:
+            raise ConfigurationError(f"need at least 2 nodes, got {n_nodes}")
+        self._n_nodes = n_nodes
+        self._rng = rng
+        self._cache: Dict[Tuple[int, Purpose], np.ndarray] = {}
+        self._next_round_to_draw = 0
+
+    def partner_of(self, round_now: int, initiator: int, purpose: Purpose) -> int:
+        """The partner assigned to ``initiator`` for ``purpose`` in ``round_now``.
+
+        Draws are materialized round by round in ascending order, so
+        querying any (initiator, purpose) of a round is allowed in any
+        order without affecting determinism.  Rounds must be consumed
+        in non-decreasing order (no querying the past after advancing).
+        """
+        if not 0 <= initiator < self._n_nodes:
+            raise ConfigurationError(
+                f"initiator {initiator} out of range for {self._n_nodes} nodes"
+            )
+        key = (round_now, purpose)
+        if key not in self._cache:
+            self._materialize_through(round_now)
+        return int(self._cache[key][initiator])
+
+    def _materialize_through(self, round_now: int) -> None:
+        if round_now < self._next_round_to_draw - 1:
+            raise ConfigurationError(
+                f"round {round_now} precedes already-discarded draws"
+            )
+        while self._next_round_to_draw <= round_now:
+            current = self._next_round_to_draw
+            for purpose in (Purpose.EXCHANGE, Purpose.PUSH):
+                self._cache[(current, purpose)] = self._draw_round()
+            self._next_round_to_draw += 1
+        # Keep only a small sliding window so long runs stay O(1) memory.
+        stale = [key for key in self._cache if key[0] < round_now - 1]
+        for key in stale:
+            del self._cache[key]
+
+    def _draw_round(self) -> np.ndarray:
+        """Uniform partners for all initiators, avoiding self-selection.
+
+        Each initiator's partner is uniform over the other nodes: we
+        draw from ``[0, n-2]`` and shift values at or above the
+        initiator's own id up by one.
+        """
+        draws = self._rng.integers(0, self._n_nodes - 1, size=self._n_nodes)
+        initiators = np.arange(self._n_nodes)
+        return np.where(draws >= initiators, draws + 1, draws)

@@ -1,0 +1,106 @@
+"""The optimistic-push sub-protocol.
+
+"In an optimistic push, the node initiating the push sends a list of
+recently released updates it has to offer and a list of updates
+expiring relatively soon it needs.  The other node can then receive a
+limited number of the recent updates in exchange for older updates or
+junk data."
+
+Mechanics implemented here:
+
+* the initiator offers its *recent* updates (created within
+  ``push_recent_window`` rounds);
+* the responder takes up to ``push_size`` offers it is missing;
+* the responder pays with the same number of units: *old* updates the
+  initiator asked for where it has them, junk data for the remainder
+  (the junk is the "nonproductive work" of Section 4 that stops the
+  push from being a pure free ride);
+* if the responder needs none of the offers, the push transfers
+  nothing — a fully satiated responder gains nothing and (rationally)
+  declines, which is again satiation-compatibility emerging from the
+  rules.
+
+Whether a node *initiates* a push is a behaviour decision made in
+``node.py``: rational nodes push only when they are missing old
+updates ("if a node has no missing older updates, he has nothing to
+gain by initiating an optimistic push and a rational node will not"),
+obedient nodes push whenever they have something to offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .config import GossipConfig
+from .updates import UpdateStore
+
+__all__ = ["PushPlan", "plan_optimistic_push", "apply_push"]
+
+
+@dataclass(frozen=True)
+class PushPlan:
+    """The outcome of negotiating one optimistic push.
+
+    Attributes
+    ----------
+    to_responder:
+        Recent updates flowing initiator -> responder (the "push").
+    to_initiator:
+        Old needed updates flowing responder -> initiator.
+    junk_units:
+        Junk payloads the responder uploads to keep its payment equal
+        to what it received.
+    """
+
+    to_responder: Tuple[int, ...]
+    to_initiator: Tuple[int, ...]
+    junk_units: int
+
+    @property
+    def size(self) -> int:
+        """Useful updates moved in both directions."""
+        return len(self.to_responder) + len(self.to_initiator)
+
+    @property
+    def happened(self) -> bool:
+        """Whether the push transferred anything at all."""
+        return bool(self.to_responder)
+
+
+def plan_optimistic_push(
+    initiator: UpdateStore,
+    responder: UpdateStore,
+    config: GossipConfig,
+    round_now: int,
+) -> PushPlan:
+    """Negotiate one optimistic push between two correct nodes.
+
+    The responder's payment is capped at what it received, so the
+    initiator risks giving ``push_size`` recent updates for junk — the
+    optimism that gives the sub-protocol its name, and the altruism
+    channel the Figure 2 defense widens by raising ``push_size``.
+    """
+    recent_cutoff = round_now - config.push_recent_window + 1
+    old_cutoff = round_now - config.push_age_threshold + 1
+    offers = initiator.have_newer_than(recent_cutoff, config.updates_per_round)
+    wanted_by_responder = [u for u in offers if u in responder.missing]
+    to_responder = tuple(sorted(wanted_by_responder)[: config.push_size])
+    if not to_responder:
+        return PushPlan(to_responder=(), to_initiator=(), junk_units=0)
+    requests = initiator.missing_older_than(old_cutoff, config.updates_per_round)
+    payable = [u for u in requests if u in responder.have]
+    to_initiator = tuple(payable[: len(to_responder)])
+    junk_units = len(to_responder) - len(to_initiator)
+    return PushPlan(
+        to_responder=to_responder, to_initiator=to_initiator, junk_units=junk_units
+    )
+
+
+def apply_push(
+    initiator: UpdateStore, responder: UpdateStore, plan: PushPlan
+) -> Tuple[int, int]:
+    """Apply a negotiated push; returns (initiator_gained, responder_gained)."""
+    gained_responder = responder.receive_all(plan.to_responder)
+    gained_initiator = initiator.receive_all(plan.to_initiator)
+    return gained_initiator, gained_responder

@@ -1,0 +1,561 @@
+"""The BAR Gossip round simulator and the single-experiment entry point.
+
+One :class:`GossipSimulator` advances a population of
+:class:`~repro.bargossip.node.GossipNode` through synchronous rounds:
+
+1. the broadcaster releases this round's updates and seeds each to a
+   random subset of nodes (Table 1: 12 copies);
+2. the attacker acts out of band if its strategy allows (ideal attack);
+3. every non-evicted node initiates one balanced exchange with its
+   pseudorandomly assigned partner;
+4. nodes that choose to initiate one optimistic push do so with a
+   second pseudorandom partner;
+5. excessive-service reports are processed (when the reporting defense
+   is enabled) and offenders evicted;
+6. updates reaching end of life expire and are scored delivered or
+   missed per target group.
+
+The headline metric — "fraction of updates received by isolated
+nodes" — is accumulated in a :class:`~repro.core.metrics.DeliveryStats`
+with groups ``"isolated"``, ``"satiated"`` and ``"correct"`` (the union
+of both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.behaviors import Behavior
+from ..core.engine import RoundSimulator
+from ..core.errors import ConfigurationError
+from ..core.metrics import DeliveryStats
+from ..core.rng import RngStreams
+from .attacker import DEFAULT_SATIATE_FRACTION, AttackKind, AttackerCoalition
+from .config import GossipConfig
+from .defenses import EvictionAuthority, ReportingPolicy
+from .exchange import apply_exchange, plan_balanced_exchange
+from .messages import sign_receipt
+from .node import GossipNode, TargetGroup
+from .partner import PartnerSchedule, Purpose
+from .push import apply_push, plan_optimistic_push
+from .updates import UpdateLedger, creation_round
+
+__all__ = ["GossipSimulator", "GossipExperimentResult", "run_gossip_experiment"]
+
+
+class GossipSimulator(RoundSimulator):
+    """A complete BAR Gossip system under (possibly) attack.
+
+    Parameters
+    ----------
+    config:
+        Protocol and population parameters (Table 1 by default).
+    attack:
+        The attacker coalition; ``None`` means no attack.
+    seed:
+        Root seed; the whole trace is a deterministic function of it.
+    reporting:
+        When given, enables the Section 4 reporting defense with the
+        given policy.
+    measure_from_round:
+        Updates created before this round are warm-up and excluded
+        from delivery statistics.  Defaults to one update lifetime.
+    rotate_targets_every:
+        When set, the attacker re-draws its satiated target set every
+        this many rounds — the paper's rotating variant that spreads
+        intermittent starvation over the whole population.
+    """
+
+    def __init__(
+        self,
+        config: GossipConfig,
+        attack: Optional[AttackerCoalition] = None,
+        seed: int = 0,
+        reporting: Optional[ReportingPolicy] = None,
+        measure_from_round: Optional[int] = None,
+        rotate_targets_every: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.attack = attack if attack is not None else AttackerCoalition(AttackKind.NONE)
+        self._validate_attack()
+        self._streams = RngStreams(seed)
+        self._partners = PartnerSchedule(config.n_nodes, self._streams.get("partners"))
+        self._seeding_rng = self._streams.get("seeding")
+        self._order_rng = self._streams.get("order")
+        self._roles_rng = self._streams.get("roles")
+        self.ledger = UpdateLedger(
+            updates_per_round=config.updates_per_round, lifetime=config.update_lifetime
+        )
+        self.stats = DeliveryStats()
+        self.authority = (
+            EvictionAuthority(policy=reporting) if reporting is not None else None
+        )
+        self.measure_from_round = (
+            config.update_lifetime if measure_from_round is None else measure_from_round
+        )
+        if rotate_targets_every is not None and rotate_targets_every < 1:
+            raise ConfigurationError(
+                f"rotate_targets_every must be >= 1 or None, got {rotate_targets_every}"
+            )
+        self.rotate_targets_every = rotate_targets_every
+        self._rotation_rng = self._streams.get("rotation")
+        self.nodes: List[GossipNode] = [
+            self._make_node(node_id) for node_id in range(config.n_nodes)
+        ]
+        #: Per-node (delivered, missed) tallies over the measured
+        #: window; the rotating attack is judged on this distribution
+        #: (group labels lose meaning once targets move around).
+        self.per_node_delivered: List[int] = [0] * config.n_nodes
+        self.per_node_missed: List[int] = [0] * config.n_nodes
+        #: Per-node tallies bucketed by streaming epoch (one update
+        #: lifetime per window): ``{node: {window: [delivered, missed]}}``.
+        #: This is what exposes *intermittent* unusability under the
+        #: rotating attack, which long-run averages hide.
+        self.per_node_windows: Dict[int, Dict[int, List[int]]] = {
+            node_id: {} for node_id in range(config.n_nodes)
+        }
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def _validate_attack(self) -> None:
+        bad = [
+            node
+            for node in (self.attack.nodes | self.attack.satiated_targets)
+            if not 0 <= node < self.config.n_nodes
+        ]
+        if bad:
+            raise ConfigurationError(f"attack references unknown nodes: {sorted(bad)}")
+
+    def _make_node(self, node_id: int) -> GossipNode:
+        if self.attack.controls(node_id):
+            return GossipNode(node_id, Behavior.BYZANTINE, TargetGroup.ATTACKER)
+        group = (
+            TargetGroup.SATIATED
+            if self.attack.is_satiated_target(node_id)
+            else TargetGroup.ISOLATED
+        )
+        behavior = (
+            Behavior.OBEDIENT
+            if self._roles_rng.random() < self.config.obedient_fraction
+            else Behavior.RATIONAL
+        )
+        return GossipNode(node_id, behavior, group)
+
+    # ------------------------------------------------------------------
+    # RoundSimulator interface
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def step(self) -> None:
+        round_now = self._round
+        self._maybe_rotate_targets(round_now)
+        self._broadcast(round_now)
+        self._attack_out_of_band()
+        order = [int(i) for i in self._order_rng.permutation(self.config.n_nodes)]
+        self._run_exchanges(round_now, order)
+        self._run_pushes(round_now, order)
+        self._expire(round_now)
+        self._round += 1
+
+    # ------------------------------------------------------------------
+    # Round phases
+    # ------------------------------------------------------------------
+
+    def _maybe_rotate_targets(self, round_now: int) -> None:
+        """Re-draw the satiated set on the rotation schedule."""
+        if (
+            self.rotate_targets_every is None
+            or not self.attack.active
+            or self.attack.kind is AttackKind.CRASH
+            or round_now % self.rotate_targets_every != 0
+        ):
+            return
+        correct = [node.node_id for node in self.nodes if node.is_correct]
+        count = min(len(self.attack.satiated_targets), len(correct))
+        if count == 0:
+            return
+        picks = self._rotation_rng.choice(len(correct), size=count, replace=False)
+        new_targets = {correct[int(index)] for index in picks}
+        self.attack.retarget(new_targets)
+        for node in self.nodes:
+            if node.is_correct:
+                node.group = (
+                    TargetGroup.SATIATED
+                    if node.node_id in new_targets
+                    else TargetGroup.ISOLATED
+                )
+
+    def _broadcast(self, round_now: int) -> None:
+        """Release this round's updates and seed each to random nodes."""
+        fresh = self.ledger.release(round_now)
+        population = self.config.n_nodes
+        for update in fresh:
+            seeded = self._seeding_rng.choice(
+                population, size=self.config.copies_seeded, replace=False
+            )
+            seeded_set = {int(node) for node in seeded}
+            for node in self.nodes:
+                node.store.announce(update, node.node_id in seeded_set)
+            for node_id in seeded_set:
+                if not self.nodes[node_id].evicted:
+                    self.attack.observe_seeding(node_id, (update,))
+
+    def _attack_out_of_band(self) -> None:
+        """Ideal attack: broadcast the coalition's pool to all targets."""
+        if not self.attack.broadcasts_out_of_band():
+            return
+        for target in self.attack.satiated_targets:
+            node = self.nodes[target]
+            give = self.attack.dump_for(node.store.missing)
+            node.store.receive_all(give)
+            node.counters.updates_received += len(give)
+
+    def _run_exchanges(self, round_now: int, order: List[int]) -> None:
+        for initiator_id in order:
+            initiator = self.nodes[initiator_id]
+            if initiator.evicted:
+                continue
+            if initiator.is_attacker and not self.attack.trades():
+                continue  # crash / ideal attackers never initiate
+            partner_id = self._partners.partner_of(
+                round_now, initiator_id, Purpose.EXCHANGE
+            )
+            partner = self.nodes[partner_id]
+            if partner.evicted:
+                continue
+            initiator.counters.exchanges_initiated += 1
+            self._interact_exchange(round_now, initiator, partner)
+
+    def _interact_exchange(
+        self, round_now: int, initiator: GossipNode, partner: GossipNode
+    ) -> None:
+        if initiator.is_attacker and partner.is_attacker:
+            return  # the coalition already pools knowledge
+        if initiator.is_attacker or partner.is_attacker:
+            if not self.attack.trades():
+                return  # crash / ideal attackers never complete exchanges
+            attacker, other = (
+                (initiator, partner) if initiator.is_attacker else (partner, initiator)
+            )
+            self._attacker_dump(round_now, attacker, other, Purpose.EXCHANGE)
+            return
+        plan = plan_balanced_exchange(
+            initiator.store,
+            partner.store,
+            cap=self.config.exchange_cap,
+            unbalanced=self.config.unbalanced_exchange,
+            prefer_newest=self.config.exchange_prefer_newest,
+        )
+        if plan.size == 0:
+            return
+        apply_exchange(initiator.store, partner.store, plan)
+        initiator.counters.record_exchange(
+            sent=len(plan.to_responder), received=len(plan.to_initiator)
+        )
+        partner.counters.record_exchange(
+            sent=len(plan.to_initiator), received=len(plan.to_responder)
+        )
+        initiator.counters.exchanges_nonempty += 1
+
+    def _attacker_dump(
+        self,
+        round_now: int,
+        attacker: GossipNode,
+        other: GossipNode,
+        purpose: Purpose,
+    ) -> None:
+        """Trade attack: serve a satiated target as much as the channel allows.
+
+        A balanced exchange negotiates its own message sizes, so the
+        attacker can hand over everything it has.  The optimistic-push
+        channel is bounded by the protocol (the receiver takes at most
+        ``push_size`` updates), so dumps through it are capped.
+        """
+        if not self.attack.is_satiated_target(other.node_id):
+            return
+        limit = None if purpose is Purpose.EXCHANGE else self.config.push_size
+        # The Section 5 rate-limiting defense: an obedient receiver
+        # refuses service beyond the per-interaction cap, however much
+        # the attacker offers.  Rational receivers happily take it all.
+        if (
+            self.config.accept_cap is not None
+            and other.behavior is Behavior.OBEDIENT
+        ):
+            limit = (
+                self.config.accept_cap
+                if limit is None
+                else min(limit, self.config.accept_cap)
+            )
+        give = self.attack.dump_for(other.store.missing, limit=limit)
+        if not give:
+            return
+        other.store.receive_all(give)
+        other.counters.updates_received += len(give)
+        attacker.counters.updates_sent += len(give)
+        self._maybe_report(round_now, attacker, other, purpose, give)
+
+    def _maybe_report(
+        self,
+        round_now: int,
+        giver: GossipNode,
+        beneficiary: GossipNode,
+        purpose: Purpose,
+        updates_given: List[int],
+    ) -> None:
+        """Reporting defense: obedient beneficiaries report excessive service."""
+        if self.authority is None:
+            return
+        receipt = sign_receipt(
+            round_now,
+            giver=giver.node_id,
+            receiver=beneficiary.node_id,
+            purpose=purpose,
+            updates_given=tuple(updates_given),
+            updates_returned=(),
+        )
+        if not self.authority.policy.is_excessive(receipt):
+            return
+        if not self.authority.policy.beneficiary_reports(beneficiary.behavior):
+            return
+        evicted_now = self.authority.file_report(beneficiary.node_id, receipt)
+        if evicted_now:
+            giver.evicted = True
+            self.attack.evict(giver.node_id)
+
+    def _run_pushes(self, round_now: int, order: List[int]) -> None:
+        for initiator_id in order:
+            initiator = self.nodes[initiator_id]
+            if initiator.evicted:
+                continue
+            if initiator.is_attacker:
+                if not self.attack.trades():
+                    continue
+                partner = self.nodes[
+                    self._partners.partner_of(round_now, initiator_id, Purpose.PUSH)
+                ]
+                if not partner.evicted and partner.is_correct:
+                    self._attacker_dump(round_now, initiator, partner, Purpose.PUSH)
+                continue
+            if not initiator.wants_to_push(self.config, round_now):
+                continue
+            partner_id = self._partners.partner_of(round_now, initiator_id, Purpose.PUSH)
+            partner = self.nodes[partner_id]
+            if partner.evicted:
+                continue
+            initiator.counters.pushes_initiated += 1
+            if partner.is_attacker:
+                # A push lands on the attacker: under the trade attack a
+                # satiated initiator gets everything it asked for (and
+                # more); everyone else gets silence.
+                if self.attack.trades():
+                    self._attacker_dump(round_now, partner, initiator, Purpose.PUSH)
+                continue
+            plan = plan_optimistic_push(
+                initiator.store, partner.store, self.config, round_now
+            )
+            if not partner.responds_to_push(len(plan.to_responder)):
+                continue
+            apply_push(initiator.store, partner.store, plan)
+            initiator.counters.pushes_nonempty += 1
+            initiator.counters.record_exchange(
+                sent=len(plan.to_responder), received=len(plan.to_initiator)
+            )
+            partner.counters.record_exchange(
+                sent=len(plan.to_initiator), received=len(plan.to_responder)
+            )
+            partner.counters.junk_sent += plan.junk_units
+            initiator.counters.junk_received += plan.junk_units
+
+    def _expire(self, round_now: int) -> None:
+        due = self.ledger.expire_due(round_now)
+        if not due:
+            return
+        self.attack.expire(due)
+        tallies: Dict[str, List[int]] = {
+            "isolated": [0, 0],
+            "satiated": [0, 0],
+            "correct": [0, 0],
+        }
+        for update in due:
+            created = creation_round(update, self.config.updates_per_round)
+            measured = created >= self.measure_from_round
+            window = created // self.config.update_lifetime
+            for node in self.nodes:
+                held = node.store.expire(update)
+                if not measured or not node.is_correct:
+                    continue
+                if held:
+                    self.per_node_delivered[node.node_id] += 1
+                else:
+                    self.per_node_missed[node.node_id] += 1
+                bucket = self.per_node_windows[node.node_id].setdefault(
+                    window, [0, 0]
+                )
+                bucket[0 if held else 1] += 1
+                slot = 0 if held else 1
+                tallies["correct"][slot] += 1
+                group = (
+                    "satiated" if node.group is TargetGroup.SATIATED else "isolated"
+                )
+                tallies[group][slot] += 1
+        for group, (delivered, missed) in tallies.items():
+            if delivered or missed:
+                self.stats.record(group, delivered, missed)
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+
+    def delivery_fraction(self, group: str) -> Optional[float]:
+        """Delivery fraction for ``group`` or None if nothing came due."""
+        if self.stats.due(group) == 0:
+            return None
+        return self.stats.fraction(group)
+
+    def per_node_fractions(self) -> Dict[int, float]:
+        """Delivery fraction of every correct node with due updates."""
+        fractions = {}
+        for node in self.nodes:
+            if not node.is_correct:
+                continue
+            due = (
+                self.per_node_delivered[node.node_id]
+                + self.per_node_missed[node.node_id]
+            )
+            if due:
+                fractions[node.node_id] = (
+                    self.per_node_delivered[node.node_id] / due
+                )
+        return fractions
+
+    def unusable_node_fraction(self, threshold: Optional[float] = None) -> float:
+        """Fraction of correct nodes whose stream is not usable.
+
+        The rotating attack's headline metric: under a fixed-target
+        attack only the isolated minority suffers; under rotation the
+        suffering is spread over (almost) everyone.
+        """
+        threshold = (
+            self.config.usability_threshold if threshold is None else threshold
+        )
+        fractions = self.per_node_fractions()
+        if not fractions:
+            return 0.0
+        unusable = sum(1 for value in fractions.values() if value <= threshold)
+        return unusable / len(fractions)
+
+    def intermittently_unusable_fraction(
+        self, threshold: Optional[float] = None
+    ) -> float:
+        """Fraction of correct nodes with at least one unusable epoch.
+
+        An epoch is one update lifetime's worth of the stream.  Under
+        a fixed-target attack only the isolated minority ever has an
+        unusable epoch; under the rotating attack "the service [is]
+        intermittently unusable for all nodes" — nearly every node has
+        some epoch in which it was the isolated one.
+        """
+        threshold = (
+            self.config.usability_threshold if threshold is None else threshold
+        )
+        correct = [node for node in self.nodes if node.is_correct]
+        if not correct:
+            return 0.0
+        hit = 0
+        for node in correct:
+            windows = self.per_node_windows[node.node_id]
+            for delivered, missed in windows.values():
+                due = delivered + missed
+                if due and delivered / due <= threshold:
+                    hit += 1
+                    break
+        return hit / len(correct)
+
+    def group_sizes(self) -> Dict[str, int]:
+        """Population of each target group."""
+        sizes = {"attacker": 0, "satiated": 0, "isolated": 0}
+        for node in self.nodes:
+            sizes[node.group.value] += 1
+        return sizes
+
+
+@dataclass(frozen=True)
+class GossipExperimentResult:
+    """Summary of one attack experiment (one point of a figure curve)."""
+
+    attack: AttackKind
+    attacker_fraction: float
+    isolated_fraction: Optional[float]
+    satiated_fraction: Optional[float]
+    correct_fraction: Optional[float]
+    pool_coverage: Optional[float]
+    group_sizes: Dict[str, int]
+    evicted_attackers: int
+
+    @property
+    def usable_for_isolated(self) -> Optional[bool]:
+        """Whether isolated nodes still receive a usable stream (93%)."""
+        if self.isolated_fraction is None:
+            return None
+        return self.isolated_fraction > 0.93
+
+
+def run_gossip_experiment(
+    config: GossipConfig,
+    kind: AttackKind,
+    attacker_fraction: float,
+    seed: int = 0,
+    rounds: int = 50,
+    satiate_fraction: float = DEFAULT_SATIATE_FRACTION,
+    reporting: Optional[ReportingPolicy] = None,
+) -> GossipExperimentResult:
+    """Run one full attack experiment and summarize it.
+
+    This is the function behind every point of Figures 1-3: build a
+    coalition of the given kind and size, simulate ``rounds`` rounds,
+    and report the per-group delivery fractions over the measured
+    window (updates released after one warm-up lifetime and expiring
+    before the run ends).
+    """
+    streams = RngStreams(seed)
+    coalition = AttackerCoalition.build(
+        kind,
+        n_nodes=config.n_nodes,
+        attacker_fraction=attacker_fraction,
+        rng=streams.get("coalition"),
+        satiate_fraction=satiate_fraction,
+    )
+    simulator = GossipSimulator(
+        config, attack=coalition, seed=seed, reporting=reporting
+    )
+    pool_samples: List[float] = []
+    for _ in range(rounds):
+        simulator.step()
+        live = simulator.ledger.live_count
+        if coalition.active and live:
+            pool_samples.append(len(coalition.pool) / live)
+    pool_coverage = (
+        sum(pool_samples) / len(pool_samples) if pool_samples else None
+    )
+    evicted = sum(
+        1
+        for node in simulator.nodes
+        if node.evicted and node.group is TargetGroup.ATTACKER
+    )
+    return GossipExperimentResult(
+        attack=kind,
+        attacker_fraction=attacker_fraction,
+        isolated_fraction=simulator.delivery_fraction("isolated"),
+        satiated_fraction=simulator.delivery_fraction("satiated"),
+        correct_fraction=simulator.delivery_fraction("correct"),
+        pool_coverage=pool_coverage,
+        group_sizes=simulator.group_sizes(),
+        evicted_attackers=evicted,
+    )

@@ -1,0 +1,188 @@
+"""Update identities, per-node stores, and lifetime accounting.
+
+Updates are identified by a dense integer id: the update with index
+``k`` released in round ``r`` (with ``u`` updates per round) has id
+``r * u + k``.  This makes creation round and age pure arithmetic and
+lets the hot paths work on plain ``set[int]``.
+
+Two views of update state are kept:
+
+* :class:`UpdateStore` — one per node: the live updates the node holds
+  and the live updates it is still missing.  Both sets contain live
+  (unexpired) updates only, so their sizes stay bounded by
+  ``updates_per_round * update_lifetime`` regardless of run length.
+* :class:`UpdateLedger` — global: which updates are currently live and
+  when each expires, used to drive per-round expiry and the delivery
+  metric ("fraction of updates received ... " in Figures 1-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from ..core.errors import SimulationError
+
+__all__ = ["update_id", "creation_round", "UpdateStore", "UpdateLedger"]
+
+
+def update_id(round_created: int, index: int, updates_per_round: int) -> int:
+    """The dense integer id of update ``index`` of round ``round_created``."""
+    if not 0 <= index < updates_per_round:
+        raise SimulationError(
+            f"index {index} out of range for {updates_per_round} updates per round"
+        )
+    return round_created * updates_per_round + index
+
+
+def creation_round(update: int, updates_per_round: int) -> int:
+    """Round in which ``update`` was released."""
+    return update // updates_per_round
+
+
+class UpdateStore:
+    """The live-update state of a single node.
+
+    Invariants (enforced in tests):
+
+    * ``have`` and ``missing`` are disjoint;
+    * ``have | missing`` equals the set of currently live updates, for
+      every node, at every round boundary.
+    """
+
+    __slots__ = ("have", "missing")
+
+    def __init__(self) -> None:
+        self.have: Set[int] = set()
+        self.missing: Set[int] = set()
+
+    def announce(self, update: int, holds: bool) -> None:
+        """Register a newly released live update.
+
+        ``holds`` is True when the broadcaster seeded the update to
+        this node.
+        """
+        if holds:
+            self.have.add(update)
+        else:
+            self.missing.add(update)
+
+    def receive(self, update: int) -> bool:
+        """Record receipt of ``update``; returns True if it was new.
+
+        Receiving an update the node already holds is a no-op (it can
+        happen when the ideal attacker broadcasts out of band).
+        """
+        if update in self.have:
+            return False
+        self.missing.discard(update)
+        self.have.add(update)
+        return True
+
+    def receive_all(self, updates: Iterable[int]) -> int:
+        """Receive many updates; returns how many were new."""
+        new = 0
+        for update in updates:
+            if self.receive(update):
+                new += 1
+        return new
+
+    def expire(self, update: int) -> bool:
+        """Drop ``update`` at end of life; returns True iff it was held.
+
+        The return value is exactly the "delivered" bit of the paper's
+        metric: the node either got the update while it was live or
+        missed it forever.
+        """
+        if update in self.have:
+            self.have.discard(update)
+            return True
+        self.missing.discard(update)
+        return False
+
+    @property
+    def is_satiated(self) -> bool:
+        """True when the node is missing no live update.
+
+        This is the satiation state of Section 3 instantiated for
+        gossip: a node with nothing to collect has nothing to gain from
+        any exchange.
+        """
+        return not self.missing
+
+    def missing_older_than(self, cutoff_round: int, updates_per_round: int) -> List[int]:
+        """Missing updates created strictly before ``cutoff_round``.
+
+        Used by rational nodes to decide whether any missing update is
+        "expiring relatively soon" and hence worth an optimistic push.
+        Sorted oldest first (most urgent first).
+        """
+        old = [
+            update
+            for update in self.missing
+            if creation_round(update, updates_per_round) < cutoff_round
+        ]
+        old.sort()
+        return old
+
+    def have_newer_than(self, cutoff_round: int, updates_per_round: int) -> List[int]:
+        """Held updates created at or after ``cutoff_round`` (recent ones).
+
+        These are the "recently released updates it has to offer" in an
+        optimistic push.  Sorted newest first.
+        """
+        recent = [
+            update
+            for update in self.have
+            if creation_round(update, updates_per_round) >= cutoff_round
+        ]
+        recent.sort(reverse=True)
+        return recent
+
+
+@dataclass
+class UpdateLedger:
+    """Global live-update bookkeeping.
+
+    Attributes
+    ----------
+    updates_per_round:
+        Copied from the configuration; fixes the id arithmetic.
+    lifetime:
+        Rounds each update stays live.
+    live:
+        Ids of all currently live updates.
+    expiring:
+        ``expiring[r]`` lists the updates that expire at the end of
+        round ``r``.
+    """
+
+    updates_per_round: int
+    lifetime: int
+    live: Set[int] = field(default_factory=set)
+    expiring: Dict[int, List[int]] = field(default_factory=dict)
+
+    def release(self, round_now: int) -> List[int]:
+        """Create this round's fresh updates; returns their ids."""
+        fresh = [
+            update_id(round_now, index, self.updates_per_round)
+            for index in range(self.updates_per_round)
+        ]
+        self.live.update(fresh)
+        expiry_round = round_now + self.lifetime - 1
+        self.expiring.setdefault(expiry_round, []).extend(fresh)
+        return fresh
+
+    def expire_due(self, round_now: int) -> List[int]:
+        """Remove and return the updates expiring at end of ``round_now``."""
+        due = self.expiring.pop(round_now, [])
+        for update in due:
+            if update not in self.live:
+                raise SimulationError(f"update {update} expired twice")
+            self.live.discard(update)
+        return due
+
+    @property
+    def live_count(self) -> int:
+        """Number of currently live updates."""
+        return len(self.live)

@@ -1,0 +1,36 @@
+"""BitTorrent swarm substrate (paper Sections 1 and 4).
+
+A standard swarm simulator — tit-for-tat choking, optimistic unchokes,
+rarest-first / random / endgame piece selection, seeds — plus the
+upload-satiation lotus-eater attack, used to show the paper's claim
+that the attack "seems likely to do significantly less damage" in
+BitTorrent than in BAR Gossip.
+"""
+
+from .attacks import FakeInterestPicker, UploadSatiationAttack, top_uploader_targets
+from .choker import Choker, CreditLedger
+from .config import SwarmConfig
+from .peer import Peer, PeerKind, TransferStats
+from .picker import PiecePicker, RandomPicker, RarestFirstPicker
+from .pieces import AvailabilityIndex, PieceSet
+from .swarm import SwarmResult, SwarmSimulator, run_swarm_experiment
+
+__all__ = [
+    "SwarmConfig",
+    "SwarmSimulator",
+    "SwarmResult",
+    "run_swarm_experiment",
+    "UploadSatiationAttack",
+    "FakeInterestPicker",
+    "top_uploader_targets",
+    "Peer",
+    "PeerKind",
+    "TransferStats",
+    "PiecePicker",
+    "RarestFirstPicker",
+    "RandomPicker",
+    "PieceSet",
+    "AvailabilityIndex",
+    "Choker",
+    "CreditLedger",
+]

@@ -1,0 +1,122 @@
+"""The lotus-eater attack on BitTorrent.
+
+"It is quite possible to ensure that, excluding these random choices,
+all of his unchoked peers are controlled by the attacker.  However,
+since most leechers are downloading more than they upload, this is
+often actually a net benefit to the torrent."
+
+The attacker joins with peers that hold the full file and upload
+generously — but *only to the chosen targets*.  Reciprocity then makes
+the targets fill their tit-for-tat slots with attacker peers, so their
+upload capacity is spent on peers who discard it.  The experiments
+measure what the paper predicts: targets finish faster, non-targets
+are barely hurt (optimistic unchokes and seeds keep serving them), and
+the overall effect can even be positive because the attacker injects
+real bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .config import SwarmConfig
+from .picker import PiecePicker
+from .pieces import AvailabilityIndex, PieceSet
+
+__all__ = ["UploadSatiationAttack", "FakeInterestPicker", "top_uploader_targets"]
+
+
+class FakeInterestPicker(PiecePicker):
+    """The attacker's request strategy: ask for anything, discard it.
+
+    Attacker peers already hold the full file, but they *claim*
+    interest so targets burn tit-for-tat slots on them.  When a target
+    unchokes an attacker, the attacker requests an arbitrary piece the
+    uploader holds; the received copy is a duplicate and counts as
+    waste — the bandwidth the attack drains from the honest swarm.
+    """
+
+    def pick(
+        self,
+        mine: PieceSet,
+        theirs: PieceSet,
+        availability: AvailabilityIndex,
+        rng: np.random.Generator,
+        config: SwarmConfig,
+    ) -> Optional[int]:
+        held = list(theirs)
+        if not held:
+            return None
+        return int(held[int(rng.integers(len(held)))])
+
+
+class UploadSatiationAttack:
+    """Configuration of the attacker's swarm presence.
+
+    Parameters
+    ----------
+    n_attackers:
+        Attacker peers to add to the swarm (each holds the full file).
+    targets:
+        Leecher ids to satiate.  Every attacker uploads only to
+        targets.
+    slots_per_attacker:
+        Upload slots each attacker peer serves per round.
+    """
+
+    def __init__(
+        self,
+        n_attackers: int,
+        targets: Iterable[int],
+        slots_per_attacker: int = 4,
+    ) -> None:
+        if n_attackers < 1:
+            raise ConfigurationError(f"n_attackers must be >= 1, got {n_attackers}")
+        if slots_per_attacker < 1:
+            raise ConfigurationError(
+                f"slots_per_attacker must be >= 1, got {slots_per_attacker}"
+            )
+        self.n_attackers = n_attackers
+        self.targets: Set[int] = set(targets)
+        if not self.targets:
+            raise ConfigurationError("must target at least one leecher")
+        self.slots_per_attacker = slots_per_attacker
+        #: Pieces uploaded by the coalition (bandwidth the attack costs).
+        self.pieces_uploaded = 0
+
+    def choose_recipients(
+        self,
+        rng: np.random.Generator,
+        incomplete_targets: List[int],
+    ) -> List[int]:
+        """Targets one attacker peer serves this round.
+
+        Incomplete targets are served round-robin-by-lot; once all
+        targets are complete the attacker idles (its work is done —
+        the targets are satiated).
+        """
+        if not incomplete_targets:
+            return []
+        count = min(self.slots_per_attacker, len(incomplete_targets))
+        picks = rng.choice(len(incomplete_targets), size=count, replace=False)
+        return [incomplete_targets[int(index)] for index in picks]
+
+
+def top_uploader_targets(upload_counts: dict, fraction: float) -> List[int]:
+    """The paper's sharper variant: target the net contributors.
+
+    "Even targeting users that are uploading more than they download
+    seems likely to only modestly impair the progress of the torrent."
+    Given ``{leecher_id: uploaded_pieces}`` from a probe run, returns
+    the top ``fraction`` of leechers by upload volume.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError(f"fraction must be in (0, 1], got {fraction}")
+    if not upload_counts:
+        return []
+    count = max(1, int(round(fraction * len(upload_counts))))
+    ranked = sorted(upload_counts.items(), key=lambda item: (-item[1], item[0]))
+    return [peer_id for peer_id, _ in ranked[:count]]

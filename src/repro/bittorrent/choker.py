@@ -1,0 +1,137 @@
+"""Tit-for-tat choking with optimistic unchokes.
+
+"Each leecher has k other unchoked peers to whom he provides pieces of
+the file.  These unchoked peers are mainly leechers that have recently
+provided it with the most service, but some may be chosen randomly
+(optimistic unchokes) to try and find better peers."
+
+The choker ranks candidate peers by download credit received over a
+sliding window and fills the regular slots with the top uploaders —
+which is precisely the reciprocity a lotus-eater attacker games by
+uploading generously to its targets.  The optimistic slot is the
+protocol's built-in altruism and is deliberately *not* gameable: it is
+uniform over the remaining interested peers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .config import SwarmConfig
+
+__all__ = ["CreditLedger", "Choker"]
+
+
+class CreditLedger:
+    """Sliding-window download credit, per counterparty."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self._window = window
+        self._history: Deque[Dict[int, int]] = deque(maxlen=window)
+        self._current: Dict[int, int] = {}
+
+    def record(self, from_peer: int, pieces: int = 1) -> None:
+        """Credit ``pieces`` received from ``from_peer`` this round."""
+        self._current[from_peer] = self._current.get(from_peer, 0) + pieces
+
+    def roll(self) -> None:
+        """Close the current round's tally and slide the window."""
+        self._history.append(self._current)
+        self._current = {}
+
+    def credit(self, peer: int) -> int:
+        """Total credit from ``peer`` over the window (incl. this round)."""
+        total = self._current.get(peer, 0)
+        for tally in self._history:
+            total += tally.get(peer, 0)
+        return total
+
+    def totals(self) -> Dict[int, int]:
+        """Credit per counterparty over the whole window."""
+        result: Dict[int, int] = dict(self._current)
+        for tally in self._history:
+            for peer, pieces in tally.items():
+                result[peer] = result.get(peer, 0) + pieces
+        return result
+
+
+class Choker:
+    """One leecher's unchoke decision state."""
+
+    def __init__(self, config: SwarmConfig, rng: np.random.Generator) -> None:
+        self._config = config
+        self._rng = rng
+        self.ledger = CreditLedger(config.credit_window)
+        self._optimistic: List[int] = []
+        self._last_rotation = -(10**9)
+
+    def unchoked(
+        self,
+        round_now: int,
+        interested_peers: Sequence[int],
+    ) -> Tuple[Set[int], Set[int]]:
+        """Compute this round's unchoke set.
+
+        Parameters
+        ----------
+        round_now:
+            Current round (drives optimistic rotation).
+        interested_peers:
+            Peers currently interested in this leecher's pieces —
+            the candidates for unchoking.
+
+        Returns
+        -------
+        (regular, optimistic):
+            The tit-for-tat slots (top uploaders by credit) and the
+            optimistic slots (uniform among the rest).
+        """
+        candidates = list(interested_peers)
+        if not candidates:
+            return set(), set()
+        totals = self.ledger.totals()
+        # Regular slots: best recent uploaders first; ties broken by
+        # peer id for determinism.
+        ranked = sorted(
+            candidates, key=lambda peer: (-totals.get(peer, 0), peer)
+        )
+        regular = {
+            peer
+            for peer in ranked[: self._config.unchoke_slots]
+            if totals.get(peer, 0) > 0
+        }
+        # Unearned regular slots fall through to random picks so a cold
+        # start (nobody has credit yet) still uploads.
+        spare = self._config.unchoke_slots - len(regular)
+        leftovers = [peer for peer in ranked if peer not in regular]
+        if spare > 0 and leftovers:
+            picks = self._rng.choice(
+                len(leftovers), size=min(spare, len(leftovers)), replace=False
+            )
+            regular |= {leftovers[int(index)] for index in picks}
+        # Optimistic slots rotate every optimistic_interval rounds.
+        due = round_now - self._last_rotation >= self._config.optimistic_interval
+        stale = [peer for peer in self._optimistic if peer in candidates]
+        if due or len(stale) < self._config.optimistic_slots:
+            pool = [peer for peer in candidates if peer not in regular]
+            self._optimistic = []
+            if pool and self._config.optimistic_slots > 0:
+                picks = self._rng.choice(
+                    len(pool),
+                    size=min(self._config.optimistic_slots, len(pool)),
+                    replace=False,
+                )
+                self._optimistic = [pool[int(index)] for index in picks]
+            self._last_rotation = round_now
+        optimistic = {
+            peer
+            for peer in self._optimistic
+            if peer in candidates and peer not in regular
+        }
+        return regular, optimistic

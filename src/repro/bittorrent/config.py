@@ -1,0 +1,105 @@
+"""Configuration of the BitTorrent swarm simulator.
+
+A deliberately standard swarm model: leechers exchange pieces under
+tit-for-tat choking with optimistic unchokes, seeds upload for free,
+and piece selection is pluggable (rarest-first / random / endgame) —
+the three mechanisms the paper's BitTorrent discussion turns on:
+
+* reciprocity (choking) is what the lotus-eater attacker games by
+  uploading generously to targets;
+* optimistic unchokes and seeds are the built-in altruism that keeps
+  the damage modest ("even if every other leecher is satiated, a
+  leecher will still receive service through optimistic unchokes");
+* rarest-first is the defense against artificially created "last
+  pieces problems".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["SwarmConfig"]
+
+
+@dataclass(frozen=True)
+class SwarmConfig:
+    """Parameters of one swarm simulation."""
+
+    #: Pieces in the file being shared.
+    n_pieces: int = 64
+    #: Leechers in the swarm at start.
+    n_leechers: int = 30
+    #: Seeds in the swarm at start.
+    n_seeds: int = 1
+    #: Regular (tit-for-tat) unchoke slots per leecher.
+    unchoke_slots: int = 3
+    #: Optimistic unchoke slots per leecher.
+    optimistic_slots: int = 1
+    #: Rounds between optimistic-unchoke rotations.
+    optimistic_interval: int = 3
+    #: Upload slots a seed serves per round.
+    seed_slots: int = 4
+    #: Sliding window (rounds) over which download credit is summed
+    #: for the tit-for-tat ranking.
+    credit_window: int = 10
+    #: How many pieces a leecher requests randomly before switching to
+    #: rarest-first ("when first joining the system, leechers will
+    #: request random pieces to get pieces to trade as quickly as
+    #: possible").
+    random_first_pieces: int = 4
+    #: Missing-piece count at or below which endgame mode starts
+    #: (request the stragglers from every unchoking peer).
+    endgame_threshold: int = 2
+    #: Whether completed leechers stay and seed.
+    seed_after_completion: bool = False
+
+    @classmethod
+    def paper(cls) -> "SwarmConfig":
+        """Default swarm used by the ablation experiments."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "SwarmConfig":
+        """A reduced swarm for fast tests."""
+        return cls(n_pieces=16, n_leechers=8, n_seeds=1, seed_slots=2)
+
+    def replace(self, **changes) -> "SwarmConfig":
+        """A copy of this configuration with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.n_pieces < 1:
+            raise ConfigurationError(f"n_pieces must be >= 1, got {self.n_pieces}")
+        if self.n_leechers < 1:
+            raise ConfigurationError(f"n_leechers must be >= 1, got {self.n_leechers}")
+        if self.n_seeds < 0:
+            raise ConfigurationError(f"n_seeds must be >= 0, got {self.n_seeds}")
+        if self.unchoke_slots < 1:
+            raise ConfigurationError(
+                f"unchoke_slots must be >= 1, got {self.unchoke_slots}"
+            )
+        if self.optimistic_slots < 0:
+            raise ConfigurationError(
+                f"optimistic_slots must be >= 0, got {self.optimistic_slots}"
+            )
+        if self.optimistic_interval < 1:
+            raise ConfigurationError(
+                f"optimistic_interval must be >= 1, got {self.optimistic_interval}"
+            )
+        if self.seed_slots < 1:
+            raise ConfigurationError(f"seed_slots must be >= 1, got {self.seed_slots}")
+        if self.credit_window < 1:
+            raise ConfigurationError(
+                f"credit_window must be >= 1, got {self.credit_window}"
+            )
+        if self.random_first_pieces < 0:
+            raise ConfigurationError(
+                f"random_first_pieces must be >= 0, got {self.random_first_pieces}"
+            )
+        if self.endgame_threshold < 0:
+            raise ConfigurationError(
+                f"endgame_threshold must be >= 0, got {self.endgame_threshold}"
+            )

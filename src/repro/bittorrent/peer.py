@@ -1,0 +1,86 @@
+"""Peers: leechers, seeds, and attacker uploaders."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .choker import Choker
+from .picker import PiecePicker
+from .pieces import PieceSet
+
+__all__ = ["PeerKind", "TransferStats", "Peer"]
+
+
+class PeerKind(enum.Enum):
+    """What role a peer plays in the swarm."""
+
+    LEECHER = "leecher"
+    SEED = "seed"
+    ATTACKER = "attacker"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class TransferStats:
+    """Cumulative transfer counters for one peer."""
+
+    uploaded: int = 0
+    downloaded: int = 0
+    wasted: int = 0  # duplicate pieces received in the same round
+
+    @property
+    def share_ratio(self) -> float:
+        """Upload / download ratio (infinite for pure uploaders)."""
+        if self.downloaded == 0:
+            return float("inf") if self.uploaded else 0.0
+        return self.uploaded / self.downloaded
+
+
+@dataclass
+class Peer:
+    """One swarm participant.
+
+    Leechers carry a choker (their unchoke decisions) and a picker
+    (their piece-selection strategy).  Seeds and attacker peers hold
+    the full bitfield and need neither.
+    """
+
+    peer_id: int
+    kind: PeerKind
+    pieces: PieceSet
+    picker: Optional[PiecePicker] = None
+    choker: Optional[Choker] = None
+    stats: TransferStats = field(default_factory=TransferStats)
+    completed_round: Optional[int] = None
+    departed: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether the peer is still in the swarm."""
+        return not self.departed
+
+    @property
+    def is_leecher(self) -> bool:
+        return self.kind is PeerKind.LEECHER
+
+    @property
+    def is_seed_like(self) -> bool:
+        """Uploads without needing anything back (seed or attacker)."""
+        return self.kind in (PeerKind.SEED, PeerKind.ATTACKER)
+
+    def interested_in(self, other: "Peer") -> bool:
+        """BitTorrent interest, with the attacker's one lie.
+
+        An attacker peer *claims* interest in its targets so their
+        tit-for-tat slots can be won; it discards whatever they upload.
+        Honest interest is a pure bitfield predicate.
+        """
+        if self.kind is PeerKind.ATTACKER:
+            return True
+        if self.is_seed_like or self.pieces.complete:
+            return False
+        return self.pieces.interested_in(other.pieces)

@@ -1,0 +1,100 @@
+"""Piece-selection strategies.
+
+BitTorrent's defenses against "effective satiation" (paper Section 4)
+live here:
+
+* random-first for a brand-new leecher ("request random pieces to get
+  pieces to trade as quickly as possible");
+* rarest-first in steady state (the defense against an attacker
+  "targeting leechers who have rare pieces to artificially create a
+  'last pieces problem'");
+* endgame mode for the final stragglers.
+
+:class:`RandomPicker` ignores rarity entirely and exists as the
+ablation baseline showing *why* rarest-first matters under attack.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Set
+
+import numpy as np
+
+from .config import SwarmConfig
+from .pieces import AvailabilityIndex, PieceSet
+
+__all__ = ["PiecePicker", "RarestFirstPicker", "RandomPicker"]
+
+
+class PiecePicker(abc.ABC):
+    """Strategy: which needed piece to request from one uploader."""
+
+    @abc.abstractmethod
+    def pick(
+        self,
+        mine: PieceSet,
+        theirs: PieceSet,
+        availability: AvailabilityIndex,
+        rng: np.random.Generator,
+        config: SwarmConfig,
+    ) -> Optional[int]:
+        """A piece to request from ``theirs``, or None if nothing needed."""
+
+    def describe(self) -> str:
+        """Strategy name for reports."""
+        return type(self).__name__
+
+
+class RarestFirstPicker(PiecePicker):
+    """The full standard policy: random-first, then rarest-first, then endgame.
+
+    * While the leecher holds fewer than ``random_first_pieces``
+      pieces, pick uniformly among the needed pieces (quick trading
+      stock).
+    * Endgame (few missing pieces) also picks uniformly — the point of
+      endgame is to request stragglers from everyone at once, which
+      the swarm loop realizes by calling the picker per uploader.
+    * Otherwise pick the globally rarest needed piece the uploader has.
+    """
+
+    def pick(
+        self,
+        mine: PieceSet,
+        theirs: PieceSet,
+        availability: AvailabilityIndex,
+        rng: np.random.Generator,
+        config: SwarmConfig,
+    ) -> Optional[int]:
+        candidates: Set[int] = mine.needs_from(theirs)
+        if not candidates:
+            return None
+        bootstrap = len(mine) < config.random_first_pieces
+        endgame = len(mine.missing()) <= config.endgame_threshold
+        if bootstrap or endgame:
+            ordered = sorted(candidates)
+            return int(ordered[int(rng.integers(len(ordered)))])
+        # Random tie-break among the equally-rarest candidates: strict
+        # id-ordered tie-breaking would make every leecher herd onto
+        # the same piece each round, defeating the point of the policy.
+        ranked = availability.rarity_rank(candidates)
+        rarest_count = availability.count(ranked[0])
+        tie_set = [p for p in ranked if availability.count(p) == rarest_count]
+        return int(tie_set[int(rng.integers(len(tie_set)))])
+
+
+class RandomPicker(PiecePicker):
+    """Uniform choice among needed pieces; the no-defense ablation."""
+
+    def pick(
+        self,
+        mine: PieceSet,
+        theirs: PieceSet,
+        availability: AvailabilityIndex,
+        rng: np.random.Generator,
+        config: SwarmConfig,
+    ) -> Optional[int]:
+        candidates = sorted(mine.needs_from(theirs))
+        if not candidates:
+            return None
+        return int(candidates[int(rng.integers(len(candidates)))])

@@ -1,0 +1,116 @@
+"""Piece bookkeeping: bitfields and swarm-wide availability.
+
+Pieces are dense integers ``0..n_pieces-1``.  A :class:`PieceSet` is a
+leecher's bitfield; :class:`AvailabilityIndex` maintains the per-piece
+copy counts the rarest-first picker ranks by.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Set
+
+from ..core.errors import ConfigurationError, SimulationError
+
+__all__ = ["PieceSet", "AvailabilityIndex"]
+
+
+class PieceSet:
+    """One peer's bitfield over ``n_pieces`` pieces."""
+
+    __slots__ = ("_n_pieces", "_have")
+
+    def __init__(self, n_pieces: int, have: Iterable[int] = ()) -> None:
+        if n_pieces < 1:
+            raise ConfigurationError(f"n_pieces must be >= 1, got {n_pieces}")
+        self._n_pieces = n_pieces
+        self._have: Set[int] = set()
+        for piece in have:
+            self.add(piece)
+
+    @classmethod
+    def full(cls, n_pieces: int) -> "PieceSet":
+        """A complete bitfield (seeds and attacker peers)."""
+        return cls(n_pieces, range(n_pieces))
+
+    @property
+    def n_pieces(self) -> int:
+        return self._n_pieces
+
+    def add(self, piece: int) -> bool:
+        """Record receipt of ``piece``; returns True if it was new."""
+        if not 0 <= piece < self._n_pieces:
+            raise SimulationError(
+                f"piece {piece} out of range for {self._n_pieces} pieces"
+            )
+        if piece in self._have:
+            return False
+        self._have.add(piece)
+        return True
+
+    def __contains__(self, piece: int) -> bool:
+        return piece in self._have
+
+    def __len__(self) -> int:
+        return len(self._have)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._have))
+
+    @property
+    def complete(self) -> bool:
+        """Whether every piece is held."""
+        return len(self._have) == self._n_pieces
+
+    def missing(self) -> Set[int]:
+        """Pieces not yet held."""
+        return set(range(self._n_pieces)) - self._have
+
+    def needs_from(self, other: "PieceSet") -> Set[int]:
+        """Pieces ``other`` holds that this bitfield lacks."""
+        return other._have - self._have
+
+    def interested_in(self, other: "PieceSet") -> bool:
+        """BitTorrent's interest predicate."""
+        return bool(other._have - self._have)
+
+
+class AvailabilityIndex:
+    """Swarm-wide per-piece copy counts (drives rarest-first).
+
+    Counts are maintained incrementally: register each peer's bitfield
+    once, then notify piece receipts.  Peers that leave are
+    unregistered.
+    """
+
+    def __init__(self, n_pieces: int) -> None:
+        if n_pieces < 1:
+            raise ConfigurationError(f"n_pieces must be >= 1, got {n_pieces}")
+        self._counts: List[int] = [0] * n_pieces
+
+    def register(self, pieces: PieceSet) -> None:
+        """Add a joining peer's holdings to the index."""
+        for piece in pieces:
+            self._counts[piece] += 1
+
+    def unregister(self, pieces: PieceSet) -> None:
+        """Remove a departing peer's holdings from the index."""
+        for piece in pieces:
+            if self._counts[piece] <= 0:
+                raise SimulationError(f"availability of piece {piece} went negative")
+            self._counts[piece] -= 1
+
+    def on_receive(self, piece: int) -> None:
+        """Record one new copy of ``piece``."""
+        self._counts[piece] += 1
+
+    def count(self, piece: int) -> int:
+        """Current copy count of ``piece``."""
+        return self._counts[piece]
+
+    def rarity_rank(self, pieces: Iterable[int]) -> List[int]:
+        """``pieces`` sorted rarest first (ties by piece id)."""
+        return sorted(pieces, key=lambda piece: (self._counts[piece], piece))
+
+    def counts(self) -> Dict[int, int]:
+        """A copy of all counts, keyed by piece."""
+        return {piece: count for piece, count in enumerate(self._counts)}

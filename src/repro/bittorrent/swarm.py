@@ -1,0 +1,298 @@
+"""The swarm round simulator.
+
+Each round:
+
+1. every uploader decides whom to serve — leechers via tit-for-tat +
+   optimistic choking, seeds via random rotation among interested
+   leechers, attacker peers via their target list;
+2. every served leecher requests one piece per serving uploader,
+   chosen by its piece picker against start-of-round bitfields;
+3. transfers apply simultaneously (duplicate receipts count as waste),
+   download credit is booked, availability counts update;
+4. completed leechers either depart or convert to seeds.
+
+The separation between planning (against bitfield snapshots) and
+application keeps a round order-independent, which the determinism
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.engine import RoundSimulator
+from ..core.errors import ConfigurationError
+from ..core.rng import RngStreams
+from .attacks import FakeInterestPicker, UploadSatiationAttack
+from .choker import Choker
+from .config import SwarmConfig
+from .peer import Peer, PeerKind
+from .picker import PiecePicker, RarestFirstPicker
+from .pieces import AvailabilityIndex, PieceSet
+
+__all__ = ["SwarmSimulator", "SwarmResult", "run_swarm_experiment"]
+
+
+class SwarmSimulator(RoundSimulator):
+    """One BitTorrent swarm, optionally under upload-satiation attack."""
+
+    def __init__(
+        self,
+        config: SwarmConfig,
+        picker: Optional[PiecePicker] = None,
+        attack: Optional[UploadSatiationAttack] = None,
+        seed: int = 0,
+        initial_pieces: Optional[Dict[int, Sequence[int]]] = None,
+    ) -> None:
+        self.config = config
+        self.attack = attack
+        self._streams = RngStreams(seed)
+        self._pick_rng = self._streams.get("picker")
+        self._seed_rng = self._streams.get("seeds")
+        self._attack_rng = self._streams.get("attacker")
+        picker = picker if picker is not None else RarestFirstPicker()
+        self.picker = picker
+        self.availability = AvailabilityIndex(config.n_pieces)
+        self.peers: List[Peer] = []
+        self._round = 0
+        initial_pieces = initial_pieces or {}
+        if attack is not None:
+            bad = [t for t in attack.targets if not 0 <= t < config.n_leechers]
+            if bad:
+                raise ConfigurationError(f"attack targets unknown leechers: {bad}")
+        for leecher_id in range(config.n_leechers):
+            start = PieceSet(config.n_pieces, initial_pieces.get(leecher_id, ()))
+            self.peers.append(
+                Peer(
+                    peer_id=leecher_id,
+                    kind=PeerKind.LEECHER,
+                    pieces=start,
+                    picker=picker,
+                    choker=Choker(config, self._streams.get(f"choker-{leecher_id}")),
+                )
+            )
+        next_id = config.n_leechers
+        for _ in range(config.n_seeds):
+            self.peers.append(
+                Peer(
+                    peer_id=next_id,
+                    kind=PeerKind.SEED,
+                    pieces=PieceSet.full(config.n_pieces),
+                )
+            )
+            next_id += 1
+        if attack is not None:
+            fake_picker = FakeInterestPicker()
+            for _ in range(attack.n_attackers):
+                self.peers.append(
+                    Peer(
+                        peer_id=next_id,
+                        kind=PeerKind.ATTACKER,
+                        pieces=PieceSet.full(config.n_pieces),
+                        picker=fake_picker,
+                    )
+                )
+                next_id += 1
+        for peer in self.peers:
+            self.availability.register(peer.pieces)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def leechers(self) -> List[Peer]:
+        """All leecher peers (complete or not)."""
+        return [peer for peer in self.peers if peer.kind is PeerKind.LEECHER]
+
+    def incomplete_leechers(self) -> List[Peer]:
+        """Leechers that have not yet finished the file."""
+        return [peer for peer in self.leechers() if not peer.pieces.complete]
+
+    def all_complete(self) -> bool:
+        """Whether every leecher has the full file."""
+        return not self.incomplete_leechers()
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        round_now = self._round
+        transfers = self._plan_transfers(round_now)
+        self._apply_transfers(transfers)
+        for peer in self.peers:
+            if peer.choker is not None and peer.active:
+                peer.choker.ledger.roll()
+        self._process_completions(round_now)
+        self._round += 1
+
+    def _plan_transfers(self, round_now: int) -> List[Tuple[int, int, int]]:
+        """Plan (uploader, downloader, piece) triples for this round."""
+        active = {peer.peer_id: peer for peer in self.peers if peer.active}
+        transfers: List[Tuple[int, int, int]] = []
+        for uploader in self.peers:
+            if not uploader.active:
+                continue
+            recipients = self._recipients_of(round_now, uploader, active)
+            for downloader_id in recipients:
+                downloader = active[downloader_id]
+                if downloader.picker is None:
+                    continue
+                piece = downloader.picker.pick(
+                    downloader.pieces,
+                    uploader.pieces,
+                    self.availability,
+                    self._pick_rng,
+                    self.config,
+                )
+                if piece is not None:
+                    transfers.append((uploader.peer_id, downloader_id, piece))
+        return transfers
+
+    def _recipients_of(
+        self, round_now: int, uploader: Peer, active: Dict[int, Peer]
+    ) -> List[int]:
+        """Who ``uploader`` serves this round, per its role."""
+        if uploader.kind is PeerKind.ATTACKER:
+            assert self.attack is not None
+            incomplete = [
+                target
+                for target in sorted(self.attack.targets)
+                if target in active and not active[target].pieces.complete
+            ]
+            return self.attack.choose_recipients(self._attack_rng, incomplete)
+        interested = [
+            peer.peer_id
+            for peer in active.values()
+            if peer.peer_id != uploader.peer_id and peer.interested_in(uploader)
+            # Nobody uploads to the attacker's peers: they advertise
+            # full bitfields, so honest interest in them is never
+            # reciprocated with interest *from* them... but they fake
+            # interest; what protects uploaders here is that serving a
+            # peer with a complete bitfield is pointless, which the
+            # picker detects (no needed piece) — except tit-for-tat
+            # slots, which the targets do burn on them (the attack).
+        ]
+        if uploader.kind is PeerKind.SEED or (
+            uploader.is_leecher and uploader.pieces.complete
+        ):
+            # Seeds (and completed leechers that stayed) rotate
+            # uniformly among interested leechers.
+            leechers = [
+                peer_id
+                for peer_id in interested
+                if active[peer_id].kind is PeerKind.LEECHER
+            ]
+            if not leechers:
+                return []
+            count = min(self.config.seed_slots, len(leechers))
+            picks = self._seed_rng.choice(len(leechers), size=count, replace=False)
+            return [leechers[int(index)] for index in picks]
+        assert uploader.choker is not None
+        regular, optimistic = uploader.choker.unchoked(round_now, interested)
+        return sorted(regular | optimistic)
+
+    def _apply_transfers(self, transfers: List[Tuple[int, int, int]]) -> None:
+        peers = {peer.peer_id: peer for peer in self.peers}
+        for uploader_id, downloader_id, piece in transfers:
+            uploader = peers[uploader_id]
+            downloader = peers[downloader_id]
+            uploader.stats.uploaded += 1
+            if self.attack is not None and uploader.kind is PeerKind.ATTACKER:
+                self.attack.pieces_uploaded += 1
+            fresh = downloader.pieces.add(piece)
+            if fresh:
+                downloader.stats.downloaded += 1
+                self.availability.on_receive(piece)
+            else:
+                downloader.stats.wasted += 1
+            if downloader.choker is not None:
+                downloader.choker.ledger.record(uploader_id)
+
+    def _process_completions(self, round_now: int) -> None:
+        for peer in self.peers:
+            if (
+                peer.kind is PeerKind.LEECHER
+                and peer.active
+                and peer.pieces.complete
+                and peer.completed_round is None
+            ):
+                peer.completed_round = round_now
+                if not self.config.seed_after_completion:
+                    peer.departed = True
+                    self.availability.unregister(peer.pieces)
+
+
+@dataclass(frozen=True)
+class SwarmResult:
+    """Summary of one swarm run."""
+
+    rounds_run: int
+    completed: int
+    n_leechers: int
+    mean_completion_round: Optional[float]
+    target_mean_completion: Optional[float]
+    non_target_mean_completion: Optional[float]
+    attacker_pieces_uploaded: int
+    wasted_on_attackers: int
+
+
+def run_swarm_experiment(
+    config: SwarmConfig,
+    picker: Optional[PiecePicker] = None,
+    attack: Optional[UploadSatiationAttack] = None,
+    max_rounds: int = 400,
+    seed: int = 0,
+) -> SwarmResult:
+    """Run a swarm to completion (or ``max_rounds``) and summarize.
+
+    The split between target and non-target completion times is the
+    paper's BitTorrent claim in one pair of numbers: targets finish
+    early (they are being satiated — service, not harm), non-targets
+    barely move.
+    """
+    simulator = SwarmSimulator(config, picker=picker, attack=attack, seed=seed)
+    for _ in range(max_rounds):
+        simulator.step()
+        if simulator.all_complete():
+            break
+    leechers = simulator.leechers()
+    done = [p for p in leechers if p.completed_round is not None]
+    targets = set(attack.targets) if attack is not None else set()
+
+    def _mean(rounds: List[int]) -> Optional[float]:
+        return sum(rounds) / len(rounds) if rounds else None
+
+    target_rounds = [
+        p.completed_round for p in done if p.peer_id in targets
+    ]
+    non_target_rounds = [
+        p.completed_round for p in done if p.peer_id not in targets
+    ]
+    wasted_on_attackers = 0
+    if attack is not None:
+        attacker_ids = {
+            peer.peer_id for peer in simulator.peers if peer.kind is PeerKind.ATTACKER
+        }
+        # Pieces honest leechers uploaded to attacker peers are pure
+        # waste: attackers hold everything already.
+        wasted_on_attackers = sum(
+            peer.stats.wasted for peer in simulator.peers if peer.peer_id in attacker_ids
+        )
+    return SwarmResult(
+        rounds_run=simulator.round,
+        completed=len(done),
+        n_leechers=len(leechers),
+        mean_completion_round=_mean([p.completed_round for p in done]),
+        target_mean_completion=_mean(target_rounds),
+        non_target_mean_completion=_mean(non_target_rounds),
+        attacker_pieces_uploaded=(
+            attack.pieces_uploaded if attack is not None else 0
+        ),
+        wasted_on_attackers=wasted_on_attackers,
+    )

@@ -1,0 +1,41 @@
+"""Network-coding defense (paper Section 4, Avalanche-style).
+
+GF(2) linear algebra plus a coded-token variant of the abstract token
+model: nodes are satiated once they hold enough *independent*
+combinations to decode, rather than the exact token set, which defuses
+rare-token lotus-eater attacks.
+"""
+
+from .avalanche import (
+    CodedGossipSimulator,
+    CodedRunSummary,
+    Gf2Basis,
+    run_coded_experiment,
+)
+from .gf2 import (
+    as_gf2_matrix,
+    combine,
+    is_full_rank,
+    random_coded_tokens,
+    random_nonzero_vector,
+    rank,
+    rank_of_vectors,
+    row_reduce,
+    solve,
+)
+
+__all__ = [
+    "CodedGossipSimulator",
+    "CodedRunSummary",
+    "Gf2Basis",
+    "run_coded_experiment",
+    "as_gf2_matrix",
+    "row_reduce",
+    "rank",
+    "rank_of_vectors",
+    "is_full_rank",
+    "solve",
+    "random_nonzero_vector",
+    "random_coded_tokens",
+    "combine",
+]

@@ -1,0 +1,174 @@
+"""Linear algebra over GF(2) for the network-coding defense.
+
+Section 4 of the paper points to Avalanche-style network coding as a
+way to make satiation hard: "change the requirements so that nodes
+need to collect only enough independent tokens to reconstruct the full
+information rather than the complete set of tokens".
+
+We implement the minimal algebra that defense needs — rank, row
+reduction, solvability, and random full-rank combination sampling —
+over bit vectors stored as ``numpy`` uint8 arrays.  Everything is pure
+and deterministic given an explicit generator.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+
+__all__ = [
+    "as_gf2_matrix",
+    "row_reduce",
+    "rank",
+    "rank_of_vectors",
+    "is_full_rank",
+    "solve",
+    "random_nonzero_vector",
+    "random_coded_tokens",
+    "combine",
+]
+
+
+def as_gf2_matrix(rows: Iterable[Sequence[int]], width: Optional[int] = None) -> np.ndarray:
+    """Build a GF(2) matrix (dtype uint8, entries 0/1) from bit rows.
+
+    Raises
+    ------
+    ConfigurationError
+        If rows have inconsistent widths or non-binary entries.
+    """
+    row_list = [list(row) for row in rows]
+    if not row_list:
+        if width is None:
+            raise ConfigurationError("cannot infer width of an empty matrix")
+        return np.zeros((0, width), dtype=np.uint8)
+    inferred = len(row_list[0])
+    if width is not None and inferred != width:
+        raise ConfigurationError(f"row width {inferred} does not match width {width}")
+    try:
+        matrix = np.array(row_list, dtype=np.int64)
+    except ValueError as error:  # ragged rows
+        raise ConfigurationError(f"rows must form a rectangular matrix: {error}")
+    if matrix.ndim != 2 or (width is not None and matrix.shape[1] != width):
+        raise ConfigurationError("rows must form a rectangular matrix")
+    if not np.isin(matrix, (0, 1)).all():
+        raise ConfigurationError("GF(2) matrix entries must be 0 or 1")
+    return matrix.astype(np.uint8)
+
+
+def row_reduce(matrix: np.ndarray) -> Tuple[np.ndarray, List[int]]:
+    """Row-reduce ``matrix`` over GF(2).
+
+    Returns the reduced matrix (row echelon, pivots normalized to the
+    leftmost 1 of each row, entries above pivots cleared) and the list
+    of pivot column indices.  The input is not modified.
+    """
+    reduced = matrix.copy().astype(np.uint8)
+    n_rows, n_cols = reduced.shape
+    pivots: List[int] = []
+    pivot_row = 0
+    for col in range(n_cols):
+        if pivot_row >= n_rows:
+            break
+        candidates = np.nonzero(reduced[pivot_row:, col])[0]
+        if candidates.size == 0:
+            continue
+        swap = pivot_row + int(candidates[0])
+        if swap != pivot_row:
+            reduced[[pivot_row, swap]] = reduced[[swap, pivot_row]]
+        # Clear every other 1 in this column (both above and below).
+        ones = np.nonzero(reduced[:, col])[0]
+        for row in ones:
+            if row != pivot_row:
+                reduced[row] ^= reduced[pivot_row]
+        pivots.append(col)
+        pivot_row += 1
+    return reduced, pivots
+
+
+def rank(matrix: np.ndarray) -> int:
+    """Rank of ``matrix`` over GF(2)."""
+    if matrix.size == 0:
+        return 0
+    _, pivots = row_reduce(matrix)
+    return len(pivots)
+
+
+def rank_of_vectors(vectors: Iterable[Sequence[int]], dimension: int) -> int:
+    """Rank of a collection of bit vectors of length ``dimension``."""
+    matrix = as_gf2_matrix(vectors, width=dimension)
+    return rank(matrix)
+
+
+def is_full_rank(vectors: Iterable[Sequence[int]], dimension: int) -> bool:
+    """Whether ``vectors`` span GF(2)^dimension (i.e. a node can decode)."""
+    return rank_of_vectors(vectors, dimension) >= dimension
+
+
+def solve(matrix: np.ndarray, rhs: np.ndarray) -> Optional[np.ndarray]:
+    """Solve ``matrix @ x = rhs`` over GF(2).
+
+    Returns one solution vector, or None when the system is
+    inconsistent.  Free variables are set to 0.
+    """
+    if matrix.shape[0] != rhs.shape[0]:
+        raise ConfigurationError(
+            f"shape mismatch: matrix has {matrix.shape[0]} rows, rhs has {rhs.shape[0]}"
+        )
+    augmented = np.concatenate(
+        [matrix.astype(np.uint8), rhs.reshape(-1, 1).astype(np.uint8)], axis=1
+    )
+    reduced, pivots = row_reduce(augmented)
+    n_cols = matrix.shape[1]
+    # Inconsistent iff a pivot landed in the augmented column.
+    if pivots and pivots[-1] == n_cols:
+        return None
+    solution = np.zeros(n_cols, dtype=np.uint8)
+    for row_index, col in enumerate(pivots):
+        solution[col] = reduced[row_index, n_cols]
+    return solution
+
+
+def random_nonzero_vector(rng: np.random.Generator, dimension: int) -> Tuple[int, ...]:
+    """A uniformly random non-zero bit vector of length ``dimension``."""
+    if dimension <= 0:
+        raise ConfigurationError(f"dimension must be positive, got {dimension}")
+    while True:
+        vector = rng.integers(0, 2, size=dimension, dtype=np.uint8)
+        if vector.any():
+            return tuple(int(bit) for bit in vector)
+
+
+def random_coded_tokens(
+    rng: np.random.Generator, dimension: int, count: int
+) -> List[Tuple[int, ...]]:
+    """Sample ``count`` random non-zero coded tokens (coefficient vectors)."""
+    return [random_nonzero_vector(rng, dimension) for _ in range(count)]
+
+
+def combine(
+    rng: np.random.Generator, held: Sequence[Tuple[int, ...]]
+) -> Tuple[int, ...]:
+    """A random GF(2) combination of the held coded tokens.
+
+    This is what a coding node transmits: a fresh random combination of
+    everything it has, rather than any single source token.  The
+    combination is guaranteed non-zero when ``held`` contains at least
+    one non-zero vector (we resample the coefficients until the result
+    is non-zero).
+    """
+    if not held:
+        raise ConfigurationError("cannot combine an empty set of tokens")
+    matrix = as_gf2_matrix(held)
+    for _ in range(64):
+        coefficients = rng.integers(0, 2, size=len(held), dtype=np.uint8)
+        if not coefficients.any():
+            continue
+        combined = (coefficients @ matrix) % 2
+        if combined.any():
+            return tuple(int(bit) for bit in combined)
+    # All held vectors may be zero; fall back to the first vector.
+    return tuple(int(bit) for bit in matrix[0])

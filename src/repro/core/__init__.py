@@ -1,0 +1,75 @@
+"""Core primitives shared by every substrate in the reproduction.
+
+Contents
+--------
+``rng``
+    Deterministic named random streams (reproducible experiments).
+``behaviors``
+    The BAR behaviour model (Byzantine / rational / obedient).
+``satiation``
+    Satiation functions and satiation-compatibility (paper Section 3).
+``graphs``
+    Communication-graph builders for the abstract token model.
+``metrics``
+    Delivery statistics, attack curves, crossover search.
+``engine``
+    The shared round-based simulation loop.
+``errors``
+    Library exception hierarchy.
+"""
+
+from .behaviors import Behavior, RoleAssignment, assign_roles, split_fractions
+from .engine import RoundSimulator, RunResult, run_rounds
+from .errors import (
+    AnalysisError,
+    ConfigurationError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+)
+from .metrics import (
+    USABILITY_THRESHOLD,
+    DeliveryStats,
+    TimeSeries,
+    confidence_interval_95,
+    first_crossing_below,
+    mean,
+)
+from .rng import RngStreams, derive_seed, spawn_seeds, stable_hash
+from .satiation import (
+    CompleteSetSatiation,
+    CountSatiation,
+    RankSatiation,
+    SatiationFunction,
+    ThresholdSatiation,
+)
+
+__all__ = [
+    "Behavior",
+    "RoleAssignment",
+    "assign_roles",
+    "split_fractions",
+    "RoundSimulator",
+    "RunResult",
+    "run_rounds",
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolViolationError",
+    "SimulationError",
+    "AnalysisError",
+    "USABILITY_THRESHOLD",
+    "DeliveryStats",
+    "TimeSeries",
+    "mean",
+    "confidence_interval_95",
+    "first_crossing_below",
+    "RngStreams",
+    "stable_hash",
+    "derive_seed",
+    "spawn_seeds",
+    "SatiationFunction",
+    "CompleteSetSatiation",
+    "CountSatiation",
+    "RankSatiation",
+    "ThresholdSatiation",
+]

@@ -1,0 +1,177 @@
+"""The BAR behaviour model: Byzantine, Altruistic/obedient, Rational.
+
+The paper distinguishes (following Aiyer et al.'s BAR model, but with
+the terminology of Section 4):
+
+* **Byzantine** nodes — may deviate arbitrarily; in this library they
+  are the attacker's nodes.
+* **Rational** nodes — follow the protocol only where it is in their
+  interest; in particular they *skip* optimistic pushes when they have
+  nothing to gain and never give more than they receive.
+* **Obedient** nodes — follow the recommended protocol verbatim, even
+  where deviation would be profitable (the paper reserves "altruistic"
+  for nodes that serve while satiated; obedient nodes are the lever the
+  Section 4 defenses pull on).
+* **Altruistic** behaviour — serving even when satiated; modelled as a
+  probability ``a`` in the abstract token model and as protocol
+  features (seeding, optimistic pushes) in the concrete substrates.
+
+This module provides the role enumeration and utilities for assigning
+roles to a population, used by every substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["Behavior", "RoleAssignment", "assign_roles", "split_fractions"]
+
+
+class Behavior(enum.Enum):
+    """A node's behavioural class in the BAR model."""
+
+    BYZANTINE = "byzantine"
+    RATIONAL = "rational"
+    OBEDIENT = "obedient"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class RoleAssignment:
+    """An immutable assignment of behaviours to node identifiers.
+
+    Attributes
+    ----------
+    roles:
+        ``roles[i]`` is the behaviour of node ``i``.
+    """
+
+    roles: tuple
+
+    @property
+    def size(self) -> int:
+        return len(self.roles)
+
+    def of(self, node: int) -> Behavior:
+        """Behaviour of ``node``."""
+        return self.roles[node]
+
+    def nodes_with(self, behavior: Behavior) -> List[int]:
+        """All node ids with the given behaviour, in ascending order."""
+        return [i for i, role in enumerate(self.roles) if role is behavior]
+
+    def count(self, behavior: Behavior) -> int:
+        """Number of nodes with the given behaviour."""
+        return sum(1 for role in self.roles if role is behavior)
+
+    def fractions(self) -> Dict[Behavior, float]:
+        """Fraction of the population in each behavioural class."""
+        if not self.roles:
+            return {behavior: 0.0 for behavior in Behavior}
+        return {
+            behavior: self.count(behavior) / len(self.roles) for behavior in Behavior
+        }
+
+
+def split_fractions(total: int, fractions: Dict[Behavior, float]) -> Dict[Behavior, int]:
+    """Split ``total`` nodes into integer class sizes matching ``fractions``.
+
+    Rounds with the largest-remainder method so the class sizes always
+    sum to ``total`` exactly and each class is within one node of its
+    exact share.
+
+    Raises
+    ------
+    ConfigurationError
+        If the fractions are negative or do not sum to 1 (within 1e-9).
+    """
+    if total < 0:
+        raise ConfigurationError(f"total must be non-negative, got {total}")
+    ordered = list(fractions.items())
+    if any(fraction < 0 for _, fraction in ordered):
+        raise ConfigurationError(f"fractions must be non-negative: {fractions}")
+    fraction_sum = sum(fraction for _, fraction in ordered)
+    if abs(fraction_sum - 1.0) > 1e-9:
+        raise ConfigurationError(
+            f"fractions must sum to 1, got {fraction_sum!r}: {fractions}"
+        )
+    exact = [total * fraction for _, fraction in ordered]
+    floors = [int(np.floor(value)) for value in exact]
+    remainder = total - sum(floors)
+    # Assign the leftover nodes to the classes with the largest
+    # fractional parts, breaking ties by position for determinism.
+    by_remainder = sorted(
+        range(len(ordered)), key=lambda index: (exact[index] - floors[index]), reverse=True
+    )
+    for index in by_remainder[:remainder]:
+        floors[index] += 1
+    return {behavior: count for (behavior, _), count in zip(ordered, floors)}
+
+
+def assign_roles(
+    total: int,
+    byzantine_fraction: float,
+    obedient_fraction: float = 0.0,
+    rng: np.random.Generator = None,
+) -> RoleAssignment:
+    """Assign BAR behaviours to ``total`` nodes.
+
+    Byzantine nodes take the lowest share of ids if ``rng`` is omitted;
+    with an ``rng`` the assignment is a uniformly random permutation.
+    The remaining nodes after Byzantine and obedient shares are
+    rational.
+
+    Parameters
+    ----------
+    total:
+        Population size.
+    byzantine_fraction:
+        Fraction of the population controlled by the attacker.
+    obedient_fraction:
+        Fraction of the population that follows the protocol verbatim.
+    rng:
+        Optional generator used to shuffle the assignment.
+
+    Raises
+    ------
+    ConfigurationError
+        If fractions are out of range or sum to more than 1.
+    """
+    if not 0.0 <= byzantine_fraction <= 1.0:
+        raise ConfigurationError(
+            f"byzantine_fraction must be in [0, 1], got {byzantine_fraction}"
+        )
+    if not 0.0 <= obedient_fraction <= 1.0:
+        raise ConfigurationError(
+            f"obedient_fraction must be in [0, 1], got {obedient_fraction}"
+        )
+    if byzantine_fraction + obedient_fraction > 1.0 + 1e-9:
+        raise ConfigurationError(
+            "byzantine_fraction + obedient_fraction exceeds 1: "
+            f"{byzantine_fraction} + {obedient_fraction}"
+        )
+    counts = split_fractions(
+        total,
+        {
+            Behavior.BYZANTINE: byzantine_fraction,
+            Behavior.OBEDIENT: obedient_fraction,
+            Behavior.RATIONAL: 1.0 - byzantine_fraction - obedient_fraction,
+        },
+    )
+    roles: List[Behavior] = (
+        [Behavior.BYZANTINE] * counts[Behavior.BYZANTINE]
+        + [Behavior.OBEDIENT] * counts[Behavior.OBEDIENT]
+        + [Behavior.RATIONAL] * counts[Behavior.RATIONAL]
+    )
+    if rng is not None:
+        order = rng.permutation(len(roles))
+        roles = [roles[int(index)] for index in order]
+    return RoleAssignment(roles=tuple(roles))

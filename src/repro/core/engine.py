@@ -1,0 +1,115 @@
+"""Round-based simulation engine shared by the substrates.
+
+Every system in the paper is analysed in synchronous rounds (gossip
+rounds, scrip service opportunities, BitTorrent choke intervals).  The
+engine here factors out the common loop: advance a round, collect
+per-round observations, stop on a condition, and report progress.
+
+Substrates implement :class:`RoundSimulator` (two methods) and get
+:func:`run_rounds` plus :class:`RunResult` bookkeeping for free.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import SimulationError
+
+__all__ = ["RoundSimulator", "RunResult", "run_rounds"]
+
+
+class RoundSimulator(abc.ABC):
+    """Minimal interface a round-based simulator must provide."""
+
+    @abc.abstractmethod
+    def step(self) -> None:
+        """Advance the simulation by exactly one round."""
+
+    @property
+    @abc.abstractmethod
+    def round(self) -> int:
+        """Number of completed rounds (0 before the first step)."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of :func:`run_rounds`.
+
+    Attributes
+    ----------
+    rounds:
+        Number of rounds executed in this call.
+    stopped_early:
+        True when the stop condition fired before ``max_rounds``.
+    observations:
+        One entry per round from the ``observe`` callback (if given).
+    wall_seconds:
+        Wall-clock duration of the loop; used by the benchmarks to
+        report simulation throughput.
+    """
+
+    rounds: int
+    stopped_early: bool
+    observations: List[Any] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def last_observation(self) -> Any:
+        """The final per-round observation (None when none recorded)."""
+        return self.observations[-1] if self.observations else None
+
+
+def run_rounds(
+    simulator: RoundSimulator,
+    max_rounds: int,
+    stop_when: Optional[Callable[[RoundSimulator], bool]] = None,
+    observe: Optional[Callable[[RoundSimulator], Any]] = None,
+) -> RunResult:
+    """Run ``simulator`` for up to ``max_rounds`` rounds.
+
+    Parameters
+    ----------
+    simulator:
+        The simulator to advance.
+    max_rounds:
+        Upper bound on rounds executed by this call.
+    stop_when:
+        Optional predicate checked *after* each round; when it returns
+        True the loop exits early (e.g. "all nodes satiated").
+    observe:
+        Optional per-round observation callback; its return values are
+        collected into :attr:`RunResult.observations`.
+
+    Raises
+    ------
+    SimulationError
+        If the simulator's round counter fails to advance, which would
+        otherwise loop forever silently.
+    """
+    if max_rounds < 0:
+        raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+    started = _time.perf_counter()
+    observations: List[Any] = []
+    executed = 0
+    stopped_early = False
+    for _ in range(max_rounds):
+        before = simulator.round
+        simulator.step()
+        if simulator.round != before + 1:
+            raise SimulationError(
+                f"simulator round counter did not advance: {before} -> {simulator.round}"
+            )
+        executed += 1
+        if observe is not None:
+            observations.append(observe(simulator))
+        if stop_when is not None and stop_when(simulator):
+            stopped_early = True
+            break
+    return RunResult(
+        rounds=executed,
+        stopped_early=stopped_early,
+        observations=observations,
+        wall_seconds=_time.perf_counter() - started,
+    )

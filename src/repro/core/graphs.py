@@ -1,0 +1,161 @@
+"""Communication-graph builders for the abstract token model.
+
+The paper's Section 3 model is parameterized by an underlying graph
+``G = (V, E)`` of node pairs that can potentially communicate.  The
+attacks it discusses exploit graph structure (cuts on grids, rare
+tokens behind few edges), so the experiments need a menu of graph
+families:
+
+* complete graphs — the effective topology of BAR Gossip's uniform
+  partner selection;
+* 2-D grids — the cut-attack example;
+* random regular and Erdős–Rényi graphs — "this version of the attack
+  is ... likely to be ineffective in random networks";
+* random geometric graphs — sensor networks, where "there is often an
+  inherent structure an attacker may be able to make use of".
+
+All builders return :class:`networkx.Graph` with integer node labels
+``0..n-1`` and guarantee connectivity (retrying or patching where the
+random family does not guarantee it).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "complete_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "geometric_graph",
+    "ensure_connected",
+    "grid_column_cut",
+    "node_neighbors",
+]
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """Complete graph on ``n`` nodes (everyone can talk to everyone)."""
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    return nx.complete_graph(n)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A ``rows x cols`` 2-D grid with integer labels ``0..rows*cols-1``.
+
+    Node ``(r, c)`` is labelled ``r * cols + c``; the helper
+    :func:`grid_column_cut` relies on this labelling.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError(f"grid dimensions must be positive, got {rows}x{cols}")
+    grid = nx.grid_2d_graph(rows, cols)
+    mapping = {(r, c): r * cols + c for r, c in grid.nodes}
+    return nx.relabel_nodes(grid, mapping)
+
+
+def random_regular_graph(n: int, degree: int, seed: int = 0) -> nx.Graph:
+    """A connected random ``degree``-regular graph on ``n`` nodes.
+
+    Retries with successive seeds until the sampled graph is connected
+    (for ``degree >= 3`` almost every sample already is).
+    """
+    if degree >= n:
+        raise ConfigurationError(f"degree {degree} must be < n {n}")
+    if (n * degree) % 2 != 0:
+        raise ConfigurationError(
+            f"n * degree must be even for a regular graph, got {n}*{degree}"
+        )
+    for attempt in range(64):
+        graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(graph):
+            return graph
+    raise ConfigurationError(
+        f"could not sample a connected {degree}-regular graph on {n} nodes"
+    )
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """A connected Erdős–Rényi graph; patched to connectivity if needed.
+
+    If the sample is disconnected, the components are linked by a
+    minimal chain of extra edges rather than resampled, so the expected
+    degree stays close to ``p * (n - 1)`` even below the connectivity
+    threshold.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    graph = nx.erdos_renyi_graph(n, p, seed=seed)
+    return ensure_connected(graph, seed=seed)
+
+
+def geometric_graph(n: int, radius: Optional[float] = None, seed: int = 0) -> nx.Graph:
+    """A random geometric graph on the unit square (sensor-network style).
+
+    The default radius is chosen slightly above the connectivity
+    threshold ``sqrt(log(n) / (pi * n))``; the sample is patched to
+    connectivity if it still comes out disconnected.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if radius is None:
+        radius = 1.5 * math.sqrt(math.log(max(n, 2)) / (math.pi * n))
+    graph = nx.random_geometric_graph(n, radius, seed=seed)
+    return ensure_connected(graph, seed=seed)
+
+
+def ensure_connected(graph: nx.Graph, seed: int = 0) -> nx.Graph:
+    """Connect ``graph`` in place by chaining its components.
+
+    One representative of each component (the lowest-numbered node) is
+    linked to the previous component's representative.  Deterministic
+    given the graph, so sweeps remain reproducible.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ConfigurationError("graph must have at least one node")
+    components = [sorted(component) for component in nx.connected_components(graph)]
+    components.sort(key=lambda component: component[0])
+    for previous, current in zip(components, components[1:]):
+        graph.add_edge(previous[0], current[0])
+    return graph
+
+
+def grid_column_cut(rows: int, cols: int, column: int) -> List[int]:
+    """Node ids of one full column of a :func:`grid_graph`.
+
+    Removing (or satiating) a column partitions the grid into a left
+    and a right side — the cheap cut the paper's Section 3 attack uses:
+    "at any time the attacker can partition the graph with relatively
+    little cost by removing any set of nodes that constitutes a cut".
+    """
+    if not 0 <= column < cols:
+        raise ConfigurationError(f"column {column} out of range for {cols} columns")
+    return [row * cols + column for row in range(rows)]
+
+
+def node_neighbors(graph: nx.Graph, node: int) -> List[int]:
+    """Sorted neighbour list; the deterministic order simulators iterate in."""
+    return sorted(graph.neighbors(node))
+
+
+def partition_sides(
+    graph: nx.Graph, cut_nodes: List[int]
+) -> Tuple[List[List[int]], List[int]]:
+    """Connected components left after removing ``cut_nodes``.
+
+    Returns ``(components, cut_nodes)`` where ``components`` is sorted
+    by size descending.  Used by cut-attack analysis to identify the
+    starved side.
+    """
+    remaining = graph.copy()
+    remaining.remove_nodes_from(cut_nodes)
+    components = [sorted(component) for component in nx.connected_components(remaining)]
+    components.sort(key=len, reverse=True)
+    return components, list(cut_nodes)

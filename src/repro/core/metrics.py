@@ -1,0 +1,200 @@
+"""Delivery metrics and summary statistics.
+
+The paper's headline metric is *"fraction of updates received by
+isolated nodes"* (y-axis of Figures 1-3), with a usability threshold:
+"nodes need to receive more than 93% of the updates for the stream to
+be usable".  This module provides:
+
+* :class:`DeliveryStats` — per-group delivered/expired counters with
+  the usability predicate;
+* :class:`TimeSeries` — a labelled (x, y) series as produced by attack
+  sweeps, with crossover search (the paper reports the attacker
+  fraction at which delivery first drops below the threshold);
+* small aggregation helpers (mean/confidence interval) used by the
+  sweep harness when averaging repetitions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .errors import AnalysisError
+
+__all__ = [
+    "USABILITY_THRESHOLD",
+    "DeliveryStats",
+    "TimeSeries",
+    "mean",
+    "confidence_interval_95",
+    "first_crossing_below",
+]
+
+#: BAR Gossip's usability requirement: "more than 93% of the updates".
+USABILITY_THRESHOLD = 0.93
+
+
+@dataclass
+class DeliveryStats:
+    """Counts of updates delivered versus due, per node group.
+
+    An update is *due* at a node once its lifetime has elapsed: the node
+    either received it in time (``delivered``) or missed it forever
+    (``missed``).  The delivery fraction is computed over due updates
+    only, so a simulation can be truncated at any round without biasing
+    the metric with still-live updates.
+    """
+
+    delivered: Dict[str, int] = field(default_factory=dict)
+    missed: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, group: str, delivered: int, missed: int) -> None:
+        """Accumulate ``delivered``/``missed`` due-update counts for ``group``."""
+        if delivered < 0 or missed < 0:
+            raise AnalysisError(
+                f"negative counts are invalid: delivered={delivered} missed={missed}"
+            )
+        self.delivered[group] = self.delivered.get(group, 0) + delivered
+        self.missed[group] = self.missed.get(group, 0) + missed
+
+    def groups(self) -> List[str]:
+        """All group labels seen so far, sorted."""
+        return sorted(set(self.delivered) | set(self.missed))
+
+    def due(self, group: str) -> int:
+        """Total updates that came due for ``group``."""
+        return self.delivered.get(group, 0) + self.missed.get(group, 0)
+
+    def fraction(self, group: str) -> float:
+        """Fraction of due updates that were delivered to ``group``.
+
+        Raises
+        ------
+        AnalysisError
+            If no update has come due for the group yet (the fraction
+            would be 0/0).
+        """
+        due = self.due(group)
+        if due == 0:
+            raise AnalysisError(f"no updates due for group {group!r}")
+        return self.delivered.get(group, 0) / due
+
+    def usable(self, group: str, threshold: float = USABILITY_THRESHOLD) -> bool:
+        """Whether ``group`` receives a usable stream (fraction > threshold)."""
+        return self.fraction(group) > threshold
+
+    def merged(self, other: "DeliveryStats") -> "DeliveryStats":
+        """A new :class:`DeliveryStats` combining both operands' counts."""
+        result = DeliveryStats(dict(self.delivered), dict(self.missed))
+        for group in other.groups():
+            result.record(
+                group, other.delivered.get(group, 0), other.missed.get(group, 0)
+            )
+        return result
+
+    def as_dict(self) -> Dict[str, float]:
+        """``{group: delivery fraction}`` for every group with due updates."""
+        return {group: self.fraction(group) for group in self.groups() if self.due(group)}
+
+
+@dataclass
+class TimeSeries:
+    """A labelled series of (x, y) points, e.g. one curve of Figure 1.
+
+    ``xs`` must be strictly increasing; the class enforces this so that
+    crossover search is well defined.
+    """
+
+    label: str
+    xs: List[float] = field(default_factory=list)
+    ys: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        """Append a point; ``x`` must exceed the previous x."""
+        if self.xs and x <= self.xs[-1]:
+            raise AnalysisError(
+                f"xs must be strictly increasing: {x} after {self.xs[-1]}"
+            )
+        self.xs.append(float(x))
+        self.ys.append(float(y))
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    def points(self) -> List[Tuple[float, float]]:
+        """The series as a list of (x, y) pairs."""
+        return list(zip(self.xs, self.ys))
+
+    def crossover_below(self, threshold: float = USABILITY_THRESHOLD) -> Optional[float]:
+        """Smallest x at which y first drops to or below ``threshold``.
+
+        Linearly interpolates between the bracketing samples, matching
+        how the paper reads crossovers off its figures.  Returns None
+        if the series never drops below the threshold.
+        """
+        return first_crossing_below(self.xs, self.ys, threshold)
+
+    def y_at(self, x: float) -> float:
+        """Linearly interpolated y at ``x`` (clamped to the sampled range)."""
+        if not self.xs:
+            raise AnalysisError(f"series {self.label!r} is empty")
+        if x <= self.xs[0]:
+            return self.ys[0]
+        if x >= self.xs[-1]:
+            return self.ys[-1]
+        for (x0, y0), (x1, y1) in zip(self.points(), self.points()[1:]):
+            if x0 <= x <= x1:
+                if x1 == x0:
+                    return y0
+                weight = (x - x0) / (x1 - x0)
+                return y0 + weight * (y1 - y0)
+        raise AnalysisError(f"x={x} not bracketed in series {self.label!r}")
+
+
+def first_crossing_below(
+    xs: Sequence[float], ys: Sequence[float], threshold: float
+) -> Optional[float]:
+    """Interpolated first x where ``ys`` drops to or below ``threshold``.
+
+    Assumes ``xs`` strictly increasing.  If the first sample is already
+    at or below the threshold, returns the first x.
+    """
+    if len(xs) != len(ys):
+        raise AnalysisError(f"length mismatch: {len(xs)} xs vs {len(ys)} ys")
+    if not xs:
+        return None
+    if ys[0] <= threshold:
+        return float(xs[0])
+    for (x0, y0), (x1, y1) in zip(zip(xs, ys), list(zip(xs, ys))[1:]):
+        if y1 <= threshold < y0:
+            if y0 == y1:
+                return float(x1)
+            weight = (y0 - threshold) / (y0 - y1)
+            return float(x0 + weight * (x1 - x0))
+    return None
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    values = list(values)
+    if not values:
+        raise AnalysisError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Mean and 95% normal-approximation half-width of ``values``.
+
+    With a single sample the half-width is 0 (the harness treats one
+    repetition as a point estimate).
+    """
+    values = list(values)
+    if not values:
+        raise AnalysisError("confidence interval of empty sequence")
+    center = mean(values)
+    if len(values) == 1:
+        return center, 0.0
+    variance = sum((value - center) ** 2 for value in values) / (len(values) - 1)
+    half_width = 1.96 * math.sqrt(variance / len(values))
+    return center, half_width

@@ -1,0 +1,167 @@
+"""Satiation functions and satiation-compatibility (paper Section 3).
+
+The paper characterizes a system by a *satiation function*
+``sat(i, t, T')`` — a monotone predicate that is true when node ``i``
+at time ``t`` needs no further tokens given that it holds the token set
+``T'``.  A protocol is *satiation-compatible* when nodes in a satiated
+state provide no service.  Observation 3.1 says that in such a system
+an attacker who can provide tokens sufficiently rapidly prevents a node
+from ever providing service.
+
+This module gives the satiation abstraction used by the abstract token
+model (``repro.tokenmodel``) and provides concrete satiation functions:
+
+* :class:`CompleteSetSatiation` — satiated iff holding every token
+  (the paper's simple model: ``sat(i, t, T') = true iff T' = T``).
+* :class:`CountSatiation` — satiated after any ``k`` tokens (models
+  "enough service", e.g. a sensor node with all needed updates).
+* :class:`RankSatiation` — satiated once the held coded tokens span the
+  full space; used by the network-coding defense (Section 4).
+* :class:`ThresholdSatiation` — satiated above a scalar threshold;
+  models scrip wealth / reputation ("the set of relevant tokens is
+  changed" by a scrip system, Section 4).
+
+All satiation functions are monotone in the token set: gaining tokens
+never unsatiates a node at a fixed time.  A hypothesis test enforces
+this for every implementation shipped here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Hashable, Iterable
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "SatiationFunction",
+    "CompleteSetSatiation",
+    "CountSatiation",
+    "RankSatiation",
+    "ThresholdSatiation",
+]
+
+Token = Hashable
+
+
+class SatiationFunction(abc.ABC):
+    """Abstract monotone satiation predicate ``sat(i, t, T')``.
+
+    Implementations must be *monotone*: if ``tokens1 <= tokens2`` then
+    ``is_satiated(i, t, tokens1)`` implies ``is_satiated(i, t, tokens2)``.
+    """
+
+    @abc.abstractmethod
+    def is_satiated(self, node: int, time: int, tokens: FrozenSet[Token]) -> bool:
+        """Return True iff ``node`` at ``time`` holding ``tokens`` is satiated."""
+
+    def describe(self) -> str:
+        """Human-readable description used in experiment reports."""
+        return type(self).__name__
+
+
+class CompleteSetSatiation(SatiationFunction):
+    """Satiated iff the node holds the complete universe of tokens.
+
+    This is the satiation function of the paper's simple model:
+    ``sat(i, t, T') = true iff T' = T``.
+    """
+
+    def __init__(self, universe: Iterable[Token]) -> None:
+        self._universe = frozenset(universe)
+        if not self._universe:
+            raise ConfigurationError("token universe must be non-empty")
+
+    @property
+    def universe(self) -> FrozenSet[Token]:
+        """The full token set ``T``."""
+        return self._universe
+
+    def is_satiated(self, node: int, time: int, tokens: FrozenSet[Token]) -> bool:
+        return self._universe <= tokens
+
+    def describe(self) -> str:
+        return f"complete-set({len(self._universe)} tokens)"
+
+
+class CountSatiation(SatiationFunction):
+    """Satiated after holding at least ``needed`` tokens, whichever they are.
+
+    Models systems where any sufficient quantity of service satiates
+    (e.g. a sensor node that powers down once it has enough updates).
+    """
+
+    def __init__(self, needed: int) -> None:
+        if needed < 0:
+            raise ConfigurationError(f"needed must be non-negative, got {needed}")
+        self._needed = needed
+
+    @property
+    def needed(self) -> int:
+        return self._needed
+
+    def is_satiated(self, node: int, time: int, tokens: FrozenSet[Token]) -> bool:
+        return len(tokens) >= self._needed
+
+    def describe(self) -> str:
+        return f"count(>= {self._needed})"
+
+
+class RankSatiation(SatiationFunction):
+    """Satiated once held coded tokens have full rank.
+
+    Tokens are GF(2) coefficient vectors (tuples of 0/1 of length
+    ``dimension``); a node is satiated once the vectors it holds span
+    the whole space, i.e. it can decode the original ``dimension``
+    source tokens.  This is the Avalanche-style defense of Section 4:
+    "nodes need to collect only enough independent tokens to
+    reconstruct the full information rather than the complete set".
+    """
+
+    def __init__(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise ConfigurationError(f"dimension must be positive, got {dimension}")
+        self._dimension = dimension
+
+    @property
+    def dimension(self) -> int:
+        return self._dimension
+
+    def is_satiated(self, node: int, time: int, tokens: FrozenSet[Token]) -> bool:
+        # Import here to keep core free of a hard dependency direction
+        # on the coding package at module-import time.
+        from ..coding.gf2 import rank_of_vectors
+
+        vectors = [token for token in tokens if isinstance(token, tuple)]
+        if not vectors:
+            return False
+        return rank_of_vectors(vectors, self._dimension) >= self._dimension
+
+    def describe(self) -> str:
+        return f"rank(= {self._dimension})"
+
+
+class ThresholdSatiation(SatiationFunction):
+    """Satiated when a scalar stock (wealth, reputation) meets a threshold.
+
+    Each "token" is interpreted as one unit of the stock; the node is
+    satiated with ``threshold`` or more units.  This mirrors the
+    optimal threshold strategies in scrip systems (Kash et al. EC'07)
+    that the paper leans on: "provide service only when he has less
+    than that threshold amount of scrip".
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ConfigurationError(f"threshold must be non-negative, got {threshold}")
+        self._threshold = threshold
+
+    @property
+    def threshold(self) -> int:
+        return self._threshold
+
+    def is_satiated(self, node: int, time: int, tokens: FrozenSet[Token]) -> bool:
+        return len(tokens) >= self._threshold
+
+    def describe(self) -> str:
+        return f"threshold(>= {self._threshold})"

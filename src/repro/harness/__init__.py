@@ -1,0 +1,33 @@
+"""Experiment harness: sweeps, figure/table regeneration, rendering."""
+
+from .ascii import render_chart, render_series_table, render_table
+from .figures import (
+    DEFAULT_FRACTIONS,
+    FAST_FRACTIONS,
+    attack_curve,
+    crossovers,
+    figure1,
+    figure2,
+    figure3,
+)
+from .sweep import SweepPoint, sweep, sweep_series
+from .tables import baseline_check, render_table1, table1_rows
+
+__all__ = [
+    "attack_curve",
+    "figure1",
+    "figure2",
+    "figure3",
+    "crossovers",
+    "DEFAULT_FRACTIONS",
+    "FAST_FRACTIONS",
+    "sweep",
+    "sweep_series",
+    "SweepPoint",
+    "table1_rows",
+    "render_table1",
+    "baseline_check",
+    "render_table",
+    "render_series_table",
+    "render_chart",
+]

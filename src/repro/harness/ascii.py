@@ -1,0 +1,115 @@
+"""ASCII rendering of tables and attack curves.
+
+The original figures are MATLAB plots; a terminal reproduction renders
+the same series as aligned tables and a coarse ASCII chart so the
+"shape" claims (who wins, where the crossovers fall) are visible in CI
+logs without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import AnalysisError
+from ..core.metrics import TimeSeries
+
+__all__ = ["render_table", "render_series_table", "render_chart"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A plain aligned text table."""
+    if any(len(row) != len(headers) for row in rows):
+        raise AnalysisError("all rows must match the header width")
+    cells = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip()
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: Dict[str, TimeSeries],
+    x_label: str = "x",
+    y_format: str = "{:.3f}",
+) -> str:
+    """All series side by side, one row per x value.
+
+    Requires every series to be sampled on the same x grid (which the
+    figure harness guarantees).
+    """
+    if not series:
+        raise AnalysisError("no series to render")
+    grids = {tuple(s.xs) for s in series.values()}
+    if len(grids) != 1:
+        raise AnalysisError("series must share one x grid")
+    labels = list(series)
+    headers = [x_label] + labels
+    rows: List[List[object]] = []
+    xs = next(iter(series.values())).xs
+    for index, x in enumerate(xs):
+        row: List[object] = [f"{x:.3f}"]
+        for label in labels:
+            row.append(y_format.format(series[label].ys[index]))
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def render_chart(
+    series: Dict[str, TimeSeries],
+    height: int = 16,
+    y_min: float = 0.0,
+    y_max: float = 1.0,
+    threshold: Optional[float] = None,
+) -> str:
+    """A coarse ASCII line chart of multiple series.
+
+    Each series is drawn with its own glyph (first letter of the
+    label); an optional horizontal threshold line (the 93% usability
+    bar) is drawn with ``-``.
+    """
+    if not series:
+        raise AnalysisError("no series to render")
+    if height < 4:
+        raise AnalysisError(f"height must be >= 4, got {height}")
+    grids = {tuple(s.xs) for s in series.values()}
+    if len(grids) != 1:
+        raise AnalysisError("series must share one x grid")
+    xs = next(iter(series.values())).xs
+    width = len(xs)
+    rows = [[" "] * width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        clamped = min(max(value, y_min), y_max)
+        scaled = (clamped - y_min) / (y_max - y_min) if y_max > y_min else 0.0
+        return (height - 1) - int(round(scaled * (height - 1)))
+
+    if threshold is not None:
+        threshold_row = row_of(threshold)
+        for col in range(width):
+            rows[threshold_row][col] = "-"
+    glyphs = {}
+    for label in series:
+        glyph = label[0].upper() if label else "?"
+        while glyph in glyphs.values():
+            glyph = chr(ord(glyph) + 1)
+        glyphs[label] = glyph
+    for label, ts in series.items():
+        for col, y in enumerate(ts.ys):
+            rows[row_of(y)][col] = glyphs[label]
+    lines = []
+    for index, row in enumerate(rows):
+        y_value = y_max - (y_max - y_min) * index / (height - 1)
+        lines.append(f"{y_value:5.2f} |" + "".join(row))
+    lines.append(" " * 6 + "+" + "-" * width)
+    lines.append(
+        " " * 7 + f"x: {xs[0]:.2f} .. {xs[-1]:.2f}   " +
+        "  ".join(f"{glyph}={label}" for label, glyph in glyphs.items())
+    )
+    return "\n".join(lines)

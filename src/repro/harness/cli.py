@@ -1,0 +1,201 @@
+"""Command-line entry point: regenerate any experiment from a shell.
+
+Installed as ``lotus-eater`` (see ``pyproject.toml``)::
+
+    lotus-eater table1
+    lotus-eater figure1 --fast
+    lotus-eater figure2
+    lotus-eater figure3 --seed 7
+    lotus-eater tokenmodel
+    lotus-eater scrip
+    lotus-eater bittorrent
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.metrics import USABILITY_THRESHOLD
+from .ascii import render_chart, render_series_table, render_table
+from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
+from .tables import baseline_check, render_table1
+
+__all__ = ["main"]
+
+
+def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
+    fractions = FAST_FRACTIONS if args.fast else DEFAULT_FRACTIONS
+    rounds = 30 if args.fast else 50
+    curves = builder(
+        fractions=fractions,
+        rounds=rounds,
+        repetitions=args.repetitions,
+        root_seed=args.seed,
+    )
+    print(render_series_table(curves, x_label="attacker fraction"))
+    print()
+    print(render_chart(curves, threshold=USABILITY_THRESHOLD))
+    print()
+    rows = [
+        (label, "never" if value is None else f"{value:.3f}")
+        for label, value in crossovers(curves).items()
+    ]
+    print(render_table(["curve", "crossover below 93%"], rows))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(render_table1())
+    check = baseline_check(rounds=30 if args.fast else 50, seed=args.seed)
+    print()
+    print(
+        f"baseline delivery (no attack): {check['delivery_fraction']:.3f} "
+        f"(usable above {check['usability_threshold']:.2f})"
+    )
+    return 0
+
+
+def _cmd_tokenmodel(args: argparse.Namespace) -> int:
+    from ..core.graphs import grid_column_cut, grid_graph
+    from ..tokenmodel import (
+        CutSatiationAttack,
+        RareTokenAttack,
+        TokenSystem,
+        rare_token_allocation,
+        run_token_experiment,
+        uniform_allocation,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    graph = grid_graph(10, 10)
+    rows: List[tuple] = []
+    alloc = uniform_allocation(graph, n_tokens=8, copies_per_token=3, rng=rng)
+    for altruism in (0.0, 0.2):
+        system = TokenSystem.complete_collection(graph, 8, alloc, altruism=altruism)
+        for name, attack in (
+            ("none", None),
+            ("cut column 5", CutSatiationAttack(grid_column_cut(10, 10, 5))),
+        ):
+            summary = run_token_experiment(system, attack, max_rounds=200, seed=args.seed)
+            rows.append(
+                (name, f"a={altruism}", summary.starving,
+                 f"{summary.mean_coverage_of_starving:.2f}",
+                 summary.completion_round or "never")
+            )
+    alloc2 = rare_token_allocation(graph, 8, 4, rare_token=0, rare_holder=0, rng=rng)
+    for altruism in (0.0, 0.2):
+        system = TokenSystem.complete_collection(graph, 8, alloc2, altruism=altruism)
+        summary = run_token_experiment(
+            system, RareTokenAttack([0]), max_rounds=200, seed=args.seed
+        )
+        rows.append(
+            ("rare token", f"a={altruism}", summary.starving,
+             f"{summary.mean_coverage_of_starving:.2f}",
+             summary.completion_round or "never")
+        )
+    print(render_table(
+        ["attack", "altruism", "starving", "coverage", "completion"], rows
+    ))
+    return 0
+
+
+def _cmd_scrip(args: argparse.Namespace) -> int:
+    from ..scrip import (
+        MoneyInjectionAttack,
+        ScripConfig,
+        ScripSystem,
+        build_rare_resource_agents,
+        measure_economy,
+    )
+
+    config = ScripConfig.paper().replace(
+        n_resource_types=4, type_weights=(0.32, 0.32, 0.32, 0.04)
+    )
+    providers = [0, 1, 2]
+    rows = []
+    for name, budget in (("no attack", 0), ("money injection", 60)):
+        system = ScripSystem(
+            config,
+            agents=build_rare_resource_agents(config, rare_type=3, rare_providers=providers),
+            seed=args.seed,
+        )
+        if budget:
+            attack = MoneyInjectionAttack(providers, top_up_to=config.threshold, budget=budget)
+            attack.install(system)
+        report = measure_economy(system, rounds=3000, warmup=300)
+        rows.append(
+            (name, f"{report.service_rate:.3f}",
+             f"{system.service_rate_of_type(3):.3f}",
+             f"{system.service_rate_of_type(0):.3f}",
+             system.injected_scrip)
+        )
+    print(render_table(
+        ["scenario", "overall rate", "rare-type rate", "common rate", "injected"], rows
+    ))
+    return 0
+
+
+def _cmd_bittorrent(args: argparse.Namespace) -> int:
+    from ..bittorrent import SwarmConfig, UploadSatiationAttack, run_swarm_experiment
+
+    config = SwarmConfig.paper()
+    rows = []
+    base = run_swarm_experiment(config, seed=args.seed)
+    rows.append(("no attack", f"{base.mean_completion_round:.1f}", "-", "-", 0))
+    attack = UploadSatiationAttack(n_attackers=3, targets=range(10), slots_per_attacker=4)
+    hit = run_swarm_experiment(config, attack=attack, seed=args.seed)
+    rows.append(
+        ("upload satiation",
+         f"{hit.mean_completion_round:.1f}",
+         f"{hit.target_mean_completion:.1f}",
+         f"{hit.non_target_mean_completion:.1f}",
+         hit.attacker_pieces_uploaded)
+    )
+    print(render_table(
+        ["scenario", "mean completion", "targets", "non-targets", "attacker upload"],
+        rows,
+    ))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lotus-eater",
+        description="Regenerate experiments from 'The Lotus-Eater Attack' (PODC 2008).",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--fast", action="store_true", help="coarser grids / fewer rounds"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=1, help="seeds averaged per grid point"
+    )
+    parser.add_argument(
+        "command",
+        choices=["table1", "figure1", "figure2", "figure3", "tokenmodel", "scrip", "bittorrent"],
+        help="which experiment to regenerate",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    commands: Dict[str, Callable[[argparse.Namespace], int]] = {
+        "table1": _cmd_table1,
+        "figure1": lambda a: _figure_command(figure1, a),
+        "figure2": lambda a: _figure_command(figure2, a),
+        "figure3": lambda a: _figure_command(figure3, a),
+        "tokenmodel": _cmd_tokenmodel,
+        "scrip": _cmd_scrip,
+        "bittorrent": _cmd_bittorrent,
+    }
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

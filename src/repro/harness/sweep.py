@@ -1,0 +1,71 @@
+"""Generic parameter sweeps with per-point repetition.
+
+Every figure in the paper is a sweep of one scalar (the fraction of
+nodes the attacker controls) against one response (delivery to
+isolated nodes).  This module factors the pattern: run a callable over
+a grid, repeat each point across derived seeds, and aggregate mean and
+a 95% confidence half-width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import AnalysisError
+from ..core.metrics import TimeSeries, confidence_interval_95
+from ..core.rng import spawn_seeds
+
+__all__ = ["SweepPoint", "sweep", "sweep_series"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated response at one grid value."""
+
+    x: float
+    mean: float
+    half_width_95: float
+    samples: int
+
+
+def sweep(
+    grid: Sequence[float],
+    run_one: Callable[[float, int], Optional[float]],
+    repetitions: int = 1,
+    root_seed: int = 0,
+) -> List[SweepPoint]:
+    """Evaluate ``run_one(x, seed)`` over ``grid`` with repetitions.
+
+    ``run_one`` may return None (e.g. no isolated nodes exist at that
+    point); such samples are dropped, and a point with no valid sample
+    raises — silently empty figure points would hide broken configs.
+    """
+    if repetitions < 1:
+        raise AnalysisError(f"repetitions must be >= 1, got {repetitions}")
+    points: List[SweepPoint] = []
+    for x in grid:
+        seeds = spawn_seeds(root_seed, repetitions, label=f"sweep:{x}")
+        values = [run_one(x, seed) for seed in seeds]
+        valid = [value for value in values if value is not None]
+        if not valid:
+            raise AnalysisError(f"no valid samples at grid point {x}")
+        center, half_width = confidence_interval_95(valid)
+        points.append(
+            SweepPoint(x=float(x), mean=center, half_width_95=half_width, samples=len(valid))
+        )
+    return points
+
+
+def sweep_series(
+    label: str,
+    grid: Sequence[float],
+    run_one: Callable[[float, int], Optional[float]],
+    repetitions: int = 1,
+    root_seed: int = 0,
+) -> TimeSeries:
+    """Like :func:`sweep` but packaged as a plottable TimeSeries."""
+    series = TimeSeries(label=label)
+    for point in sweep(grid, run_one, repetitions=repetitions, root_seed=root_seed):
+        series.append(point.x, point.mean)
+    return series

@@ -1,0 +1,19 @@
+"""Reputation-system substrate and rating-inflation attacks.
+
+Agents maintain reputation just above a maintenance target and stop
+serving once there; the attacker pins targets' reputation with fake
+ratings.  Without per-rater normalization the attack is nearly free
+(reputation is minted, not conserved); EigenTrust-style caps restore a
+scrip-like cost that scales with the satiated fraction.
+"""
+
+from .attacks import RatingInflationAttack, sybils_needed
+from .system import ReputationAgent, ReputationConfig, ReputationSystem
+
+__all__ = [
+    "ReputationConfig",
+    "ReputationAgent",
+    "ReputationSystem",
+    "RatingInflationAttack",
+    "sybils_needed",
+]

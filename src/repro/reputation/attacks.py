@@ -1,0 +1,111 @@
+"""The lotus-eater attack on a reputation system.
+
+The attacker controls Sybil identities that file fake positive ratings
+for the targets every round, keeping their reputation pinned above
+their maintenance targets — satiated, and therefore silent.
+
+Because ratings *mint* reputation (nothing is conserved), an
+unnormalized reputation system is strictly easier to attack than a
+scrip system: one Sybil can satiate the whole population.  The
+``rater_cap`` normalization restores a scrip-like budget: the attack
+rate is bounded by (number of Sybils) x (per-rater cap), so satiating
+a large fraction requires a proportionally large Sybil army.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from ..core.errors import ConfigurationError
+from .system import ReputationSystem
+
+__all__ = ["RatingInflationAttack", "sybils_needed"]
+
+
+class RatingInflationAttack:
+    """Keep chosen agents' reputation pinned at/above their targets.
+
+    Parameters
+    ----------
+    targets:
+        Agent ids to satiate.
+    n_sybils:
+        Distinct rater identities the attacker controls.  Only
+        relevant when the system enforces a per-rater cap.
+    pin_to:
+        Reputation level maintained on each target (defaults to the
+        system's target, queried at install time).
+    """
+
+    def __init__(
+        self,
+        targets: Iterable[int],
+        n_sybils: int = 1,
+        pin_to: float = None,
+    ) -> None:
+        self.targets: Set[int] = set(targets)
+        if not self.targets:
+            raise ConfigurationError("must target at least one agent")
+        if n_sybils < 1:
+            raise ConfigurationError(f"n_sybils must be >= 1, got {n_sybils}")
+        self.n_sybils = n_sybils
+        self.pin_to = pin_to
+        self.reputation_minted = 0.0
+
+    def install(self, system: ReputationSystem) -> None:
+        """Attach to a system; runs before every round."""
+        bad = [t for t in self.targets if not 0 <= t < len(system.agents)]
+        if bad:
+            raise ConfigurationError(f"unknown target agents: {sorted(bad)}")
+        if self.pin_to is None:
+            self.pin_to = system.config.target
+        system.pre_round_hooks.append(self._on_round)
+
+    def _on_round(self, round_now: int, system: ReputationSystem) -> None:
+        # Account for this round's decay so targets stay pinned after it.
+        decay = system.config.decay
+        sybil_index = 0
+        for target in sorted(self.targets):
+            agent = system.agents[target]
+            needed = self.pin_to / decay - agent.reputation
+            while needed > 1e-12 and sybil_index < self.n_sybils * len(self.targets):
+                rater = f"sybil:{sybil_index % self.n_sybils}"
+                credited = system.rate(rater, target, needed)
+                self.reputation_minted += credited
+                system.injected_reputation += credited
+                needed -= credited
+                if credited <= 0:
+                    sybil_index += 1  # this sybil's cap is exhausted
+                    if sybil_index >= self.n_sybils:
+                        return  # the whole army is spent this round
+                else:
+                    break
+
+
+def sybils_needed(
+    n_targets: int, target_level: float, decay: float, rater_cap: float
+) -> int:
+    """Sybil identities needed to *hold* ``n_targets`` satiated.
+
+    Steady state: each target loses ``target_level * (1 - decay)``
+    reputation per round to decay, each Sybil can mint at most
+    ``rater_cap`` per round, so the army must cover the total decay.
+    This is the reputation analogue of the scrip system's
+    :func:`~repro.scrip.attacks.satiation_holdings` bound — the
+    normalization turns "one Sybil satiates everyone" into a cost that
+    scales with the satiated fraction.
+    """
+    if n_targets < 0:
+        raise ConfigurationError(f"n_targets must be >= 0, got {n_targets}")
+    if not 0.0 < decay <= 1.0:
+        raise ConfigurationError(f"decay must be in (0, 1], got {decay}")
+    if rater_cap <= 0:
+        raise ConfigurationError(f"rater_cap must be positive, got {rater_cap}")
+    if target_level < 0:
+        raise ConfigurationError(
+            f"target_level must be >= 0, got {target_level}"
+        )
+    per_round_decay = n_targets * target_level * (1.0 - decay) / decay
+    import math
+
+    return max(0, math.ceil(per_round_decay / rater_cap))

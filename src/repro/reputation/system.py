@@ -1,0 +1,249 @@
+"""A reputation-based service economy (paper Section 1).
+
+"In indirect reciprocity systems, such as reputation systems [Guha et
+al.; EigenTrust] and scrip systems, peers need to perform service for
+others often enough to maintain a good reputation or supply of money.
+If an attacker can ensure that a peer maintains a good reputation ...
+despite any requests the peer makes, then that peer will no longer
+provide service for others."
+
+Model
+-----
+Each agent carries a reputation score that decays every round, earns
+reputation by serving (the requester files a positive rating), and is
+*served* only while its reputation clears an admission bar.  Rational
+agents maintain their reputation just above a personal target and stop
+serving once there — the satiation state.  Unlike scrip, reputation is
+**not conserved**: ratings mint it freely, which is exactly what makes
+the lotus-eater attack cheaper here than in a scrip system (Section
+4's fixed-supply defense has no analogue) unless rating influence is
+normalized per rater, EigenTrust-style.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.engine import RoundSimulator
+from ..core.errors import ConfigurationError
+from ..core.rng import RngStreams
+
+__all__ = ["ReputationConfig", "ReputationAgent", "ReputationSystem"]
+
+
+@dataclass(frozen=True)
+class ReputationConfig:
+    """Parameters of one reputation economy."""
+
+    #: Number of agents.
+    n_agents: int = 100
+    #: Multiplicative reputation decay per round (forces maintenance).
+    #: Tuned so the decay drain roughly matches honest rating inflow
+    #: at a healthy service rate.
+    decay: float = 0.997
+    #: Reputation a requester needs to be served at all.
+    admission_bar: float = 0.5
+    #: Rational agents serve while their reputation is below this.
+    target: float = 3.0
+    #: Reputation granted by one (honest) positive rating.
+    rating_value: float = 1.0
+    #: Probability an agent can serve a given request.
+    ability: float = 0.3
+    #: Utility of receiving service / cost of providing it.
+    gamma: float = 1.0
+    alpha: float = 0.1
+    #: Reputation every agent starts with.
+    initial_reputation: float = 2.0
+    #: EigenTrust-style defense: when set, the total reputation any
+    #: single rater (honest or Sybil) can mint per round is capped.
+    #: None disables normalization.
+    rater_cap: Optional[float] = None
+
+    @classmethod
+    def paper(cls) -> "ReputationConfig":
+        """A representative healthy economy."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "ReputationConfig":
+        """Reduced size for fast tests.
+
+        Small populations need a faster decay and smaller ratings:
+        service throughput in equilibrium is the decay drain divided
+        by the rating value, and with few agents each rating is a
+        large reputation jump.
+        """
+        return cls(n_agents=20, ability=0.5, decay=0.99, rating_value=0.5)
+
+    def replace(self, **changes) -> "ReputationConfig":
+        """A copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    def __post_init__(self) -> None:
+        if self.n_agents < 2:
+            raise ConfigurationError(f"n_agents must be >= 2, got {self.n_agents}")
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {self.decay}")
+        if self.admission_bar < 0:
+            raise ConfigurationError(
+                f"admission_bar must be >= 0, got {self.admission_bar}"
+            )
+        if self.target <= self.admission_bar:
+            raise ConfigurationError(
+                "target must exceed admission_bar, got "
+                f"{self.target} <= {self.admission_bar}"
+            )
+        if self.rating_value <= 0:
+            raise ConfigurationError(
+                f"rating_value must be positive, got {self.rating_value}"
+            )
+        if not 0.0 < self.ability <= 1.0:
+            raise ConfigurationError(f"ability must be in (0, 1], got {self.ability}")
+        if self.gamma <= self.alpha:
+            raise ConfigurationError(
+                f"gamma must exceed alpha: {self.gamma} <= {self.alpha}"
+            )
+        if self.initial_reputation < 0:
+            raise ConfigurationError(
+                f"initial_reputation must be >= 0, got {self.initial_reputation}"
+            )
+        if self.rater_cap is not None and self.rater_cap <= 0:
+            raise ConfigurationError(
+                f"rater_cap must be positive or None, got {self.rater_cap}"
+            )
+
+
+@dataclass
+class ReputationAgent:
+    """One agent: a reputation score and the threshold strategy."""
+
+    agent_id: int
+    reputation: float
+    target: float
+    utility: float = 0.0
+    services_provided: int = 0
+    services_received: int = 0
+
+    @property
+    def is_satiated(self) -> bool:
+        """Reputation demands met: the agent stops serving."""
+        return self.reputation >= self.target
+
+    def volunteers(self) -> bool:
+        """Serve only while reputation maintenance requires it."""
+        return not self.is_satiated
+
+
+class ReputationSystem(RoundSimulator):
+    """The round economy: decay, request, serve, rate."""
+
+    def __init__(self, config: ReputationConfig, seed: int = 0) -> None:
+        self.config = config
+        streams = RngStreams(seed)
+        self._request_rng = streams.get("requests")
+        self._ability_rng = streams.get("ability")
+        self._choice_rng = streams.get("choice")
+        self.agents: List[ReputationAgent] = [
+            ReputationAgent(
+                agent_id=agent_id,
+                reputation=config.initial_reputation,
+                target=config.target,
+            )
+            for agent_id in range(config.n_agents)
+        ]
+        self._round = 0
+        self.requests = 0
+        self.served = 0
+        self.denied_admission = 0
+        #: Reputation minted by each rater this round (for the cap).
+        self._minted_this_round: Dict[object, float] = {}
+        #: Total reputation injected by attack hooks (for reports).
+        self.injected_reputation = 0.0
+        self.pre_round_hooks: List[Callable[[int, "ReputationSystem"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def service_rate(self) -> float:
+        """Fraction of requests served so far."""
+        if self.requests == 0:
+            return 1.0
+        return self.served / self.requests
+
+    def satiated_fraction(self) -> float:
+        """Fraction of agents currently refusing to serve."""
+        return sum(1 for agent in self.agents if agent.is_satiated) / len(self.agents)
+
+    def total_reputation(self) -> float:
+        """Sum of all reputation (not conserved, unlike scrip)."""
+        return sum(agent.reputation for agent in self.agents)
+
+    # ------------------------------------------------------------------
+    # Rating channel (used by honest requesters and by attackers)
+    # ------------------------------------------------------------------
+
+    def rate(self, rater: object, target_agent: int, value: float) -> float:
+        """Mint ``value`` reputation onto an agent, subject to the cap.
+
+        Returns the amount actually credited.  With ``rater_cap`` set,
+        each distinct rater can mint at most that much per round —
+        the EigenTrust-style normalization that forces an attacker to
+        control many Sybils to satiate many targets quickly.
+        """
+        if value < 0:
+            raise ConfigurationError(f"rating value must be >= 0, got {value}")
+        cap = self.config.rater_cap
+        if cap is not None:
+            already = self._minted_this_round.get(rater, 0.0)
+            value = min(value, max(0.0, cap - already))
+        if value <= 0:
+            return 0.0
+        self._minted_this_round[rater] = (
+            self._minted_this_round.get(rater, 0.0) + value
+        )
+        self.agents[target_agent].reputation += value
+        return value
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        round_now = self._round
+        self._minted_this_round = {}
+        for hook in self.pre_round_hooks:
+            hook(round_now, self)
+        for agent in self.agents:
+            agent.reputation *= self.config.decay
+        requester = self.agents[int(self._request_rng.integers(len(self.agents)))]
+        self.requests += 1
+        if requester.reputation < self.config.admission_bar:
+            self.denied_admission += 1
+        else:
+            volunteers = [
+                agent
+                for agent in self.agents
+                if agent.agent_id != requester.agent_id
+                and self._ability_rng.random() < self.config.ability
+                and agent.volunteers()
+            ]
+            if volunteers:
+                server = volunteers[int(self._choice_rng.integers(len(volunteers)))]
+                self.served += 1
+                requester.utility += self.config.gamma
+                server.utility -= self.config.alpha
+                requester.services_received += 1
+                server.services_provided += 1
+                self.rate(
+                    f"agent:{requester.agent_id}",
+                    server.agent_id,
+                    self.config.rating_value,
+                )
+        self._round += 1

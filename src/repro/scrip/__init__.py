@@ -1,0 +1,49 @@
+"""Scrip-system substrate and money-based lotus-eater attacks.
+
+Threshold agents stop serving once their scrip balance reaches their
+threshold — the satiation the attacker exploits with gifts
+(:class:`MoneyInjectionAttack`) or free service
+(:class:`FreeServiceAttack`).  The fixed money supply bounds how much
+of the system can be satiated at once, the Section 4 defense.
+"""
+
+from .agents import AltruistAgent, HoarderAgent, ScripAgent, ThresholdAgent
+from .analysis import (
+    EconomyReport,
+    altruist_sweep,
+    best_response_threshold,
+    measure_economy,
+)
+from .attacks import (
+    FreeServiceAttack,
+    MoneyInjectionAttack,
+    satiation_budget,
+    satiation_holdings,
+)
+from .config import ScripConfig
+from .system import (
+    RoundOutcome,
+    ScripSystem,
+    build_agents,
+    build_rare_resource_agents,
+)
+
+__all__ = [
+    "ScripConfig",
+    "ScripSystem",
+    "RoundOutcome",
+    "build_agents",
+    "build_rare_resource_agents",
+    "ScripAgent",
+    "ThresholdAgent",
+    "AltruistAgent",
+    "HoarderAgent",
+    "MoneyInjectionAttack",
+    "FreeServiceAttack",
+    "satiation_budget",
+    "satiation_holdings",
+    "EconomyReport",
+    "measure_economy",
+    "best_response_threshold",
+    "altruist_sweep",
+]

@@ -1,0 +1,147 @@
+"""Agent strategies in the scrip economy.
+
+Three strategy classes from the scrip-system literature the paper
+draws on:
+
+* :class:`ThresholdAgent` — the rational optimum: "choose a threshold
+  and provide service only when he has less than that threshold amount
+  of scrip".  At or above threshold the agent is *satiated* and stops
+  serving — the lotus-eater attack surface.
+* :class:`AltruistAgent` — always willing to serve and charges
+  nothing.  A few altruists are harmless; too many "can cause what
+  would otherwise be a thriving economy to crash" (Section 4's caution
+  about free service), because free service removes the incentive to
+  hold scrip at all.
+* :class:`HoarderAgent` — earns but never spends; drains money from
+  circulation (from Kash et al.'s "hoarders").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Optional
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ScripAgent", "ThresholdAgent", "AltruistAgent", "HoarderAgent"]
+
+
+@dataclass
+class ScripAgent(abc.ABC):
+    """Base agent: a balance, cumulative utility, and a strategy.
+
+    ``capabilities`` is the set of resource types the agent can serve;
+    ``None`` means every type.  Rare capabilities are the high-value
+    lotus-eater targets: "by targeting a user or users who control
+    important or rare resources, the attacker could prevent all users
+    from receiving certain kinds of services".
+    """
+
+    agent_id: int
+    balance: int = 0
+    utility: float = 0.0
+    services_provided: int = 0
+    services_received: int = 0
+    capabilities: Optional[FrozenSet[int]] = None
+
+    def can_serve(self, resource_type: int) -> bool:
+        """Whether the agent is capable of serving ``resource_type``."""
+        return self.capabilities is None or resource_type in self.capabilities
+
+    @abc.abstractmethod
+    def volunteers(self, price: int) -> bool:
+        """Whether the agent offers to serve the current request."""
+
+    @abc.abstractmethod
+    def charges(self) -> bool:
+        """Whether the agent takes payment when it serves."""
+
+    def wants_service(self, price: int) -> bool:
+        """Whether the agent requests service when it has a need.
+
+        Default: request whenever the agent can pay (or free service
+        may be available — the simulator routes that case).
+        """
+        return True
+
+    @property
+    def is_satiated(self) -> bool:
+        """Whether the agent currently refuses to provide service."""
+        return not self.volunteers(price=1)
+
+    def credit(self, amount: int) -> None:
+        """Receive scrip (payment or attacker gift)."""
+        if amount < 0:
+            raise ConfigurationError(f"credit amount must be >= 0, got {amount}")
+        self.balance += amount
+
+    def debit(self, amount: int) -> None:
+        """Pay scrip; balances never go negative."""
+        if amount < 0:
+            raise ConfigurationError(f"debit amount must be >= 0, got {amount}")
+        if amount > self.balance:
+            raise ConfigurationError(
+                f"agent {self.agent_id} cannot pay {amount} with balance {self.balance}"
+            )
+        self.balance -= amount
+
+
+@dataclass
+class ThresholdAgent(ScripAgent):
+    """Rational agent playing a threshold strategy.
+
+    Volunteers exactly while ``balance < threshold``; with
+    ``threshold`` scrip in hand its monetary demands are met — it is
+    satiated and provides nothing until it spends back below the
+    threshold.
+    """
+
+    threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {self.threshold}")
+
+    def volunteers(self, price: int) -> bool:
+        return self.balance < self.threshold
+
+    def charges(self) -> bool:
+        return True
+
+
+@dataclass
+class AltruistAgent(ScripAgent):
+    """Always serves, never charges (and never needs to hold scrip)."""
+
+    def volunteers(self, price: int) -> bool:
+        return True
+
+    def charges(self) -> bool:
+        return False
+
+    @property
+    def is_satiated(self) -> bool:
+        """Altruists are never satiated — the ``a > 0`` of Section 3."""
+        return False
+
+
+@dataclass
+class HoarderAgent(ScripAgent):
+    """Serves whenever able and charges, but never spends.
+
+    Hoarders drain scrip from circulation: every coin they earn is
+    gone.  With enough hoarding the circulating supply collapses and
+    so does trade — a non-adversarial failure mode with the same
+    signature as the money-injection attack (fewer unsatiated
+    providers per request).
+    """
+
+    def volunteers(self, price: int) -> bool:
+        return True
+
+    def charges(self) -> bool:
+        return True
+
+    def wants_service(self, price: int) -> bool:
+        return False  # never spends, therefore never requests paid service

@@ -1,0 +1,176 @@
+"""Lotus-eater attacks on the scrip economy.
+
+"If an attacker can ensure that an agent has a large amount of money
+(either by giving money away, or providing cheap service to him), the
+agent will stop providing service.  By targeting a user or users who
+control important or rare resources, the attacker could prevent all
+users from receiving certain kinds of services."
+
+Two attacker strategies:
+
+* :class:`MoneyInjectionAttack` — outright gifts: top chosen targets
+  up to (at least) their threshold every round.  Simple, but the
+  attacker needs a scrip source; the amount minted is tracked so the
+  fixed-money-supply defense argument can be quantified.
+* :class:`FreeServiceAttack` — the subtler variant: the attacker
+  serves the targets' requests for free, so the targets never spend —
+  their balances never drop below threshold once there.  No scrip is
+  minted; the attacker pays in service, not money.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..core.errors import ConfigurationError
+from .system import ScripSystem
+
+__all__ = ["MoneyInjectionAttack", "FreeServiceAttack"]
+
+
+class MoneyInjectionAttack:
+    """Keep chosen agents' balances at or above their satiation point.
+
+    Parameters
+    ----------
+    targets:
+        Agent ids to satiate.
+    top_up_to:
+        Balance to maintain on each target; to satiate a
+        :class:`~repro.scrip.agents.ThresholdAgent` this must be at
+        least its threshold.
+    budget:
+        The attacker's scrip war chest.  In a real scrip system the
+        attacker must first *earn* (or buy) the scrip he gives away,
+        and the fixed money supply bounds how much that can be — the
+        Section 4 defense.  ``None`` models an attacker who can mint
+        scrip (a broken system); note that unbounded injection
+        inflates *every* agent to its threshold through normal trade
+        and collapses the whole economy, not just the targets.
+    """
+
+    def __init__(
+        self, targets: Iterable[int], top_up_to: int, budget: Optional[int] = None
+    ) -> None:
+        self.targets: Set[int] = set(targets)
+        if not self.targets:
+            raise ConfigurationError("must target at least one agent")
+        if top_up_to < 1:
+            raise ConfigurationError(f"top_up_to must be >= 1, got {top_up_to}")
+        if budget is not None and budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        self.top_up_to = top_up_to
+        self.budget = budget
+        self.total_injected = 0
+
+    def remaining_budget(self) -> Optional[int]:
+        """Scrip the attacker can still spend (None = unlimited)."""
+        if self.budget is None:
+            return None
+        return self.budget - self.total_injected
+
+    def install(self, system: ScripSystem) -> None:
+        """Attach the attack to a system (runs before every round)."""
+        bad = [t for t in self.targets if not 0 <= t < len(system.agents)]
+        if bad:
+            raise ConfigurationError(f"unknown target agents: {sorted(bad)}")
+        system.pre_round_hooks.append(self._on_round)
+
+    def _on_round(self, round_now: int, system: ScripSystem) -> None:
+        for target in sorted(self.targets):
+            balance = system.agents[target].balance
+            if balance >= self.top_up_to:
+                continue
+            amount = self.top_up_to - balance
+            remaining = self.remaining_budget()
+            if remaining is not None:
+                amount = min(amount, remaining)
+            if amount <= 0:
+                continue
+            system.inject(target, amount)
+            self.total_injected += amount
+
+
+class FreeServiceAttack:
+    """Serve targets' requests for free so they never spend scrip.
+
+    Implemented as a hook that refunds a target's payments: whenever a
+    target paid for service last round, the attacker covers the bill
+    (gives the target the price back out of the attacker's own pocket,
+    modelled as an injection bounded by ``budget``).  Combined with an
+    initial one-time top-up, targets sit at their threshold forever.
+
+    The paper's point is that this costs the attacker *service*, not
+    system money; ``budget`` caps the attacker's spend so experiments
+    can study partially funded attacks.
+    """
+
+    def __init__(
+        self, targets: Iterable[int], budget: int = 10**9, initial_top_up: int = 0
+    ) -> None:
+        self.targets: Set[int] = set(targets)
+        if not self.targets:
+            raise ConfigurationError("must target at least one agent")
+        if budget < 0:
+            raise ConfigurationError(f"budget must be >= 0, got {budget}")
+        self.budget = budget
+        self.initial_top_up = initial_top_up
+        self.spent = 0
+        self._installed = False
+
+    def install(self, system: ScripSystem) -> None:
+        """Attach the attack to a system (runs before every round)."""
+        bad = [t for t in self.targets if not 0 <= t < len(system.agents)]
+        if bad:
+            raise ConfigurationError(f"unknown target agents: {sorted(bad)}")
+        system.pre_round_hooks.append(self._on_round)
+
+    def _remaining(self) -> int:
+        return self.budget - self.spent
+
+    def _on_round(self, round_now: int, system: ScripSystem) -> None:
+        if not self._installed:
+            self._installed = True
+            for target in sorted(self.targets):
+                top_up = min(self.initial_top_up, self._remaining())
+                if top_up > 0:
+                    system.inject(target, top_up)
+                    self.spent += top_up
+        # Refund any payment a target made last round.
+        if not system.history:
+            return
+        last = system.history[-1]
+        if last.paid and last.requester in self.targets and self._remaining() > 0:
+            refund = min(system.config.price, self._remaining())
+            system.inject(last.requester, refund)
+            self.spent += refund
+
+
+def satiation_budget(n_targets: int, threshold: int, initial_balance: int) -> int:
+    """Marginal scrip to *push* ``n_targets`` agents up to threshold.
+
+    This is the attacker's immediate outlay starting from a fresh
+    economy.  The binding long-run constraint is
+    :func:`satiation_holdings`: satiated agents must keep holding the
+    money, and the fixed supply caps how many can do so at once.
+    """
+    if n_targets < 0:
+        raise ConfigurationError(f"n_targets must be >= 0, got {n_targets}")
+    per_target = max(0, threshold - initial_balance)
+    return n_targets * per_target
+
+
+def satiation_holdings(n_targets: int, threshold: int) -> int:
+    """Scrip that must be *held* for ``n_targets`` agents to stay satiated.
+
+    The quantitative core of the fixed-money-supply defense (paper
+    Section 4): a threshold agent is satiated only while holding
+    ``threshold`` scrip, so keeping a fraction ``f`` of an ``n``-agent
+    economy satiated pins ``f * n * threshold`` scrip — which for
+    large ``f`` "may not even be enough money in the system".
+    """
+    if n_targets < 0:
+        raise ConfigurationError(f"n_targets must be >= 0, got {n_targets}")
+    if threshold < 0:
+        raise ConfigurationError(f"threshold must be >= 0, got {threshold}")
+    return n_targets * threshold

@@ -1,0 +1,132 @@
+"""Configuration of the scrip-system economy.
+
+The model follows Kash, Friedman and Halpern's scrip-system papers
+(EC'07), which the lotus-eater paper builds on: each round one agent
+needs service and offers one scrip for it; each other agent is *able*
+to provide with some probability; providing costs ``alpha``, receiving
+is worth ``gamma > alpha``; rational agents play *threshold
+strategies* — "choose a threshold and provide service only when he has
+less than that threshold amount of scrip".
+
+An agent at or above its threshold is exactly a *satiated* node in the
+lotus-eater sense: its monetary demands are met, so it provides no
+service.  The attacker's lever is therefore money: gifts or overpaid
+purchases push targets over their thresholds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..core.errors import ConfigurationError
+
+__all__ = ["ScripConfig"]
+
+
+@dataclass(frozen=True)
+class ScripConfig:
+    """Parameters of one scrip economy."""
+
+    #: Number of agents.
+    n_agents: int = 100
+    #: Scrip each agent starts with (the money supply is
+    #: ``n_agents * initial_balance`` and never changes except by
+    #: attacker injection).
+    initial_balance: int = 2
+    #: Rational agents volunteer while their balance is strictly below
+    #: this threshold.
+    threshold: int = 4
+    #: Probability an agent is able to serve a given request.
+    ability: float = 0.3
+    #: Utility of receiving service.
+    gamma: float = 1.0
+    #: Cost of providing service.
+    alpha: float = 0.1
+    #: Price of one unit of service, in scrip.
+    price: int = 1
+    #: Number of distinct resource types requests draw from.  With
+    #: more than one type, agents can have limited capability sets and
+    #: rare types become attack targets.
+    n_resource_types: int = 1
+    #: Relative demand for each resource type (normalized internally);
+    #: ``None`` means uniform.  Rare resources are typically also
+    #: rarely demanded — which is exactly what keeps their few
+    #: providers below threshold (willing) at baseline and makes them
+    #: clean lotus-eater targets.
+    type_weights: "tuple" = None
+
+    @classmethod
+    def paper(cls) -> "ScripConfig":
+        """A representative healthy economy (default parameters)."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "ScripConfig":
+        """A reduced economy for fast tests."""
+        return cls(n_agents=20, initial_balance=2, threshold=3, ability=0.5)
+
+    def replace(self, **changes) -> "ScripConfig":
+        """A copy of this configuration with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def money_supply(self) -> int:
+        """Total scrip in circulation at the start."""
+        return self.n_agents * self.initial_balance
+
+    def max_satiable_fraction(self) -> float:
+        """Upper bound on the fraction of agents satiable at once.
+
+        The Section 4 defense argument: "in a scrip system there is
+        generally a fixed amount of money ... there may not even be
+        enough money in the system to satiate a significant fraction of
+        the nodes."  An agent needs ``threshold`` scrip to be satiated,
+        so at most ``money_supply / threshold`` agents can be satiated
+        simultaneously without external injection.
+        """
+        return min(1.0, self.money_supply / (self.threshold * self.n_agents))
+
+    def __post_init__(self) -> None:
+        if self.n_agents < 2:
+            raise ConfigurationError(f"n_agents must be >= 2, got {self.n_agents}")
+        if self.initial_balance < 0:
+            raise ConfigurationError(
+                f"initial_balance must be >= 0, got {self.initial_balance}"
+            )
+        if self.threshold < 1:
+            raise ConfigurationError(f"threshold must be >= 1, got {self.threshold}")
+        if not 0.0 < self.ability <= 1.0:
+            raise ConfigurationError(f"ability must be in (0, 1], got {self.ability}")
+        if self.gamma <= self.alpha:
+            raise ConfigurationError(
+                f"service must be worth more than it costs: gamma={self.gamma} "
+                f"alpha={self.alpha}"
+            )
+        if self.alpha < 0:
+            raise ConfigurationError(f"alpha must be >= 0, got {self.alpha}")
+        if self.price < 1:
+            raise ConfigurationError(f"price must be >= 1, got {self.price}")
+        if self.n_resource_types < 1:
+            raise ConfigurationError(
+                f"n_resource_types must be >= 1, got {self.n_resource_types}"
+            )
+        if self.type_weights is not None:
+            if len(self.type_weights) != self.n_resource_types:
+                raise ConfigurationError(
+                    f"type_weights must have {self.n_resource_types} entries, "
+                    f"got {len(self.type_weights)}"
+                )
+            if any(weight < 0 for weight in self.type_weights):
+                raise ConfigurationError(
+                    f"type_weights must be non-negative: {self.type_weights}"
+                )
+            if sum(self.type_weights) <= 0:
+                raise ConfigurationError("type_weights must not all be zero")
+
+    def normalized_type_weights(self) -> "tuple":
+        """Demand distribution over resource types (sums to 1)."""
+        if self.type_weights is None:
+            return tuple(1.0 / self.n_resource_types for _ in range(self.n_resource_types))
+        total = sum(self.type_weights)
+        return tuple(weight / total for weight in self.type_weights)

@@ -1,0 +1,312 @@
+"""The scrip-economy round simulator.
+
+Each round (following the EC'07 model the paper cites):
+
+1. one agent, chosen uniformly, has a need;
+2. every *other* agent is able to serve it with probability
+   ``ability``; among the able, those whose strategy volunteers at the
+   current price make offers;
+3. the requester prefers a free offer (altruists) over a paid one —
+   why pay? — and otherwise picks a paid volunteer uniformly, pays
+   ``price`` scrip, and both sides book their utilities;
+4. if nobody volunteers (everyone able is satiated, or the requester
+   cannot pay), the request goes unserved — the system-level damage a
+   lotus-eater attack causes here.
+
+Money conservation is an invariant: scrip only moves between agents;
+only an attacker's injection (via :mod:`repro.scrip.attacks`) changes
+the total, and the simulator tracks injected amounts separately so
+tests can assert conservation exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.engine import RoundSimulator
+from ..core.errors import ConfigurationError
+from ..core.rng import RngStreams
+from .agents import AltruistAgent, ScripAgent, ThresholdAgent
+from .config import ScripConfig
+
+__all__ = ["ScripSystem", "RoundOutcome", "build_agents", "build_rare_resource_agents"]
+
+
+@dataclass(frozen=True)
+class RoundOutcome:
+    """What happened in one round of the economy."""
+
+    requester: int
+    server: Optional[int]
+    paid: bool
+    volunteers: int
+    resource_type: int = 0
+
+    @property
+    def served(self) -> bool:
+        return self.server is not None
+
+
+def build_agents(
+    config: ScripConfig,
+    altruists: int = 0,
+    hoarders: int = 0,
+) -> List[ScripAgent]:
+    """Standard population: threshold agents plus optional extremes.
+
+    Agent ids 0..n-1; altruists take the highest ids, hoarders just
+    below them, so the rational majority occupies the low ids (handy
+    for targeting in attack experiments).
+    """
+    from .agents import HoarderAgent  # local to avoid unused-at-import lint noise
+
+    if altruists < 0 or hoarders < 0:
+        raise ConfigurationError("altruists and hoarders must be >= 0")
+    if altruists + hoarders > config.n_agents:
+        raise ConfigurationError(
+            f"{altruists} altruists + {hoarders} hoarders exceed "
+            f"{config.n_agents} agents"
+        )
+    n_rational = config.n_agents - altruists - hoarders
+    agents: List[ScripAgent] = []
+    for agent_id in range(n_rational):
+        agents.append(
+            ThresholdAgent(
+                agent_id=agent_id,
+                balance=config.initial_balance,
+                threshold=config.threshold,
+            )
+        )
+    for agent_id in range(n_rational, n_rational + hoarders):
+        agents.append(HoarderAgent(agent_id=agent_id, balance=config.initial_balance))
+    for agent_id in range(n_rational + hoarders, config.n_agents):
+        agents.append(AltruistAgent(agent_id=agent_id, balance=config.initial_balance))
+    return agents
+
+
+def build_rare_resource_agents(
+    config: ScripConfig,
+    rare_type: int,
+    rare_providers: Sequence[int],
+) -> List[ScripAgent]:
+    """A population where one resource type has few capable providers.
+
+    All agents can serve every type except ``rare_type``, which only
+    the agents in ``rare_providers`` can serve.  These providers are
+    the high-value lotus-eater targets: satiating just them denies the
+    whole system that resource type.
+    """
+    if config.n_resource_types < 2:
+        raise ConfigurationError(
+            "rare-resource economies need n_resource_types >= 2"
+        )
+    if not 0 <= rare_type < config.n_resource_types:
+        raise ConfigurationError(
+            f"rare_type {rare_type} out of range for "
+            f"{config.n_resource_types} types"
+        )
+    providers = set(rare_providers)
+    if not providers:
+        raise ConfigurationError("need at least one rare provider")
+    bad = [p for p in providers if not 0 <= p < config.n_agents]
+    if bad:
+        raise ConfigurationError(f"unknown provider agents: {sorted(bad)}")
+    common = frozenset(
+        t for t in range(config.n_resource_types) if t != rare_type
+    )
+    everything = frozenset(range(config.n_resource_types))
+    agents: List[ScripAgent] = []
+    for agent_id in range(config.n_agents):
+        agents.append(
+            ThresholdAgent(
+                agent_id=agent_id,
+                balance=config.initial_balance,
+                threshold=config.threshold,
+                capabilities=everything if agent_id in providers else common,
+            )
+        )
+    return agents
+
+
+class ScripSystem(RoundSimulator):
+    """One scrip economy under (optional) attack.
+
+    Parameters
+    ----------
+    config:
+        Economy parameters.
+    agents:
+        Optional pre-built population (defaults to all-rational
+        threshold agents).
+    seed:
+        Root seed for all randomness.
+    """
+
+    def __init__(
+        self,
+        config: ScripConfig,
+        agents: Optional[Sequence[ScripAgent]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.agents: List[ScripAgent] = (
+            list(agents) if agents is not None else build_agents(config)
+        )
+        if len(self.agents) != config.n_agents:
+            raise ConfigurationError(
+                f"expected {config.n_agents} agents, got {len(self.agents)}"
+            )
+        streams = RngStreams(seed)
+        self._request_rng = streams.get("requests")
+        self._ability_rng = streams.get("ability")
+        self._choice_rng = streams.get("server-choice")
+        self._round = 0
+        self.requests = 0
+        self.served = 0
+        self.served_free = 0
+        self.injected_scrip = 0
+        self.requests_by_type: Dict[int, int] = {}
+        self.served_by_type: Dict[int, int] = {}
+        self.history: List[RoundOutcome] = []
+        #: Hooks the attack layer installs; called at the start of each
+        #: round with (round, system).
+        self.pre_round_hooks: List[Callable[[int, "ScripSystem"], None]] = []
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def total_money(self) -> int:
+        """Current scrip in circulation (initial supply + injections)."""
+        return sum(agent.balance for agent in self.agents)
+
+    def service_rate(self) -> float:
+        """Fraction of requests served so far (1.0 before any request)."""
+        if self.requests == 0:
+            return 1.0
+        return self.served / self.requests
+
+    def satiated_fraction(self) -> float:
+        """Fraction of agents currently refusing to provide service."""
+        return sum(1 for agent in self.agents if agent.is_satiated) / len(self.agents)
+
+    def balances(self) -> Dict[int, int]:
+        """Current balance of every agent."""
+        return {agent.agent_id: agent.balance for agent in self.agents}
+
+    def inject(self, agent_id: int, amount: int) -> None:
+        """Attacker-only: mint ``amount`` scrip onto one agent.
+
+        Tracked separately so money-conservation tests can distinguish
+        trade (conserving) from attack (inflating).
+        """
+        if amount < 0:
+            raise ConfigurationError(f"amount must be >= 0, got {amount}")
+        self.agents[agent_id].credit(amount)
+        self.injected_scrip += amount
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def service_rate_of_type(self, resource_type: int) -> float:
+        """Fraction of requests for one resource type that were served."""
+        requests = self.requests_by_type.get(resource_type, 0)
+        if requests == 0:
+            return 1.0
+        return self.served_by_type.get(resource_type, 0) / requests
+
+    def step(self) -> None:
+        round_now = self._round
+        for hook in self.pre_round_hooks:
+            hook(round_now, self)
+        requester_id = int(self._request_rng.integers(len(self.agents)))
+        resource_type = int(
+            self._request_rng.choice(
+                self.config.n_resource_types,
+                p=self.config.normalized_type_weights(),
+            )
+        )
+        requester = self.agents[requester_id]
+        outcome = self._serve_request(requester, resource_type)
+        self.history.append(outcome)
+        self.requests += 1
+        self.requests_by_type[resource_type] = (
+            self.requests_by_type.get(resource_type, 0) + 1
+        )
+        if outcome.served:
+            self.served += 1
+            self.served_by_type[resource_type] = (
+                self.served_by_type.get(resource_type, 0) + 1
+            )
+            if not outcome.paid:
+                self.served_free += 1
+        self._round += 1
+
+    def _serve_request(
+        self, requester: ScripAgent, resource_type: int
+    ) -> RoundOutcome:
+        price = self.config.price
+        able = [
+            agent
+            for agent in self.agents
+            if agent.agent_id != requester.agent_id
+            and agent.can_serve(resource_type)
+            and self._ability_rng.random() < self.config.ability
+        ]
+        free_volunteers = [
+            agent for agent in able if not agent.charges() and agent.volunteers(price)
+        ]
+        paid_volunteers = [
+            agent for agent in able if agent.charges() and agent.volunteers(price)
+        ]
+        n_volunteers = len(free_volunteers) + len(paid_volunteers)
+        # Free service first: no rational requester pays when an
+        # altruist offers the same service for nothing.
+        if free_volunteers:
+            server = free_volunteers[
+                int(self._choice_rng.integers(len(free_volunteers)))
+            ]
+            self._complete(requester, server, paid=False)
+            return RoundOutcome(
+                requester=requester.agent_id,
+                server=server.agent_id,
+                paid=False,
+                volunteers=n_volunteers,
+                resource_type=resource_type,
+            )
+        can_pay = requester.balance >= price and requester.wants_service(price)
+        if paid_volunteers and can_pay:
+            server = paid_volunteers[
+                int(self._choice_rng.integers(len(paid_volunteers)))
+            ]
+            requester.debit(price)
+            server.credit(price)
+            self._complete(requester, server, paid=True)
+            return RoundOutcome(
+                requester=requester.agent_id,
+                server=server.agent_id,
+                paid=True,
+                volunteers=n_volunteers,
+                resource_type=resource_type,
+            )
+        return RoundOutcome(
+            requester=requester.agent_id,
+            server=None,
+            paid=False,
+            volunteers=n_volunteers,
+            resource_type=resource_type,
+        )
+
+    def _complete(self, requester: ScripAgent, server: ScripAgent, paid: bool) -> None:
+        requester.utility += self.config.gamma
+        server.utility -= self.config.alpha
+        requester.services_received += 1
+        server.services_provided += 1

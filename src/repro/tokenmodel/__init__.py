@@ -1,0 +1,44 @@
+"""The abstract token-collecting model of paper Section 3.
+
+A system is a tuple ``(G, T, sat, f, c, a)``; the attacker satiates a
+chosen subset of nodes each round; satiated nodes stop communicating
+(modulo the altruism probability ``a``).  Includes the cut, rare-token
+and mass-satiation attacks and the structural analysis that finds the
+cheap targets.
+"""
+
+from .analysis import (
+    attack_cost_report,
+    cheapest_vertex_cut,
+    cut_denies_tokens,
+    rarest_tokens,
+    token_rarity,
+)
+from .attacks import (
+    CutSatiationAttack,
+    MassSatiationAttack,
+    NullAttack,
+    RareTokenAttack,
+    TokenAttack,
+)
+from .simulator import TokenRunSummary, TokenSimulator, run_token_experiment
+from .system import TokenSystem, rare_token_allocation, uniform_allocation
+
+__all__ = [
+    "TokenSystem",
+    "uniform_allocation",
+    "rare_token_allocation",
+    "TokenSimulator",
+    "TokenRunSummary",
+    "run_token_experiment",
+    "TokenAttack",
+    "NullAttack",
+    "CutSatiationAttack",
+    "RareTokenAttack",
+    "MassSatiationAttack",
+    "token_rarity",
+    "rarest_tokens",
+    "cheapest_vertex_cut",
+    "cut_denies_tokens",
+    "attack_cost_report",
+]

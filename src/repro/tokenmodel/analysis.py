@@ -1,0 +1,118 @@
+"""Structural analysis helpers for the token model (paper Section 3).
+
+The paper's attacker picks targets using knowledge of ``G`` and ``f``:
+cheap vertex cuts and rare tokens.  These helpers compute both — they
+are the attacker's planning toolkit and the defender's audit toolkit
+("we thus assume that G and f have been chosen to prevent this" is a
+property one can check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Set, Tuple
+
+import networkx as nx
+
+from ..core.errors import AnalysisError
+from .system import TokenSystem
+
+__all__ = [
+    "token_rarity",
+    "rarest_tokens",
+    "cheapest_vertex_cut",
+    "cut_denies_tokens",
+    "attack_cost_report",
+]
+
+Token = Hashable
+
+
+def token_rarity(system: TokenSystem) -> Dict[Token, int]:
+    """Initial copy count of every token (rarity = few copies)."""
+    counts: Dict[Token, int] = {token: 0 for token in system.tokens}
+    for held in system.allocation.values():
+        for token in held:
+            counts[token] += 1
+    return counts
+
+
+def rarest_tokens(system: TokenSystem, limit: int = 1) -> List[Token]:
+    """The ``limit`` tokens with the fewest initial copies.
+
+    Ties break on the token's repr for determinism.
+    """
+    if limit < 1:
+        raise AnalysisError(f"limit must be >= 1, got {limit}")
+    counts = token_rarity(system)
+    ordered = sorted(counts.items(), key=lambda item: (item[1], repr(item[0])))
+    return [token for token, _ in ordered[:limit]]
+
+
+def cheapest_vertex_cut(graph: nx.Graph, source: int, target: int) -> Set[int]:
+    """A minimum vertex cut separating ``source`` from ``target``.
+
+    The attacker's "relatively little cost" partition: satiating these
+    nodes stops all token flow between the two sides.
+    """
+    if source not in graph or target not in graph:
+        raise AnalysisError("source and target must be graph nodes")
+    if source == target:
+        raise AnalysisError("source and target must differ")
+    if graph.has_edge(source, target):
+        raise AnalysisError(
+            "no vertex cut separates adjacent nodes; pick non-adjacent endpoints"
+        )
+    return set(nx.minimum_node_cut(graph, source, target))
+
+
+def cut_denies_tokens(
+    system: TokenSystem, cut_nodes: Set[int]
+) -> Dict[int, FrozenSet[Token]]:
+    """Which tokens each post-cut component can never obtain.
+
+    Removing (satiating) ``cut_nodes`` splits the graph; a component is
+    starved of every token whose initial copies all live outside it
+    (on other components or on the cut itself).  Returns
+    ``{component_index: denied tokens}`` for components with at least
+    one denied token; an empty dict means the cut is harmless.
+    """
+    remaining = system.graph.copy()
+    remaining.remove_nodes_from(cut_nodes)
+    denied: Dict[int, FrozenSet[Token]] = {}
+    components = sorted(nx.connected_components(remaining), key=lambda c: sorted(c)[0])
+    for index, component in enumerate(components):
+        inside: Set[Token] = set()
+        for node in component:
+            inside |= set(system.initial_tokens_of(node))
+        missing = frozenset(set(system.tokens) - inside)
+        if missing:
+            denied[index] = missing
+    return denied
+
+
+def attack_cost_report(system: TokenSystem) -> Dict[str, object]:
+    """Audit a system description for cheap lotus-eater opportunities.
+
+    Returns a dictionary with:
+
+    * ``rarest_token`` / ``rarest_copies`` — the cheapest rare-token
+      target and its cost (number of holders to satiate);
+    * ``min_degree`` — the cheapest single-node isolation cut;
+    * ``tokens_at_single_node`` — tokens deniable by satiating one node.
+
+    A defender wants ``rarest_copies`` large and no single-node tokens
+    ("if many nodes start with each token and those nodes are well
+    spread, this attack is likely to be ineffective").
+    """
+    counts = token_rarity(system)
+    rarest = rarest_tokens(system, limit=1)[0]
+    single = sorted(
+        repr(token) for token, count in counts.items() if count == 1
+    )
+    degrees = dict(system.graph.degree())
+    return {
+        "rarest_token": rarest,
+        "rarest_copies": counts[rarest],
+        "min_degree": min(degrees.values()),
+        "tokens_at_single_node": single,
+    }

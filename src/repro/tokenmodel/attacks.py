@@ -1,0 +1,157 @@
+"""Attacker strategies for the abstract token model.
+
+The paper's attacker is deliberately over-powered: "at the start of
+every round, an attacker chooses a subset of the nodes and gives each
+node in the set all the tokens.  Clearly this overestimates the power
+of the attacker in most real systems ... however, this simple model
+suffices to help us see where problems may lie."
+
+Three strategies exercise the three structural attacks of Section 3:
+
+* :class:`CutSatiationAttack` — satiate a vertex cut (e.g. a grid
+  column) so tokens cannot cross it; nodes on a token-poor side never
+  complete.
+* :class:`RareTokenAttack` — satiate exactly the holders of a rare
+  token, denying the whole system that token for the cost of a few
+  nodes.
+* :class:`MassSatiationAttack` — satiate a large random fraction of
+  the system to reduce everyone else's trade opportunities (the
+  gossip-style attack, driven through parameter ``c``).
+
+:class:`NullAttack` is the no-op baseline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from .system import TokenSystem
+
+__all__ = [
+    "TokenAttack",
+    "NullAttack",
+    "CutSatiationAttack",
+    "RareTokenAttack",
+    "MassSatiationAttack",
+]
+
+
+class TokenAttack(abc.ABC):
+    """Strategy interface: which nodes get the full token set each round."""
+
+    @abc.abstractmethod
+    def targets(self, round_now: int, system: TokenSystem) -> Set[int]:
+        """Nodes to satiate at the start of ``round_now``."""
+
+    def describe(self) -> str:
+        """Human-readable strategy name for reports."""
+        return type(self).__name__
+
+
+class NullAttack(TokenAttack):
+    """No attack: the undisturbed epidemic baseline."""
+
+    def targets(self, round_now: int, system: TokenSystem) -> Set[int]:
+        return set()
+
+    def describe(self) -> str:
+        return "no attack"
+
+
+class CutSatiationAttack(TokenAttack):
+    """Satiate a fixed vertex cut every round.
+
+    "At any time the attacker can partition the graph with relatively
+    little cost by removing any set of nodes that constitutes a cut.
+    If some side of the cut is missing a token, nodes on that side of
+    the cut will never be able to collect all the tokens."
+    """
+
+    def __init__(self, cut_nodes: Iterable[int]) -> None:
+        self.cut_nodes = set(cut_nodes)
+        if not self.cut_nodes:
+            raise ConfigurationError("cut must contain at least one node")
+
+    def targets(self, round_now: int, system: TokenSystem) -> Set[int]:
+        return set(self.cut_nodes)
+
+    def describe(self) -> str:
+        return f"cut satiation ({len(self.cut_nodes)} nodes)"
+
+
+class RareTokenAttack(TokenAttack):
+    """Satiate the initial holders of chosen tokens.
+
+    The attacker needs to know the initial allocation ``f`` — which the
+    paper notes "tends to be relatively easy to determine" in file
+    sharing and grid systems where rare resources are advertised.
+    """
+
+    def __init__(self, tokens: Iterable[object]) -> None:
+        self.tokens: FrozenSet[object] = frozenset(tokens)
+        if not self.tokens:
+            raise ConfigurationError("must target at least one token")
+        self._cached: Optional[Set[int]] = None
+
+    def targets(self, round_now: int, system: TokenSystem) -> Set[int]:
+        if self._cached is None:
+            unknown = self.tokens - set(system.tokens)
+            if unknown:
+                raise ConfigurationError(
+                    f"targeted tokens not in the system: {sorted(map(str, unknown))}"
+                )
+            self._cached = {
+                node
+                for node, held in system.allocation.items()
+                if self.tokens & set(held)
+            }
+        return set(self._cached)
+
+    def describe(self) -> str:
+        return f"rare-token satiation ({len(self.tokens)} tokens)"
+
+
+class MassSatiationAttack(TokenAttack):
+    """Satiate a random fraction of the population.
+
+    With ``rotate=True`` a fresh subset is drawn every round,
+    modelling the paper's remark that "by changing who is satiated over
+    time, the attacker could even make the service intermittently
+    unusable for all nodes".
+    """
+
+    def __init__(
+        self,
+        fraction: float,
+        rng: np.random.Generator,
+        rotate: bool = False,
+    ) -> None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        self.fraction = fraction
+        self.rotate = rotate
+        self._rng = rng
+        self._fixed: Optional[Set[int]] = None
+
+    def _draw(self, system: TokenSystem) -> Set[int]:
+        nodes: List[int] = sorted(system.graph.nodes)
+        count = int(round(self.fraction * len(nodes)))
+        if count == 0:
+            return set()
+        chosen = self._rng.choice(len(nodes), size=count, replace=False)
+        return {nodes[int(index)] for index in chosen}
+
+    def targets(self, round_now: int, system: TokenSystem) -> Set[int]:
+        if self.rotate:
+            return self._draw(system)
+        if self._fixed is None:
+            self._fixed = self._draw(system)
+        return set(self._fixed)
+
+    def describe(self) -> str:
+        mode = "rotating" if self.rotate else "fixed"
+        return f"mass satiation ({self.fraction:.0%}, {mode})"

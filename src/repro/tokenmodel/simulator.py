@@ -1,0 +1,218 @@
+"""Round dynamics of the abstract token model.
+
+Each round (paper Section 3):
+
+1. the attacker satiates its chosen subset ("gives each node in the
+   set all the tokens");
+2. every node ``i`` that is *not* satiated selects up to ``c``
+   communication partners among its neighbours; for each contact,
+   "i gets a copy of the tokens that each partner has, while each
+   partner gets a copy of the tokens i has";
+3. a *satiated* contacted node responds only with probability ``a``
+   (the altruism parameter); a declined contact transfers nothing in
+   either direction.
+
+"Once i has a copy of all the tokens (i.e., once i is satiated), he
+stops communicating" — satiated nodes initiate no contacts.
+
+The simulator tracks, per node, the round at which it first became
+satiated *through the protocol* (attacker-satiated nodes are recorded
+separately: they got service, but the system did not serve them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+import numpy as np
+
+from ..core.engine import RoundSimulator
+from ..core.errors import SimulationError
+from ..core.rng import RngStreams
+from .attacks import NullAttack, TokenAttack
+from .system import TokenSystem
+
+__all__ = ["TokenSimulator", "TokenRunSummary", "run_token_experiment"]
+
+
+class TokenSimulator(RoundSimulator):
+    """Simulate one ``(G, T, sat, f, c, a)`` system under one attack."""
+
+    def __init__(
+        self,
+        system: TokenSystem,
+        attack: Optional[TokenAttack] = None,
+        seed: int = 0,
+    ) -> None:
+        self.system = system
+        self.attack = attack if attack is not None else NullAttack()
+        streams = RngStreams(seed)
+        self._contact_rng = streams.get("contacts")
+        self._altruism_rng = streams.get("altruism")
+        self._round = 0
+        self.holdings: Dict[int, Set[object]] = {
+            node: set(system.initial_tokens_of(node)) for node in system.graph.nodes
+        }
+        #: Nodes the attacker has force-satiated at least once.
+        self.attacker_satiated: Set[int] = set()
+        #: First round at which each node was satiated (by any means).
+        self.satiated_at: Dict[int, int] = {}
+        self._neighbors: Dict[int, List[int]] = {
+            node: sorted(system.graph.neighbors(node)) for node in system.graph.nodes
+        }
+        self._satiated_cache: Dict[int, bool] = {}
+        for node in system.graph.nodes:
+            self._refresh_satiation(node)
+
+    # ------------------------------------------------------------------
+    # State queries
+    # ------------------------------------------------------------------
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    def is_satiated(self, node: int) -> bool:
+        """Whether ``node`` is currently satiated."""
+        return self._satiated_cache[node]
+
+    def tokens_of(self, node: int) -> FrozenSet[object]:
+        """The tokens ``node`` currently holds."""
+        return frozenset(self.holdings[node])
+
+    def coverage(self, node: int) -> float:
+        """Fraction of the token universe ``node`` holds."""
+        return len(self.holdings[node]) / len(self.system.tokens)
+
+    def satiated_fraction(self) -> float:
+        """Fraction of nodes currently satiated."""
+        total = self.system.n_nodes
+        return sum(1 for node in self.holdings if self.is_satiated(node)) / total
+
+    def organically_satiated(self) -> Set[int]:
+        """Nodes satiated without ever being force-fed by the attacker."""
+        return {
+            node for node in self.satiated_at if node not in self.attacker_satiated
+        }
+
+    def starving(self) -> Set[int]:
+        """Nodes not yet satiated (the attack's victims, if any)."""
+        return {node for node in self.holdings if not self.is_satiated(node)}
+
+    def all_satiated(self) -> bool:
+        """Whether every node in the system is satiated."""
+        return all(self._satiated_cache.values())
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def _refresh_satiation(self, node: int) -> None:
+        satiated = self.system.satiation.is_satiated(
+            node, self._round, frozenset(self.holdings[node])
+        )
+        self._satiated_cache[node] = satiated
+        if satiated and node not in self.satiated_at:
+            self.satiated_at[node] = self._round
+
+    def _give_all_tokens(self, node: int) -> None:
+        self.holdings[node] = set(self.system.tokens)
+        self.attacker_satiated.add(node)
+        self._refresh_satiation(node)
+        if not self._satiated_cache[node]:
+            raise SimulationError(
+                f"node {node} holds all tokens but is not satiated; "
+                "the satiation function is not monotone in the token set"
+            )
+
+    def step(self) -> None:
+        round_now = self._round
+        # Phase 1: the attacker force-feeds its chosen subset.
+        for target in sorted(self.attack.targets(round_now, self.system)):
+            if target not in self.holdings:
+                raise SimulationError(f"attack targeted unknown node {target}")
+            self._give_all_tokens(target)
+        # Phase 2: unsatiated nodes initiate up to c contacts each.
+        #
+        # Contacts resolve sequentially in node order with immediate
+        # state visibility, matching the simultaneous-copy spirit of
+        # the paper closely enough while keeping the dynamics simple
+        # (the paper itself says "for simplicity, assume all of these
+        # events happen simultaneously").
+        for node in sorted(self.holdings):
+            if self.is_satiated(node):
+                continue  # satiated nodes stop communicating
+            neighbors = self._neighbors[node]
+            if not neighbors:
+                continue
+            count = min(self.system.contacts_per_round, len(neighbors))
+            picks = self._contact_rng.choice(len(neighbors), size=count, replace=False)
+            for pick in picks:
+                self._contact(node, neighbors[int(pick)])
+        self._round += 1
+
+    def _contact(self, initiator: int, partner: int) -> None:
+        """One bidirectional token copy, gated by satiated altruism."""
+        if self.is_satiated(partner):
+            if self._altruism_rng.random() >= self.system.altruism:
+                return  # the satiated partner ignores the request
+        before_initiator = len(self.holdings[initiator])
+        before_partner = len(self.holdings[partner])
+        merged = self.holdings[initiator] | self.holdings[partner]
+        self.holdings[initiator] = set(merged)
+        self.holdings[partner] = set(merged)
+        if len(merged) != before_initiator:
+            self._refresh_satiation(initiator)
+        if len(merged) != before_partner:
+            self._refresh_satiation(partner)
+
+
+@dataclass(frozen=True)
+class TokenRunSummary:
+    """Summary of one token-model experiment."""
+
+    rounds_run: int
+    organically_satiated: int
+    attacker_satiated: int
+    starving: int
+    n_nodes: int
+    mean_coverage_of_starving: float
+    completion_round: Optional[int]
+
+    @property
+    def starving_fraction(self) -> float:
+        """Fraction of the population left unsatiated."""
+        return self.starving / self.n_nodes
+
+
+def run_token_experiment(
+    system: TokenSystem,
+    attack: Optional[TokenAttack] = None,
+    max_rounds: int = 200,
+    seed: int = 0,
+) -> TokenRunSummary:
+    """Run until everyone is satiated or ``max_rounds`` elapse; summarize.
+
+    ``completion_round`` is the round after which every node was
+    satiated, or None if some node was still starving at the horizon.
+    """
+    simulator = TokenSimulator(system, attack=attack, seed=seed)
+    completion: Optional[int] = None
+    for _ in range(max_rounds):
+        simulator.step()
+        if simulator.all_satiated():
+            completion = simulator.round
+            break
+    starving = simulator.starving()
+    coverages = [simulator.coverage(node) for node in sorted(starving)]
+    mean_coverage = sum(coverages) / len(coverages) if coverages else 1.0
+    return TokenRunSummary(
+        rounds_run=simulator.round,
+        organically_satiated=len(simulator.organically_satiated()),
+        attacker_satiated=len(simulator.attacker_satiated),
+        starving=len(starving),
+        n_nodes=system.n_nodes,
+        mean_coverage_of_starving=mean_coverage,
+        completion_round=completion,
+    )

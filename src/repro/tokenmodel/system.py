@@ -1,0 +1,183 @@
+"""The abstract token-collecting system ``(G, T, sat, f, c, a)``.
+
+Section 3 of the paper abstracts every satiable system into six
+parameters:
+
+* ``G = (V, E)`` — the underlying communication graph (assumed
+  connected);
+* ``T`` — a finite set of tokens;
+* ``sat`` — the satiation function (the paper's simple model uses
+  ``sat(i, t, T') = true iff T' = T``);
+* ``f`` — an initial allocation of tokens to nodes;
+* ``c`` — a bound on the number of nodes each node contacts per round;
+* ``a`` — the probability a node responds to requests even when
+  satiated ("the amount of altruism in the system").
+
+This module holds the immutable system description; the dynamics live
+in :mod:`repro.tokenmodel.simulator` and the attacker strategies in
+:mod:`repro.tokenmodel.attacks`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..core.errors import ConfigurationError
+from ..core.satiation import CompleteSetSatiation, SatiationFunction
+
+__all__ = ["TokenSystem", "uniform_allocation", "rare_token_allocation"]
+
+Token = Hashable
+
+
+@dataclass(frozen=True)
+class TokenSystem:
+    """An immutable ``(G, T, sat, f, c, a)`` tuple.
+
+    Attributes mirror the paper's notation exactly; see the module
+    docstring.  Construction validates the paper's standing
+    assumptions (connected graph, ``c >= 1``, ``a`` a probability, the
+    allocation referencing only known nodes and tokens).
+    """
+
+    graph: nx.Graph
+    tokens: FrozenSet[Token]
+    satiation: SatiationFunction
+    allocation: Mapping[int, FrozenSet[Token]]
+    contacts_per_round: int = 1
+    altruism: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.graph.number_of_nodes() == 0:
+            raise ConfigurationError("graph must have at least one node")
+        if not nx.is_connected(self.graph):
+            raise ConfigurationError("the paper's model assumes a connected graph")
+        if not self.tokens:
+            raise ConfigurationError("token set T must be non-empty")
+        if self.contacts_per_round < 1:
+            raise ConfigurationError(
+                f"contacts_per_round (c) must be >= 1, got {self.contacts_per_round}"
+            )
+        if not 0.0 <= self.altruism <= 1.0:
+            raise ConfigurationError(
+                f"altruism (a) must be a probability, got {self.altruism}"
+            )
+        nodes = set(self.graph.nodes)
+        for node, held in self.allocation.items():
+            if node not in nodes:
+                raise ConfigurationError(f"allocation references unknown node {node}")
+            unknown = set(held) - set(self.tokens)
+            if unknown:
+                raise ConfigurationError(
+                    f"allocation gives node {node} unknown tokens {sorted(map(str, unknown))}"
+                )
+        missing_everywhere = set(self.tokens) - {
+            token for held in self.allocation.values() for token in held
+        }
+        if missing_everywhere:
+            raise ConfigurationError(
+                "some tokens are allocated to nobody and can never spread: "
+                f"{sorted(map(str, missing_everywhere))}"
+            )
+
+    @property
+    def n_nodes(self) -> int:
+        """Population size |V|."""
+        return self.graph.number_of_nodes()
+
+    def initial_tokens_of(self, node: int) -> FrozenSet[Token]:
+        """The tokens ``f`` assigns to ``node`` (empty set if none)."""
+        return self.allocation.get(node, frozenset())
+
+    def holders_of(self, token: Token) -> Dict[int, bool]:
+        """Initial holders of ``token``: ``{node: True}`` for each holder."""
+        return {
+            node: True
+            for node, held in self.allocation.items()
+            if token in held
+        }
+
+    @classmethod
+    def complete_collection(
+        cls,
+        graph: nx.Graph,
+        n_tokens: int,
+        allocation: Mapping[int, FrozenSet[int]],
+        contacts_per_round: int = 1,
+        altruism: float = 0.0,
+    ) -> "TokenSystem":
+        """The paper's simple model: integer tokens, complete-set satiation."""
+        tokens = frozenset(range(n_tokens))
+        return cls(
+            graph=graph,
+            tokens=tokens,
+            satiation=CompleteSetSatiation(tokens),
+            allocation=allocation,
+            contacts_per_round=contacts_per_round,
+            altruism=altruism,
+        )
+
+
+def uniform_allocation(
+    graph: nx.Graph,
+    n_tokens: int,
+    copies_per_token: int,
+    rng: np.random.Generator,
+) -> Dict[int, FrozenSet[int]]:
+    """Seed each token at ``copies_per_token`` uniformly random nodes.
+
+    The paper's benign case: "if many nodes start with each token and
+    those nodes are well spread, this attack is likely to be
+    ineffective".
+    """
+    nodes = sorted(graph.nodes)
+    if copies_per_token < 1 or copies_per_token > len(nodes):
+        raise ConfigurationError(
+            f"copies_per_token must be in [1, {len(nodes)}], got {copies_per_token}"
+        )
+    held: Dict[int, set] = {node: set() for node in nodes}
+    for token in range(n_tokens):
+        chosen = rng.choice(len(nodes), size=copies_per_token, replace=False)
+        for index in chosen:
+            held[nodes[int(index)]].add(token)
+    return {node: frozenset(tokens) for node, tokens in held.items() if tokens}
+
+
+def rare_token_allocation(
+    graph: nx.Graph,
+    n_tokens: int,
+    copies_per_common_token: int,
+    rare_token: int,
+    rare_holder: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[int, FrozenSet[int]]:
+    """An allocation with one rare token held by a single node.
+
+    The paper's extreme case: "where some token is initially at a
+    single node, an attacker can deny the entire system access to that
+    token for the cost of satiating one node".
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if not 0 <= rare_token < n_tokens:
+        raise ConfigurationError(
+            f"rare_token must be in [0, {n_tokens}), got {rare_token}"
+        )
+    nodes = sorted(graph.nodes)
+    if rare_holder is None:
+        rare_holder = nodes[0]
+    if rare_holder not in set(nodes):
+        raise ConfigurationError(f"rare_holder {rare_holder} is not a graph node")
+    held: Dict[int, set] = {node: set() for node in nodes}
+    for token in range(n_tokens):
+        if token == rare_token:
+            held[rare_holder].add(token)
+            continue
+        chosen = rng.choice(len(nodes), size=min(copies_per_common_token, len(nodes)), replace=False)
+        for index in chosen:
+            held[nodes[int(index)]].add(token)
+    return {node: frozenset(tokens) for node, tokens in held.items() if tokens}

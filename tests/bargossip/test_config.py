@@ -1,0 +1,65 @@
+"""Tests for GossipConfig validation and the Table 1 values."""
+
+import pytest
+
+from repro.bargossip.config import GossipConfig
+from repro.core.errors import ConfigurationError
+
+
+class TestPaperValues:
+    """The paper() configuration must match Table 1 exactly."""
+
+    def test_table1(self):
+        config = GossipConfig.paper()
+        assert config.n_nodes == 250
+        assert config.updates_per_round == 10
+        assert config.update_lifetime == 10
+        assert config.copies_seeded == 12
+        assert config.push_size == 2
+
+    def test_usability_threshold_is_93_percent(self):
+        assert GossipConfig.paper().usability_threshold == pytest.approx(0.93)
+
+
+class TestReplace:
+    def test_replace_returns_new_instance(self):
+        base = GossipConfig.paper()
+        variant = base.replace(push_size=10)
+        assert variant.push_size == 10
+        assert base.push_size == 2
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigurationError):
+            GossipConfig.paper().replace(push_size=-1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_nodes", 1),
+            ("updates_per_round", 0),
+            ("update_lifetime", 0),
+            ("copies_seeded", 0),
+            ("copies_seeded", 251),
+            ("exchange_cap", 0),
+            ("push_age_threshold", 0),
+            ("push_age_threshold", 11),
+            ("push_recent_window", 0),
+            ("push_recent_window", 11),
+            ("obedient_fraction", 1.5),
+            ("usability_threshold", 0.0),
+            ("usability_threshold", 1.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            GossipConfig.paper().replace(**{field: value})
+
+    def test_small_config_is_valid(self):
+        config = GossipConfig.small()
+        assert config.n_nodes < GossipConfig.paper().n_nodes
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            GossipConfig.paper().n_nodes = 1

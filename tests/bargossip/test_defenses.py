@@ -1,0 +1,128 @@
+"""Tests for the Section 4 defense mechanisms."""
+
+import pytest
+
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.defenses import (
+    EvictionAuthority,
+    ReportingPolicy,
+    figure3_variants,
+    with_larger_pushes,
+    with_rate_limit,
+    with_unbalanced_exchanges,
+)
+from repro.bargossip.messages import sign_receipt
+from repro.bargossip.partner import Purpose
+from repro.core.behaviors import Behavior
+from repro.core.errors import ConfigurationError
+
+
+class TestConfigDefenses:
+    def test_larger_pushes(self):
+        assert with_larger_pushes(GossipConfig.paper(), 10).push_size == 10
+
+    def test_larger_pushes_validates(self):
+        with pytest.raises(ConfigurationError):
+            with_larger_pushes(GossipConfig.paper(), 0)
+
+    def test_unbalanced(self):
+        assert with_unbalanced_exchanges(GossipConfig.paper()).unbalanced_exchange
+
+    def test_figure3_variants(self):
+        variants = figure3_variants(GossipConfig.paper())
+        assert set(variants) == {
+            "push 2, balanced", "push 2, unbalanced",
+            "push 4, balanced", "push 4, unbalanced",
+        }
+        assert variants["push 4, unbalanced"].push_size == 4
+        assert variants["push 4, unbalanced"].unbalanced_exchange
+        assert not variants["push 2, balanced"].unbalanced_exchange
+
+
+class TestRateLimit:
+    def test_config(self):
+        config = with_rate_limit(GossipConfig.paper(), accept_cap=5)
+        assert config.accept_cap == 5
+        assert config.obedient_fraction == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            with_rate_limit(GossipConfig.paper(), accept_cap=0)
+        with pytest.raises(ConfigurationError):
+            GossipConfig.paper().replace(accept_cap=-1)
+
+    def test_partial_obedience(self):
+        config = with_rate_limit(
+            GossipConfig.paper(), accept_cap=5, obedient_fraction=0.5
+        )
+        assert config.obedient_fraction == 0.5
+
+
+def excessive_receipt(giver=1, receiver=2, given=20):
+    return sign_receipt(
+        0, giver, receiver, Purpose.EXCHANGE,
+        updates_given=tuple(range(given)), updates_returned=(),
+    )
+
+
+class TestReportingPolicy:
+    def test_excessive_detection(self):
+        policy = ReportingPolicy(excess_threshold=2)
+        assert policy.is_excessive(excessive_receipt(given=3))
+        assert not policy.is_excessive(excessive_receipt(given=2))
+
+    def test_unbalanced_defense_is_never_excessive(self):
+        """The protocol's own +1 imbalance must not trigger reports."""
+        policy = ReportingPolicy(excess_threshold=2)
+        one_extra = sign_receipt(
+            0, 1, 2, Purpose.EXCHANGE, (10, 11), (12,)
+        )
+        assert not policy.is_excessive(one_extra)
+
+    def test_only_obedient_nodes_report(self):
+        policy = ReportingPolicy()
+        assert policy.beneficiary_reports(Behavior.OBEDIENT)
+        assert not policy.beneficiary_reports(Behavior.RATIONAL)
+        assert not policy.beneficiary_reports(Behavior.BYZANTINE)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReportingPolicy(excess_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ReportingPolicy(reports_to_evict=0)
+
+
+class TestEvictionAuthority:
+    def test_eviction_after_enough_distinct_reports(self):
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=2))
+        assert not authority.file_report(5, excessive_receipt(giver=1, receiver=5))
+        assert authority.file_report(6, excessive_receipt(giver=1, receiver=6))
+        assert authority.evicted_nodes() == [1]
+
+    def test_duplicate_reporter_does_not_count_twice(self):
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=2))
+        authority.file_report(5, excessive_receipt(giver=1, receiver=5))
+        assert not authority.file_report(5, excessive_receipt(giver=1, receiver=5))
+        assert authority.report_count(1) == 1
+
+    def test_forged_receipt_rejected(self):
+        import dataclasses
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=1))
+        forged = dataclasses.replace(excessive_receipt(), giver=9)
+        assert not authority.file_report(5, forged)
+        assert authority.report_count(9) == 0
+
+    def test_non_excessive_receipt_ignored(self):
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=1))
+        balanced = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (10,), (11,))
+        assert not authority.file_report(2, balanced)
+
+    def test_single_report_policy(self):
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=1))
+        assert authority.file_report(5, excessive_receipt())
+        assert authority.evicted_nodes() == [1]
+
+    def test_already_evicted_ignored(self):
+        authority = EvictionAuthority(ReportingPolicy(reports_to_evict=1))
+        authority.file_report(5, excessive_receipt())
+        assert not authority.file_report(6, excessive_receipt(receiver=6))

@@ -1,0 +1,136 @@
+"""Tests for the balanced-exchange rules, including balance invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bargossip.exchange import apply_exchange, plan_balanced_exchange
+from repro.bargossip.updates import UpdateStore
+from repro.core.errors import ConfigurationError
+
+
+def store_with(have, missing):
+    store = UpdateStore()
+    for update in have:
+        store.announce(update, holds=True)
+    for update in missing:
+        store.announce(update, holds=False)
+    return store
+
+
+class TestBalancedExchange:
+    def test_one_for_one(self):
+        a = store_with(have={1, 2, 3}, missing={4, 5})
+        b = store_with(have={4, 5}, missing={1, 2, 3})
+        plan = plan_balanced_exchange(a, b, cap=10)
+        assert len(plan.to_initiator) == 2
+        assert len(plan.to_responder) == 2
+        assert plan.imbalance == 0
+
+    def test_cap_binds(self):
+        a = store_with(have=set(range(10, 20)), missing=set(range(10)))
+        b = store_with(have=set(range(10)), missing=set(range(10, 20)))
+        plan = plan_balanced_exchange(a, b, cap=3)
+        assert len(plan.to_initiator) == 3
+        assert len(plan.to_responder) == 3
+
+    def test_satiated_side_kills_exchange(self):
+        """Satiation-compatibility: a satiated node trades nothing."""
+        satiated = store_with(have={1, 2, 3}, missing=set())
+        needy = store_with(have=set(), missing={1, 2, 3})
+        plan = plan_balanced_exchange(needy, satiated, cap=10)
+        assert plan.size == 0
+
+    def test_nothing_to_offer_kills_exchange(self):
+        a = store_with(have=set(), missing={1})
+        b = store_with(have={1}, missing={2})
+        plan = plan_balanced_exchange(a, b, cap=10)
+        assert plan.size == 0
+
+    def test_newest_first_selection(self):
+        a = store_with(have={100}, missing={1, 50, 99})
+        b = store_with(have={1, 50, 99}, missing={100})
+        plan = plan_balanced_exchange(a, b, cap=10, prefer_newest=True)
+        assert plan.to_initiator == (99,)
+
+    def test_oldest_first_selection(self):
+        a = store_with(have={100}, missing={1, 50, 99})
+        b = store_with(have={1, 50, 99}, missing={100})
+        plan = plan_balanced_exchange(a, b, cap=10, prefer_newest=False)
+        assert plan.to_initiator == (1,)
+
+    def test_invalid_cap(self):
+        with pytest.raises(ConfigurationError):
+            plan_balanced_exchange(UpdateStore(), UpdateStore(), cap=0)
+
+
+class TestUnbalancedDefense:
+    def test_one_extra_allowed(self):
+        a = store_with(have={1}, missing={2, 3})
+        b = store_with(have={2, 3}, missing={1})
+        plan = plan_balanced_exchange(a, b, cap=10, unbalanced=True)
+        assert len(plan.to_initiator) == 2  # got one extra
+        assert len(plan.to_responder) == 1
+        assert plan.imbalance == 1
+
+    def test_no_gift_without_reciprocity(self):
+        """The +1 requires receiving at least one update."""
+        a = store_with(have=set(), missing={2, 3})
+        b = store_with(have={2, 3}, missing=set())
+        plan = plan_balanced_exchange(a, b, cap=10, unbalanced=True)
+        assert plan.size == 0
+
+    def test_cap_plus_one(self):
+        a = store_with(have=set(range(10, 25)), missing=set(range(10)))
+        b = store_with(have=set(range(10)), missing=set(range(10, 25)))
+        plan = plan_balanced_exchange(a, b, cap=5, unbalanced=True)
+        assert len(plan.to_initiator) == 6
+        assert len(plan.to_responder) == 6
+
+
+class TestApplyExchange:
+    def test_apply_moves_updates(self):
+        a = store_with(have={1}, missing={2})
+        b = store_with(have={2}, missing={1})
+        plan = plan_balanced_exchange(a, b, cap=10)
+        gained_a, gained_b = apply_exchange(a, b, plan)
+        assert gained_a == 1 and gained_b == 1
+        assert a.is_satiated and b.is_satiated
+
+
+# ----------------------------------------------------------------------
+# Property: whatever the stores, the exchange respects balance, the
+# cap, and only ever moves updates the receiver was missing.
+# ----------------------------------------------------------------------
+
+update_sets = st.sets(st.integers(0, 30), max_size=15)
+
+
+@given(
+    a_have=update_sets,
+    b_have=update_sets,
+    universe_extra=update_sets,
+    cap=st.integers(1, 8),
+    unbalanced=st.booleans(),
+)
+def test_exchange_invariants(a_have, b_have, universe_extra, cap, unbalanced):
+    universe = a_have | b_have | universe_extra
+    a = store_with(have=a_have, missing=universe - a_have)
+    b = store_with(have=b_have, missing=universe - b_have)
+    plan = plan_balanced_exchange(a, b, cap=cap, unbalanced=unbalanced)
+    # 1. Transfers only contain updates the receiver misses and the giver has.
+    assert set(plan.to_initiator) <= (b_have - a_have)
+    assert set(plan.to_responder) <= (a_have - b_have)
+    # 2. Balance: strict one-for-one, or at most one extra under the defense.
+    if unbalanced:
+        assert plan.imbalance <= 1
+        if plan.size > 0:
+            assert min(len(plan.to_initiator), len(plan.to_responder)) >= 1
+    else:
+        assert plan.imbalance == 0
+    # 3. Cap respected (cap + 1 under the defense).
+    limit = cap + 1 if unbalanced else cap
+    assert len(plan.to_initiator) <= limit
+    assert len(plan.to_responder) <= limit
+    # 4. Satiation-compatibility: a satiated party implies an empty plan.
+    if not (universe - a_have) or not (universe - b_have):
+        assert plan.size == 0

@@ -1,0 +1,54 @@
+"""Tests for interaction receipts (the simulated signed messages)."""
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.bargossip.messages import sign_receipt, verify_receipt
+from repro.bargossip.partner import Purpose
+
+
+class TestReceipts:
+    def test_valid_receipt_verifies(self):
+        receipt = sign_receipt(3, giver=1, receiver=2, purpose=Purpose.EXCHANGE,
+                               updates_given=(10, 11), updates_returned=(12,))
+        assert verify_receipt(receipt)
+
+    def test_imbalance(self):
+        receipt = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (1, 2, 3), ())
+        assert receipt.imbalance == 3
+
+    def test_tampered_amount_fails(self):
+        receipt = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (1,), ())
+        forged = dataclasses.replace(receipt, updates_given=(1, 2, 3, 4))
+        assert not verify_receipt(forged)
+
+    def test_tampered_giver_fails(self):
+        receipt = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (1,), ())
+        forged = dataclasses.replace(receipt, giver=9)
+        assert not verify_receipt(forged)
+
+    def test_purpose_is_signed(self):
+        receipt = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (1,), ())
+        forged = dataclasses.replace(receipt, purpose=Purpose.PUSH)
+        assert not verify_receipt(forged)
+
+    def test_distinct_contents_distinct_signatures(self):
+        a = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (1,), ())
+        b = sign_receipt(0, 1, 2, Purpose.EXCHANGE, (2,), ())
+        assert a.signature != b.signature
+
+
+@given(
+    round_now=st.integers(0, 1000),
+    giver=st.integers(0, 300),
+    receiver=st.integers(0, 300),
+    given_updates=st.tuples(st.integers(0, 10**6)),
+    returned=st.tuples(st.integers(0, 10**6)),
+)
+def test_sign_verify_round_trip(round_now, giver, receiver, given_updates, returned):
+    receipt = sign_receipt(
+        round_now, giver, receiver, Purpose.PUSH, given_updates, returned
+    )
+    assert verify_receipt(receipt)
+    assert receipt.imbalance == len(given_updates) - len(returned)

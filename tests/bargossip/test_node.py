@@ -1,0 +1,94 @@
+"""Tests for gossip node behaviour decisions."""
+
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.node import GossipNode, TargetGroup
+from repro.core.behaviors import Behavior
+
+
+CFG = GossipConfig(
+    n_nodes=10,
+    updates_per_round=10,
+    update_lifetime=10,
+    copies_seeded=2,
+    push_size=2,
+    push_age_threshold=5,
+    push_recent_window=3,
+)
+
+
+def make_node(behavior=Behavior.RATIONAL, group=TargetGroup.ISOLATED):
+    return GossipNode(node_id=0, behavior=behavior, group=group)
+
+
+class TestRoleFlags:
+    def test_attacker_flags(self):
+        node = make_node(Behavior.BYZANTINE, TargetGroup.ATTACKER)
+        assert node.is_attacker and not node.is_correct
+
+    def test_correct_flags(self):
+        node = make_node()
+        assert node.is_correct and not node.is_attacker
+
+    def test_satiation_mirrors_store(self):
+        node = make_node()
+        assert node.is_satiated
+        node.store.announce(1, holds=False)
+        assert not node.is_satiated
+
+
+class TestPushDecision:
+    def test_rational_pushes_only_with_old_needs(self):
+        node = make_node(Behavior.RATIONAL)
+        node.store.announce(95, holds=True)  # recent offer available
+        assert not node.wants_to_push(CFG, round_now=9)
+        node.store.announce(5, holds=False)  # old missing update
+        assert node.wants_to_push(CFG, round_now=9)
+
+    def test_rational_ignores_recent_needs(self):
+        node = make_node(Behavior.RATIONAL)
+        node.store.announce(95, holds=False)  # recent missing update
+        assert not node.wants_to_push(CFG, round_now=9)
+
+    def test_obedient_pushes_with_offers_alone(self):
+        """Obedient nodes follow the protocol even with nothing to gain."""
+        node = make_node(Behavior.OBEDIENT)
+        node.store.announce(95, holds=True)
+        assert node.wants_to_push(CFG, round_now=9)
+
+    def test_obedient_without_anything_does_not_push(self):
+        node = make_node(Behavior.OBEDIENT)
+        assert not node.wants_to_push(CFG, round_now=9)
+
+    def test_evicted_never_pushes(self):
+        node = make_node(Behavior.OBEDIENT)
+        node.store.announce(95, holds=True)
+        node.evicted = True
+        assert not node.wants_to_push(CFG, round_now=9)
+
+    def test_attacker_never_pushes_via_protocol(self):
+        node = make_node(Behavior.BYZANTINE, TargetGroup.ATTACKER)
+        node.store.announce(5, holds=False)
+        assert not node.wants_to_push(CFG, round_now=9)
+
+
+class TestPushResponse:
+    def test_accepts_when_gaining(self):
+        assert make_node().responds_to_push(gain=1)
+
+    def test_declines_when_nothing_to_gain(self):
+        """The satiation-compatibility at the heart of the attack."""
+        assert not make_node().responds_to_push(gain=0)
+
+    def test_evicted_declines(self):
+        node = make_node()
+        node.evicted = True
+        assert not node.responds_to_push(gain=3)
+
+
+class TestCounters:
+    def test_record_exchange(self):
+        node = make_node()
+        node.counters.record_exchange(sent=3, received=2)
+        node.counters.record_exchange(sent=1, received=0)
+        assert node.counters.updates_sent == 4
+        assert node.counters.updates_received == 2

@@ -1,0 +1,118 @@
+"""Tests for the optimistic-push rules."""
+
+from hypothesis import given, strategies as st
+
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.push import apply_push, plan_optimistic_push
+from repro.bargossip.updates import UpdateStore
+
+
+def store_with(have, missing):
+    store = UpdateStore()
+    for update in have:
+        store.announce(update, holds=True)
+    for update in missing:
+        store.announce(update, holds=False)
+    return store
+
+
+CFG = GossipConfig(
+    n_nodes=10,
+    updates_per_round=10,
+    update_lifetime=10,
+    copies_seeded=2,
+    push_size=2,
+    push_age_threshold=5,
+    push_recent_window=3,
+)
+
+
+class TestPushPlanning:
+    def test_responder_takes_recent_it_needs(self):
+        # round 9: recent = created in rounds 7..9 (ids >= 70)
+        initiator = store_with(have={70, 81, 92}, missing={5})
+        responder = store_with(have={5}, missing={70, 81, 92})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert len(plan.to_responder) == CFG.push_size
+        assert set(plan.to_responder) <= {70, 81, 92}
+
+    def test_initiator_gets_old_updates_back(self):
+        initiator = store_with(have={70, 81}, missing={5, 15})
+        responder = store_with(have={5, 15}, missing={70, 81})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert plan.to_initiator == (5, 15)
+        assert plan.junk_units == 0
+
+    def test_junk_pays_for_unreciprocated_pushes(self):
+        """A responder with nothing old to give pays in junk."""
+        initiator = store_with(have={70, 81}, missing={5})
+        responder = store_with(have=set(), missing={5, 70, 81})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert len(plan.to_responder) == 2
+        assert plan.to_initiator == ()
+        assert plan.junk_units == 2
+
+    def test_satiated_responder_gains_nothing(self):
+        """Satiation-compatibility: nothing to gain, nothing happens."""
+        initiator = store_with(have={70}, missing={5})
+        responder = store_with(have={5, 70}, missing=set())
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert not plan.happened
+        assert plan.size == 0
+
+    def test_old_offers_are_not_pushed(self):
+        """Only recently released updates are offered."""
+        initiator = store_with(have={5}, missing={15})  # update 5 is round 0
+        responder = store_with(have={15}, missing={5})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert not plan.happened
+
+    def test_payment_capped_by_amount_received(self):
+        initiator = store_with(have={70}, missing={5, 15, 25})
+        responder = store_with(have={5, 15, 25}, missing={70})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert len(plan.to_responder) == 1
+        assert len(plan.to_initiator) == 1  # pays exactly what it received
+
+    def test_push_size_caps_transfer(self):
+        initiator = store_with(have={70, 71, 72, 73}, missing={5})
+        responder = store_with(have={5}, missing={70, 71, 72, 73})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        assert len(plan.to_responder) == CFG.push_size
+
+
+class TestApplyPush:
+    def test_apply(self):
+        initiator = store_with(have={70, 81}, missing={5})
+        responder = store_with(have={5}, missing={70, 81})
+        plan = plan_optimistic_push(initiator, responder, CFG, round_now=9)
+        gained_initiator, gained_responder = apply_push(initiator, responder, plan)
+        assert gained_initiator == 1
+        assert gained_responder == 2
+        assert initiator.is_satiated
+
+
+@given(
+    init_have=st.sets(st.integers(0, 99), max_size=20),
+    resp_have=st.sets(st.integers(0, 99), max_size=20),
+    round_now=st.integers(5, 9),
+)
+def test_push_invariants(init_have, resp_have, round_now):
+    universe = set(range(100))
+    initiator = store_with(have=init_have, missing=universe - init_have)
+    responder = store_with(have=resp_have, missing=universe - resp_have)
+    plan = plan_optimistic_push(initiator, responder, CFG, round_now=round_now)
+    # The responder only receives recent updates it misses.
+    recent_cutoff = round_now - CFG.push_recent_window + 1
+    for update in plan.to_responder:
+        assert update in init_have and update not in resp_have
+        assert update // CFG.updates_per_round >= recent_cutoff
+    # The initiator only receives old updates it asked for.
+    old_cutoff = round_now - CFG.push_age_threshold + 1
+    for update in plan.to_initiator:
+        assert update in resp_have and update not in init_have
+        assert update // CFG.updates_per_round < old_cutoff
+    # The responder's payment (useful + junk) equals what it received.
+    assert len(plan.to_initiator) + plan.junk_units == len(plan.to_responder)
+    # Push size caps the forward transfer.
+    assert len(plan.to_responder) <= CFG.push_size

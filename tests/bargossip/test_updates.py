@@ -1,0 +1,138 @@
+"""Tests for update stores and the global ledger."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bargossip.updates import UpdateLedger, UpdateStore, creation_round, update_id
+from repro.core.errors import SimulationError
+
+
+class TestIdArithmetic:
+    def test_round_trip(self):
+        for round_created in (0, 3, 17):
+            for index in range(10):
+                uid = update_id(round_created, index, 10)
+                assert creation_round(uid, 10) == round_created
+
+    def test_ids_are_dense(self):
+        ids = [update_id(2, index, 5) for index in range(5)]
+        assert ids == [10, 11, 12, 13, 14]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(SimulationError):
+            update_id(0, 10, 10)
+
+
+class TestUpdateStore:
+    def test_announce_seeded(self):
+        store = UpdateStore()
+        store.announce(5, holds=True)
+        assert 5 in store.have
+        assert 5 not in store.missing
+
+    def test_announce_unseeded(self):
+        store = UpdateStore()
+        store.announce(5, holds=False)
+        assert 5 in store.missing
+
+    def test_receive_moves_to_have(self):
+        store = UpdateStore()
+        store.announce(5, holds=False)
+        assert store.receive(5) is True
+        assert 5 in store.have and 5 not in store.missing
+
+    def test_duplicate_receive_is_noop(self):
+        store = UpdateStore()
+        store.announce(5, holds=True)
+        assert store.receive(5) is False
+
+    def test_receive_all_counts_new(self):
+        store = UpdateStore()
+        for update in (1, 2, 3):
+            store.announce(update, holds=False)
+        store.receive(2)
+        assert store.receive_all([1, 2, 3]) == 2
+
+    def test_expire_returns_delivery_bit(self):
+        store = UpdateStore()
+        store.announce(1, holds=True)
+        store.announce(2, holds=False)
+        assert store.expire(1) is True
+        assert store.expire(2) is False
+        assert not store.have and not store.missing
+
+    def test_satiation(self):
+        store = UpdateStore()
+        assert store.is_satiated
+        store.announce(1, holds=False)
+        assert not store.is_satiated
+        store.receive(1)
+        assert store.is_satiated
+
+    def test_missing_older_than(self):
+        store = UpdateStore()
+        # updates_per_round = 10: update 5 is round 0, update 25 round 2
+        store.announce(5, holds=False)
+        store.announce(25, holds=False)
+        assert store.missing_older_than(2, 10) == [5]
+        assert store.missing_older_than(3, 10) == [5, 25]
+
+    def test_have_newer_than(self):
+        store = UpdateStore()
+        store.announce(5, holds=True)
+        store.announce(25, holds=True)
+        assert store.have_newer_than(2, 10) == [25]
+        assert store.have_newer_than(0, 10) == [25, 5]  # newest first
+
+    @given(
+        seeded=st.sets(st.integers(0, 40), max_size=20),
+        received=st.lists(st.integers(0, 40), max_size=30),
+    )
+    def test_have_missing_disjoint_invariant(self, seeded, received):
+        """have and missing stay disjoint and cover announced updates."""
+        store = UpdateStore()
+        universe = set(range(41))
+        for update in universe:
+            store.announce(update, holds=update in seeded)
+        for update in received:
+            store.receive(update)
+        assert store.have.isdisjoint(store.missing)
+        assert store.have | store.missing == universe
+
+
+class TestUpdateLedger:
+    def test_release_returns_fresh_ids(self):
+        ledger = UpdateLedger(updates_per_round=3, lifetime=2)
+        assert ledger.release(0) == [0, 1, 2]
+        assert ledger.release(1) == [3, 4, 5]
+        assert ledger.live_count == 6
+
+    def test_expiry_schedule(self):
+        ledger = UpdateLedger(updates_per_round=2, lifetime=3)
+        ledger.release(0)
+        assert ledger.expire_due(0) == []
+        assert ledger.expire_due(1) == []
+        assert ledger.expire_due(2) == [0, 1]
+        assert ledger.live_count == 0
+
+    def test_double_expiry_detected(self):
+        ledger = UpdateLedger(updates_per_round=1, lifetime=1)
+        ledger.release(0)
+        ledger.expire_due(0)
+        ledger.expiring[5] = [0]  # simulate corruption
+        with pytest.raises(SimulationError):
+            ledger.expire_due(5)
+
+    @given(lifetime=st.integers(1, 8), rounds=st.integers(1, 20))
+    def test_every_released_update_expires_exactly_once(self, lifetime, rounds):
+        ledger = UpdateLedger(updates_per_round=2, lifetime=lifetime)
+        released = []
+        expired = []
+        for round_now in range(rounds):
+            released.extend(ledger.release(round_now))
+            expired.extend(ledger.expire_due(round_now))
+        # run out the clock
+        for round_now in range(rounds, rounds + lifetime):
+            expired.extend(ledger.expire_due(round_now))
+        assert sorted(expired) == sorted(released)
+        assert ledger.live_count == 0

@@ -1,0 +1,164 @@
+"""Tests for piece pickers and the tit-for-tat choker."""
+
+import numpy as np
+import pytest
+
+from repro.bittorrent.attacks import FakeInterestPicker
+from repro.bittorrent.choker import Choker, CreditLedger
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.picker import RandomPicker, RarestFirstPicker
+from repro.bittorrent.pieces import AvailabilityIndex, PieceSet
+from repro.core.errors import ConfigurationError
+
+
+CFG = SwarmConfig(
+    n_pieces=16, n_leechers=4, random_first_pieces=2, endgame_threshold=1
+)
+
+
+def make_availability(counts):
+    index = AvailabilityIndex(CFG.n_pieces)
+    for piece, count in counts.items():
+        for _ in range(count):
+            index.on_receive(piece)
+    return index
+
+
+class TestRarestFirstPicker:
+    def test_picks_rarest_needed(self):
+        picker = RarestFirstPicker()
+        mine = PieceSet(16, have=[0, 1])  # past bootstrap
+        theirs = PieceSet(16, have=[2, 3, 4])
+        availability = make_availability({2: 5, 3: 1, 4: 3})
+        piece = picker.pick(mine, theirs, availability, np.random.default_rng(0), CFG)
+        assert piece == 3
+
+    def test_bootstrap_is_random(self):
+        picker = RarestFirstPicker()
+        mine = PieceSet(16)  # brand new: below random_first_pieces
+        theirs = PieceSet(16, have=list(range(16)))
+        availability = make_availability({piece: piece + 1 for piece in range(16)})
+        rng = np.random.default_rng(0)
+        picks = {picker.pick(mine, theirs, availability, rng, CFG) for _ in range(30)}
+        assert len(picks) > 3  # not locked onto the single rarest
+
+    def test_endgame_is_random_among_stragglers(self):
+        picker = RarestFirstPicker()
+        mine = PieceSet(16, have=[p for p in range(16) if p != 7])
+        theirs = PieceSet(16, have=[7])
+        availability = make_availability({7: 9})
+        piece = picker.pick(mine, theirs, availability, np.random.default_rng(0), CFG)
+        assert piece == 7
+
+    def test_none_when_nothing_needed(self):
+        picker = RarestFirstPicker()
+        mine = PieceSet(16, have=[0, 1, 2])
+        theirs = PieceSet(16, have=[0])
+        availability = make_availability({})
+        assert picker.pick(mine, theirs, availability, np.random.default_rng(0), CFG) is None
+
+
+class TestRandomPicker:
+    def test_uniform_over_needed(self):
+        picker = RandomPicker()
+        mine = PieceSet(16, have=[0])
+        theirs = PieceSet(16, have=[1, 2, 3])
+        availability = make_availability({1: 99})
+        rng = np.random.default_rng(0)
+        picks = {picker.pick(mine, theirs, availability, rng, CFG) for _ in range(40)}
+        assert picks == {1, 2, 3}
+
+    def test_none_when_satisfied(self):
+        picker = RandomPicker()
+        assert picker.pick(
+            PieceSet(4, have=[0, 1, 2, 3]), PieceSet(4, have=[0]),
+            make_availability({}), np.random.default_rng(0), CFG,
+        ) is None
+
+
+class TestFakeInterestPicker:
+    def test_requests_held_piece(self):
+        picker = FakeInterestPicker()
+        mine = PieceSet(16, have=list(range(16)))  # attacker is complete
+        theirs = PieceSet(16, have=[4, 5])
+        piece = picker.pick(mine, theirs, make_availability({}), np.random.default_rng(0), CFG)
+        assert piece in {4, 5}
+
+    def test_none_when_uploader_empty(self):
+        picker = FakeInterestPicker()
+        assert picker.pick(
+            PieceSet(16, have=list(range(16))), PieceSet(16),
+            make_availability({}), np.random.default_rng(0), CFG,
+        ) is None
+
+
+class TestCreditLedger:
+    def test_window_slides(self):
+        ledger = CreditLedger(window=2)
+        ledger.record(7, 3)
+        ledger.roll()
+        assert ledger.credit(7) == 3
+        ledger.roll()
+        assert ledger.credit(7) == 3  # still inside window of 2
+        ledger.roll()
+        assert ledger.credit(7) == 0  # slid out
+
+    def test_current_round_counts(self):
+        ledger = CreditLedger(window=3)
+        ledger.record(1)
+        assert ledger.credit(1) == 1
+
+    def test_totals(self):
+        ledger = CreditLedger(window=3)
+        ledger.record(1, 2)
+        ledger.record(2, 1)
+        ledger.roll()
+        ledger.record(1, 1)
+        assert ledger.totals() == {1: 3, 2: 1}
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            CreditLedger(0)
+
+
+class TestChoker:
+    def test_top_uploaders_win_regular_slots(self):
+        config = SwarmConfig(n_pieces=8, n_leechers=8, unchoke_slots=2, optimistic_slots=0)
+        choker = Choker(config, np.random.default_rng(0))
+        for peer, amount in ((1, 5), (2, 3), (3, 1)):
+            choker.ledger.record(peer, amount)
+        regular, optimistic = choker.unchoked(0, [1, 2, 3, 4])
+        assert regular == {1, 2}
+        assert optimistic == set()
+
+    def test_cold_start_fills_randomly(self):
+        config = SwarmConfig(n_pieces=8, n_leechers=8, unchoke_slots=2, optimistic_slots=0)
+        choker = Choker(config, np.random.default_rng(0))
+        regular, _ = choker.unchoked(0, [1, 2, 3, 4])
+        assert len(regular) == 2
+
+    def test_optimistic_slot_excluded_from_regular(self):
+        config = SwarmConfig(n_pieces=8, n_leechers=8, unchoke_slots=1, optimistic_slots=1)
+        choker = Choker(config, np.random.default_rng(0))
+        choker.ledger.record(1, 5)
+        regular, optimistic = choker.unchoked(0, [1, 2, 3])
+        assert regular == {1}
+        assert optimistic and optimistic.isdisjoint(regular)
+
+    def test_optimistic_rotates(self):
+        config = SwarmConfig(
+            n_pieces=8, n_leechers=8, unchoke_slots=1,
+            optimistic_slots=1, optimistic_interval=1,
+        )
+        choker = Choker(config, np.random.default_rng(0))
+        choker.ledger.record(1, 5)
+        seen = set()
+        for round_now in range(20):
+            _, optimistic = choker.unchoked(round_now, [1, 2, 3, 4, 5])
+            seen |= optimistic
+        assert len(seen) >= 3  # rotation explores the pool
+
+    def test_no_candidates(self):
+        config = SwarmConfig(n_pieces=8, n_leechers=8)
+        choker = Choker(config, np.random.default_rng(0))
+        assert choker.unchoked(0, []) == (set(), set())

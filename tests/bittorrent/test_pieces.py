@@ -1,0 +1,108 @@
+"""Tests for piece bitfields and the availability index."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bittorrent.pieces import AvailabilityIndex, PieceSet
+from repro.core.errors import ConfigurationError, SimulationError
+
+
+class TestPieceSet:
+    def test_empty_start(self):
+        pieces = PieceSet(8)
+        assert len(pieces) == 0
+        assert not pieces.complete
+        assert pieces.missing() == set(range(8))
+
+    def test_full(self):
+        pieces = PieceSet.full(8)
+        assert pieces.complete
+        assert pieces.missing() == set()
+
+    def test_add_new_and_duplicate(self):
+        pieces = PieceSet(8)
+        assert pieces.add(3) is True
+        assert pieces.add(3) is False
+        assert 3 in pieces
+
+    def test_add_out_of_range(self):
+        with pytest.raises(SimulationError):
+            PieceSet(4).add(4)
+
+    def test_needs_from(self):
+        a = PieceSet(8, have=[0, 1])
+        b = PieceSet(8, have=[1, 2, 3])
+        assert a.needs_from(b) == {2, 3}
+
+    def test_interest(self):
+        a = PieceSet(8, have=[0])
+        b = PieceSet(8, have=[0, 1])
+        assert a.interested_in(b)
+        assert not b.interested_in(a)
+
+    def test_iteration_sorted(self):
+        pieces = PieceSet(8, have=[5, 1, 3])
+        assert list(pieces) == [1, 3, 5]
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            PieceSet(0)
+
+
+class TestAvailabilityIndex:
+    def test_register_and_count(self):
+        index = AvailabilityIndex(4)
+        index.register(PieceSet(4, have=[0, 1]))
+        index.register(PieceSet(4, have=[1]))
+        assert index.count(0) == 1
+        assert index.count(1) == 2
+        assert index.count(2) == 0
+
+    def test_on_receive(self):
+        index = AvailabilityIndex(4)
+        index.on_receive(2)
+        assert index.count(2) == 1
+
+    def test_unregister(self):
+        index = AvailabilityIndex(4)
+        pieces = PieceSet(4, have=[0])
+        index.register(pieces)
+        index.unregister(pieces)
+        assert index.count(0) == 0
+
+    def test_unregister_below_zero_detected(self):
+        index = AvailabilityIndex(4)
+        with pytest.raises(SimulationError):
+            index.unregister(PieceSet(4, have=[0]))
+
+    def test_rarity_rank(self):
+        index = AvailabilityIndex(4)
+        for _ in range(3):
+            index.on_receive(0)
+        index.on_receive(1)
+        assert index.rarity_rank([0, 1, 2]) == [2, 1, 0]
+
+    def test_rarity_rank_tie_break_by_id(self):
+        index = AvailabilityIndex(4)
+        assert index.rarity_rank([3, 1, 2]) == [1, 2, 3]
+
+    def test_counts_snapshot(self):
+        index = AvailabilityIndex(2)
+        index.on_receive(1)
+        assert index.counts() == {0: 0, 1: 1}
+
+
+@given(
+    registered=st.lists(
+        st.sets(st.integers(0, 9), max_size=10), min_size=1, max_size=8
+    )
+)
+def test_availability_matches_registered_sets(registered):
+    """The incremental index always equals a from-scratch recount."""
+    index = AvailabilityIndex(10)
+    sets = [PieceSet(10, have=pieces) for pieces in registered]
+    for pieces in sets:
+        index.register(pieces)
+    for piece in range(10):
+        expected = sum(1 for pieces in sets if piece in pieces)
+        assert index.count(piece) == expected

@@ -1,0 +1,137 @@
+"""Integration tests for the swarm simulator and the BitTorrent claims."""
+
+import pytest
+
+from repro.bittorrent.attacks import UploadSatiationAttack, top_uploader_targets
+from repro.bittorrent.config import SwarmConfig
+from repro.bittorrent.peer import PeerKind
+from repro.bittorrent.picker import RandomPicker
+from repro.bittorrent.swarm import SwarmSimulator, run_swarm_experiment
+from repro.core.errors import ConfigurationError
+
+
+class TestBaseline:
+    def test_everyone_completes(self, small_swarm):
+        result = run_swarm_experiment(small_swarm, max_rounds=300, seed=1)
+        assert result.completed == result.n_leechers
+        assert result.mean_completion_round is not None
+
+    def test_piece_conservation(self, small_swarm):
+        """Downloaded = distinct pieces gained; no piece is conjured."""
+        simulator = SwarmSimulator(small_swarm, seed=1)
+        for _ in range(50):
+            simulator.step()
+        for peer in simulator.leechers():
+            assert peer.stats.downloaded == len(peer.pieces)
+
+    def test_determinism(self, small_swarm):
+        a = run_swarm_experiment(small_swarm, max_rounds=200, seed=7)
+        b = run_swarm_experiment(small_swarm, max_rounds=200, seed=7)
+        assert a == b
+
+    def test_completed_leechers_depart_by_default(self, small_swarm):
+        simulator = SwarmSimulator(small_swarm, seed=1)
+        for _ in range(300):
+            simulator.step()
+            if simulator.all_complete():
+                break
+        assert all(not peer.active for peer in simulator.leechers())
+
+    def test_seed_after_completion_keeps_peers(self, small_swarm):
+        config = small_swarm.replace(seed_after_completion=True)
+        simulator = SwarmSimulator(config, seed=1)
+        for _ in range(300):
+            simulator.step()
+            if simulator.all_complete():
+                break
+        assert all(peer.active for peer in simulator.leechers())
+
+    def test_no_seeds_no_progress(self):
+        """With no seed and empty leechers, nothing can ever move."""
+        config = SwarmConfig(n_pieces=8, n_leechers=4, n_seeds=0)
+        result = run_swarm_experiment(config, max_rounds=50, seed=1)
+        assert result.completed == 0
+
+
+class TestAttack:
+    def test_targets_finish_no_later(self, small_swarm):
+        """Being satiated is service: targets finish at least as fast."""
+        attack = UploadSatiationAttack(n_attackers=2, targets=[0, 1, 2], slots_per_attacker=3)
+        result = run_swarm_experiment(small_swarm, attack=attack, max_rounds=300, seed=1)
+        assert result.completed == result.n_leechers
+        assert result.target_mean_completion <= result.non_target_mean_completion + 1
+
+    def test_damage_to_non_targets_is_modest(self, small_swarm):
+        """The paper's BitTorrent claim: non-targets are barely hurt
+        (the attack often even helps, since it injects bandwidth)."""
+        baseline = run_swarm_experiment(small_swarm, max_rounds=300, seed=1)
+        attack = UploadSatiationAttack(n_attackers=2, targets=[0, 1, 2], slots_per_attacker=3)
+        attacked = run_swarm_experiment(small_swarm, attack=attack, max_rounds=300, seed=1)
+        assert attacked.completed == attacked.n_leechers
+        # within 50% of baseline — "modestly impair" at worst
+        assert attacked.non_target_mean_completion <= baseline.mean_completion_round * 1.5
+
+    def test_attack_costs_the_attacker_bandwidth(self, small_swarm):
+        """Paper: 'the attacker must contribute significant bandwidth
+        of his own.'"""
+        attack = UploadSatiationAttack(n_attackers=2, targets=[0, 1], slots_per_attacker=2)
+        result = run_swarm_experiment(small_swarm, attack=attack, max_rounds=300, seed=1)
+        assert result.attacker_pieces_uploaded > 0
+
+    def test_targets_waste_upload_on_attackers(self, small_swarm):
+        attack = UploadSatiationAttack(n_attackers=2, targets=[0, 1, 2], slots_per_attacker=3)
+        result = run_swarm_experiment(small_swarm, attack=attack, max_rounds=300, seed=1)
+        assert result.wasted_on_attackers > 0
+
+    def test_attacker_peers_present(self, small_swarm):
+        attack = UploadSatiationAttack(n_attackers=3, targets=[0])
+        simulator = SwarmSimulator(small_swarm, attack=attack, seed=0)
+        attackers = [p for p in simulator.peers if p.kind is PeerKind.ATTACKER]
+        assert len(attackers) == 3
+        assert all(p.pieces.complete for p in attackers)
+
+    def test_unknown_target_rejected(self, small_swarm):
+        attack = UploadSatiationAttack(n_attackers=1, targets=[10**6])
+        with pytest.raises(ConfigurationError):
+            SwarmSimulator(small_swarm, attack=attack)
+
+    def test_attack_validation(self):
+        with pytest.raises(ConfigurationError):
+            UploadSatiationAttack(n_attackers=0, targets=[0])
+        with pytest.raises(ConfigurationError):
+            UploadSatiationAttack(n_attackers=1, targets=[])
+        with pytest.raises(ConfigurationError):
+            UploadSatiationAttack(n_attackers=1, targets=[0], slots_per_attacker=0)
+
+
+class TestRarestFirstDefense:
+    def test_rarest_first_beats_random_with_scarce_seed(self):
+        """Rarest-first resolves scarcity that random picking lets
+        fester — the paper's Section 4 'effective satiation' defense."""
+        config = SwarmConfig(
+            n_pieces=32, n_leechers=12, n_seeds=1, seed_slots=2,
+            random_first_pieces=2, endgame_threshold=1,
+        )
+        rarest = run_swarm_experiment(config, max_rounds=600, seed=2)
+        random_pick = run_swarm_experiment(
+            config, picker=RandomPicker(), max_rounds=600, seed=2
+        )
+        assert rarest.completed >= random_pick.completed
+        if rarest.completed == random_pick.completed:
+            assert rarest.mean_completion_round <= random_pick.mean_completion_round * 1.05
+
+
+class TestTopUploaderTargets:
+    def test_ranks_by_upload(self):
+        targets = top_uploader_targets({0: 5, 1: 9, 2: 1, 3: 7}, fraction=0.5)
+        assert targets == [1, 3]
+
+    def test_at_least_one(self):
+        assert top_uploader_targets({0: 5, 1: 2}, fraction=0.1) == [0]
+
+    def test_empty_counts(self):
+        assert top_uploader_targets({}, fraction=0.5) == []
+
+    def test_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            top_uploader_targets({0: 1}, fraction=0.0)

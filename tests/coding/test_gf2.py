@@ -1,0 +1,165 @@
+"""Tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.gf2 import (
+    as_gf2_matrix,
+    combine,
+    is_full_rank,
+    random_coded_tokens,
+    random_nonzero_vector,
+    rank,
+    rank_of_vectors,
+    row_reduce,
+    solve,
+)
+from repro.core.errors import ConfigurationError
+
+
+class TestMatrixConstruction:
+    def test_basic(self):
+        matrix = as_gf2_matrix([[1, 0], [0, 1]])
+        assert matrix.dtype == np.uint8
+        assert matrix.shape == (2, 2)
+
+    def test_empty_needs_width(self):
+        assert as_gf2_matrix([], width=3).shape == (0, 3)
+        with pytest.raises(ConfigurationError):
+            as_gf2_matrix([])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_gf2_matrix([[0, 2]])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_gf2_matrix([[1, 0], [1]])
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_gf2_matrix([[1, 0]], width=3)
+
+
+class TestRank:
+    def test_identity(self):
+        assert rank(np.eye(4, dtype=np.uint8)) == 4
+
+    def test_dependent_rows(self):
+        assert rank(as_gf2_matrix([[1, 1, 0], [0, 1, 1], [1, 0, 1]])) == 2
+
+    def test_zero_matrix(self):
+        assert rank(np.zeros((3, 3), dtype=np.uint8)) == 0
+
+    def test_empty(self):
+        assert rank(as_gf2_matrix([], width=4)) == 0
+
+    def test_rank_of_vectors(self):
+        assert rank_of_vectors([(1, 0), (0, 1), (1, 1)], 2) == 2
+
+    def test_is_full_rank(self):
+        assert is_full_rank([(1, 0), (1, 1)], 2)
+        assert not is_full_rank([(1, 1)], 2)
+
+
+class TestRowReduce:
+    def test_pivots(self):
+        _, pivots = row_reduce(as_gf2_matrix([[1, 1, 0], [0, 0, 1]]))
+        assert pivots == [0, 2]
+
+    def test_reduction_clears_above_and_below(self):
+        reduced, _ = row_reduce(as_gf2_matrix([[1, 1], [1, 0]]))
+        assert (reduced == np.array([[1, 0], [0, 1]], dtype=np.uint8)).all()
+
+    def test_input_not_mutated(self):
+        matrix = as_gf2_matrix([[1, 1], [1, 0]])
+        copy = matrix.copy()
+        row_reduce(matrix)
+        assert (matrix == copy).all()
+
+
+class TestSolve:
+    def test_unique_solution(self):
+        matrix = as_gf2_matrix([[1, 0], [1, 1]])
+        rhs = np.array([1, 0], dtype=np.uint8)
+        solution = solve(matrix, rhs)
+        assert ((matrix @ solution) % 2 == rhs).all()
+
+    def test_inconsistent_returns_none(self):
+        matrix = as_gf2_matrix([[1, 1], [1, 1]])
+        rhs = np.array([0, 1], dtype=np.uint8)
+        assert solve(matrix, rhs) is None
+
+    def test_underdetermined_solution_valid(self):
+        matrix = as_gf2_matrix([[1, 1, 0]])
+        rhs = np.array([1], dtype=np.uint8)
+        solution = solve(matrix, rhs)
+        assert ((matrix @ solution) % 2 == rhs).all()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            solve(as_gf2_matrix([[1, 0]]), np.array([1, 0], dtype=np.uint8))
+
+
+class TestRandomVectors:
+    def test_nonzero(self, rng):
+        for _ in range(20):
+            assert any(random_nonzero_vector(rng, 5))
+
+    def test_dimension_validated(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_nonzero_vector(rng, 0)
+
+    def test_random_coded_tokens_count(self, rng):
+        tokens = random_coded_tokens(rng, 4, 7)
+        assert len(tokens) == 7
+        assert all(len(token) == 4 for token in tokens)
+
+    def test_combine_stays_in_span(self, rng):
+        held = [(1, 0, 0), (0, 1, 0)]
+        for _ in range(20):
+            combined = combine(rng, held)
+            assert combined[2] == 0  # never leaves span{e0, e1}
+            assert any(combined)
+
+    def test_combine_empty_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            combine(rng, [])
+
+
+# ----------------------------------------------------------------------
+# Algebraic laws, property-based.
+# ----------------------------------------------------------------------
+
+vectors = st.lists(
+    st.tuples(*[st.integers(0, 1)] * 5), min_size=1, max_size=8
+)
+
+
+@given(rows=vectors)
+def test_rank_bounded(rows):
+    r = rank_of_vectors(rows, 5)
+    assert 0 <= r <= min(len(rows), 5)
+
+
+@given(rows=vectors)
+def test_row_reduce_preserves_rank(rows):
+    matrix = as_gf2_matrix(rows)
+    reduced, pivots = row_reduce(matrix)
+    assert rank(reduced) == len(pivots) == rank(matrix)
+
+
+@given(rows=vectors, extra=vectors)
+def test_rank_monotone_under_row_addition(rows, extra):
+    assert rank_of_vectors(rows + extra, 5) >= rank_of_vectors(rows, 5)
+
+
+@given(rows=vectors, seed=st.integers(0, 1000))
+def test_combine_never_increases_rank(rows, seed):
+    """A transmitted combination carries no new information."""
+    rng = np.random.default_rng(seed)
+    combined = combine(rng, rows)
+    before = rank_of_vectors(rows, 5)
+    after = rank_of_vectors(rows + [combined], 5)
+    assert after == before

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.bargossip.config import GossipConfig
+from repro.scrip.config import ScripConfig
+from repro.bittorrent.config import SwarmConfig
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_gossip():
+    """The reduced gossip configuration used by fast tests."""
+    return GossipConfig.small()
+
+
+@pytest.fixture
+def small_scrip():
+    """The reduced scrip configuration used by fast tests."""
+    return ScripConfig.small()
+
+
+@pytest.fixture
+def small_swarm():
+    """The reduced swarm configuration used by fast tests."""
+    return SwarmConfig.small()

@@ -1,0 +1,92 @@
+"""Tests for BAR behaviour assignment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.behaviors import Behavior, RoleAssignment, assign_roles, split_fractions
+from repro.core.errors import ConfigurationError
+
+
+class TestSplitFractions:
+    def test_exact_split(self):
+        counts = split_fractions(
+            10, {Behavior.BYZANTINE: 0.2, Behavior.OBEDIENT: 0.3, Behavior.RATIONAL: 0.5}
+        )
+        assert counts[Behavior.BYZANTINE] == 2
+        assert counts[Behavior.OBEDIENT] == 3
+        assert counts[Behavior.RATIONAL] == 5
+
+    def test_sums_to_total_with_rounding(self):
+        counts = split_fractions(
+            7, {Behavior.BYZANTINE: 1 / 3, Behavior.OBEDIENT: 1 / 3, Behavior.RATIONAL: 1 / 3}
+        )
+        assert sum(counts.values()) == 7
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ConfigurationError):
+            split_fractions(10, {Behavior.BYZANTINE: 0.5, Behavior.RATIONAL: 0.4})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            split_fractions(10, {Behavior.BYZANTINE: -0.1, Behavior.RATIONAL: 1.1})
+
+    def test_rejects_negative_total(self):
+        with pytest.raises(ConfigurationError):
+            split_fractions(-1, {Behavior.RATIONAL: 1.0})
+
+    @given(
+        total=st.integers(min_value=0, max_value=500),
+        byz=st.floats(min_value=0, max_value=1),
+    )
+    def test_property_sums_and_bounds(self, total, byz):
+        counts = split_fractions(
+            total, {Behavior.BYZANTINE: byz, Behavior.RATIONAL: 1.0 - byz}
+        )
+        assert sum(counts.values()) == total
+        # Largest-remainder keeps each class within one of its share.
+        assert abs(counts[Behavior.BYZANTINE] - total * byz) <= 1.0
+
+
+class TestAssignRoles:
+    def test_counts(self):
+        roles = assign_roles(100, byzantine_fraction=0.2, obedient_fraction=0.1)
+        assert roles.count(Behavior.BYZANTINE) == 20
+        assert roles.count(Behavior.OBEDIENT) == 10
+        assert roles.count(Behavior.RATIONAL) == 70
+
+    def test_deterministic_without_rng(self):
+        a = assign_roles(50, 0.3)
+        b = assign_roles(50, 0.3)
+        assert a == b
+
+    def test_shuffled_with_rng(self):
+        unshuffled = assign_roles(100, 0.5)
+        shuffled = assign_roles(100, 0.5, rng=np.random.default_rng(0))
+        assert unshuffled.roles != shuffled.roles
+        assert shuffled.count(Behavior.BYZANTINE) == 50
+
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            assign_roles(10, 1.5)
+        with pytest.raises(ConfigurationError):
+            assign_roles(10, 0.5, obedient_fraction=0.7)
+        with pytest.raises(ConfigurationError):
+            assign_roles(10, -0.1)
+
+    def test_nodes_with(self):
+        roles = assign_roles(10, 0.2)
+        byz = roles.nodes_with(Behavior.BYZANTINE)
+        assert len(byz) == 2
+        assert all(roles.of(node) is Behavior.BYZANTINE for node in byz)
+
+    def test_fractions(self):
+        roles = assign_roles(10, 0.2, obedient_fraction=0.3)
+        fractions = roles.fractions()
+        assert fractions[Behavior.BYZANTINE] == pytest.approx(0.2)
+        assert fractions[Behavior.OBEDIENT] == pytest.approx(0.3)
+
+    def test_empty_population(self):
+        roles = RoleAssignment(roles=())
+        assert roles.fractions()[Behavior.RATIONAL] == 0.0
+        assert roles.size == 0

@@ -1,0 +1,71 @@
+"""Tests for the shared round engine."""
+
+import pytest
+
+from repro.core.engine import RoundSimulator, run_rounds
+from repro.core.errors import SimulationError
+
+
+class Counter(RoundSimulator):
+    """A trivial simulator: counts rounds."""
+
+    def __init__(self):
+        self._round = 0
+
+    def step(self):
+        self._round += 1
+
+    @property
+    def round(self):
+        return self._round
+
+
+class Broken(RoundSimulator):
+    """A simulator whose round counter does not advance."""
+
+    def step(self):
+        pass
+
+    @property
+    def round(self):
+        return 0
+
+
+class TestRunRounds:
+    def test_runs_exactly_max_rounds(self):
+        sim = Counter()
+        result = run_rounds(sim, 7)
+        assert result.rounds == 7
+        assert sim.round == 7
+        assert not result.stopped_early
+
+    def test_stop_condition(self):
+        sim = Counter()
+        result = run_rounds(sim, 100, stop_when=lambda s: s.round >= 3)
+        assert result.rounds == 3
+        assert result.stopped_early
+
+    def test_observations_collected(self):
+        sim = Counter()
+        result = run_rounds(sim, 4, observe=lambda s: s.round * 10)
+        assert result.observations == [10, 20, 30, 40]
+        assert result.last_observation() == 40
+
+    def test_no_observations(self):
+        result = run_rounds(Counter(), 2)
+        assert result.last_observation() is None
+
+    def test_zero_rounds(self):
+        result = run_rounds(Counter(), 0)
+        assert result.rounds == 0
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(SimulationError):
+            run_rounds(Counter(), -1)
+
+    def test_broken_counter_detected(self):
+        with pytest.raises(SimulationError):
+            run_rounds(Broken(), 5)
+
+    def test_wall_seconds_nonnegative(self):
+        assert run_rounds(Counter(), 3).wall_seconds >= 0

@@ -1,0 +1,109 @@
+"""Tests for the communication-graph builders."""
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.graphs import (
+    complete_graph,
+    ensure_connected,
+    erdos_renyi_graph,
+    geometric_graph,
+    grid_column_cut,
+    grid_graph,
+    node_neighbors,
+    partition_sides,
+    random_regular_graph,
+)
+
+
+class TestBuilders:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.number_of_edges() == 10
+
+    def test_complete_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            complete_graph(0)
+
+    def test_grid_labels_are_dense_ints(self):
+        g = grid_graph(3, 4)
+        assert sorted(g.nodes) == list(range(12))
+
+    def test_grid_adjacency(self):
+        g = grid_graph(3, 4)
+        # node (1, 2) has label 6; neighbours (0,2)=2, (2,2)=10, (1,1)=5, (1,3)=7
+        assert node_neighbors(g, 6) == [2, 5, 7, 10]
+
+    def test_grid_rejects_bad_dims(self):
+        with pytest.raises(ConfigurationError):
+            grid_graph(0, 3)
+
+    def test_random_regular_connected_and_regular(self):
+        g = random_regular_graph(20, 4, seed=1)
+        assert nx.is_connected(g)
+        assert all(degree == 4 for _, degree in g.degree())
+
+    def test_random_regular_parity_check(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(7, 3)
+
+    def test_random_regular_degree_bound(self):
+        with pytest.raises(ConfigurationError):
+            random_regular_graph(4, 4)
+
+    def test_erdos_renyi_connected_even_when_sparse(self):
+        g = erdos_renyi_graph(40, 0.01, seed=3)
+        assert nx.is_connected(g)
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_geometric_connected(self):
+        g = geometric_graph(50, seed=2)
+        assert nx.is_connected(g)
+
+    def test_geometric_with_explicit_radius(self):
+        g = geometric_graph(30, radius=2.0, seed=0)  # radius 2 = complete
+        assert nx.is_connected(g)
+
+
+class TestEnsureConnected:
+    def test_connects_components(self):
+        g = nx.Graph()
+        g.add_edges_from([(0, 1), (2, 3)])
+        ensure_connected(g)
+        assert nx.is_connected(g)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ensure_connected(nx.Graph())
+
+    def test_already_connected_untouched(self):
+        g = nx.path_graph(5)
+        edges_before = g.number_of_edges()
+        ensure_connected(g)
+        assert g.number_of_edges() == edges_before
+
+
+class TestGridColumnCut:
+    def test_cut_nodes(self):
+        assert grid_column_cut(3, 4, 1) == [1, 5, 9]
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            grid_column_cut(3, 4, 4)
+
+    def test_cut_partitions_grid(self):
+        g = grid_graph(4, 5)
+        components, cut = partition_sides(g, grid_column_cut(4, 5, 2))
+        assert len(components) == 2
+        assert len(cut) == 4
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [8, 8]
+
+    def test_corner_cut_leaves_one_component(self):
+        g = grid_graph(4, 5)
+        components, _ = partition_sides(g, grid_column_cut(4, 5, 0))
+        assert len(components) == 1

@@ -1,0 +1,150 @@
+"""Tests for delivery metrics and crossover search."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import AnalysisError
+from repro.core.metrics import (
+    USABILITY_THRESHOLD,
+    DeliveryStats,
+    TimeSeries,
+    confidence_interval_95,
+    first_crossing_below,
+    mean,
+)
+
+
+class TestDeliveryStats:
+    def test_fraction(self):
+        stats = DeliveryStats()
+        stats.record("isolated", delivered=93, missed=7)
+        assert stats.fraction("isolated") == pytest.approx(0.93)
+
+    def test_accumulates(self):
+        stats = DeliveryStats()
+        stats.record("g", 1, 1)
+        stats.record("g", 3, 0)
+        assert stats.due("g") == 5
+        assert stats.fraction("g") == pytest.approx(0.8)
+
+    def test_usable_strictly_above_threshold(self):
+        stats = DeliveryStats()
+        stats.record("g", 93, 7)
+        assert not stats.usable("g")  # exactly 93% is NOT usable ("more than 93%")
+        stats.record("g", 100, 0)
+        assert stats.usable("g")
+
+    def test_empty_group_raises(self):
+        with pytest.raises(AnalysisError):
+            DeliveryStats().fraction("nope")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(AnalysisError):
+            DeliveryStats().record("g", -1, 0)
+
+    def test_merged(self):
+        a = DeliveryStats()
+        a.record("g", 1, 0)
+        b = DeliveryStats()
+        b.record("g", 0, 1)
+        b.record("h", 2, 0)
+        merged = a.merged(b)
+        assert merged.fraction("g") == pytest.approx(0.5)
+        assert merged.fraction("h") == pytest.approx(1.0)
+        # operands untouched
+        assert a.fraction("g") == pytest.approx(1.0)
+
+    def test_as_dict(self):
+        stats = DeliveryStats()
+        stats.record("a", 1, 1)
+        assert stats.as_dict() == {"a": 0.5}
+
+
+class TestTimeSeries:
+    def test_append_monotone_x(self):
+        ts = TimeSeries("t")
+        ts.append(0.1, 1.0)
+        with pytest.raises(AnalysisError):
+            ts.append(0.1, 0.9)
+
+    def test_points(self):
+        ts = TimeSeries("t")
+        ts.append(0, 1)
+        ts.append(1, 0)
+        assert ts.points() == [(0.0, 1.0), (1.0, 0.0)]
+        assert len(ts) == 2
+
+    def test_crossover_interpolates(self):
+        ts = TimeSeries("t")
+        ts.append(0.0, 1.0)
+        ts.append(1.0, 0.0)
+        assert ts.crossover_below(0.5) == pytest.approx(0.5)
+
+    def test_crossover_none_when_always_above(self):
+        ts = TimeSeries("t")
+        ts.append(0.0, 0.99)
+        ts.append(1.0, 0.95)
+        assert ts.crossover_below(USABILITY_THRESHOLD) is None
+
+    def test_crossover_at_first_point(self):
+        ts = TimeSeries("t")
+        ts.append(0.2, 0.5)
+        ts.append(0.4, 0.4)
+        assert ts.crossover_below(0.93) == pytest.approx(0.2)
+
+    def test_y_at_interpolation_and_clamping(self):
+        ts = TimeSeries("t")
+        ts.append(0.0, 0.0)
+        ts.append(2.0, 1.0)
+        assert ts.y_at(1.0) == pytest.approx(0.5)
+        assert ts.y_at(-1.0) == pytest.approx(0.0)
+        assert ts.y_at(3.0) == pytest.approx(1.0)
+
+    def test_y_at_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            TimeSeries("t").y_at(0.0)
+
+
+class TestFirstCrossingBelow:
+    def test_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            first_crossing_below([1], [1, 2], 0.5)
+
+    def test_empty(self):
+        assert first_crossing_below([], [], 0.5) is None
+
+    def test_flat_series_below(self):
+        assert first_crossing_below([0, 1], [0.4, 0.4], 0.5) == 0.0
+
+    @given(
+        ys=st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=20),
+        threshold=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_crossing_is_within_x_range(self, ys, threshold):
+        xs = list(range(len(ys)))
+        crossing = first_crossing_below(xs, ys, threshold)
+        if crossing is not None:
+            assert xs[0] <= crossing <= xs[-1]
+
+
+class TestAggregates:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            mean([])
+
+    def test_ci_single_sample(self):
+        center, half = confidence_interval_95([4.2])
+        assert center == pytest.approx(4.2)
+        assert half == 0.0
+
+    def test_ci_symmetric_samples(self):
+        center, half = confidence_interval_95([1.0, 3.0])
+        assert center == pytest.approx(2.0)
+        assert half > 0
+
+    def test_ci_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            confidence_interval_95([])

@@ -1,0 +1,129 @@
+"""Tests for deterministic named RNG streams."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rng import (
+    RngStreams,
+    choice_without_replacement,
+    derive_seed,
+    spawn_seeds,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_is_deterministic(self):
+        assert stable_hash("broadcaster") == stable_hash("broadcaster")
+
+    def test_distinct_names_differ(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_fits_in_64_bits(self):
+        assert 0 <= stable_hash("anything") < 2**64
+
+    @given(st.text(max_size=50))
+    def test_always_in_range(self, name):
+        assert 0 <= stable_hash(name) < 2**64
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "x") == derive_seed(7, "x")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(7, "x") != derive_seed(7, "y")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_negative_root_seed_allowed(self):
+        assert derive_seed(-1, "x") != derive_seed(1, "x")
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_distinct(self):
+        seeds = spawn_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+    def test_label_changes_seeds(self):
+        assert spawn_seeds(0, 3, "a") != spawn_seeds(0, 3, "b")
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestRngStreams:
+    def test_same_name_same_object(self):
+        streams = RngStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_same_seed_same_sequence(self):
+        a = RngStreams(9).get("x").integers(1000, size=10)
+        b = RngStreams(9).get("x").integers(1000, size=10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(9)
+        a = streams.get("x").integers(1000, size=10)
+        b = streams.get("y").integers(1000, size=10)
+        assert not (a == b).all()
+
+    def test_fresh_restarts_stream(self):
+        streams = RngStreams(2)
+        first = streams.fresh("s").integers(1000, size=5)
+        second = streams.fresh("s").integers(1000, size=5)
+        assert (first == second).all()
+
+    def test_get_continues_where_left_off(self):
+        streams = RngStreams(2)
+        gen = streams.get("s")
+        first = gen.integers(1000, size=5)
+        second = streams.get("s").integers(1000, size=5)
+        assert not (first == second).all()
+
+    def test_child_namespaces_are_independent(self):
+        root = RngStreams(5)
+        a = root.child("n1").get("x").integers(1000, size=8)
+        b = root.child("n2").get("x").integers(1000, size=8)
+        assert not (a == b).all()
+
+    def test_child_deterministic(self):
+        a = RngStreams(5).child("n").get("x").integers(1000, size=8)
+        b = RngStreams(5).child("n").get("x").integers(1000, size=8)
+        assert (a == b).all()
+
+    def test_names_lists_created_streams(self):
+        streams = RngStreams(0)
+        streams.get("b")
+        streams.get("a")
+        assert list(streams.names()) == ["a", "b"]
+
+    def test_repr_mentions_seed(self):
+        assert "seed=4" in repr(RngStreams(4))
+
+
+class TestChoiceWithoutReplacement:
+    def test_respects_exclusion(self, rng):
+        for _ in range(20):
+            picks = choice_without_replacement(rng, list(range(10)), 3, exclude=5)
+            assert 5 not in picks
+
+    def test_distinct_picks(self, rng):
+        picks = choice_without_replacement(rng, list(range(10)), 10)
+        assert sorted(picks) == list(range(10))
+
+    def test_oversample_rejected(self, rng):
+        with pytest.raises(ValueError):
+            choice_without_replacement(rng, [1, 2], 3)

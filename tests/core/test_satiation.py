@@ -1,0 +1,110 @@
+"""Tests for satiation functions, including the monotonicity law."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.core.satiation import (
+    CompleteSetSatiation,
+    CountSatiation,
+    RankSatiation,
+    ThresholdSatiation,
+)
+
+
+class TestCompleteSetSatiation:
+    def test_satiated_only_with_full_set(self):
+        sat = CompleteSetSatiation(universe=range(4))
+        assert not sat.is_satiated(0, 0, frozenset({0, 1, 2}))
+        assert sat.is_satiated(0, 0, frozenset({0, 1, 2, 3}))
+
+    def test_superset_is_satiated(self):
+        sat = CompleteSetSatiation(universe={1, 2})
+        assert sat.is_satiated(0, 0, frozenset({1, 2, 99}))
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompleteSetSatiation(universe=())
+
+    def test_describe(self):
+        assert "3 tokens" in CompleteSetSatiation(range(3)).describe()
+
+
+class TestCountSatiation:
+    def test_threshold_count(self):
+        sat = CountSatiation(needed=3)
+        assert not sat.is_satiated(0, 0, frozenset({1, 2}))
+        assert sat.is_satiated(0, 0, frozenset({1, 2, 3}))
+
+    def test_zero_needed_always_satiated(self):
+        assert CountSatiation(0).is_satiated(0, 0, frozenset())
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CountSatiation(-1)
+
+
+class TestThresholdSatiation:
+    def test_wealth_threshold(self):
+        sat = ThresholdSatiation(threshold=2)
+        assert not sat.is_satiated(0, 0, frozenset({("coin", 1)}))
+        assert sat.is_satiated(0, 0, frozenset({("coin", 1), ("coin", 2)}))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdSatiation(-1)
+
+
+class TestRankSatiation:
+    def test_full_rank_satiates(self):
+        sat = RankSatiation(dimension=2)
+        assert sat.is_satiated(0, 0, frozenset({(1, 0), (0, 1)}))
+
+    def test_dependent_vectors_do_not(self):
+        sat = RankSatiation(dimension=2)
+        assert not sat.is_satiated(0, 0, frozenset({(1, 1)}))
+
+    def test_mixed_combinations_satiate(self):
+        sat = RankSatiation(dimension=3)
+        assert sat.is_satiated(0, 0, frozenset({(1, 1, 0), (0, 1, 1), (1, 0, 0)}))
+
+    def test_empty_never_satiated(self):
+        assert not RankSatiation(3).is_satiated(0, 0, frozenset())
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RankSatiation(0)
+
+
+# ----------------------------------------------------------------------
+# The law every satiation function must obey (paper Section 3: sat is
+# a *monotone* function): gaining tokens never unsatiates.
+# ----------------------------------------------------------------------
+
+token_sets = st.frozensets(st.integers(min_value=0, max_value=9), max_size=10)
+
+
+@given(tokens=token_sets, extra=token_sets)
+def test_complete_set_monotone(tokens, extra):
+    sat = CompleteSetSatiation(universe=range(10))
+    if sat.is_satiated(0, 0, tokens):
+        assert sat.is_satiated(0, 0, tokens | extra)
+
+
+@given(tokens=token_sets, extra=token_sets, needed=st.integers(0, 10))
+def test_count_monotone(tokens, extra, needed):
+    sat = CountSatiation(needed)
+    if sat.is_satiated(0, 0, tokens):
+        assert sat.is_satiated(0, 0, tokens | extra)
+
+
+bit_vectors = st.frozensets(
+    st.tuples(*[st.integers(0, 1)] * 4), max_size=8
+)
+
+
+@given(vectors=bit_vectors, extra=bit_vectors)
+def test_rank_monotone(vectors, extra):
+    sat = RankSatiation(dimension=4)
+    if sat.is_satiated(0, 0, vectors):
+        assert sat.is_satiated(0, 0, vectors | extra)

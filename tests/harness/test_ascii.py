@@ -1,0 +1,80 @@
+"""Tests for ASCII rendering."""
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.metrics import TimeSeries
+from repro.harness.ascii import render_chart, render_series_table, render_table
+
+
+def series(label, points):
+    ts = TimeSeries(label)
+    for x, y in points:
+        ts.append(x, y)
+    return ts
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bee"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_width_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_table(["a"], [[1, 2]])
+
+
+class TestRenderSeriesTable:
+    def test_columns_per_series(self):
+        curves = {
+            "crash": series("crash", [(0.1, 0.9), (0.2, 0.8)]),
+            "ideal": series("ideal", [(0.1, 0.7), (0.2, 0.5)]),
+        }
+        text = render_series_table(curves, x_label="frac")
+        assert "crash" in text and "ideal" in text
+        assert "0.100" in text
+        assert "0.700" in text
+
+    def test_mismatched_grids_rejected(self):
+        curves = {
+            "a": series("a", [(0.1, 1.0)]),
+            "b": series("b", [(0.2, 1.0)]),
+        }
+        with pytest.raises(AnalysisError):
+            render_series_table(curves)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_series_table({})
+
+
+class TestRenderChart:
+    def test_contains_glyphs_and_threshold(self):
+        curves = {
+            "crash": series("crash", [(0.1, 0.99), (0.2, 0.95), (0.3, 0.5)]),
+            "ideal": series("ideal", [(0.1, 0.8), (0.2, 0.6), (0.3, 0.3)]),
+        }
+        chart = render_chart(curves, threshold=0.93)
+        assert "C" in chart and "I" in chart
+        assert "-" in chart
+        assert "C=crash" in chart
+
+    def test_duplicate_glyph_resolved(self):
+        curves = {
+            "crash": series("crash", [(0.1, 0.9)]),
+            "cut": series("cut", [(0.1, 0.5)]),
+        }
+        chart = render_chart(curves)
+        legend = chart.splitlines()[-1]
+        assert "C=crash" in legend and "D=cut" in legend
+
+    def test_height_validated(self):
+        with pytest.raises(AnalysisError):
+            render_chart({"a": series("a", [(0, 1)])}, height=2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_chart({})

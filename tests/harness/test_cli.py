@@ -1,0 +1,38 @@
+"""Tests for the lotus-eater CLI."""
+
+import pytest
+
+from repro.harness.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["--fast", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of Nodes" in out
+        assert "baseline delivery" in out
+
+    def test_figure1_fast(self, capsys):
+        assert main(["--fast", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Crash attack" in out
+        assert "crossover below 93%" in out
+
+    def test_tokenmodel(self, capsys):
+        assert main(["tokenmodel"]) == 0
+        out = capsys.readouterr().out
+        assert "rare token" in out
+
+    def test_scrip(self, capsys):
+        assert main(["scrip"]) == 0
+        out = capsys.readouterr().out
+        assert "money injection" in out
+
+    def test_bittorrent(self, capsys):
+        assert main(["bittorrent"]) == 0
+        out = capsys.readouterr().out
+        assert "upload satiation" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

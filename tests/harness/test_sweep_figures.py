@@ -1,0 +1,106 @@
+"""Tests for the sweep harness and figure regeneration (reduced scale)."""
+
+import pytest
+
+from repro.bargossip.config import GossipConfig
+from repro.core.errors import AnalysisError
+from repro.harness.figures import attack_curve, crossovers, figure1, figure3
+from repro.harness.sweep import sweep, sweep_series
+from repro.harness.tables import baseline_check, render_table1, table1_rows
+from repro.bargossip.attacker import AttackKind
+
+
+class TestSweep:
+    def test_grid_and_repetitions(self):
+        calls = []
+
+        def run_one(x, seed):
+            calls.append((x, seed))
+            return x * 2
+
+        points = sweep([1.0, 2.0], run_one, repetitions=3, root_seed=0)
+        assert len(points) == 2
+        assert points[0].mean == pytest.approx(2.0)
+        assert points[0].samples == 3
+        assert len(calls) == 6
+        # repetition seeds differ
+        assert len({seed for _, seed in calls}) == 6
+
+    def test_none_samples_dropped(self):
+        def run_one(x, seed):
+            return None if seed % 2 == 0 else x
+
+        points = sweep([5.0], run_one, repetitions=4, root_seed=0)
+        assert 1 <= points[0].samples <= 4
+
+    def test_all_none_raises(self):
+        with pytest.raises(AnalysisError):
+            sweep([1.0], lambda x, s: None)
+
+    def test_bad_repetitions(self):
+        with pytest.raises(AnalysisError):
+            sweep([1.0], lambda x, s: x, repetitions=0)
+
+    def test_sweep_series(self):
+        ts = sweep_series("lbl", [0.1, 0.2], lambda x, s: 1 - x)
+        assert ts.label == "lbl"
+        assert ts.ys == [pytest.approx(0.9), pytest.approx(0.8)]
+
+    def test_deterministic(self):
+        def run_one(x, seed):
+            return (seed % 1000) / 1000.0
+
+        a = sweep([1.0], run_one, repetitions=2, root_seed=5)
+        b = sweep([1.0], run_one, repetitions=2, root_seed=5)
+        assert a == b
+
+
+class TestFigures:
+    FRACTIONS = (0.1, 0.3)
+
+    def test_attack_curve_shape(self, small_gossip):
+        curve = attack_curve(
+            small_gossip, AttackKind.CRASH, self.FRACTIONS, rounds=20
+        )
+        assert len(curve) == 2
+        assert all(0.0 <= y <= 1.0 for y in curve.ys)
+
+    def test_figure1_has_three_curves(self, small_gossip):
+        curves = figure1(small_gossip, fractions=self.FRACTIONS, rounds=20)
+        assert set(curves) == {
+            "Crash attack", "Ideal lotus-eater attack", "Trade lotus-eater attack",
+        }
+
+    def test_figure1_attack_ordering(self, small_gossip):
+        """At a common fraction: ideal <= trade <= crash delivery."""
+        curves = figure1(small_gossip, fractions=(0.15,), rounds=25)
+        ideal = curves["Ideal lotus-eater attack"].ys[0]
+        trade = curves["Trade lotus-eater attack"].ys[0]
+        crash = curves["Crash attack"].ys[0]
+        assert ideal <= trade <= crash
+
+    def test_figure3_has_four_variants(self, small_gossip):
+        curves = figure3(small_gossip, fractions=self.FRACTIONS, rounds=20)
+        assert len(curves) == 4
+        assert "push 4, unbalanced" in curves
+
+    def test_crossovers(self, small_gossip):
+        curves = figure1(small_gossip, fractions=(0.05, 0.3), rounds=20)
+        result = crossovers(curves)
+        assert set(result) == set(curves)
+        for value in result.values():
+            assert value is None or 0.05 <= value <= 0.3
+
+
+class TestTable1:
+    def test_rows_match_paper(self):
+        rows = table1_rows()
+        assert all(paper == ours for _, paper, ours in rows)
+
+    def test_render_contains_values(self):
+        text = render_table1()
+        assert "250" in text and "12" in text
+
+    def test_baseline_check(self, small_gossip):
+        check = baseline_check(small_gossip, rounds=25, seed=1)
+        assert check["delivery_fraction"] > check["usability_threshold"]

@@ -1,0 +1,175 @@
+"""Tests for the reputation substrate and rating-inflation attacks."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.reputation import (
+    RatingInflationAttack,
+    ReputationConfig,
+    ReputationSystem,
+    sybils_needed,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_agents", 1),
+            ("decay", 0.0),
+            ("decay", 1.5),
+            ("admission_bar", -1.0),
+            ("target", 0.4),  # must exceed admission bar
+            ("rating_value", 0.0),
+            ("ability", 0.0),
+            ("initial_reputation", -1.0),
+            ("rater_cap", 0.0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ReputationConfig().replace(**{field: value})
+
+    def test_gamma_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ReputationConfig(gamma=0.1, alpha=0.2)
+
+    def test_small_profile(self):
+        assert ReputationConfig.small().n_agents < ReputationConfig.paper().n_agents
+
+
+class TestDynamics:
+    def test_healthy_baseline(self):
+        system = ReputationSystem(ReputationConfig.small(), seed=1)
+        for _ in range(3000):
+            system.step()
+        assert system.service_rate() > 0.8
+
+    def test_decay_without_service(self):
+        """With every request denied, reputation only decays."""
+        config = ReputationConfig.small().replace(
+            initial_reputation=0.4, admission_bar=0.5, target=2.0
+        )
+        system = ReputationSystem(config, seed=1)
+        start = system.total_reputation()
+        for _ in range(500):
+            system.step()
+        assert system.served == 0
+        assert system.total_reputation() < start
+
+    def test_determinism(self):
+        a = ReputationSystem(ReputationConfig.small(), seed=4)
+        b = ReputationSystem(ReputationConfig.small(), seed=4)
+        for _ in range(500):
+            a.step()
+            b.step()
+        assert a.served == b.served
+        assert [x.reputation for x in a.agents] == [x.reputation for x in b.agents]
+
+    def test_satiated_agents_do_not_volunteer(self):
+        config = ReputationConfig.small()
+        system = ReputationSystem(config, seed=1)
+        agent = system.agents[0]
+        agent.reputation = config.target + 1
+        assert agent.is_satiated and not agent.volunteers()
+
+    def test_admission_bar_denies_freeloaders(self):
+        config = ReputationConfig.small().replace(
+            initial_reputation=0.0, admission_bar=1.0, target=2.0
+        )
+        system = ReputationSystem(config, seed=1)
+        for _ in range(50):
+            system.step()
+        assert system.denied_admission == system.requests
+
+    def test_rating_cap_limits_minting(self):
+        config = ReputationConfig.small().replace(rater_cap=0.5)
+        system = ReputationSystem(config, seed=1)
+        credited = system.rate("sybil:0", 0, 2.0)
+        assert credited == pytest.approx(0.5)
+        # the same rater is spent for this round
+        assert system.rate("sybil:0", 1, 2.0) == 0.0
+        # a different rater still can
+        assert system.rate("sybil:1", 1, 2.0) == pytest.approx(0.5)
+
+    def test_negative_rating_rejected(self):
+        system = ReputationSystem(ReputationConfig.small(), seed=1)
+        with pytest.raises(ConfigurationError):
+            system.rate("x", 0, -1.0)
+
+
+class TestAttack:
+    def test_uncapped_single_sybil_satiates_everything(self):
+        """Reputation is minted, not conserved: without normalization
+        one Sybil's ratings satiate any number of targets."""
+        config = ReputationConfig.paper()
+        system = ReputationSystem(config, seed=1)
+        attack = RatingInflationAttack(targets=range(70), n_sybils=1)
+        attack.install(system)
+        baseline = ReputationSystem(config, seed=1)
+        for _ in range(4000):
+            system.step()
+            baseline.step()
+        assert system.satiated_fraction() > 0.9
+        assert system.service_rate() < baseline.service_rate() * 0.7
+
+    def test_rater_cap_restores_a_budget(self):
+        """With EigenTrust-style caps, one Sybil cannot hold 70 targets."""
+        config = ReputationConfig.paper().replace(rater_cap=0.2)
+        system = ReputationSystem(config, seed=1)
+        attack = RatingInflationAttack(targets=range(70), n_sybils=1)
+        attack.install(system)
+        for _ in range(4000):
+            system.step()
+        assert system.satiated_fraction() < 0.5
+        assert system.service_rate() > 0.7
+
+    def test_enough_sybils_overwhelm_the_cap(self):
+        config = ReputationConfig.paper().replace(rater_cap=0.2)
+        need = sybils_needed(70, config.target, config.decay, 0.2)
+        system = ReputationSystem(config, seed=1)
+        attack = RatingInflationAttack(targets=range(70), n_sybils=need + 2)
+        attack.install(system)
+        for _ in range(4000):
+            system.step()
+        assert system.satiated_fraction() > 0.6
+
+    def test_injection_tracked(self):
+        config = ReputationConfig.small()
+        system = ReputationSystem(config, seed=1)
+        attack = RatingInflationAttack(targets=[0], n_sybils=1)
+        attack.install(system)
+        for _ in range(100):
+            system.step()
+        assert attack.reputation_minted > 0
+        assert system.injected_reputation == pytest.approx(attack.reputation_minted)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RatingInflationAttack(targets=[])
+        with pytest.raises(ConfigurationError):
+            RatingInflationAttack(targets=[0], n_sybils=0)
+        system = ReputationSystem(ReputationConfig.small(), seed=1)
+        bad = RatingInflationAttack(targets=[10**6])
+        with pytest.raises(ConfigurationError):
+            bad.install(system)
+
+
+class TestSybilBudget:
+    def test_scales_with_targets(self):
+        few = sybils_needed(10, 3.0, 0.997, 0.2)
+        many = sybils_needed(100, 3.0, 0.997, 0.2)
+        assert many > few
+
+    def test_zero_targets(self):
+        assert sybils_needed(0, 3.0, 0.997, 0.2) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sybils_needed(-1, 3.0, 0.997, 0.2)
+        with pytest.raises(ConfigurationError):
+            sybils_needed(1, 3.0, 0.0, 0.2)
+        with pytest.raises(ConfigurationError):
+            sybils_needed(1, 3.0, 0.997, 0.0)
+        with pytest.raises(ConfigurationError):
+            sybils_needed(1, -3.0, 0.997, 0.2)

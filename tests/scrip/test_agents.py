@@ -1,0 +1,73 @@
+"""Tests for scrip agent strategies."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scrip.agents import AltruistAgent, HoarderAgent, ThresholdAgent
+
+
+class TestThresholdAgent:
+    def test_volunteers_below_threshold(self):
+        agent = ThresholdAgent(agent_id=0, balance=3, threshold=4)
+        assert agent.volunteers(price=1)
+
+    def test_satiated_at_threshold(self):
+        """At the threshold the agent's demands are met — it stops."""
+        agent = ThresholdAgent(agent_id=0, balance=4, threshold=4)
+        assert not agent.volunteers(price=1)
+        assert agent.is_satiated
+
+    def test_charges(self):
+        assert ThresholdAgent(agent_id=0, threshold=2).charges()
+
+    def test_credit_debit(self):
+        agent = ThresholdAgent(agent_id=0, balance=2, threshold=4)
+        agent.credit(3)
+        assert agent.balance == 5
+        agent.debit(1)
+        assert agent.balance == 4
+
+    def test_debit_beyond_balance_rejected(self):
+        agent = ThresholdAgent(agent_id=0, balance=1, threshold=4)
+        with pytest.raises(ConfigurationError):
+            agent.debit(2)
+
+    def test_negative_amounts_rejected(self):
+        agent = ThresholdAgent(agent_id=0, balance=1, threshold=4)
+        with pytest.raises(ConfigurationError):
+            agent.credit(-1)
+        with pytest.raises(ConfigurationError):
+            agent.debit(-1)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdAgent(agent_id=0, threshold=0)
+
+    def test_capabilities_default_all(self):
+        agent = ThresholdAgent(agent_id=0, threshold=2)
+        assert agent.can_serve(0) and agent.can_serve(99)
+
+    def test_capabilities_restrict(self):
+        agent = ThresholdAgent(agent_id=0, threshold=2, capabilities=frozenset({1}))
+        assert agent.can_serve(1) and not agent.can_serve(0)
+
+
+class TestAltruistAgent:
+    def test_always_volunteers_never_charges(self):
+        agent = AltruistAgent(agent_id=0, balance=10**6)
+        assert agent.volunteers(price=1)
+        assert not agent.charges()
+
+    def test_never_satiated(self):
+        """Altruists are the a > 0 of the scrip world."""
+        assert not AltruistAgent(agent_id=0, balance=10**9).is_satiated
+
+
+class TestHoarderAgent:
+    def test_always_volunteers_and_charges(self):
+        agent = HoarderAgent(agent_id=0)
+        assert agent.volunteers(price=1)
+        assert agent.charges()
+
+    def test_never_requests_paid_service(self):
+        assert not HoarderAgent(agent_id=0, balance=100).wants_service(price=1)

@@ -1,0 +1,86 @@
+"""Tests for scrip-economy analysis (best response, altruist sweep)."""
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.scrip.analysis import (
+    altruist_sweep,
+    best_response_threshold,
+    measure_economy,
+)
+from repro.scrip.config import ScripConfig
+from repro.scrip.system import ScripSystem
+
+
+class TestMeasureEconomy:
+    def test_report_fields(self, small_scrip):
+        report = measure_economy(ScripSystem(small_scrip, seed=1), rounds=500)
+        assert 0.0 <= report.service_rate <= 1.0
+        assert 0.0 <= report.satiated_fraction <= 1.0
+        assert report.money_supply == small_scrip.money_supply
+        assert report.injected_scrip == 0
+        assert report.rounds == 500
+
+    def test_warmup_excluded(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        report = measure_economy(system, rounds=100, warmup=50)
+        assert system.requests == 150
+        assert report.rounds == 100
+
+    def test_zero_rounds_rejected(self, small_scrip):
+        with pytest.raises(AnalysisError):
+            measure_economy(ScripSystem(small_scrip, seed=1), rounds=0)
+
+
+class TestBestResponse:
+    def test_threshold_structure(self):
+        """The threshold-strategy structure the paper assumes: a
+        moderate buffer strictly beats no buffer (a broke agent misses
+        service), while hoarding far beyond the spending rate buys
+        nothing (discounting caps the value of deep stock)."""
+        config = ScripConfig(n_agents=30, initial_balance=2, threshold=4, ability=0.5)
+        totals = {1: 0.0, 3: 0.0, 16: 0.0}
+        for seed in range(6):
+            utilities = best_response_threshold(
+                config, candidates=list(totals), rounds=8000, seed=seed,
+                discount=0.995,
+            )
+            for candidate, value in utilities.items():
+                totals[candidate] += value
+        assert totals[3] > totals[1] * 1.05
+        assert totals[16] <= totals[3] * 1.05
+
+    def test_invalid_discount_rejected(self, small_scrip):
+        with pytest.raises(AnalysisError):
+            best_response_threshold(small_scrip, candidates=[2], discount=1.5)
+
+    def test_returns_all_candidates(self, small_scrip):
+        utilities = best_response_threshold(
+            small_scrip, candidates=[2, 3], rounds=1000, seed=0
+        )
+        assert set(utilities) == {2, 3}
+
+
+class TestAltruistSweep:
+    def test_free_share_rises_with_altruists(self, small_scrip):
+        reports = altruist_sweep(
+            small_scrip, altruist_counts=[0, 10], rounds=3000, warmup=300, seed=0
+        )
+        assert reports[0].free_service_share == 0.0
+        assert reports[1].free_service_share > 0.5
+
+    def test_altruists_crowd_out_paid_sector(self, small_scrip):
+        """The crash mechanism: with many altruists, almost nothing is
+        paid for any more — rational agents stop earning."""
+        reports = altruist_sweep(
+            small_scrip, altruist_counts=[0, 15], rounds=3000, warmup=300, seed=0
+        )
+        paid_share_none = 1.0 - reports[0].free_service_share
+        paid_share_many = 1.0 - reports[1].free_service_share
+        assert paid_share_many < paid_share_none * 0.3
+
+    def test_report_per_count(self, small_scrip):
+        reports = altruist_sweep(
+            small_scrip, altruist_counts=[0, 2, 4], rounds=500, warmup=0, seed=0
+        )
+        assert len(reports) == 3

@@ -1,0 +1,149 @@
+"""Tests for money-based lotus-eater attacks and their bounds."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scrip.analysis import measure_economy
+from repro.scrip.attacks import (
+    FreeServiceAttack,
+    MoneyInjectionAttack,
+    satiation_budget,
+    satiation_holdings,
+)
+from repro.scrip.config import ScripConfig
+from repro.scrip.system import ScripSystem, build_rare_resource_agents
+
+
+class TestMoneyInjection:
+    def test_targets_become_satiated(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = MoneyInjectionAttack(targets=[0, 1], top_up_to=small_scrip.threshold)
+        attack.install(system)
+        system.step()
+        assert system.agents[0].is_satiated
+        assert system.agents[1].is_satiated
+
+    def test_budget_caps_injection(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = MoneyInjectionAttack(
+            targets=range(10), top_up_to=small_scrip.threshold, budget=3
+        )
+        attack.install(system)
+        for _ in range(200):
+            system.step()
+        assert attack.total_injected <= 3
+        assert system.injected_scrip <= 3
+
+    def test_unlimited_budget_reports_none(self):
+        attack = MoneyInjectionAttack(targets=[0], top_up_to=3)
+        assert attack.remaining_budget() is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MoneyInjectionAttack(targets=[], top_up_to=3)
+        with pytest.raises(ConfigurationError):
+            MoneyInjectionAttack(targets=[0], top_up_to=0)
+        with pytest.raises(ConfigurationError):
+            MoneyInjectionAttack(targets=[0], top_up_to=3, budget=-1)
+
+    def test_unknown_target_rejected_at_install(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = MoneyInjectionAttack(targets=[10**6], top_up_to=3)
+        with pytest.raises(ConfigurationError):
+            attack.install(system)
+
+    def test_rare_provider_attack_denies_the_resource(self):
+        """Satiating the few rare-type providers kills that service
+        while the rest of the economy keeps running."""
+        config = ScripConfig.paper().replace(
+            n_resource_types=4, type_weights=(0.32, 0.32, 0.32, 0.04)
+        )
+        providers = [0, 1, 2]
+
+        def run(budget):
+            system = ScripSystem(
+                config,
+                agents=build_rare_resource_agents(config, 3, providers),
+                seed=1,
+            )
+            if budget:
+                attack = MoneyInjectionAttack(
+                    providers, top_up_to=config.threshold, budget=budget
+                )
+                attack.install(system)
+            measure_economy(system, rounds=2000, warmup=200)
+            return system
+
+        clean = run(budget=0)
+        attacked = run(budget=60)
+        assert attacked.service_rate_of_type(3) < clean.service_rate_of_type(3) * 0.6
+        # the common types stay within a modest band of the baseline
+        assert attacked.service_rate_of_type(0) > clean.service_rate_of_type(0) * 0.8
+
+
+class TestFreeService:
+    def test_refunds_target_payments(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = FreeServiceAttack(
+            targets=range(small_scrip.n_agents), initial_top_up=0
+        )
+        attack.install(system)
+        for _ in range(500):
+            system.step()
+        # every payment by a target was refunded next round
+        paid_rounds = sum(1 for outcome in system.history if outcome.paid)
+        assert attack.spent == pytest.approx(paid_rounds, abs=1)
+
+    def test_budget_respected(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = FreeServiceAttack(targets=[0], budget=2, initial_top_up=5)
+        attack.install(system)
+        for _ in range(100):
+            system.step()
+        assert attack.spent <= 2
+
+    def test_initial_top_up_satiates(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        attack = FreeServiceAttack(
+            targets=[0], initial_top_up=small_scrip.threshold
+        )
+        attack.install(system)
+        system.step()
+        assert system.agents[0].is_satiated
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FreeServiceAttack(targets=[])
+        with pytest.raises(ConfigurationError):
+            FreeServiceAttack(targets=[0], budget=-1)
+
+
+class TestSatiationBudget:
+    def test_budget_formula(self):
+        assert satiation_budget(50, threshold=4, initial_balance=2) == 100
+
+    def test_zero_when_already_satiated(self):
+        assert satiation_budget(10, threshold=2, initial_balance=5) == 0
+
+    def test_negative_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            satiation_budget(-1, 4, 2)
+
+    def test_fixed_supply_defense_quantified(self):
+        """Paper Section 4: there may not be enough money in the
+        system to satiate a significant fraction of the nodes."""
+        config = ScripConfig(n_agents=100, initial_balance=2, threshold=4)
+        # keeping 80% satiated pins more scrip than exists
+        assert satiation_holdings(80, config.threshold) > config.money_supply
+        # the feasibility frontier matches max_satiable_fraction
+        frontier = int(config.max_satiable_fraction() * config.n_agents)
+        assert satiation_holdings(frontier, config.threshold) <= config.money_supply
+        assert satiation_holdings(
+            frontier + 1, config.threshold
+        ) > config.money_supply
+
+    def test_holdings_validation(self):
+        with pytest.raises(ConfigurationError):
+            satiation_holdings(-1, 4)
+        with pytest.raises(ConfigurationError):
+            satiation_holdings(1, -4)

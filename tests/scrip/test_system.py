@@ -1,0 +1,176 @@
+"""Tests for the scrip economy dynamics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import ConfigurationError
+from repro.scrip.agents import AltruistAgent, ThresholdAgent
+from repro.scrip.config import ScripConfig
+from repro.scrip.system import ScripSystem, build_agents, build_rare_resource_agents
+
+
+class TestConfig:
+    def test_money_supply(self, small_scrip):
+        assert small_scrip.money_supply == 40
+
+    def test_max_satiable_fraction(self):
+        config = ScripConfig(n_agents=100, initial_balance=2, threshold=4)
+        assert config.max_satiable_fraction() == pytest.approx(0.5)
+
+    def test_max_satiable_fraction_clamped(self):
+        config = ScripConfig(n_agents=10, initial_balance=10, threshold=4)
+        assert config.max_satiable_fraction() == 1.0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("n_agents", 1),
+            ("initial_balance", -1),
+            ("threshold", 0),
+            ("ability", 0.0),
+            ("alpha", -0.1),
+            ("price", 0),
+            ("n_resource_types", 0),
+        ],
+    )
+    def test_validation(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ScripConfig().replace(**{field: value})
+
+    def test_gamma_must_exceed_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ScripConfig(gamma=0.1, alpha=0.2)
+
+    def test_type_weights_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScripConfig(n_resource_types=2, type_weights=(1.0,))
+        with pytest.raises(ConfigurationError):
+            ScripConfig(n_resource_types=2, type_weights=(-1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            ScripConfig(n_resource_types=2, type_weights=(0.0, 0.0))
+
+    def test_normalized_weights(self):
+        config = ScripConfig(n_resource_types=2, type_weights=(3.0, 1.0))
+        assert config.normalized_type_weights() == (0.75, 0.25)
+
+    def test_uniform_weights_default(self):
+        config = ScripConfig(n_resource_types=4)
+        assert config.normalized_type_weights() == (0.25,) * 4
+
+
+class TestBuildAgents:
+    def test_default_population(self, small_scrip):
+        agents = build_agents(small_scrip)
+        assert len(agents) == small_scrip.n_agents
+        assert all(isinstance(agent, ThresholdAgent) for agent in agents)
+
+    def test_altruists_and_hoarders(self, small_scrip):
+        agents = build_agents(small_scrip, altruists=2, hoarders=3)
+        kinds = [type(agent).__name__ for agent in agents]
+        assert kinds.count("AltruistAgent") == 2
+        assert kinds.count("HoarderAgent") == 3
+
+    def test_over_allocation_rejected(self, small_scrip):
+        with pytest.raises(ConfigurationError):
+            build_agents(small_scrip, altruists=15, hoarders=15)
+
+    def test_rare_resource_population(self):
+        config = ScripConfig(n_agents=10, n_resource_types=3)
+        agents = build_rare_resource_agents(config, rare_type=2, rare_providers=[0, 1])
+        assert agents[0].can_serve(2)
+        assert not agents[5].can_serve(2)
+        assert agents[5].can_serve(0)
+
+    def test_rare_resource_validation(self):
+        config = ScripConfig(n_agents=10, n_resource_types=3)
+        with pytest.raises(ConfigurationError):
+            build_rare_resource_agents(config, rare_type=5, rare_providers=[0])
+        with pytest.raises(ConfigurationError):
+            build_rare_resource_agents(config, rare_type=1, rare_providers=[])
+        with pytest.raises(ConfigurationError):
+            build_rare_resource_agents(config, rare_type=1, rare_providers=[99])
+        with pytest.raises(ConfigurationError):
+            build_rare_resource_agents(
+                ScripConfig(n_agents=10), rare_type=0, rare_providers=[0]
+            )
+
+
+class TestDynamics:
+    def test_money_conserved_without_injection(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        supply = system.total_money()
+        for _ in range(500):
+            system.step()
+        assert system.total_money() == supply
+        assert system.injected_scrip == 0
+
+    def test_injection_tracked(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        supply = system.total_money()
+        system.inject(0, 7)
+        assert system.total_money() == supply + 7
+        assert system.injected_scrip == 7
+
+    def test_service_happens(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        for _ in range(500):
+            system.step()
+        assert system.served > 0
+        assert 0.0 < system.service_rate() <= 1.0
+
+    def test_requests_counted(self, small_scrip):
+        system = ScripSystem(small_scrip, seed=1)
+        for _ in range(100):
+            system.step()
+        assert system.requests == 100
+        assert len(system.history) == 100
+
+    def test_free_service_preferred(self, small_scrip):
+        """A requester never pays when an altruist offers for free."""
+        agents = build_agents(small_scrip, altruists=small_scrip.n_agents - 1)
+        system = ScripSystem(small_scrip, agents=agents, seed=1)
+        for _ in range(300):
+            system.step()
+        assert system.served > 0
+        assert system.served_free == system.served
+
+    def test_determinism(self, small_scrip):
+        a = ScripSystem(small_scrip, seed=3)
+        b = ScripSystem(small_scrip, seed=3)
+        for _ in range(200):
+            a.step()
+            b.step()
+        assert a.balances() == b.balances()
+        assert a.served == b.served
+
+    def test_agent_count_validated(self, small_scrip):
+        with pytest.raises(ConfigurationError):
+            ScripSystem(small_scrip, agents=build_agents(small_scrip)[:-1])
+
+    def test_per_type_rates(self):
+        config = ScripConfig.small().replace(n_resource_types=2)
+        system = ScripSystem(config, seed=1)
+        for _ in range(400):
+            system.step()
+        assert system.requests_by_type[0] + system.requests_by_type[1] == 400
+        for resource_type in (0, 1):
+            assert 0.0 <= system.service_rate_of_type(resource_type) <= 1.0
+
+    def test_unserved_when_all_satiated(self):
+        """If every able provider is satiated, the request fails."""
+        config = ScripConfig(n_agents=5, initial_balance=9, threshold=4, ability=1.0)
+        system = ScripSystem(config, seed=1)
+        system.step()
+        assert system.served == 0
+        assert system.satiated_fraction() == 1.0
+
+
+@settings(deadline=None, max_examples=15)
+@given(seed=st.integers(0, 10**6), rounds=st.integers(1, 300))
+def test_property_money_conservation(seed, rounds):
+    """Trade moves scrip but never creates or destroys it."""
+    config = ScripConfig.small()
+    system = ScripSystem(config, seed=seed)
+    for _ in range(rounds):
+        system.step()
+    assert system.total_money() == config.money_supply

@@ -1,0 +1,101 @@
+"""Tests for structural attack analysis (rarity, cuts)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.core.graphs import grid_column_cut, grid_graph
+from repro.tokenmodel.analysis import (
+    attack_cost_report,
+    cheapest_vertex_cut,
+    cut_denies_tokens,
+    rarest_tokens,
+    token_rarity,
+)
+from repro.tokenmodel.system import TokenSystem, rare_token_allocation
+
+
+def rare_system():
+    graph = grid_graph(4, 4)
+    allocation = rare_token_allocation(
+        graph, n_tokens=4, copies_per_common_token=3,
+        rare_token=1, rare_holder=5, rng=np.random.default_rng(0),
+    )
+    return TokenSystem.complete_collection(graph, 4, allocation)
+
+
+class TestRarity:
+    def test_token_rarity_counts(self):
+        system = rare_system()
+        rarity = token_rarity(system)
+        assert rarity[1] == 1
+        assert all(rarity[token] == 3 for token in (0, 2, 3))
+
+    def test_rarest_tokens(self):
+        assert rarest_tokens(rare_system(), limit=1) == [1]
+
+    def test_rarest_tokens_limit(self):
+        assert len(rarest_tokens(rare_system(), limit=3)) == 3
+
+    def test_rarest_tokens_bad_limit(self):
+        with pytest.raises(AnalysisError):
+            rarest_tokens(rare_system(), limit=0)
+
+
+class TestCuts:
+    def test_cheapest_vertex_cut_separates(self):
+        graph = grid_graph(4, 4)
+        cut = cheapest_vertex_cut(graph, 0, 15)
+        assert 1 <= len(cut) <= 4
+        remaining = graph.copy()
+        remaining.remove_nodes_from(cut)
+        import networkx as nx
+        assert not nx.has_path(remaining, 0, 15)
+
+    def test_cut_endpoints_validated(self):
+        graph = grid_graph(3, 3)
+        with pytest.raises(AnalysisError):
+            cheapest_vertex_cut(graph, 0, 0)
+        with pytest.raises(AnalysisError):
+            cheapest_vertex_cut(graph, 0, 1)  # adjacent
+        with pytest.raises(AnalysisError):
+            cheapest_vertex_cut(graph, 0, 99)
+
+    def test_cut_denies_tokens(self):
+        graph = grid_graph(4, 4)
+        # both tokens live in column 0
+        allocation = {0: frozenset({0}), 12: frozenset({1})}
+        system = TokenSystem.complete_collection(graph, 2, allocation)
+        denied = cut_denies_tokens(system, set(grid_column_cut(4, 4, 1)))
+        # exactly one starved component (the right side), missing both tokens
+        assert len(denied) == 1
+        assert set(next(iter(denied.values()))) == {0, 1}
+
+    def test_harmless_cut(self):
+        graph = grid_graph(4, 4)
+        # a copy of each token on both sides
+        allocation = {
+            0: frozenset({0, 1}),
+            15: frozenset({0, 1}),
+        }
+        system = TokenSystem.complete_collection(graph, 2, allocation)
+        denied = cut_denies_tokens(system, set(grid_column_cut(4, 4, 1)))
+        assert denied == {}
+
+
+class TestAttackCostReport:
+    def test_report_fields(self):
+        report = attack_cost_report(rare_system())
+        assert report["rarest_token"] == 1
+        assert report["rarest_copies"] == 1
+        assert report["min_degree"] == 2  # grid corners
+        assert report["tokens_at_single_node"] == ["1"]
+
+    def test_well_spread_system_reports_no_single_node_tokens(self):
+        graph = grid_graph(4, 4)
+        from repro.tokenmodel.system import uniform_allocation
+        allocation = uniform_allocation(graph, 4, 5, np.random.default_rng(0))
+        system = TokenSystem.complete_collection(graph, 4, allocation)
+        report = attack_cost_report(system)
+        assert report["tokens_at_single_node"] == []
+        assert report["rarest_copies"] == 5

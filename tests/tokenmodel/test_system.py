@@ -1,0 +1,108 @@
+"""Tests for the (G, T, sat, f, c, a) system description."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.graphs import grid_graph
+from repro.core.errors import ConfigurationError
+from repro.tokenmodel.system import (
+    TokenSystem,
+    rare_token_allocation,
+    uniform_allocation,
+)
+
+
+def tiny_system(**overrides):
+    graph = grid_graph(3, 3)
+    defaults = dict(
+        graph=graph,
+        n_tokens=4,
+        allocation={0: frozenset({0, 1}), 8: frozenset({2, 3})},
+    )
+    defaults.update(overrides)
+    return TokenSystem.complete_collection(**defaults)
+
+
+class TestValidation:
+    def test_valid_system(self):
+        system = tiny_system()
+        assert system.n_nodes == 9
+        assert system.tokens == frozenset(range(4))
+
+    def test_disconnected_graph_rejected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            TokenSystem.complete_collection(
+                graph, 2, {0: frozenset({0}), 2: frozenset({1})}
+            )
+
+    def test_unknown_node_in_allocation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_system(allocation={99: frozenset({0, 1, 2, 3})})
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_system(allocation={0: frozenset({0, 1, 2, 3, 99})})
+
+    def test_unallocated_token_rejected(self):
+        """A token nobody holds can never spread — fail fast."""
+        with pytest.raises(ConfigurationError):
+            tiny_system(allocation={0: frozenset({0, 1, 2})})
+
+    def test_bad_contacts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_system(contacts_per_round=0)
+
+    def test_bad_altruism_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_system(altruism=1.5)
+
+    def test_initial_tokens_of(self):
+        system = tiny_system()
+        assert system.initial_tokens_of(0) == frozenset({0, 1})
+        assert system.initial_tokens_of(4) == frozenset()
+
+    def test_holders_of(self):
+        system = tiny_system()
+        assert list(system.holders_of(0)) == [0]
+
+
+class TestAllocations:
+    def test_uniform_allocation_copy_counts(self):
+        graph = grid_graph(5, 5)
+        allocation = uniform_allocation(
+            graph, n_tokens=6, copies_per_token=4, rng=np.random.default_rng(0)
+        )
+        counts = {token: 0 for token in range(6)}
+        for held in allocation.values():
+            for token in held:
+                counts[token] += 1
+        assert all(count == 4 for count in counts.values())
+
+    def test_uniform_allocation_bad_copies(self):
+        graph = grid_graph(2, 2)
+        with pytest.raises(ConfigurationError):
+            uniform_allocation(graph, 2, 5, np.random.default_rng(0))
+
+    def test_rare_token_allocation_has_single_holder(self):
+        graph = grid_graph(5, 5)
+        allocation = rare_token_allocation(
+            graph, n_tokens=5, copies_per_common_token=3,
+            rare_token=2, rare_holder=7, rng=np.random.default_rng(0),
+        )
+        holders = [node for node, held in allocation.items() if 2 in held]
+        assert holders == [7]
+
+    def test_rare_token_default_holder(self):
+        graph = grid_graph(3, 3)
+        allocation = rare_token_allocation(graph, 3, 2, rare_token=0)
+        assert 0 in allocation[0]
+
+    def test_rare_token_validation(self):
+        graph = grid_graph(3, 3)
+        with pytest.raises(ConfigurationError):
+            rare_token_allocation(graph, 3, 2, rare_token=5)
+        with pytest.raises(ConfigurationError):
+            rare_token_allocation(graph, 3, 2, rare_token=0, rare_holder=99)
