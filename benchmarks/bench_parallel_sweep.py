@@ -1,0 +1,56 @@
+"""Benchmark the sweep executor itself: pool fan-out and cache reuse.
+
+Unlike the figure benchmarks (which measure the simulator), this file
+measures the orchestration layer: Figure 1's fast profile executed
+serially, through a worker pool, and from a warm result cache.  The
+parity assertions double as an integration check that parallelism and
+caching never change what is computed.
+"""
+
+from repro.bargossip.config import GossipConfig
+from repro.harness.cache import ResultCache
+from repro.harness.figures import FAST_FRACTIONS, figure1
+from repro.harness.parallel import SweepExecutor
+
+from conftest import emit
+
+
+def _run(executor=None, rounds=30):
+    return figure1(
+        GossipConfig.paper(),
+        fractions=FAST_FRACTIONS,
+        rounds=rounds,
+        executor=executor,
+    )
+
+
+def test_serial_reference(benchmark, bench_rounds):
+    curves = benchmark.pedantic(
+        lambda: _run(rounds=bench_rounds), rounds=1, iterations=1
+    )
+    assert set(curves) == {
+        "Crash attack", "Ideal lotus-eater attack", "Trade lotus-eater attack",
+    }
+
+
+def test_pool_parity(benchmark, bench_rounds):
+    serial = _run(rounds=bench_rounds)
+    executor = SweepExecutor(jobs=0)  # one worker per CPU
+    pooled = benchmark.pedantic(
+        lambda: _run(executor=executor, rounds=bench_rounds), rounds=1, iterations=1
+    )
+    emit("pool stats", repr(executor))
+    for label in serial:
+        assert pooled[label].ys == serial[label].ys
+
+
+def test_warm_cache(benchmark, bench_rounds, tmp_path):
+    executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    cold = _run(executor=executor, rounds=bench_rounds)  # populate
+    warm = benchmark.pedantic(
+        lambda: _run(executor=executor, rounds=bench_rounds), rounds=1, iterations=1
+    )
+    emit("cache stats", repr(executor))
+    assert executor.cells_cached == executor.cells_executed  # full reuse
+    for label in cold:
+        assert warm[label].ys == cold[label].ys

@@ -1,0 +1,178 @@
+"""The ``lotus-eater bench`` benchmark: figures timed, summarized, serialized.
+
+Runs the figure suite (fast profile by default) twice — once serially,
+once through a parallel :class:`~repro.harness.parallel.SweepExecutor`
+— verifies the two produce identical series (the executor's core
+guarantee), and writes a machine-readable ``BENCH_summary.json`` that
+CI uploads as a workflow artifact.  The summary records wall-clock per
+figure, parallel speedup, and the delivery metrics a reviewer needs to
+spot a regression without rerunning anything: per-curve usability
+crossovers and the delivery at the largest attacker fraction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Callable, Dict, Optional
+
+from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
+from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
+from .parallel import SweepExecutor, resolve_jobs
+from .tables import baseline_check
+
+__all__ = ["BENCH_FIGURES", "run_bench", "render_bench_summary", "write_bench_summary"]
+
+#: The figure builders exercised by the benchmark, in report order.
+BENCH_FIGURES: Dict[str, Callable[..., Dict[str, TimeSeries]]] = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+}
+
+
+def _series_payload(curves: Dict[str, TimeSeries]) -> Dict[str, Any]:
+    """Delivery metrics for one figure's curves, JSON-ready."""
+    return {
+        label: {
+            "xs": list(series.xs),
+            "ys": list(series.ys),
+            "crossover_below_threshold": series.crossover_below(),
+            "delivery_at_max_fraction": series.ys[-1] if series.ys else None,
+        }
+        for label, series in curves.items()
+    }
+
+
+def _curves_equal(a: Dict[str, TimeSeries], b: Dict[str, TimeSeries]) -> bool:
+    return (
+        set(a) == set(b)
+        and all(a[k].xs == b[k].xs and a[k].ys == b[k].ys for k in a)
+    )
+
+
+def run_bench(
+    fast: bool = True,
+    jobs: Optional[int] = None,
+    repetitions: int = 1,
+    root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+) -> Dict[str, Any]:
+    """Run the benchmark suite and return the summary dictionary.
+
+    ``executor`` supplies the parallel pass; when None, a pool-backed
+    executor with ``jobs`` workers is built (and closed before
+    returning).  Pass an *uncached* executor — the serial reference
+    pass always runs uncached on one core, so a cache-backed parallel
+    pass would report cache speedup, not executor speedup (the CLI's
+    ``bench`` command always benches uncached for this reason).
+    """
+    fractions = FAST_FRACTIONS if fast else DEFAULT_FRACTIONS
+    rounds = 30 if fast else 50
+    own_executor = executor is None
+    if executor is None:
+        executor = SweepExecutor(jobs=resolve_jobs(jobs))
+    executor.warm_up()  # keep pool spin-up out of figure1's timing
+
+    figures: Dict[str, Any] = {}
+    total_serial = 0.0
+    total_parallel = 0.0
+    for name, builder in BENCH_FIGURES.items():
+        serial_start = time.perf_counter()
+        serial_curves = builder(
+            fractions=fractions,
+            rounds=rounds,
+            repetitions=repetitions,
+            root_seed=root_seed,
+        )
+        serial_seconds = time.perf_counter() - serial_start
+
+        parallel_start = time.perf_counter()
+        parallel_curves = builder(
+            fractions=fractions,
+            rounds=rounds,
+            repetitions=repetitions,
+            root_seed=root_seed,
+            executor=executor,
+        )
+        parallel_seconds = time.perf_counter() - parallel_start
+
+        total_serial += serial_seconds
+        total_parallel += parallel_seconds
+        figures[name] = {
+            "wall_clock_serial_s": serial_seconds,
+            "wall_clock_parallel_s": parallel_seconds,
+            "speedup_vs_serial": (
+                serial_seconds / parallel_seconds if parallel_seconds > 0 else None
+            ),
+            "parallel_matches_serial": _curves_equal(serial_curves, parallel_curves),
+            "crossovers": crossovers(parallel_curves),
+            "curves": _series_payload(parallel_curves),
+        }
+
+    baseline = baseline_check(rounds=rounds, seed=root_seed, executor=executor)
+    executor_stats = executor.stats()
+    if own_executor:
+        executor.close()
+    return {
+        "profile": "fast" if fast else "full",
+        "fractions": list(fractions),
+        "rounds": rounds,
+        "repetitions": repetitions,
+        "root_seed": root_seed,
+        "usability_threshold": USABILITY_THRESHOLD,
+        "baseline_delivery_fraction": baseline["delivery_fraction"],
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "executor": executor_stats,
+        "figures": figures,
+        "totals": {
+            "wall_clock_serial_s": total_serial,
+            "wall_clock_parallel_s": total_parallel,
+            "speedup_vs_serial": (
+                total_serial / total_parallel if total_parallel > 0 else None
+            ),
+        },
+    }
+
+
+def render_bench_summary(summary: Dict[str, Any]) -> str:
+    """A short human-readable digest of :func:`run_bench` output."""
+    lines = [
+        f"profile={summary['profile']} jobs={summary['executor']['jobs']} "
+        f"rounds={summary['rounds']} repetitions={summary['repetitions']}",
+    ]
+    for name, report in summary["figures"].items():
+        speedup = report["speedup_vs_serial"]
+        match = "ok" if report["parallel_matches_serial"] else "MISMATCH"
+        lines.append(
+            f"{name}: serial {report['wall_clock_serial_s']:.2f}s, "
+            f"parallel {report['wall_clock_parallel_s']:.2f}s "
+            f"({speedup:.2f}x, parity {match})"
+        )
+    totals = summary["totals"]
+    lines.append(
+        f"total: serial {totals['wall_clock_serial_s']:.2f}s, "
+        f"parallel {totals['wall_clock_parallel_s']:.2f}s "
+        f"({totals['speedup_vs_serial']:.2f}x)"
+    )
+    lines.append(
+        f"baseline delivery {summary['baseline_delivery_fraction']:.3f} "
+        f"(threshold {summary['usability_threshold']:.2f}); "
+        f"cells executed {summary['executor']['cells_executed']}, "
+        f"cached {summary['executor']['cells_cached']}"
+    )
+    return "\n".join(lines)
+
+
+def write_bench_summary(summary: Dict[str, Any], path: str) -> str:
+    """Serialize ``summary`` to ``path`` as indented JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,228 @@
+"""Content-addressed on-disk store for sweep cell results.
+
+Every cell of a sweep — one ``run_one(x, seed)`` evaluation — is a pure
+function of the experiment name, the task configuration, the grid
+point, and the seed.  That makes its result safely cacheable under a
+stable content hash of exactly those inputs: repeated sweeps (and CI
+re-runs of the benchmark suite) skip every cell they have already
+computed, while *any* change to the configuration changes the key and
+transparently invalidates the entry.
+
+Records are small JSON files sharded into two-level subdirectories
+(``<root>/<key[:2]>/<key>.json``) so a cache of tens of thousands of
+cells stays friendly to ordinary filesystems.  Writes are atomic
+(temp file + :func:`os.replace`), so a sweep interrupted mid-write
+never leaves a truncated record behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from ..core.errors import AnalysisError
+
+__all__ = [
+    "fingerprint_of",
+    "canonical_json",
+    "cell_key",
+    "CellRecord",
+    "ResultCache",
+]
+
+_KEY_BYTES = 16
+
+
+def fingerprint_of(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable structure for hashing.
+
+    Dataclasses become ``{"<qualified name>": {field: ...}}`` so two
+    config classes with coincidentally equal fields never collide;
+    enums become their values; tuples become lists.  Anything else must
+    already be JSON-serializable.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: fingerprint_of(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        return {f"{type(obj).__module__}.{type(obj).__qualname__}": fields}
+    if isinstance(obj, enum.Enum):
+        return fingerprint_of(obj.value)
+    if isinstance(obj, (list, tuple)):
+        return [fingerprint_of(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): fingerprint_of(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise AnalysisError(
+        f"cannot fingerprint {type(obj).__name__!r} for cache keying"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, no NaN."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def cell_key(experiment: str, fingerprint: Any, x: float, seed: int) -> str:
+    """Stable content hash identifying one sweep cell."""
+    payload = canonical_json(
+        {
+            "experiment": experiment,
+            "fingerprint": fingerprint_of(fingerprint),
+            "x": float(x),
+            "seed": int(seed),
+        }
+    )
+    digest = hashlib.blake2b(payload.encode("utf-8"), digest_size=_KEY_BYTES)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One cached cell result.
+
+    ``value`` may legitimately be None (``run_one`` dropped the
+    sample), which is why cache lookups return a record object rather
+    than the bare value: a missing entry and a cached None must stay
+    distinguishable.
+    """
+
+    value: Optional[float]
+    experiment: str
+    x: float
+    seed: int
+    created: float
+
+
+class ResultCache:
+    """A directory of content-addressed sweep cell records.
+
+    Parameters
+    ----------
+    root:
+        Directory to store records under; created lazily on first
+        write.  Two caches pointed at the same directory share entries.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives on disk."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CellRecord]:
+        """Return the cached record for ``key``, or None on a miss.
+
+        A corrupt record (truncated, hand-edited, wrong schema) counts
+        as a miss and is removed so the slot can be recomputed.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+            value = raw["value"]
+            if not (
+                value is None
+                or (isinstance(value, (int, float)) and not isinstance(value, bool))
+            ):
+                raise TypeError(f"bad cached value {value!r}")
+            record = CellRecord(
+                value=value if value is None else float(value),
+                experiment=str(raw["experiment"]),
+                x=float(raw["x"]),
+                seed=int(raw["seed"]),
+                created=float(raw["created"]),
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(
+        self,
+        key: str,
+        value: Optional[float],
+        experiment: str,
+        x: float,
+        seed: int,
+    ) -> CellRecord:
+        """Atomically persist one cell result under ``key``."""
+        record = CellRecord(
+            value=None if value is None else float(value),
+            experiment=experiment,
+            x=float(x),
+            seed=int(seed),
+            created=time.time(),
+        )
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(dataclasses.asdict(record), sort_keys=True)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return record
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over all record keys currently on disk."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                # Path.glob("*.json") matches dotfiles too; skip any
+                # orphaned .tmp-* left by a killed writer.
+                if path.name.startswith("."):
+                    continue
+                yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for key in list(self.keys()):
+            self.path_for(key).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime hit/miss counters for this cache object."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(root={str(self.root)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -3,39 +3,78 @@
 Installed as ``lotus-eater`` (see ``pyproject.toml``)::
 
     lotus-eater table1
-    lotus-eater figure1 --fast
+    lotus-eater figure1 --fast --jobs 4
     lotus-eater figure2
     lotus-eater figure3 --seed 7
     lotus-eater tokenmodel
     lotus-eater scrip
     lotus-eater bittorrent
+    lotus-eater bench --fast --output BENCH_summary.json
+
+Sweep-based commands (the figures, ``table1``'s baseline, ``bench``)
+fan their (grid-point, seed) cells across ``--jobs`` worker processes
+and cache cell results content-addressed under ``--cache-dir`` (default
+``$LOTUS_EATER_CACHE_DIR`` or ``.lotus-eater-cache``), so repeated runs
+skip every already-computed simulation.  ``--no-cache`` disables the
+store; parallel output is bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..core.errors import ReproError
 from ..core.metrics import USABILITY_THRESHOLD
 from .ascii import render_chart, render_series_table, render_table
+from .bench import render_bench_summary, run_bench, write_bench_summary
+from .cache import ResultCache
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
+from .parallel import SweepExecutor
 from .tables import baseline_check, render_table1
 
-__all__ = ["main"]
+__all__ = ["main", "build_executor"]
+
+#: Cache directory used when neither --cache-dir nor the environment
+#: variable overrides it.
+DEFAULT_CACHE_DIR = ".lotus-eater-cache"
+
+
+def build_executor(args: argparse.Namespace) -> SweepExecutor:
+    """The sweep executor implied by --jobs / --cache-dir / --no-cache."""
+    cache: Optional[ResultCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get(
+            "LOTUS_EATER_CACHE_DIR", DEFAULT_CACHE_DIR
+        )
+        cache = ResultCache(cache_dir)
+    return SweepExecutor(jobs=1 if args.jobs is None else args.jobs, cache=cache)
+
+
+def _report_executor(executor: SweepExecutor) -> None:
+    stats = executor.stats()
+    print(
+        f"[sweep] jobs={stats['jobs']} cells executed={stats['cells_executed']} "
+        f"cached={stats['cells_cached']}",
+        file=sys.stderr,
+    )
 
 
 def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
     fractions = FAST_FRACTIONS if args.fast else DEFAULT_FRACTIONS
     rounds = 30 if args.fast else 50
-    curves = builder(
-        fractions=fractions,
-        rounds=rounds,
-        repetitions=args.repetitions,
-        root_seed=args.seed,
-    )
+    with build_executor(args) as executor:
+        curves = builder(
+            fractions=fractions,
+            rounds=rounds,
+            repetitions=args.repetitions,
+            root_seed=args.seed,
+            executor=executor,
+        )
     print(render_series_table(curves, x_label="attacker fraction"))
     print()
     print(render_chart(curves, threshold=USABILITY_THRESHOLD))
@@ -45,12 +84,49 @@ def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
         for label, value in crossovers(curves).items()
     ]
     print(render_table(["curve", "crossover below 93%"], rows))
+    _report_executor(executor)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Deliberately NOT build_executor(args): bench measures the
+    # executor, so its parallel pass must never be served from the
+    # result cache (a warm cache would report absurd speedups).  A
+    # bare `lotus-eater bench` also defaults to one worker per CPU —
+    # benching with jobs=1 would compare serial against serial.
+    jobs = 0 if args.jobs is None else args.jobs
+    with SweepExecutor(jobs=jobs) as executor:
+        summary = run_bench(
+            fast=args.fast,
+            jobs=jobs,
+            repetitions=args.repetitions,
+            root_seed=args.seed,
+            executor=executor,
+        )
+    print(render_bench_summary(summary))
+    path = write_bench_summary(summary, args.output)
+    print(f"wrote {path}", file=sys.stderr)
+    mismatched = [
+        name
+        for name, report in summary["figures"].items()
+        if not report["parallel_matches_serial"]
+    ]
+    if mismatched:
+        print(
+            f"parallel/serial mismatch in: {', '.join(mismatched)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     print(render_table1())
-    check = baseline_check(rounds=30 if args.fast else 50, seed=args.seed)
+    check = baseline_check(
+        rounds=30 if args.fast else 50,
+        seed=args.seed,
+        executor=build_executor(args),
+    )
     print()
     print(
         f"baseline delivery (no attack): {check['delivery_fraction']:.3f} "
@@ -162,6 +238,15 @@ def _cmd_bittorrent(args: argparse.Namespace) -> int:
     return 0
 
 
+def _jobs_value(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lotus-eater",
@@ -175,8 +260,34 @@ def _build_parser() -> argparse.ArgumentParser:
         "--repetitions", type=int, default=1, help="seeds averaged per grid point"
     )
     parser.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=None,
+        help="worker processes for sweep cells (0 = one per CPU; "
+        "default 1, except 'bench' which defaults to one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $LOTUS_EATER_CACHE_DIR "
+        f"or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_summary.json",
+        help="where 'bench' writes its JSON summary",
+    )
+    parser.add_argument(
         "command",
-        choices=["table1", "figure1", "figure2", "figure3", "tokenmodel", "scrip", "bittorrent"],
+        choices=[
+            "table1", "figure1", "figure2", "figure3",
+            "tokenmodel", "scrip", "bittorrent", "bench",
+        ],
         help="which experiment to regenerate",
     )
     return parser
@@ -184,7 +295,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
     commands: Dict[str, Callable[[argparse.Namespace], int]] = {
         "table1": _cmd_table1,
         "figure1": lambda a: _figure_command(figure1, a),
@@ -193,8 +305,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tokenmodel": _cmd_tokenmodel,
         "scrip": _cmd_scrip,
         "bittorrent": _cmd_bittorrent,
+        "bench": _cmd_bench,
     }
-    return commands[args.command](args)
+    try:
+        return commands[args.command](args)
+    except (ReproError, OSError) as error:
+        # Bad flag combinations and unwritable cache dirs surface here;
+        # a traceback would bury the one line the user needs.
+        print(f"lotus-eater: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,18 +15,22 @@ fidelity used for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
 from ..bargossip.defenses import figure3_variants, with_larger_pushes
 from ..bargossip.simulator import run_gossip_experiment
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
+from .cache import fingerprint_of
+from .parallel import SweepExecutor
 from .sweep import sweep_series
 
 __all__ = [
     "DEFAULT_FRACTIONS",
     "FAST_FRACTIONS",
+    "GossipSweepTask",
     "attack_curve",
     "figure1",
     "figure2",
@@ -44,6 +48,36 @@ DEFAULT_FRACTIONS: Tuple[float, ...] = (
 FAST_FRACTIONS: Tuple[float, ...] = (0.02, 0.04, 0.08, 0.15, 0.22, 0.30, 0.42, 0.55)
 
 
+@dataclass(frozen=True)
+class GossipSweepTask:
+    """A picklable ``run_one(fraction, seed)`` for gossip sweeps.
+
+    The sweep executor ships this object to worker processes (a plain
+    closure over ``config`` would not pickle) and hashes
+    :meth:`cache_fingerprint` into result-cache keys, so changing any
+    configuration field transparently invalidates cached cells.
+    """
+
+    config: GossipConfig
+    kind: AttackKind
+    rounds: int
+    metric: str = "isolated_fraction"
+
+    def __call__(self, fraction: float, seed: int) -> Optional[float]:
+        result = run_gossip_experiment(
+            self.config, self.kind, fraction, seed=seed, rounds=self.rounds
+        )
+        return getattr(result, self.metric)
+
+    def cache_fingerprint(self) -> Dict[str, Any]:
+        return {
+            "config": fingerprint_of(self.config),
+            "kind": self.kind.value,
+            "rounds": self.rounds,
+            "metric": self.metric,
+        }
+
+
 def attack_curve(
     config: GossipConfig,
     kind: AttackKind,
@@ -52,21 +86,17 @@ def attack_curve(
     repetitions: int = 1,
     root_seed: int = 0,
     label: Optional[str] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> TimeSeries:
     """One curve: isolated-node delivery vs attacker fraction."""
-
-    def run_one(fraction: float, seed: int) -> Optional[float]:
-        result = run_gossip_experiment(
-            config, kind, fraction, seed=seed, rounds=rounds
-        )
-        return result.isolated_fraction
-
     return sweep_series(
         label=label or f"{kind.value} attack",
         grid=fractions,
-        run_one=run_one,
+        run_one=GossipSweepTask(config=config, kind=kind, rounds=rounds),
         repetitions=repetitions,
         root_seed=root_seed,
+        executor=executor,
+        experiment=f"attack_curve:{kind.value}",
     )
 
 
@@ -76,6 +106,7 @@ def figure1(
     rounds: int = 50,
     repetitions: int = 1,
     root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 1: crash vs ideal vs trade lotus-eater attack.
 
@@ -86,15 +117,15 @@ def figure1(
     return {
         "Crash attack": attack_curve(
             config, AttackKind.CRASH, fractions, rounds, repetitions, root_seed,
-            label="Crash attack",
+            label="Crash attack", executor=executor,
         ),
         "Ideal lotus-eater attack": attack_curve(
             config, AttackKind.IDEAL, fractions, rounds, repetitions, root_seed,
-            label="Ideal lotus-eater attack",
+            label="Ideal lotus-eater attack", executor=executor,
         ),
         "Trade lotus-eater attack": attack_curve(
             config, AttackKind.TRADE, fractions, rounds, repetitions, root_seed,
-            label="Trade lotus-eater attack",
+            label="Trade lotus-eater attack", executor=executor,
         ),
     }
 
@@ -106,6 +137,7 @@ def figure2(
     rounds: int = 50,
     repetitions: int = 1,
     root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 2: the same three attacks with a larger optimistic push.
 
@@ -119,6 +151,7 @@ def figure2(
         rounds=rounds,
         repetitions=repetitions,
         root_seed=root_seed,
+        executor=executor,
     )
 
 
@@ -128,6 +161,7 @@ def figure3(
     rounds: int = 50,
     repetitions: int = 1,
     root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 3: trade attack vs push size and exchange-balance defenses.
 
@@ -146,6 +180,7 @@ def figure3(
             repetitions,
             root_seed,
             label=name,
+            executor=executor,
         )
     return curves
 

@@ -1,0 +1,255 @@
+"""Parallel execution of sweep cells with deterministic reduction.
+
+A figure sweep is a grid of attacker fractions crossed with per-point
+repetition seeds; every (grid-point, seed) *cell* is an independent
+simulator run.  :class:`SweepExecutor` fans those cells across a
+:mod:`multiprocessing` pool and reduces the results back into grid
+order, so parallel output is bit-identical to serial output: each cell
+is a pure function of ``(x, seed)``, and the reduction is keyed by the
+cell's position, never by completion order.
+
+Design constraints baked in here:
+
+* **Picklable task specs** — the ``run_one`` callable travels inside
+  each cell payload (tasks are tiny specs — a module-level function
+  or a dataclass with ``__call__`` such as
+  :class:`repro.harness.figures.GossipSweepTask` — so re-pickling one
+  per cell is negligible next to a simulator run, and the long-lived
+  pool stays reusable across different tasks).  Closures and lambdas
+  are detected up front and transparently executed serially
+  in-process instead, so exploratory code keeps working.
+* **Chunked scheduling** — cells are handed to workers in contiguous
+  chunks (default: ~4 chunks per worker) to amortize IPC overhead on
+  fine-grained grids.
+* **Result caching** — when the executor carries a
+  :class:`~repro.harness.cache.ResultCache` and the task exposes a
+  ``cache_fingerprint()``, cells already on disk are served from the
+  cache and only the misses are dispatched to the pool.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.errors import AnalysisError
+from .cache import ResultCache, cell_key
+
+__all__ = ["SweepCell", "SweepExecutor", "resolve_jobs"]
+
+#: A cell whose result is absent (distinct from a legitimate None value).
+_MISSING = object()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means one per CPU."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise AnalysisError(f"jobs must be >= 0 (0 = all CPUs), got {jobs}")
+    return int(jobs)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work: a grid point and a seed."""
+
+    x: float
+    seed: int
+
+
+def _run_cell(
+    payload: Tuple[Callable[[float, int], Optional[float]], int, float, int],
+) -> Tuple[int, Optional[float]]:
+    """Pool worker body: one cell in, (index, value) out.
+
+    The task travels inside the payload (it is a tiny picklable spec,
+    so re-pickling it per cell is negligible next to a simulator run);
+    this keeps one long-lived pool reusable across different tasks.
+    """
+    run_one, index, x, seed = payload
+    return index, run_one(x, seed)
+
+
+def _is_picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class SweepExecutor:
+    """Runs sweep cells serially or across a process pool, with caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; 1 runs in-process (no pool), None or 0
+        uses every CPU.
+    cache:
+        Optional :class:`ResultCache`.  Only consulted for tasks that
+        expose ``cache_fingerprint()`` *and* calls that pass an
+        ``experiment`` name — arbitrary callables cannot be content-
+        addressed safely.
+    chunk_size:
+        Cells per pool task; defaults to ~4 chunks per worker.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name ("fork",
+        "spawn", "forkserver"); None uses the platform default.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        if chunk_size is not None and chunk_size < 1:
+            raise AnalysisError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+        #: Cells actually executed (cache hits excluded), lifetime total.
+        self.cells_executed = 0
+        #: Cells served from the cache, lifetime total.
+        self.cells_cached = 0
+        # Lazily created on the first parallel _execute and reused for
+        # every subsequent map() — a figure is several curves and a
+        # bench run several figures, so per-call pools would pay
+        # worker spin-up (an interpreter start each, under spawn)
+        # many times per run.
+        self._pool: Optional["multiprocessing.pool.Pool"] = None
+
+    def map(
+        self,
+        run_one: Callable[[float, int], Optional[float]],
+        cells: Sequence[SweepCell],
+        experiment: Optional[str] = None,
+    ) -> List[Optional[float]]:
+        """Evaluate ``run_one`` over ``cells``, preserving cell order.
+
+        The returned list is positionally aligned with ``cells`` and is
+        identical whatever the ``jobs`` setting: parallelism never
+        changes *what* is computed, only *where*.
+        """
+        results: List[object] = [_MISSING] * len(cells)
+        keys: List[Optional[str]] = [None] * len(cells)
+
+        fingerprint_fn = getattr(run_one, "cache_fingerprint", None)
+        use_cache = (
+            self.cache is not None
+            and experiment is not None
+            and callable(fingerprint_fn)
+        )
+        if use_cache:
+            fingerprint = fingerprint_fn()
+            for index, cell in enumerate(cells):
+                key = cell_key(experiment, fingerprint, cell.x, cell.seed)
+                keys[index] = key
+                record = self.cache.get(key)
+                if record is not None:
+                    results[index] = record.value
+                    self.cells_cached += 1
+
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(cells)
+            if results[index] is _MISSING
+        ]
+        if pending:
+            values = self._execute(run_one, [cell for _, cell in pending])
+            for (index, cell), value in zip(pending, values):
+                results[index] = value
+                if use_cache:
+                    self.cache.put(
+                        keys[index], value, experiment, cell.x, cell.seed
+                    )
+            self.cells_executed += len(pending)
+        assert all(value is not _MISSING for value in results)
+        return list(results)  # type: ignore[arg-type]
+
+    def _execute(
+        self,
+        run_one: Callable[[float, int], Optional[float]],
+        cells: Sequence[SweepCell],
+    ) -> List[Optional[float]]:
+        """Run the non-cached cells, serially or on the pool."""
+        if self.jobs <= 1 or len(cells) <= 1 or not _is_picklable(run_one):
+            return [run_one(cell.x, cell.seed) for cell in cells]
+
+        payloads = [
+            (run_one, index, cell.x, cell.seed)
+            for index, cell in enumerate(cells)
+        ]
+        chunk = self.chunk_size or max(
+            1, math.ceil(len(payloads) / (self.jobs * 4))
+        )
+        indexed = self._get_pool().map(_run_cell, payloads, chunksize=chunk)
+        # pool.map already preserves submission order; reduce by the
+        # explicit index anyway so determinism never rests on pool
+        # internals.
+        values: List[Optional[float]] = [None] * len(cells)
+        seen = 0
+        for index, value in indexed:
+            values[index] = value
+            seen += 1
+        if seen != len(cells):
+            raise AnalysisError(
+                f"pool returned {seen} results for {len(cells)} cells"
+            )
+        return values
+
+    def _get_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            context = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing
+            )
+            self._pool = context.Pool(processes=self.jobs)
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Pre-create the worker pool (no-op when jobs == 1).
+
+        Call before timing parallel work so worker spin-up — a full
+        interpreter start per worker under the spawn method — is not
+        charged to the first measured sweep.
+        """
+        if self.jobs > 1:
+            self._get_pool()
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; a later map() reopens it)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        """Lifetime counters: executed vs cache-served cells."""
+        return {
+            "jobs": self.jobs,
+            "cells_executed": self.cells_executed,
+            "cells_cached": self.cells_cached,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepExecutor(jobs={self.jobs}, "
+            f"cache={'on' if self.cache is not None else 'off'}, "
+            f"executed={self.cells_executed}, cached={self.cells_cached})"
+        )

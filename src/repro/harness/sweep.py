@@ -5,16 +5,22 @@ nodes the attacker controls) against one response (delivery to
 isolated nodes).  This module factors the pattern: run a callable over
 a grid, repeat each point across derived seeds, and aggregate mean and
 a 95% confidence half-width.
+
+Execution is delegated to a :class:`~repro.harness.parallel.SweepExecutor`:
+by default a serial in-process one, but callers can pass an executor
+with a worker pool and a result cache and every (grid-point, seed)
+cell fans out while the reduction stays bit-identical to serial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..core.errors import AnalysisError
 from ..core.metrics import TimeSeries, confidence_interval_95
 from ..core.rng import spawn_seeds
+from .parallel import SweepCell, SweepExecutor
 
 __all__ = ["SweepPoint", "sweep", "sweep_series"]
 
@@ -34,20 +40,35 @@ def sweep(
     run_one: Callable[[float, int], Optional[float]],
     repetitions: int = 1,
     root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+    experiment: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Evaluate ``run_one(x, seed)`` over ``grid`` with repetitions.
 
     ``run_one`` may return None (e.g. no isolated nodes exist at that
     point); such samples are dropped, and a point with no valid sample
     raises — silently empty figure points would hide broken configs.
+
+    ``executor`` controls where cells run (and whether they are served
+    from a result cache); ``experiment`` names the sweep for cache
+    keying.  The per-repetition seeds are spawned from ``root_seed``
+    exactly as in serial execution, so results do not depend on the
+    executor's job count.
     """
     if repetitions < 1:
         raise AnalysisError(f"repetitions must be >= 1, got {repetitions}")
-    points: List[SweepPoint] = []
+    grid = list(grid)  # the grid is iterated twice; accept one-shot iterables
+    executor = executor if executor is not None else SweepExecutor(jobs=1)
+    cells: List[SweepCell] = []
     for x in grid:
-        seeds = spawn_seeds(root_seed, repetitions, label=f"sweep:{x}")
-        values = [run_one(x, seed) for seed in seeds]
-        valid = [value for value in values if value is not None]
+        for seed in spawn_seeds(root_seed, repetitions, label=f"sweep:{x}"):
+            cells.append(SweepCell(x=float(x), seed=seed))
+    values = executor.map(run_one, cells, experiment=experiment)
+
+    points: List[SweepPoint] = []
+    for index, x in enumerate(grid):
+        samples = values[index * repetitions : (index + 1) * repetitions]
+        valid = [value for value in samples if value is not None]
         if not valid:
             raise AnalysisError(f"no valid samples at grid point {x}")
         center, half_width = confidence_interval_95(valid)
@@ -63,9 +84,19 @@ def sweep_series(
     run_one: Callable[[float, int], Optional[float]],
     repetitions: int = 1,
     root_seed: int = 0,
+    executor: Optional[SweepExecutor] = None,
+    experiment: Optional[str] = None,
 ) -> TimeSeries:
     """Like :func:`sweep` but packaged as a plottable TimeSeries."""
     series = TimeSeries(label=label)
-    for point in sweep(grid, run_one, repetitions=repetitions, root_seed=root_seed):
+    points = sweep(
+        grid,
+        run_one,
+        repetitions=repetitions,
+        root_seed=root_seed,
+        executor=executor,
+        experiment=experiment,
+    )
+    for point in points:
         series.append(point.x, point.mean)
     return series

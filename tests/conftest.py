@@ -8,6 +8,16 @@ from repro.scrip.config import ScripConfig
 from repro.bittorrent.config import SwarmConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path, monkeypatch):
+    """Point the CLI's default result cache at a per-test temp dir.
+
+    Without this, tests that invoke ``lotus-eater`` commands would
+    drop ``.lotus-eater-cache`` into the working directory.
+    """
+    monkeypatch.setenv("LOTUS_EATER_CACHE_DIR", str(tmp_path / "lotus-cache"))
+
+
 @pytest.fixture
 def rng():
     """A fresh deterministic generator per test."""

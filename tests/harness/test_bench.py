@@ -1,0 +1,71 @@
+"""Tests for the bench subcommand and its JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.harness.bench import (
+    BENCH_FIGURES,
+    render_bench_summary,
+    run_bench,
+    write_bench_summary,
+)
+from repro.harness.cli import main
+from repro.harness.parallel import SweepExecutor
+
+
+@pytest.fixture(scope="module")
+def summary():
+    """One fast bench run shared by the assertions below."""
+    return run_bench(fast=True, executor=SweepExecutor(jobs=1))
+
+
+class TestRunBench:
+    def test_covers_every_figure(self, summary):
+        assert set(summary["figures"]) == set(BENCH_FIGURES)
+
+    def test_parallel_matches_serial(self, summary):
+        for report in summary["figures"].values():
+            assert report["parallel_matches_serial"] is True
+
+    def test_timings_present(self, summary):
+        for report in summary["figures"].values():
+            assert report["wall_clock_serial_s"] > 0
+            assert report["wall_clock_parallel_s"] > 0
+            assert report["speedup_vs_serial"] > 0
+        assert summary["totals"]["wall_clock_serial_s"] > 0
+
+    def test_delivery_metrics_present(self, summary):
+        for report in summary["figures"].values():
+            for curve in report["curves"].values():
+                assert len(curve["xs"]) == len(curve["ys"]) > 0
+                assert 0.0 <= curve["delivery_at_max_fraction"] <= 1.0
+        assert summary["baseline_delivery_fraction"] > summary["usability_threshold"]
+
+    def test_summary_is_json_serializable(self, summary, tmp_path):
+        path = write_bench_summary(summary, str(tmp_path / "BENCH_summary.json"))
+        loaded = json.loads((tmp_path / "BENCH_summary.json").read_text())
+        assert loaded["profile"] == "fast"
+        assert path.endswith("BENCH_summary.json")
+
+    def test_render_summary(self, summary):
+        text = render_bench_summary(summary)
+        assert "figure1" in text
+        assert "baseline delivery" in text
+
+
+class TestBenchCli:
+    def test_bench_writes_artifact(self, tmp_path, capsys, monkeypatch):
+        # One figure is enough to exercise the CLI path; the module
+        # fixture above already benches the full suite.
+        monkeypatch.setattr(
+            "repro.harness.bench.BENCH_FIGURES",
+            {"figure1": BENCH_FIGURES["figure1"]},
+        )
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "BENCH_summary.json"
+        assert main(["--fast", "--no-cache", "--output", str(out), "bench"]) == 0
+        assert out.exists()
+        loaded = json.loads(out.read_text())
+        assert set(loaded["figures"]) == {"figure1"}
+        assert "total" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import pytest
+
+from repro.bargossip.attacker import AttackKind
+from repro.bargossip.config import GossipConfig
+from repro.core.errors import AnalysisError
+from repro.harness.cache import (
+    ResultCache,
+    canonical_json,
+    cell_key,
+    fingerprint_of,
+)
+from repro.harness.figures import GossipSweepTask
+
+
+class TestFingerprint:
+    def test_primitives_pass_through(self):
+        assert fingerprint_of(3) == 3
+        assert fingerprint_of(0.5) == 0.5
+        assert fingerprint_of("x") == "x"
+        assert fingerprint_of(None) is None
+        assert fingerprint_of(True) is True
+
+    def test_tuples_become_lists(self):
+        assert fingerprint_of((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_enum_becomes_value(self):
+        assert fingerprint_of(AttackKind.CRASH) == AttackKind.CRASH.value
+
+    def test_dataclass_includes_qualified_name(self):
+        printed = canonical_json(fingerprint_of(GossipConfig.small()))
+        assert "GossipConfig" in printed
+        assert "n_nodes" in printed
+
+    def test_unserializable_raises(self):
+        with pytest.raises(AnalysisError):
+            fingerprint_of(object())
+
+    def test_config_change_changes_fingerprint(self):
+        base = GossipConfig.small()
+        changed = base.replace(push_size=base.push_size + 1)
+        assert canonical_json(fingerprint_of(base)) != canonical_json(
+            fingerprint_of(changed)
+        )
+
+
+class TestCellKey:
+    def test_stable_across_calls(self):
+        config = GossipConfig.small()
+        a = cell_key("exp", config, 0.1, 42)
+        b = cell_key("exp", config, 0.1, 42)
+        assert a == b
+
+    def test_distinct_inputs_distinct_keys(self):
+        config = GossipConfig.small()
+        base = cell_key("exp", config, 0.1, 42)
+        assert cell_key("other", config, 0.1, 42) != base
+        assert cell_key("exp", config, 0.2, 42) != base
+        assert cell_key("exp", config, 0.1, 43) != base
+        assert cell_key("exp", config.replace(push_size=5), 0.1, 42) != base
+
+    def test_task_fingerprint_invalidation(self):
+        """Changing any task field invalidates the cache key."""
+        config = GossipConfig.small()
+        task = GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=20)
+        base = cell_key("exp", task.cache_fingerprint(), 0.1, 1)
+        for variant in (
+            GossipSweepTask(config=config.replace(exchange_cap=7), kind=AttackKind.TRADE, rounds=20),
+            GossipSweepTask(config=config, kind=AttackKind.CRASH, rounds=20),
+            GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=21),
+            GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=20, metric="correct_fraction"),
+        ):
+            assert cell_key("exp", variant.cache_fingerprint(), 0.1, 1) != base
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {"a": 1}, 0.5, 3)
+        assert cache.get(key) is None
+        cache.put(key, 0.75, "exp", 0.5, 3)
+        record = cache.get(key)
+        assert record is not None
+        assert record.value == pytest.approx(0.75)
+        assert record.experiment == "exp"
+        assert cache.stats() == {"hits": 1, "misses": 1}
+
+    def test_cached_none_distinct_from_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 0.0, 0)
+        cache.put(key, None, "exp", 0.0, 0)
+        record = cache.get(key)
+        assert record is not None
+        assert record.value is None
+
+    def test_persistence_across_instances(self, tmp_path):
+        root = tmp_path / "c"
+        key = cell_key("exp", {}, 1.0, 1)
+        ResultCache(root).put(key, 2.5, "exp", 1.0, 1)
+        record = ResultCache(root).get(key)
+        assert record is not None and record.value == pytest.approx(2.5)
+
+    def test_corrupt_record_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 1.0, 1)
+        cache.put(key, 2.5, "exp", 1.0, 1)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_len_keys_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        keys = [cell_key("exp", {}, float(i), i) for i in range(5)]
+        for i, key in enumerate(keys):
+            cache.put(key, float(i), "exp", float(i), i)
+        assert len(cache) == 5
+        assert sorted(cache.keys()) == sorted(keys)
+        assert cache.clear() == 5
+        assert len(cache) == 0
+
+    def test_wrong_value_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 1.0, 1)
+        cache.put(key, 0.5, "exp", 1.0, 1)
+        record_path = cache.path_for(key)
+        record_path.write_text(
+            record_path.read_text().replace("0.5", '"0.5"'), encoding="utf-8"
+        )
+        assert cache.get(key) is None  # string value = corrupt record
+        assert not record_path.exists()
+
+    def test_orphaned_tmp_files_not_counted(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 1.0, 1)
+        cache.put(key, 0.5, "exp", 1.0, 1)
+        # simulate a writer killed between mkstemp and os.replace
+        orphan = cache.path_for(key).parent / ".tmp-dead.json"
+        orphan.write_text("{", encoding="utf-8")
+        assert list(cache.keys()) == [key]
+        assert len(cache) == 1
+        assert cache.clear() == 1
+
+    def test_records_are_valid_json(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {"b": 2}, 0.25, 9)
+        cache.put(key, 0.5, "exp", 0.25, 9)
+        raw = json.loads(cache.path_for(key).read_text(encoding="utf-8"))
+        assert raw["value"] == 0.5
+        assert raw["seed"] == 9

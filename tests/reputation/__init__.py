@@ -1,0 +1,1 @@
+"""Test package (namespaced so same-named test modules never collide)."""
