@@ -24,7 +24,14 @@ from .node import GossipNode, ServiceCounters, TargetGroup
 from .partner import PartnerSchedule, Purpose
 from .push import PushPlan, apply_push, plan_optimistic_push
 from .simulator import GossipExperimentResult, GossipSimulator, run_gossip_experiment
-from .updates import UpdateLedger, UpdateStore, creation_round, update_id
+from .updates import (
+    BitsetPopulationStore,
+    BitsetUpdateStore,
+    UpdateLedger,
+    UpdateStore,
+    creation_round,
+    update_id,
+)
 
 __all__ = [
     "GossipConfig",
@@ -52,6 +59,8 @@ __all__ = [
     "PartnerSchedule",
     "Purpose",
     "UpdateStore",
+    "BitsetPopulationStore",
+    "BitsetUpdateStore",
     "UpdateLedger",
     "update_id",
     "creation_round",

@@ -91,6 +91,13 @@ class GossipConfig:
     obedient_fraction: float = 0.0
     #: Delivery fraction above which the stream is usable.
     usability_threshold: float = USABILITY_THRESHOLD
+    #: Update-store implementation.  ``"sets"`` keeps per-node Python
+    #: sets (the reference implementation); ``"bitset"`` stores the
+    #: whole population's live-update state in one dense boolean
+    #: matrix and runs the round phases as batch array operations.
+    #: The two backends produce bit-identical traces for the same
+    #: seed (pinned by the parity test suite).
+    backend: str = "sets"
 
     @classmethod
     def paper(cls) -> "GossipConfig":
@@ -157,4 +164,8 @@ class GossipConfig:
         if self.accept_cap is not None and self.accept_cap < 1:
             raise ConfigurationError(
                 f"accept_cap must be >= 1 or None, got {self.accept_cap}"
+            )
+        if self.backend not in ("sets", "bitset"):
+            raise ConfigurationError(
+                f"backend must be 'sets' or 'bitset', got {self.backend!r}"
             )

@@ -22,9 +22,20 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from ..core.errors import ConfigurationError
-from .updates import UpdateStore
+from .updates import (
+    BitsetPopulationStore,
+    UpdateStore,
+    bottom_bits,
+    popcount,
+    top_bits,
+)
 
-__all__ = ["ExchangePlan", "plan_balanced_exchange", "apply_exchange"]
+__all__ = [
+    "ExchangePlan",
+    "plan_balanced_exchange",
+    "apply_exchange",
+    "bitset_exchange",
+]
 
 
 @dataclass(frozen=True)
@@ -32,7 +43,9 @@ class ExchangePlan:
     """The outcome of negotiating one balanced exchange.
 
     ``to_initiator`` and ``to_responder`` are the update id lists each
-    side will receive, oldest (most urgent) first.
+    side will receive, in selection-priority order (see
+    :func:`_select`): newest (highest id) first under the default
+    ``prefer_newest=True``, oldest first otherwise.
     """
 
     to_initiator: Tuple[int, ...]
@@ -52,12 +65,13 @@ class ExchangePlan:
 def _select(updates: List[int], count: int, prefer_newest: bool) -> Tuple[int, ...]:
     """Pick ``count`` updates by the configured priority.
 
-    Newest-first is the default and the rational choice: freshly
-    released updates are the scarcest and hence the best future trade
-    currency (the gossip analogue of BitTorrent's rarest-first), and
-    near-expiry stragglers have a dedicated recovery channel in the
-    optimistic push.  Oldest-first (pure urgency order) is kept for
-    ablations.
+    The returned tuple is in priority order — the most-preferred
+    update first.  Newest-first (descending id) is the default and the
+    rational choice: freshly released updates are the scarcest and
+    hence the best future trade currency (the gossip analogue of
+    BitTorrent's rarest-first), and near-expiry stragglers have a
+    dedicated recovery channel in the optimistic push.  Oldest-first
+    (ascending id, pure urgency order) is kept for ablations.
     """
     updates.sort(reverse=prefer_newest)
     return tuple(updates[:count])
@@ -123,3 +137,53 @@ def apply_exchange(
     gained_initiator = initiator.receive_all(plan.to_initiator)
     gained_responder = responder.receive_all(plan.to_responder)
     return gained_initiator, gained_responder
+
+
+def bitset_exchange(
+    pool: BitsetPopulationStore,
+    initiator: int,
+    responder: int,
+    cap: int,
+    unbalanced: bool = False,
+    prefer_newest: bool = True,
+) -> Tuple[int, int]:
+    """Fused plan + apply of one balanced exchange on the bitset backend.
+
+    Selects exactly the update ids :func:`plan_balanced_exchange` would
+    (availability is the same set intersection, expressed as a packed
+    row AND, and id order equals bit order), applies them in place, and
+    returns ``(to_initiator_count, to_responder_count)``.  Fusing the
+    two steps skips materializing id tuples — the simulator only needs
+    the transfer counts for its service counters.
+    """
+    have = pool.have_bits
+    missing = pool.missing_bits
+    available_to_initiator = have[responder] & missing[initiator]
+    available_to_responder = have[initiator] & missing[responder]
+    if not available_to_initiator or not available_to_responder:
+        return 0, 0
+    n_initiator = popcount(available_to_initiator)
+    n_responder = popcount(available_to_responder)
+    base = min(n_initiator, n_responder, cap)
+    if unbalanced:
+        count_initiator = min(n_initiator, base + 1, cap + 1)
+        count_responder = min(n_responder, base + 1, cap + 1)
+    else:
+        count_initiator = base
+        count_responder = base
+    take = top_bits if prefer_newest else bottom_bits
+    selected_initiator = (
+        available_to_initiator
+        if count_initiator == n_initiator
+        else take(available_to_initiator, count_initiator)
+    )
+    selected_responder = (
+        available_to_responder
+        if count_responder == n_responder
+        else take(available_to_responder, count_responder)
+    )
+    have[initiator] |= selected_initiator
+    missing[initiator] &= ~selected_initiator
+    have[responder] |= selected_responder
+    missing[responder] &= ~selected_responder
+    return count_initiator, count_responder

@@ -98,14 +98,14 @@ class GossipNode:
         if self.evicted or self.is_attacker:
             return False
         old_cutoff = round_now - config.push_age_threshold + 1
-        has_old_needs = bool(
-            self.store.missing_older_than(old_cutoff, config.updates_per_round)
+        has_old_needs = self.store.has_missing_older_than(
+            old_cutoff, config.updates_per_round
         )
         if self.behavior is Behavior.RATIONAL:
             return has_old_needs
         recent_cutoff = round_now - config.push_recent_window + 1
-        has_offers = bool(
-            self.store.have_newer_than(recent_cutoff, config.updates_per_round)
+        has_offers = self.store.has_have_newer_than(
+            recent_cutoff, config.updates_per_round
         )
         return has_old_needs or has_offers
 

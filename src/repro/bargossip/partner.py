@@ -69,10 +69,21 @@ class PartnerSchedule:
             raise ConfigurationError(
                 f"initiator {initiator} out of range for {self._n_nodes} nodes"
             )
+        return int(self.partners_for_round(round_now, purpose)[initiator])
+
+    def partners_for_round(self, round_now: int, purpose: Purpose) -> np.ndarray:
+        """All initiators' partners for one (round, purpose) at once.
+
+        The hot round loop indexes this array directly instead of
+        paying a dict lookup per initiator; the draws (and hence the
+        schedule) are identical to repeated :meth:`partner_of` calls.
+        The returned array is the schedule's own cache entry — treat it
+        as read-only.
+        """
         key = (round_now, purpose)
         if key not in self._cache:
             self._materialize_through(round_now)
-        return int(self._cache[key][initiator])
+        return self._cache[key]
 
     def _materialize_through(self, round_now: int) -> None:
         if round_now < self._next_round_to_draw - 1:

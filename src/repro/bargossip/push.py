@@ -33,9 +33,16 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from .config import GossipConfig
-from .updates import UpdateStore
+from .updates import BitsetPopulationStore, UpdateStore, bottom_bits, popcount
 
-__all__ = ["PushPlan", "plan_optimistic_push", "apply_push"]
+__all__ = [
+    "PushPlan",
+    "plan_optimistic_push",
+    "apply_push",
+    "BitsetPushPlan",
+    "bitset_plan_push",
+    "bitset_apply_push",
+]
 
 
 @dataclass(frozen=True)
@@ -104,3 +111,69 @@ def apply_push(
     gained_responder = responder.receive_all(plan.to_responder)
     gained_initiator = initiator.receive_all(plan.to_initiator)
     return gained_initiator, gained_responder
+
+
+class BitsetPushPlan:
+    """A negotiated push on the bitset backend, as packed bit masks.
+
+    Planning and applying stay separate (unlike the fused exchange)
+    because the responder's accept/decline decision sits between them;
+    carrying masks instead of ids avoids any id materialization.
+    """
+
+    __slots__ = ("to_responder_mask", "to_initiator_mask", "responder_count", "initiator_count")
+
+    def __init__(self, to_responder_mask: int, to_initiator_mask: int) -> None:
+        self.to_responder_mask = to_responder_mask
+        self.to_initiator_mask = to_initiator_mask
+        self.responder_count = popcount(to_responder_mask)
+        self.initiator_count = popcount(to_initiator_mask)
+
+    @property
+    def junk_units(self) -> int:
+        return self.responder_count - self.initiator_count
+
+
+_EMPTY_BITSET_PUSH = BitsetPushPlan(0, 0)
+
+
+def bitset_plan_push(
+    pool: BitsetPopulationStore,
+    initiator: int,
+    responder: int,
+    config: GossipConfig,
+    round_now: int,
+) -> BitsetPushPlan:
+    """Negotiate one optimistic push on the bitset backend.
+
+    Selects exactly the ids :func:`plan_optimistic_push` would: the
+    responder takes the ``push_size`` *oldest* wanted offers (the sets
+    planner sorts the wanted offers ascending before truncating), and
+    pays with the oldest payable requests.
+    """
+    u = pool.updates_per_round
+    recent_lo = max(0, (round_now - config.push_recent_window + 1) * u - pool.base)
+    recent_mask = pool.full_mask >> recent_lo << recent_lo
+    wanted = (
+        pool.have_bits[initiator] & pool.missing_bits[responder] & recent_mask
+    )
+    if not wanted:
+        return _EMPTY_BITSET_PUSH
+    to_responder = bottom_bits(wanted, config.push_size)
+    if not to_responder:
+        return _EMPTY_BITSET_PUSH
+    old_hi = max(0, (round_now - config.push_age_threshold + 1) * u - pool.base)
+    old_mask = (1 << old_hi) - 1
+    payable = pool.missing_bits[initiator] & pool.have_bits[responder] & old_mask
+    to_initiator = bottom_bits(payable, popcount(to_responder))
+    return BitsetPushPlan(to_responder, to_initiator)
+
+
+def bitset_apply_push(
+    pool: BitsetPopulationStore, initiator: int, responder: int, plan: BitsetPushPlan
+) -> None:
+    """Apply a negotiated bitset push in place."""
+    pool.have_bits[responder] |= plan.to_responder_mask
+    pool.missing_bits[responder] &= ~plan.to_responder_mask
+    pool.have_bits[initiator] |= plan.to_initiator_mask
+    pool.missing_bits[initiator] &= ~plan.to_initiator_mask

@@ -26,20 +26,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from ..core.behaviors import Behavior
 from ..core.engine import RoundSimulator
 from ..core.errors import ConfigurationError
-from ..core.metrics import DeliveryStats
+from ..core.metrics import DeliveryStats, tally_groups
 from ..core.rng import RngStreams
 from .attacker import DEFAULT_SATIATE_FRACTION, AttackKind, AttackerCoalition
 from .config import GossipConfig
 from .defenses import EvictionAuthority, ReportingPolicy
-from .exchange import apply_exchange, plan_balanced_exchange
+from .exchange import apply_exchange, bitset_exchange, plan_balanced_exchange
 from .messages import sign_receipt
 from .node import GossipNode, TargetGroup
 from .partner import PartnerSchedule, Purpose
-from .push import apply_push, plan_optimistic_push
-from .updates import UpdateLedger, creation_round
+from .push import (
+    apply_push,
+    bitset_apply_push,
+    bitset_plan_push,
+    plan_optimistic_push,
+)
+from .updates import BitsetPopulationStore, UpdateLedger, creation_round, popcount
 
 __all__ = ["GossipSimulator", "GossipExperimentResult", "run_gossip_experiment"]
 
@@ -100,21 +107,40 @@ class GossipSimulator(RoundSimulator):
             )
         self.rotate_targets_every = rotate_targets_every
         self._rotation_rng = self._streams.get("rotation")
+        #: The dense population store when ``config.backend == "bitset"``;
+        #: None on the reference set backend.  Owned by the simulator:
+        #: node stores are lightweight views into it.
+        self._pool: Optional[BitsetPopulationStore] = (
+            BitsetPopulationStore(
+                config.n_nodes, config.updates_per_round, config.update_lifetime
+            )
+            if config.backend == "bitset"
+            else None
+        )
         self.nodes: List[GossipNode] = [
             self._make_node(node_id) for node_id in range(config.n_nodes)
         ]
-        #: Per-node (delivered, missed) tallies over the measured
-        #: window; the rotating attack is judged on this distribution
-        #: (group labels lose meaning once targets move around).
-        self.per_node_delivered: List[int] = [0] * config.n_nodes
-        self.per_node_missed: List[int] = [0] * config.n_nodes
-        #: Per-node tallies bucketed by streaming epoch (one update
-        #: lifetime per window): ``{node: {window: [delivered, missed]}}``.
-        #: This is what exposes *intermittent* unusability under the
-        #: rotating attack, which long-run averages hide.
-        self.per_node_windows: Dict[int, Dict[int, List[int]]] = {
-            node_id: {} for node_id in range(config.n_nodes)
-        }
+        self._correct_mask = np.array([node.is_correct for node in self.nodes])
+        self._satiated_mask = np.array(
+            [node.group is TargetGroup.SATIATED for node in self.nodes]
+        )
+        # Per-node (delivered, missed) tallies over the measured window
+        # (see the `per_node_delivered` property): plain lists on the
+        # set backend (cheap scalar increments), arrays on the bitset
+        # backend (batch accumulation in the vectorized expiry).  The
+        # same split applies to the per-epoch window tallies.
+        if self._pool is not None:
+            self._delivered_by_node = np.zeros(config.n_nodes, dtype=np.int64)
+            self._missed_by_node = np.zeros(config.n_nodes, dtype=np.int64)
+            self._window_tallies: Optional[Dict[int, List[np.ndarray]]] = {}
+            self._windows_by_node: Optional[Dict[int, Dict[int, List[int]]]] = None
+        else:
+            self._delivered_by_node = [0] * config.n_nodes
+            self._missed_by_node = [0] * config.n_nodes
+            self._window_tallies = None
+            self._windows_by_node = {
+                node_id: {} for node_id in range(config.n_nodes)
+            }
         self._round = 0
 
     # ------------------------------------------------------------------
@@ -132,18 +158,69 @@ class GossipSimulator(RoundSimulator):
 
     def _make_node(self, node_id: int) -> GossipNode:
         if self.attack.controls(node_id):
-            return GossipNode(node_id, Behavior.BYZANTINE, TargetGroup.ATTACKER)
-        group = (
-            TargetGroup.SATIATED
-            if self.attack.is_satiated_target(node_id)
-            else TargetGroup.ISOLATED
-        )
-        behavior = (
-            Behavior.OBEDIENT
-            if self._roles_rng.random() < self.config.obedient_fraction
-            else Behavior.RATIONAL
-        )
-        return GossipNode(node_id, behavior, group)
+            node = GossipNode(node_id, Behavior.BYZANTINE, TargetGroup.ATTACKER)
+        else:
+            group = (
+                TargetGroup.SATIATED
+                if self.attack.is_satiated_target(node_id)
+                else TargetGroup.ISOLATED
+            )
+            behavior = (
+                Behavior.OBEDIENT
+                if self._roles_rng.random() < self.config.obedient_fraction
+                else Behavior.RATIONAL
+            )
+            node = GossipNode(node_id, behavior, group)
+        if self._pool is not None:
+            node.store = self._pool.view(node_id)
+        return node
+
+    # ------------------------------------------------------------------
+    # Per-node tally views (backend-independent API)
+    # ------------------------------------------------------------------
+
+    @property
+    def per_node_delivered(self) -> List[int]:
+        """Per-node delivered tallies over the measured window.
+
+        The rotating attack is judged on this distribution (group
+        labels lose meaning once targets move around).  On the set
+        backend this is the live mutable list; the bitset backend
+        materializes its accumulator array on access.
+        """
+        if isinstance(self._delivered_by_node, list):
+            return self._delivered_by_node
+        return self._delivered_by_node.tolist()
+
+    @property
+    def per_node_missed(self) -> List[int]:
+        """Per-node missed tallies over the measured window."""
+        if isinstance(self._missed_by_node, list):
+            return self._missed_by_node
+        return self._missed_by_node.tolist()
+
+    @property
+    def per_node_windows(self) -> Dict[int, Dict[int, List[int]]]:
+        """Per-node tallies bucketed by streaming epoch.
+
+        One update lifetime per window:
+        ``{node: {window: [delivered, missed]}}``.  This is what
+        exposes *intermittent* unusability under the rotating attack,
+        which long-run averages hide.
+        """
+        if self._windows_by_node is not None:
+            return self._windows_by_node
+        windows: Dict[int, Dict[int, List[int]]] = {
+            node_id: {} for node_id in range(self.config.n_nodes)
+        }
+        correct_ids = np.flatnonzero(self._correct_mask)
+        for window, (delivered, missed) in sorted(self._window_tallies.items()):
+            for node_id in correct_ids:
+                windows[int(node_id)][window] = [
+                    int(delivered[node_id]),
+                    int(missed[node_id]),
+                ]
+        return windows
 
     # ------------------------------------------------------------------
     # RoundSimulator interface
@@ -186,23 +263,31 @@ class GossipSimulator(RoundSimulator):
         self.attack.retarget(new_targets)
         for node in self.nodes:
             if node.is_correct:
+                satiated = node.node_id in new_targets
                 node.group = (
-                    TargetGroup.SATIATED
-                    if node.node_id in new_targets
-                    else TargetGroup.ISOLATED
+                    TargetGroup.SATIATED if satiated else TargetGroup.ISOLATED
                 )
+                self._satiated_mask[node.node_id] = satiated
 
     def _broadcast(self, round_now: int) -> None:
         """Release this round's updates and seed each to random nodes."""
         fresh = self.ledger.release(round_now)
         population = self.config.n_nodes
-        for update in fresh:
+        first_col = 0
+        if self._pool is not None:
+            self._pool.advance_to(round_now)
+            first_col = fresh[0] - self._pool.base
+            self._pool.announce_fresh(first_col, len(fresh))
+        for offset, update in enumerate(fresh):
             seeded = self._seeding_rng.choice(
                 population, size=self.config.copies_seeded, replace=False
             )
             seeded_set = {int(node) for node in seeded}
-            for node in self.nodes:
-                node.store.announce(update, node.node_id in seeded_set)
+            if self._pool is not None:
+                self._pool.seed(list(seeded_set), first_col + offset)
+            else:
+                for node in self.nodes:
+                    node.store.announce(update, node.node_id in seeded_set)
             for node_id in seeded_set:
                 if not self.nodes[node_id].evicted:
                     self.attack.observe_seeding(node_id, (update,))
@@ -218,16 +303,15 @@ class GossipSimulator(RoundSimulator):
             node.counters.updates_received += len(give)
 
     def _run_exchanges(self, round_now: int, order: List[int]) -> None:
+        partners = self._partners.partners_for_round(round_now, Purpose.EXCHANGE)
+        nodes = self.nodes
         for initiator_id in order:
-            initiator = self.nodes[initiator_id]
+            initiator = nodes[initiator_id]
             if initiator.evicted:
                 continue
             if initiator.is_attacker and not self.attack.trades():
                 continue  # crash / ideal attackers never initiate
-            partner_id = self._partners.partner_of(
-                round_now, initiator_id, Purpose.EXCHANGE
-            )
-            partner = self.nodes[partner_id]
+            partner = nodes[partners[initiator_id]]
             if partner.evicted:
                 continue
             initiator.counters.exchanges_initiated += 1
@@ -245,6 +329,21 @@ class GossipSimulator(RoundSimulator):
                 (initiator, partner) if initiator.is_attacker else (partner, initiator)
             )
             self._attacker_dump(round_now, attacker, other, Purpose.EXCHANGE)
+            return
+        if self._pool is not None:
+            to_initiator, to_partner = bitset_exchange(
+                self._pool,
+                initiator.node_id,
+                partner.node_id,
+                cap=self.config.exchange_cap,
+                unbalanced=self.config.unbalanced_exchange,
+                prefer_newest=self.config.exchange_prefer_newest,
+            )
+            if to_initiator == 0 and to_partner == 0:
+                return
+            initiator.counters.record_exchange(sent=to_partner, received=to_initiator)
+            partner.counters.record_exchange(sent=to_initiator, received=to_partner)
+            initiator.counters.exchanges_nonempty += 1
             return
         plan = plan_balanced_exchange(
             initiator.store,
@@ -330,23 +429,22 @@ class GossipSimulator(RoundSimulator):
             self.attack.evict(giver.node_id)
 
     def _run_pushes(self, round_now: int, order: List[int]) -> None:
+        partners = self._partners.partners_for_round(round_now, Purpose.PUSH)
+        nodes = self.nodes
         for initiator_id in order:
-            initiator = self.nodes[initiator_id]
+            initiator = nodes[initiator_id]
             if initiator.evicted:
                 continue
             if initiator.is_attacker:
                 if not self.attack.trades():
                     continue
-                partner = self.nodes[
-                    self._partners.partner_of(round_now, initiator_id, Purpose.PUSH)
-                ]
+                partner = nodes[partners[initiator_id]]
                 if not partner.evicted and partner.is_correct:
                     self._attacker_dump(round_now, initiator, partner, Purpose.PUSH)
                 continue
             if not initiator.wants_to_push(self.config, round_now):
                 continue
-            partner_id = self._partners.partner_of(round_now, initiator_id, Purpose.PUSH)
-            partner = self.nodes[partner_id]
+            partner = nodes[partners[initiator_id]]
             if partner.evicted:
                 continue
             initiator.counters.pushes_initiated += 1
@@ -357,32 +455,72 @@ class GossipSimulator(RoundSimulator):
                 if self.attack.trades():
                     self._attacker_dump(round_now, partner, initiator, Purpose.PUSH)
                 continue
+            if self._pool is not None:
+                self._push_bitset(round_now, initiator, partner)
+                continue
             plan = plan_optimistic_push(
                 initiator.store, partner.store, self.config, round_now
             )
             if not partner.responds_to_push(len(plan.to_responder)):
                 continue
             apply_push(initiator.store, partner.store, plan)
-            initiator.counters.pushes_nonempty += 1
-            initiator.counters.record_exchange(
-                sent=len(plan.to_responder), received=len(plan.to_initiator)
+            self._record_push(
+                initiator,
+                partner,
+                to_responder=len(plan.to_responder),
+                to_initiator=len(plan.to_initiator),
+                junk_units=plan.junk_units,
             )
-            partner.counters.record_exchange(
-                sent=len(plan.to_initiator), received=len(plan.to_responder)
-            )
-            partner.counters.junk_sent += plan.junk_units
-            initiator.counters.junk_received += plan.junk_units
+
+    def _push_bitset(
+        self, round_now: int, initiator: GossipNode, partner: GossipNode
+    ) -> None:
+        """One correct-correct optimistic push on the bitset backend."""
+        plan = bitset_plan_push(
+            self._pool, initiator.node_id, partner.node_id, self.config, round_now
+        )
+        if not partner.responds_to_push(plan.responder_count):
+            return
+        bitset_apply_push(self._pool, initiator.node_id, partner.node_id, plan)
+        self._record_push(
+            initiator,
+            partner,
+            to_responder=plan.responder_count,
+            to_initiator=plan.initiator_count,
+            junk_units=plan.junk_units,
+        )
+
+    def _record_push(
+        self,
+        initiator: GossipNode,
+        partner: GossipNode,
+        to_responder: int,
+        to_initiator: int,
+        junk_units: int,
+    ) -> None:
+        """Book one applied push into both sides' service counters."""
+        initiator.counters.pushes_nonempty += 1
+        initiator.counters.record_exchange(sent=to_responder, received=to_initiator)
+        partner.counters.record_exchange(sent=to_initiator, received=to_responder)
+        partner.counters.junk_sent += junk_units
+        initiator.counters.junk_received += junk_units
 
     def _expire(self, round_now: int) -> None:
         due = self.ledger.expire_due(round_now)
         if not due:
             return
         self.attack.expire(due)
+        if self._pool is not None:
+            self._expire_bitset(due)
+            return
         tallies: Dict[str, List[int]] = {
             "isolated": [0, 0],
             "satiated": [0, 0],
             "correct": [0, 0],
         }
+        delivered_by_node = self._delivered_by_node
+        missed_by_node = self._missed_by_node
+        windows_by_node = self._windows_by_node
         for update in due:
             created = creation_round(update, self.config.updates_per_round)
             measured = created >= self.measure_from_round
@@ -392,12 +530,10 @@ class GossipSimulator(RoundSimulator):
                 if not measured or not node.is_correct:
                     continue
                 if held:
-                    self.per_node_delivered[node.node_id] += 1
+                    delivered_by_node[node.node_id] += 1
                 else:
-                    self.per_node_missed[node.node_id] += 1
-                bucket = self.per_node_windows[node.node_id].setdefault(
-                    window, [0, 0]
-                )
+                    missed_by_node[node.node_id] += 1
+                bucket = windows_by_node[node.node_id].setdefault(window, [0, 0])
                 bucket[0 if held else 1] += 1
                 slot = 0 if held else 1
                 tallies["correct"][slot] += 1
@@ -408,6 +544,49 @@ class GossipSimulator(RoundSimulator):
         for group, (delivered, missed) in tallies.items():
             if delivered or missed:
                 self.stats.record(group, delivered, missed)
+
+    def _expire_bitset(self, due: List[int]) -> None:
+        """Batched end-of-life scoring: one popcount per node per round.
+
+        All updates expiring in one round share a creation round (they
+        were released together), hence one measured flag and one epoch
+        window — so the whole expiry reduces to masking each node's
+        packed row and summing the per-group tallies in one pass.
+        """
+        pool = self._pool
+        due_mask = pool.mask_of(due)
+        created = creation_round(due[0], self.config.updates_per_round)
+        if created >= self.measure_from_round:
+            have_bits = pool.have_bits
+            delivered_counts = np.fromiter(
+                (popcount(row & due_mask) for row in have_bits),
+                dtype=np.int64,
+                count=pool.n_nodes,
+            )
+            due_each = len(due)
+            correct = self._correct_mask
+            satiated = correct & self._satiated_mask
+            isolated = correct & ~self._satiated_mask
+            self._delivered_by_node[correct] += delivered_counts[correct]
+            self._missed_by_node[correct] += due_each - delivered_counts[correct]
+            window = created // self.config.update_lifetime
+            window_delivered, window_missed = self._window_tallies.setdefault(
+                window,
+                [
+                    np.zeros(self.config.n_nodes, dtype=np.int64),
+                    np.zeros(self.config.n_nodes, dtype=np.int64),
+                ],
+            )
+            window_delivered[correct] += delivered_counts[correct]
+            window_missed[correct] += due_each - delivered_counts[correct]
+            self.stats.record_groups(
+                tally_groups(
+                    delivered_counts,
+                    due_each,
+                    {"isolated": isolated, "satiated": satiated, "correct": correct},
+                )
+            )
+        pool.clear_mask(due_mask)
 
     # ------------------------------------------------------------------
     # Reporting helpers
@@ -422,17 +601,15 @@ class GossipSimulator(RoundSimulator):
     def per_node_fractions(self) -> Dict[int, float]:
         """Delivery fraction of every correct node with due updates."""
         fractions = {}
+        delivered_by_node = self._delivered_by_node
+        missed_by_node = self._missed_by_node
         for node in self.nodes:
             if not node.is_correct:
                 continue
-            due = (
-                self.per_node_delivered[node.node_id]
-                + self.per_node_missed[node.node_id]
-            )
+            delivered = int(delivered_by_node[node.node_id])
+            due = delivered + int(missed_by_node[node.node_id])
             if due:
-                fractions[node.node_id] = (
-                    self.per_node_delivered[node.node_id] / due
-                )
+                fractions[node.node_id] = delivered / due
         return fractions
 
     def unusable_node_fraction(self, threshold: Optional[float] = None) -> float:
@@ -469,8 +646,9 @@ class GossipSimulator(RoundSimulator):
         if not correct:
             return 0.0
         hit = 0
+        per_node_windows = self.per_node_windows
         for node in correct:
-            windows = self.per_node_windows[node.node_id]
+            windows = per_node_windows[node.node_id]
             for delivered, missed in windows.values():
                 due = delivered + missed
                 if due and delivered / due <= threshold:

@@ -3,14 +3,25 @@
 Updates are identified by a dense integer id: the update with index
 ``k`` released in round ``r`` (with ``u`` updates per round) has id
 ``r * u + k``.  This makes creation round and age pure arithmetic and
-lets the hot paths work on plain ``set[int]``.
+lets the hot paths work on plain ``set[int]`` — or, in the vectorized
+backend, on column offsets into a dense boolean matrix.
 
-Two views of update state are kept:
+Three views of update state are kept:
 
 * :class:`UpdateStore` — one per node: the live updates the node holds
   and the live updates it is still missing.  Both sets contain live
   (unexpired) updates only, so their sizes stay bounded by
   ``updates_per_round * update_lifetime`` regardless of run length.
+* :class:`BitsetPopulationStore` / :class:`BitsetUpdateStore` — the
+  vectorized equivalent (``GossipConfig.backend == "bitset"``): one
+  dense boolean matrix of shape ``(n_nodes, live_window)`` per side
+  (have/missing), owned by the simulator, with one lightweight
+  per-node view implementing the :class:`UpdateStore` interface.
+  Because an update lives exactly ``update_lifetime`` rounds, the live
+  id window is a sliding interval of at most
+  ``updates_per_round * update_lifetime`` ids; column ``c`` always
+  holds update ``base + c``, so id order equals column order and the
+  round phases become batch array operations.
 * :class:`UpdateLedger` — global: which updates are currently live and
   when each expires, used to drive per-round expiry and the delivery
   metric ("fraction of updates received ... " in Figures 1-3).
@@ -21,9 +32,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Set
 
+import numpy as np
+
 from ..core.errors import SimulationError
 
-__all__ = ["update_id", "creation_round", "UpdateStore", "UpdateLedger"]
+__all__ = [
+    "update_id",
+    "creation_round",
+    "UpdateStore",
+    "BitsetPopulationStore",
+    "BitsetUpdateStore",
+    "UpdateLedger",
+    "popcount",
+    "top_bits",
+    "bottom_bits",
+    "iter_bits",
+]
 
 
 def update_id(round_created: int, index: int, updates_per_round: int) -> int:
@@ -138,6 +162,290 @@ class UpdateStore:
         ]
         recent.sort(reverse=True)
         return recent
+
+    def has_missing_older_than(self, cutoff_round: int, updates_per_round: int) -> bool:
+        """Whether any missing update was created strictly before ``cutoff_round``."""
+        return any(
+            creation_round(update, updates_per_round) < cutoff_round
+            for update in self.missing
+        )
+
+    def has_have_newer_than(self, cutoff_round: int, updates_per_round: int) -> bool:
+        """Whether any held update was created at or after ``cutoff_round``."""
+        return any(
+            creation_round(update, updates_per_round) >= cutoff_round
+            for update in self.have
+        )
+
+
+def popcount(bits: int) -> int:
+    """Number of set bits (``int.bit_count`` with a 3.9 fallback)."""
+    return bin(bits).count("1")
+
+
+if hasattr(int, "bit_count"):  # Python >= 3.10: one C call instead of bin()
+    popcount = int.bit_count  # noqa: F811 - deliberate fast-path override
+
+
+def top_bits(bits: int, count: int) -> int:
+    """Mask of the ``count`` highest set bits of ``bits``."""
+    out = 0
+    for _ in range(count):
+        if not bits:
+            break
+        highest = 1 << (bits.bit_length() - 1)
+        out |= highest
+        bits ^= highest
+    return out
+
+
+def bottom_bits(bits: int, count: int) -> int:
+    """Mask of the ``count`` lowest set bits of ``bits``."""
+    out = 0
+    for _ in range(count):
+        if not bits:
+            break
+        lowest = bits & -bits
+        out |= lowest
+        bits ^= lowest
+    return out
+
+
+def iter_bits(bits: int) -> Iterable[int]:
+    """Yield the set bit positions of ``bits``, lowest first."""
+    while bits:
+        lowest = bits & -bits
+        yield lowest.bit_length() - 1
+        bits ^= lowest
+
+
+class BitsetPopulationStore:
+    """Dense live-update state for the whole population.
+
+    Conceptually a pair of boolean matrices of shape
+    ``(n_nodes, live_window)`` — one row of have/missing flags per
+    node, one column per live update — where ``live_window`` is the
+    maximum number of simultaneously live updates
+    (``updates_per_round * update_lifetime``).  Each row is stored as
+    one packed bitmask (an arbitrary-precision integer, i.e. an array
+    of machine words under the hood), so pairwise row operations in the
+    exchange/push hot path are single C-level AND/OR/popcount calls
+    instead of per-element work, and the per-round phases (broadcast,
+    expiry, window slide) are one O(words) operation per node.
+
+    Column ``c`` holds the update with id ``base + c``; as rounds
+    release fresh updates the window slides forward (``advance_to``)
+    so expired columns are recycled.  Id order equals bit order, which
+    is what lets the planners select "newest"/"oldest" with
+    :func:`top_bits` / :func:`bottom_bits`.
+    """
+
+    __slots__ = (
+        "n_nodes",
+        "updates_per_round",
+        "lifetime",
+        "capacity",
+        "base",
+        "have_bits",
+        "missing_bits",
+        "full_mask",
+    )
+
+    def __init__(self, n_nodes: int, updates_per_round: int, lifetime: int) -> None:
+        if n_nodes < 1:
+            raise SimulationError(f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.updates_per_round = updates_per_round
+        self.lifetime = lifetime
+        self.capacity = updates_per_round * lifetime
+        #: Update id held by column (bit) 0.
+        self.base = 0
+        #: Packed have/missing rows, one bitmask per node.
+        self.have_bits: List[int] = [0] * n_nodes
+        self.missing_bits: List[int] = [0] * n_nodes
+        self.full_mask = (1 << self.capacity) - 1
+
+    def view(self, node_id: int) -> "BitsetUpdateStore":
+        """The per-node :class:`UpdateStore`-compatible view."""
+        return BitsetUpdateStore(self, node_id)
+
+    def as_matrices(self) -> "np.ndarray":
+        """The (have, missing) state as one stacked boolean array.
+
+        Shape ``(2, n_nodes, live_window)``; a debugging/analysis
+        convenience — the simulation never materializes it.
+        """
+        dense = np.zeros((2, self.n_nodes, self.capacity), dtype=bool)
+        for node_id in range(self.n_nodes):
+            for col in iter_bits(self.have_bits[node_id]):
+                dense[0, node_id, col] = True
+            for col in iter_bits(self.missing_bits[node_id]):
+                dense[1, node_id, col] = True
+        return dense
+
+    def advance_to(self, round_now: int) -> None:
+        """Slide the window so round ``round_now``'s fresh ids fit.
+
+        Called at the top of each round, before the broadcast: the
+        bits of updates that expired at the end of the previous round
+        are shifted out and their columns recycled for the fresh
+        release.
+        """
+        new_base = max(0, round_now - self.lifetime + 1) * self.updates_per_round
+        shift = new_base - self.base
+        if shift <= 0:
+            return
+        have_bits = self.have_bits
+        missing_bits = self.missing_bits
+        for node_id in range(self.n_nodes):
+            have_bits[node_id] >>= shift
+            missing_bits[node_id] >>= shift
+        self.base = new_base
+
+    def col_of(self, update: int) -> int:
+        """Column (bit position) holding ``update``; raises if out of window."""
+        col = update - self.base
+        if not 0 <= col < self.capacity:
+            raise SimulationError(
+                f"update {update} outside live window [{self.base}, "
+                f"{self.base + self.capacity})"
+            )
+        return col
+
+    def mask_of(self, updates: Iterable[int]) -> int:
+        """Bitmask covering many updates (each validated)."""
+        mask = 0
+        for update in updates:
+            mask |= 1 << self.col_of(update)
+        return mask
+
+    def announce_fresh(self, first_col: int, count: int) -> None:
+        """Mark ``count`` fresh columns missing for every node.
+
+        The fresh columns are guaranteed clean: they were either never
+        used (warm-up) or zeroed by the ``advance_to`` shift.
+        """
+        mask = ((1 << count) - 1) << first_col
+        missing_bits = self.missing_bits
+        for node_id in range(self.n_nodes):
+            missing_bits[node_id] |= mask
+
+    def seed(self, node_ids: Iterable[int], col: int) -> None:
+        """Flip one fresh column to held for the seeded nodes."""
+        bit = 1 << col
+        unset = ~bit
+        for node_id in node_ids:
+            self.have_bits[node_id] |= bit
+            self.missing_bits[node_id] &= unset
+
+    def clear_mask(self, mask: int) -> None:
+        """Drop the masked columns from every row (end-of-life)."""
+        unset = ~mask
+        have_bits = self.have_bits
+        missing_bits = self.missing_bits
+        for node_id in range(self.n_nodes):
+            have_bits[node_id] &= unset
+            missing_bits[node_id] &= unset
+
+
+class BitsetUpdateStore:
+    """Per-node view into a :class:`BitsetPopulationStore`.
+
+    Implements the :class:`UpdateStore` interface — ``have`` and
+    ``missing`` materialize as real sets, so existing code (the
+    attacker's ``dump_for``, the invariant tests) works unchanged —
+    while the simulator's hot paths bypass the sets entirely and
+    operate on the packed rows.
+    """
+
+    __slots__ = ("pool", "node_id")
+
+    def __init__(self, pool: BitsetPopulationStore, node_id: int) -> None:
+        self.pool = pool
+        self.node_id = node_id
+
+    def _ids(self, bits: int) -> Set[int]:
+        base = self.pool.base
+        return {base + col for col in iter_bits(bits)}
+
+    @property
+    def have(self) -> Set[int]:
+        """The held live updates, materialized as a set."""
+        return self._ids(self.pool.have_bits[self.node_id])
+
+    @property
+    def missing(self) -> Set[int]:
+        """The missing live updates, materialized as a set."""
+        return self._ids(self.pool.missing_bits[self.node_id])
+
+    def announce(self, update: int, holds: bool) -> None:
+        bit = 1 << self.pool.col_of(update)
+        if holds:
+            self.pool.have_bits[self.node_id] |= bit
+            self.pool.missing_bits[self.node_id] &= ~bit
+        else:
+            self.pool.missing_bits[self.node_id] |= bit
+            self.pool.have_bits[self.node_id] &= ~bit
+
+    def receive(self, update: int) -> bool:
+        bit = 1 << self.pool.col_of(update)
+        if self.pool.have_bits[self.node_id] & bit:
+            return False
+        self.pool.have_bits[self.node_id] |= bit
+        self.pool.missing_bits[self.node_id] &= ~bit
+        return True
+
+    def receive_all(self, updates: Iterable[int]) -> int:
+        mask = self.pool.mask_of(updates)
+        if not mask:
+            return 0
+        new = popcount(mask & ~self.pool.have_bits[self.node_id])
+        self.pool.have_bits[self.node_id] |= mask
+        self.pool.missing_bits[self.node_id] &= ~mask
+        return new
+
+    def expire(self, update: int) -> bool:
+        bit = 1 << self.pool.col_of(update)
+        held = bool(self.pool.have_bits[self.node_id] & bit)
+        self.pool.have_bits[self.node_id] &= ~bit
+        self.pool.missing_bits[self.node_id] &= ~bit
+        return held
+
+    @property
+    def is_satiated(self) -> bool:
+        """True when the node is missing no live update."""
+        return not self.pool.missing_bits[self.node_id]
+
+    def _col_below(self, cutoff_round: int) -> int:
+        """Exclusive column bound for ids created before ``cutoff_round``."""
+        bound = cutoff_round * self.pool.updates_per_round - self.pool.base
+        return max(0, min(self.pool.capacity, bound))
+
+    def missing_older_than(self, cutoff_round: int, updates_per_round: int) -> List[int]:
+        """Missing updates created strictly before ``cutoff_round``, oldest first."""
+        bound = self._col_below(cutoff_round)
+        old = self.pool.missing_bits[self.node_id] & ((1 << bound) - 1)
+        base = self.pool.base
+        return [base + col for col in iter_bits(old)]
+
+    def have_newer_than(self, cutoff_round: int, updates_per_round: int) -> List[int]:
+        """Held updates created at or after ``cutoff_round``, newest first."""
+        bound = self._col_below(cutoff_round)
+        recent = self.pool.have_bits[self.node_id] >> bound
+        base = self.pool.base
+        newest_first = [base + bound + col for col in iter_bits(recent)]
+        newest_first.reverse()
+        return newest_first
+
+    def has_missing_older_than(self, cutoff_round: int, updates_per_round: int) -> bool:
+        """Whether any missing update was created strictly before ``cutoff_round``."""
+        bound = self._col_below(cutoff_round)
+        return bool(self.pool.missing_bits[self.node_id] & ((1 << bound) - 1))
+
+    def has_have_newer_than(self, cutoff_round: int, updates_per_round: int) -> bool:
+        """Whether any held update was created at or after ``cutoff_round``."""
+        bound = self._col_below(cutoff_round)
+        return bool(self.pool.have_bits[self.node_id] >> bound)
 
 
 @dataclass

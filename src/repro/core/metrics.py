@@ -20,12 +20,15 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .errors import AnalysisError
 
 __all__ = [
     "USABILITY_THRESHOLD",
     "DeliveryStats",
     "TimeSeries",
+    "tally_groups",
     "mean",
     "confidence_interval_95",
     "first_crossing_below",
@@ -93,9 +96,42 @@ class DeliveryStats:
             )
         return result
 
+    def record_groups(self, tallies: Dict[str, Tuple[int, int]]) -> None:
+        """Accumulate many groups' (delivered, missed) pairs at once.
+
+        Groups with nothing due are skipped, matching the per-update
+        recording path: a group that never sees a due update never
+        appears in the stats.
+        """
+        for group, (delivered, missed) in tallies.items():
+            if delivered or missed:
+                self.record(group, delivered, missed)
+
     def as_dict(self) -> Dict[str, float]:
         """``{group: delivery fraction}`` for every group with due updates."""
         return {group: self.fraction(group) for group in self.groups() if self.due(group)}
+
+
+def tally_groups(
+    delivered_counts: "Sequence[int]",
+    due_each: int,
+    masks: "Dict[str, Sequence[bool]]",
+) -> Dict[str, Tuple[int, int]]:
+    """Reduce per-node delivered counts into per-group (delivered, missed).
+
+    ``delivered_counts`` holds, per node, how many of the ``due_each``
+    just-expired updates that node delivered; each boolean mask in
+    ``masks`` selects a node group.  Used by the vectorized expiry
+    path: the whole reduction is one masked sum per group.
+    """
+    counts = np.asarray(delivered_counts)
+    tallies: Dict[str, Tuple[int, int]] = {}
+    for group, mask in masks.items():
+        mask = np.asarray(mask, dtype=bool)
+        members = int(np.count_nonzero(mask))
+        delivered = int(counts[mask].sum()) if members else 0
+        tallies[group] = (delivered, due_each * members - delivered)
+    return tallies
 
 
 @dataclass

@@ -7,6 +7,8 @@ The harness layers, bottom up:
 * :mod:`~repro.harness.parallel` — :class:`SweepExecutor`, fanning
   (grid-point, seed) cells across a process pool with deterministic
   reduction;
+* :mod:`~repro.harness.tasks` — picklable :class:`SweepTask` specs for
+  every model (gossip, scrip, token, swarm);
 * :mod:`~repro.harness.sweep` — grid × repetitions aggregation;
 * :mod:`~repro.harness.figures` / :mod:`~repro.harness.tables` —
   the paper's figures and Table 1;
@@ -32,6 +34,12 @@ from .figures import (
 from .parallel import SweepCell, SweepExecutor, resolve_jobs
 from .sweep import SweepPoint, sweep, sweep_series
 from .tables import baseline_check, render_table1, table1_rows
+from .tasks import (
+    ScripAltruistTask,
+    SwarmSweepTask,
+    SweepTask,
+    TokenSweepTask,
+)
 
 __all__ = [
     "attack_curve",
@@ -42,6 +50,10 @@ __all__ = [
     "DEFAULT_FRACTIONS",
     "FAST_FRACTIONS",
     "GossipSweepTask",
+    "SweepTask",
+    "ScripAltruistTask",
+    "TokenSweepTask",
+    "SwarmSweepTask",
     "sweep",
     "sweep_series",
     "SweepPoint",

@@ -8,6 +8,14 @@ CI uploads as a workflow artifact.  The summary records wall-clock per
 figure, parallel speedup, and the delivery metrics a reviewer needs to
 spot a regression without rerunning anything: per-curve usability
 crossovers and the delivery at the largest attacker fraction.
+
+It also times the update-store backends head to head
+(:func:`run_backend_bench`): one large single-core gossip experiment
+(5,000 nodes, 50 rounds by default) on the reference set backend and
+on the packed-bitset backend, asserting exact metric parity and
+reporting the speedup — the within-a-run scaling axis, complementing
+the executor's across-cells axis.  ``lotus-eater bench-diff`` (see
+:mod:`~repro.harness.trend`) compares consecutive summaries in CI.
 """
 
 from __future__ import annotations
@@ -18,12 +26,21 @@ import platform
 import time
 from typing import Any, Callable, Dict, Optional
 
+from ..bargossip.attacker import AttackKind
+from ..bargossip.config import GossipConfig
+from ..bargossip.simulator import run_gossip_experiment
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
 from .parallel import SweepExecutor, resolve_jobs
 from .tables import baseline_check
 
-__all__ = ["BENCH_FIGURES", "run_bench", "render_bench_summary", "write_bench_summary"]
+__all__ = [
+    "BENCH_FIGURES",
+    "run_backend_bench",
+    "run_bench",
+    "render_bench_summary",
+    "write_bench_summary",
+]
 
 #: The figure builders exercised by the benchmark, in report order.
 BENCH_FIGURES: Dict[str, Callable[..., Dict[str, TimeSeries]]] = {
@@ -51,6 +68,45 @@ def _curves_equal(a: Dict[str, TimeSeries], b: Dict[str, TimeSeries]) -> bool:
         set(a) == set(b)
         and all(a[k].xs == b[k].xs and a[k].ys == b[k].ys for k in a)
     )
+
+
+def run_backend_bench(
+    n_nodes: int = 5000, rounds: int = 50, seed: int = 0
+) -> Dict[str, Any]:
+    """Time one large gossip experiment on both store backends.
+
+    Single-core, no attack: a pure measurement of the protocol round
+    loop, which is what the bitset backend vectorizes.  The two
+    backends are required to agree *exactly* on the delivery metrics
+    (the parity suite pins much more; this is the last-line check in
+    every bench artifact).
+
+    Deliberately runs at the same 5,000-node scale in both bench
+    profiles: this number is the headline within-a-run scaling metric,
+    and the CI trend job diffs it across runs — shrinking it under
+    ``--fast`` would make consecutive artifacts incomparable.
+    """
+    seconds: Dict[str, float] = {}
+    fractions: Dict[str, Optional[float]] = {}
+    for backend in ("sets", "bitset"):
+        config = GossipConfig(n_nodes=n_nodes, backend=backend)
+        start = time.perf_counter()
+        result = run_gossip_experiment(
+            config, AttackKind.NONE, 0.0, seed=seed, rounds=rounds
+        )
+        seconds[backend] = time.perf_counter() - start
+        fractions[backend] = result.correct_fraction
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "sets_seconds": seconds["sets"],
+        "bitset_seconds": seconds["bitset"],
+        "speedup": (
+            seconds["sets"] / seconds["bitset"] if seconds["bitset"] > 0 else None
+        ),
+        "parity_ok": fractions["sets"] == fractions["bitset"],
+        "delivery_fraction": fractions["bitset"],
+    }
 
 
 def run_bench(
@@ -113,6 +169,7 @@ def run_bench(
         }
 
     baseline = baseline_check(rounds=rounds, seed=root_seed, executor=executor)
+    backend_bench = run_backend_bench(seed=root_seed)
     executor_stats = executor.stats()
     if own_executor:
         executor.close()
@@ -130,6 +187,7 @@ def run_bench(
             "cpu_count": os.cpu_count(),
         },
         "executor": executor_stats,
+        "backend_bench": backend_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -167,6 +225,15 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
         f"cells executed {summary['executor']['cells_executed']}, "
         f"cached {summary['executor']['cells_cached']}"
     )
+    backend = summary.get("backend_bench")
+    if backend:
+        parity = "ok" if backend["parity_ok"] else "MISMATCH"
+        lines.append(
+            f"backend ({backend['n_nodes']} nodes, {backend['rounds']} rounds, "
+            f"single core): sets {backend['sets_seconds']:.2f}s, "
+            f"bitset {backend['bitset_seconds']:.2f}s "
+            f"({backend['speedup']:.2f}x, parity {parity})"
+        )
     return "\n".join(lines)
 
 

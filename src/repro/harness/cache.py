@@ -31,6 +31,8 @@ from typing import Any, Dict, Iterator, Optional, Union
 from ..core.errors import AnalysisError
 
 __all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "RESULT_CODE_VERSION",
     "fingerprint_of",
     "canonical_json",
     "cell_key",
@@ -39,6 +41,21 @@ __all__ = [
 ]
 
 _KEY_BYTES = 16
+
+#: Hashed into every cell key.  Bumped whenever key derivation or the
+#: record layout changes incompatibly; old-schema entries then simply
+#: never hit.  History: 1 = PR 1 layout; 2 = seed labels normalize grid
+#: values with float(x) exactly like the key does (entries cached under
+#: schema 1 may have been computed under seeds derived from the raw,
+#: unnormalized grid value, so they cannot be trusted).
+CACHE_SCHEMA_VERSION = 2
+
+#: Stamped into every record and checked on read.  Identifies the
+#: simulator code generation that produced the value: bump it to bulk-
+#: invalidate everything cached by earlier code (e.g. results computed
+#: by the set backend before the bitset backend existed), without
+#: having to find and delete the stale files.
+RESULT_CODE_VERSION = "2-bitset"
 
 
 def fingerprint_of(obj: Any) -> Any:
@@ -79,6 +96,7 @@ def cell_key(experiment: str, fingerprint: Any, x: float, seed: int) -> str:
     """Stable content hash identifying one sweep cell."""
     payload = canonical_json(
         {
+            "schema": CACHE_SCHEMA_VERSION,
             "experiment": experiment,
             "fingerprint": fingerprint_of(fingerprint),
             "x": float(x),
@@ -96,7 +114,8 @@ class CellRecord:
     ``value`` may legitimately be None (``run_one`` dropped the
     sample), which is why cache lookups return a record object rather
     than the bare value: a missing entry and a cached None must stay
-    distinguishable.
+    distinguishable.  ``version`` records which code generation
+    produced the value (see :data:`RESULT_CODE_VERSION`).
     """
 
     value: Optional[float]
@@ -104,6 +123,7 @@ class CellRecord:
     x: float
     seed: int
     created: float
+    version: str = RESULT_CODE_VERSION
 
 
 class ResultCache:
@@ -114,12 +134,28 @@ class ResultCache:
     root:
         Directory to store records under; created lazily on first
         write.  Two caches pointed at the same directory share entries.
+    max_entries:
+        When set, cap the store at this many records: every write that
+        pushes the count over the cap evicts the least-recently-*used*
+        records (reads refresh a record's timestamp).  None (the
+        default) keeps the store unbounded.  The count is tracked per
+        cache object; two live caches sharing a directory may
+        transiently overshoot the cap until one of them writes.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(
+        self, root: Union[str, Path], max_entries: Optional[int] = None
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise AnalysisError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
         self.root = Path(root)
+        self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._count: Optional[int] = None
 
     def path_for(self, key: str) -> Path:
         """Where the record for ``key`` lives on disk."""
@@ -128,8 +164,10 @@ class ResultCache:
     def get(self, key: str) -> Optional[CellRecord]:
         """Return the cached record for ``key``, or None on a miss.
 
-        A corrupt record (truncated, hand-edited, wrong schema) counts
-        as a miss and is removed so the slot can be recomputed.
+        A corrupt record (truncated, hand-edited, wrong schema) or one
+        stamped by a different code generation counts as a miss and is
+        removed so the slot can be recomputed.  A hit refreshes the
+        record's timestamp, which is what the LRU eviction orders by.
         """
         path = self.path_for(key)
         try:
@@ -141,20 +179,30 @@ class ResultCache:
                 or (isinstance(value, (int, float)) and not isinstance(value, bool))
             ):
                 raise TypeError(f"bad cached value {value!r}")
+            version = str(raw["version"])
+            if version != RESULT_CODE_VERSION:
+                raise ValueError(f"stale record version {version!r}")
             record = CellRecord(
                 value=value if value is None else float(value),
                 experiment=str(raw["experiment"]),
                 x=float(raw["x"]),
                 seed=int(raw["seed"]),
                 created=float(raw["created"]),
+                version=version,
             )
         except FileNotFoundError:
             self.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             path.unlink(missing_ok=True)
+            if self._count is not None and self._count > 0:
+                self._count -= 1
             self.misses += 1
             return None
+        try:
+            os.utime(path, None)  # mark as recently used for LRU ordering
+        except OSError:  # pragma: no cover - racing eviction/cleanup
+            pass
         self.hits += 1
         return record
 
@@ -166,7 +214,11 @@ class ResultCache:
         x: float,
         seed: int,
     ) -> CellRecord:
-        """Atomically persist one cell result under ``key``."""
+        """Atomically persist one cell result under ``key``.
+
+        When ``max_entries`` is set and the write pushes the store over
+        the cap, the least-recently-used surplus records are evicted.
+        """
         record = CellRecord(
             value=None if value is None else float(value),
             experiment=experiment,
@@ -180,6 +232,7 @@ class ResultCache:
         descriptor, temp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )
+        fresh = not path.exists()
         try:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(payload)
@@ -190,7 +243,31 @@ class ResultCache:
             except FileNotFoundError:
                 pass
             raise
+        if self.max_entries is not None:
+            if self._count is None:
+                self._count = len(self)
+            elif fresh:
+                self._count += 1
+            if self._count > self.max_entries:
+                self._evict_lru()
         return record
+
+    def _evict_lru(self) -> None:
+        """Delete the least-recently-used records beyond ``max_entries``."""
+        entries = []
+        for key in self.keys():
+            record_path = self.path_for(key)
+            try:
+                entries.append((record_path.stat().st_mtime, record_path))
+            except OSError:  # pragma: no cover - racing writer/cleaner
+                continue
+        excess = len(entries) - self.max_entries
+        if excess > 0:
+            entries.sort(key=lambda entry: entry[0])
+            for _, record_path in entries[:excess]:
+                record_path.unlink(missing_ok=True)
+                self.evictions += 1
+        self._count = min(len(entries), self.max_entries)
 
     def keys(self) -> Iterator[str]:
         """Iterate over all record keys currently on disk."""
@@ -215,11 +292,16 @@ class ResultCache:
         for key in list(self.keys()):
             self.path_for(key).unlink(missing_ok=True)
             removed += 1
+        self._count = 0
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Lifetime hit/miss counters for this cache object."""
-        return {"hits": self.hits, "misses": self.misses}
+        """Lifetime hit/miss/eviction counters for this cache object."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
 
     def __repr__(self) -> str:
         return (

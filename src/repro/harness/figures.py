@@ -15,17 +15,15 @@ fidelity used for EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
 from ..bargossip.defenses import figure3_variants, with_larger_pushes
-from ..bargossip.simulator import run_gossip_experiment
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
-from .cache import fingerprint_of
 from .parallel import SweepExecutor
 from .sweep import sweep_series
+from .tasks import GossipSweepTask
 
 __all__ = [
     "DEFAULT_FRACTIONS",
@@ -46,36 +44,6 @@ DEFAULT_FRACTIONS: Tuple[float, ...] = (
 
 #: Coarser grid for the benchmark suite.
 FAST_FRACTIONS: Tuple[float, ...] = (0.02, 0.04, 0.08, 0.15, 0.22, 0.30, 0.42, 0.55)
-
-
-@dataclass(frozen=True)
-class GossipSweepTask:
-    """A picklable ``run_one(fraction, seed)`` for gossip sweeps.
-
-    The sweep executor ships this object to worker processes (a plain
-    closure over ``config`` would not pickle) and hashes
-    :meth:`cache_fingerprint` into result-cache keys, so changing any
-    configuration field transparently invalidates cached cells.
-    """
-
-    config: GossipConfig
-    kind: AttackKind
-    rounds: int
-    metric: str = "isolated_fraction"
-
-    def __call__(self, fraction: float, seed: int) -> Optional[float]:
-        result = run_gossip_experiment(
-            self.config, self.kind, fraction, seed=seed, rounds=self.rounds
-        )
-        return getattr(result, self.metric)
-
-    def cache_fingerprint(self) -> Dict[str, Any]:
-        return {
-            "config": fingerprint_of(self.config),
-            "kind": self.kind.value,
-            "rounds": self.rounds,
-            "metric": self.metric,
-        }
 
 
 def attack_curve(

@@ -13,7 +13,7 @@ Design constraints baked in here:
 * **Picklable task specs** — the ``run_one`` callable travels inside
   each cell payload (tasks are tiny specs — a module-level function
   or a dataclass with ``__call__`` such as
-  :class:`repro.harness.figures.GossipSweepTask` — so re-pickling one
+  :class:`repro.harness.tasks.GossipSweepTask` — so re-pickling one
   per cell is negligible next to a simulator run, and the long-lived
   pool stays reusable across different tasks).  Closures and lambdas
   are detected up front and transparently executed serially

@@ -61,8 +61,14 @@ def sweep(
     executor = executor if executor is not None else SweepExecutor(jobs=1)
     cells: List[SweepCell] = []
     for x in grid:
+        # The seed label must normalize exactly like the cache key does
+        # (cell_key hashes float(x)): an int-vs-float grid (`[0, 1]` vs
+        # `[0.0, 1.0]`) must derive the same repetition seeds, or the
+        # cache could serve results computed under seeds the caller
+        # never spawned.
+        x = float(x)
         for seed in spawn_seeds(root_seed, repetitions, label=f"sweep:{x}"):
-            cells.append(SweepCell(x=float(x), seed=seed))
+            cells.append(SweepCell(x=x, seed=seed))
     values = executor.map(run_one, cells, experiment=experiment)
 
     points: List[SweepPoint] = []

@@ -1,0 +1,147 @@
+"""Bench trend tracking: diff two ``BENCH_summary.json`` artifacts.
+
+CI uploads a ``BENCH_summary.json`` per run (see ``lotus-eater
+bench``).  This module compares the current run against the previous
+run's artifact and flags performance regressions — wall-clock blow-ups
+or parallel/backend speedup collapses beyond a tolerated relative
+slack — plus any drift in the delivery metrics themselves (those
+should be bit-stable for a fixed seed, so *any* change is worth a
+look, though only performance regressions fail the check: metric
+drift is expected whenever the simulator legitimately changes).
+
+Timing comparisons between two CI runs are inherently noisy (different
+runner hardware, neighbors, thermal state), which is why the default
+tolerance is a generous 20% and why the CI job is expected to
+*annotate* rather than hard-fail when no baseline exists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from ..core.errors import AnalysisError
+
+__all__ = [
+    "load_bench_summary",
+    "compare_bench_summaries",
+    "render_bench_diff",
+]
+
+#: (summary path, human label, direction) of each tracked performance
+#: figure of merit.  Direction "lower" means a higher current value is
+#: a regression (wall-clock); "higher" means a lower current value is
+#: a regression (speedups).
+_TRACKED: List = [
+    (("totals", "wall_clock_serial_s"), "total serial wall-clock", "lower"),
+    (("totals", "wall_clock_parallel_s"), "total parallel wall-clock", "lower"),
+    (("totals", "speedup_vs_serial"), "parallel speedup", "higher"),
+    (("backend_bench", "sets_seconds"), "set-backend wall-clock", "lower"),
+    (("backend_bench", "bitset_seconds"), "bitset-backend wall-clock", "lower"),
+    (("backend_bench", "speedup"), "bitset speedup", "higher"),
+]
+
+
+def load_bench_summary(path: str) -> Dict[str, Any]:
+    """Read one ``BENCH_summary.json``; raises AnalysisError if unusable."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            summary = json.load(handle)
+    except FileNotFoundError:
+        raise AnalysisError(f"bench summary not found: {path}")
+    except json.JSONDecodeError as error:
+        raise AnalysisError(f"bench summary {path} is not valid JSON: {error}")
+    if not isinstance(summary, dict):
+        raise AnalysisError(f"bench summary {path} is not a JSON object")
+    return summary
+
+
+def _lookup(summary: Dict[str, Any], path) -> Optional[float]:
+    node: Any = summary
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_bench_summaries(
+    previous: Dict[str, Any],
+    current: Dict[str, Any],
+    max_regression: float = 0.2,
+) -> Dict[str, Any]:
+    """Diff two bench summaries; returns rows plus the regression list.
+
+    A tracked metric regresses when it moves in the bad direction by
+    more than ``max_regression`` relative to the previous value.
+    Metrics missing from either side (schema growth, first run after a
+    new section lands) are reported but never counted as regressions.
+    Delivery-metric drift (crossovers per figure) is likewise reported
+    as informational rows only.
+    """
+    if not 0.0 <= max_regression:
+        raise AnalysisError(
+            f"max_regression must be >= 0, got {max_regression}"
+        )
+    rows: List[Dict[str, Any]] = []
+    regressions: List[str] = []
+    for path, label, direction in _TRACKED:
+        before = _lookup(previous, path)
+        after = _lookup(current, path)
+        row: Dict[str, Any] = {
+            "metric": label,
+            "previous": before,
+            "current": after,
+            "direction": direction,
+            "regressed": False,
+        }
+        if before is not None and after is not None and before > 0:
+            change = (after - before) / before
+            row["relative_change"] = change
+            bad = change > max_regression if direction == "lower" else change < -max_regression
+            if bad:
+                row["regressed"] = True
+                regressions.append(label)
+        rows.append(row)
+
+    drift: List[str] = []
+    previous_figures = previous.get("figures", {})
+    current_figures = current.get("figures", {})
+    if isinstance(previous_figures, dict) and isinstance(current_figures, dict):
+        for name in sorted(set(previous_figures) & set(current_figures)):
+            before_cross = previous_figures[name].get("crossovers")
+            after_cross = current_figures[name].get("crossovers")
+            if before_cross != after_cross:
+                drift.append(name)
+
+    return {
+        "max_regression": max_regression,
+        "rows": rows,
+        "regressions": regressions,
+        "metric_drift": drift,
+    }
+
+
+def render_bench_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable digest of :func:`compare_bench_summaries`."""
+    lines = [f"bench trend (tolerance {diff['max_regression']:.0%}):"]
+    for row in diff["rows"]:
+        before, after = row["previous"], row["current"]
+        if before is None or after is None:
+            lines.append(f"  {row['metric']}: no baseline, skipped")
+            continue
+        change = row.get("relative_change", 0.0)
+        flag = "  << REGRESSION" if row["regressed"] else ""
+        lines.append(
+            f"  {row['metric']}: {before:.3f} -> {after:.3f} "
+            f"({change:+.1%}){flag}"
+        )
+    if diff["metric_drift"]:
+        lines.append(
+            "  delivery crossovers changed in: "
+            + ", ".join(diff["metric_drift"])
+            + " (informational)"
+        )
+    if not diff["regressions"]:
+        lines.append("  no performance regressions")
+    return "\n".join(lines)

@@ -134,3 +134,40 @@ def test_exchange_invariants(a_have, b_have, universe_extra, cap, unbalanced):
     # 4. Satiation-compatibility: a satiated party implies an empty plan.
     if not (universe - a_have) or not (universe - b_have):
         assert plan.size == 0
+
+
+class TestSelectionOrderContract:
+    """The documented ordering of ExchangePlan lists.
+
+    The plan lists are in selection-priority order — the most-preferred
+    update first: descending ids under the default newest-first
+    priority, ascending ids under oldest-first.  (An earlier docstring
+    claimed "oldest first" while the default sort was newest-first;
+    this pins the reconciled contract for both modes.)
+    """
+
+    def _plan(self, prefer_newest):
+        initiator = store_with(have={10, 11, 12, 13}, missing={0, 1, 2, 3})
+        responder = store_with(have={0, 1, 2, 3}, missing={10, 11, 12, 13})
+        return plan_balanced_exchange(
+            initiator, responder, cap=3, prefer_newest=prefer_newest
+        )
+
+    def test_newest_first_is_descending(self):
+        plan = self._plan(prefer_newest=True)
+        assert plan.to_initiator == (3, 2, 1)
+        assert plan.to_responder == (13, 12, 11)
+
+    def test_oldest_first_is_ascending(self):
+        plan = self._plan(prefer_newest=False)
+        assert plan.to_initiator == (0, 1, 2)
+        assert plan.to_responder == (10, 11, 12)
+
+    def test_selected_ids_drive_the_transfer(self):
+        initiator = store_with(have={10, 11, 12, 13}, missing={0, 1, 2, 3})
+        responder = store_with(have={0, 1, 2, 3}, missing={10, 11, 12, 13})
+        plan = plan_balanced_exchange(initiator, responder, cap=2)
+        apply_exchange(initiator, responder, plan)
+        # Newest-first: the two highest ids crossed in each direction.
+        assert initiator.have == {10, 11, 12, 13, 2, 3}
+        assert responder.have == {0, 1, 2, 3, 12, 13}

@@ -52,6 +52,17 @@ class TestRunBench:
         text = render_bench_summary(summary)
         assert "figure1" in text
         assert "baseline delivery" in text
+        assert "bitset" in text
+
+    def test_backend_bench_section(self, summary):
+        backend = summary["backend_bench"]
+        assert backend["n_nodes"] == 5000
+        assert backend["rounds"] == 50
+        assert backend["parity_ok"] is True
+        assert backend["sets_seconds"] > 0
+        assert backend["bitset_seconds"] > 0
+        assert backend["speedup"] > 1.0
+        assert 0.0 <= backend["delivery_fraction"] <= 1.0
 
 
 class TestBenchCli:

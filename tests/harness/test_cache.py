@@ -86,7 +86,7 @@ class TestResultCache:
         assert record is not None
         assert record.value == pytest.approx(0.75)
         assert record.experiment == "exp"
-        assert cache.stats() == {"hits": 1, "misses": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
 
     def test_cached_none_distinct_from_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
@@ -150,3 +150,110 @@ class TestResultCache:
         raw = json.loads(cache.path_for(key).read_text(encoding="utf-8"))
         assert raw["value"] == 0.5
         assert raw["seed"] == 9
+
+
+class TestLruEviction:
+    def _fill(self, cache, count, experiment="exp"):
+        keys = []
+        for index in range(count):
+            key = cell_key(experiment, {"i": index}, 0.1, index)
+            cache.put(key, float(index), experiment, 0.1, index)
+            keys.append(key)
+        return keys
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        self._fill(cache, 10)
+        assert len(cache) == 10
+        assert cache.evictions == 0
+
+    def test_cap_enforced_on_put(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=4)
+        self._fill(cache, 10)
+        assert len(cache) == 4
+        assert cache.evictions == 6
+        assert cache.stats()["evictions"] == 6
+
+    def test_least_recently_used_goes_first(self, tmp_path):
+        import os
+        import time as time_module
+
+        cache = ResultCache(tmp_path / "c", max_entries=3)
+        keys = self._fill(cache, 3)
+        # Age the first two records, then touch the oldest via get():
+        # recency, not insertion order, decides who survives.
+        past = time_module.time() - 3600
+        os.utime(cache.path_for(keys[0]), (past, past))
+        os.utime(cache.path_for(keys[1]), (past + 1, past + 1))
+        assert cache.get(keys[0]) is not None  # refreshes keys[0]
+        extra = cell_key("exp", {"i": 99}, 0.9, 99)
+        cache.put(extra, 9.9, "exp", 0.9, 99)
+        assert cache.get(keys[1]) is None  # the stale untouched record
+        assert cache.get(keys[0]) is not None
+        assert cache.get(extra) is not None
+
+    def test_rewriting_same_key_does_not_evict(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", max_entries=2)
+        key = cell_key("exp", {}, 0.5, 1)
+        for _ in range(5):
+            cache.put(key, 0.5, "exp", 0.5, 1)
+        assert len(cache) == 1
+        assert cache.evictions == 0
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        import pytest as pytest_module
+
+        from repro.core.errors import AnalysisError
+
+        with pytest_module.raises(AnalysisError):
+            ResultCache(tmp_path / "c", max_entries=0)
+
+
+class TestRecordVersioning:
+    def test_records_are_stamped(self, tmp_path):
+        from repro.harness.cache import RESULT_CODE_VERSION
+
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 0.5, 1)
+        record = cache.put(key, 0.5, "exp", 0.5, 1)
+        assert record.version == RESULT_CODE_VERSION
+        assert cache.get(key).version == RESULT_CODE_VERSION
+
+    def test_stale_version_is_a_miss_and_removed(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 0.5, 1)
+        cache.put(key, 0.5, "exp", 0.5, 1)
+        path = cache.path_for(key)
+        raw = json.loads(path.read_text())
+        raw["version"] = "0-ancient"
+        path.write_text(json.dumps(raw))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_unversioned_pr1_record_is_a_miss(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path / "c")
+        key = cell_key("exp", {}, 0.5, 1)
+        cache.put(key, 0.5, "exp", 0.5, 1)
+        path = cache.path_for(key)
+        raw = json.loads(path.read_text())
+        del raw["version"]
+        path.write_text(json.dumps(raw))
+        assert cache.get(key) is None
+        assert not path.exists()
+
+    def test_schema_version_changes_every_key(self):
+        # cell_key hashes the schema version: a bump orphans all old
+        # entries rather than risking a stale hit.
+        from repro.harness import cache as cache_module
+
+        key_now = cell_key("exp", {"a": 1}, 0.1, 1)
+        original = cache_module.CACHE_SCHEMA_VERSION
+        try:
+            cache_module.CACHE_SCHEMA_VERSION = original + 1
+            assert cell_key("exp", {"a": 1}, 0.1, 1) != key_now
+        finally:
+            cache_module.CACHE_SCHEMA_VERSION = original

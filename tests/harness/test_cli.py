@@ -36,3 +36,95 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
+
+class TestSweepCommands:
+    def test_sweep_swarm_default_grid(self, capsys):
+        assert main(["--fast", "--no-cache", "sweep-swarm"]) == 0
+        out = capsys.readouterr().out
+        assert "attackers" in out
+        assert "mean_completion_round" in out
+
+    def test_sweep_token_custom_grid_and_metric(self, capsys):
+        assert main([
+            "--fast", "--no-cache", "--grid", "0,0.3",
+            "--metric", "starving_fraction", "sweep-token",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "starving_fraction" in out
+
+    def test_sweep_scrip_uses_cache(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        args = [
+            "--fast", "--cache-dir", str(tmp_path / "cache"),
+            "--grid", "0,4", "sweep-scrip",
+        ]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "cached=2" in err
+
+    def test_sweep_gossip_respects_backend(self, capsys):
+        from repro.harness.tasks import TASK_BUILDERS
+
+        task, _ = TASK_BUILDERS["gossip"](True, None, "bitset")
+        assert task.config.backend == "bitset"
+        assert main([
+            "--fast", "--no-cache", "--grid", "0.1",
+            "--backend", "bitset", "sweep-gossip",
+        ]) == 0
+        sets_out = None
+        bitset_out = capsys.readouterr().out
+        assert "attacker fraction" in bitset_out
+        assert main([
+            "--fast", "--no-cache", "--grid", "0.1", "sweep-gossip",
+        ]) == 0
+        sets_out = capsys.readouterr().out
+        # Exact parity: both backends print the same sweep table.
+        assert sets_out == bitset_out
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--grid", "nope", "sweep-token"])
+
+
+class TestBackendFlag:
+    def test_figure1_bitset_matches_sets(self, capsys):
+        assert main(["--fast", "--no-cache", "figure1"]) == 0
+        sets_out = capsys.readouterr().out
+        assert main(["--fast", "--no-cache", "--backend", "bitset", "figure1"]) == 0
+        bitset_out = capsys.readouterr().out
+        assert sets_out == bitset_out
+
+
+class TestBenchDiffCommand:
+    def _write(self, path, serial):
+        import json
+
+        payload = {
+            "totals": {
+                "wall_clock_serial_s": serial,
+                "wall_clock_parallel_s": serial / 2,
+                "speedup_vs_serial": 2.0,
+            },
+            "figures": {},
+        }
+        path.write_text(json.dumps(payload))
+
+    def test_pass_and_fail(self, capsys, tmp_path):
+        previous, current = tmp_path / "prev.json", tmp_path / "curr.json"
+        self._write(previous, 10.0)
+        self._write(current, 10.5)
+        assert main(["bench-diff", str(previous), str(current)]) == 0
+        capsys.readouterr()
+        self._write(current, 20.0)
+        assert main(["bench-diff", str(previous), str(current)]) == 1
+        out = capsys.readouterr()
+        assert "REGRESSION" in out.out
+
+    def test_missing_baseline_errors_cleanly(self, capsys, tmp_path):
+        current = tmp_path / "curr.json"
+        self._write(current, 10.0)
+        code = main(["bench-diff", str(tmp_path / "absent.json"), str(current)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,96 @@
+"""Tests for the bench trend differ behind ``lotus-eater bench-diff``."""
+
+import json
+
+import pytest
+
+from repro.core.errors import AnalysisError
+from repro.harness.trend import (
+    compare_bench_summaries,
+    load_bench_summary,
+    render_bench_diff,
+)
+
+
+def _summary(serial=10.0, parallel=4.0, sets_s=8.0, bitset_s=2.0, crossover=0.3):
+    return {
+        "totals": {
+            "wall_clock_serial_s": serial,
+            "wall_clock_parallel_s": parallel,
+            "speedup_vs_serial": serial / parallel,
+        },
+        "backend_bench": {
+            "sets_seconds": sets_s,
+            "bitset_seconds": bitset_s,
+            "speedup": sets_s / bitset_s,
+        },
+        "figures": {
+            "figure1": {"crossovers": {"Trade lotus-eater attack": crossover}},
+        },
+    }
+
+
+class TestCompare:
+    def test_no_change_passes(self):
+        diff = compare_bench_summaries(_summary(), _summary())
+        assert diff["regressions"] == []
+        assert diff["metric_drift"] == []
+        assert "no performance regressions" in render_bench_diff(diff)
+
+    def test_within_tolerance_passes(self):
+        diff = compare_bench_summaries(_summary(), _summary(serial=11.5))
+        assert diff["regressions"] == []
+
+    def test_wall_clock_blowup_flags(self):
+        diff = compare_bench_summaries(_summary(), _summary(serial=15.0))
+        assert "total serial wall-clock" in diff["regressions"]
+        assert "REGRESSION" in render_bench_diff(diff)
+
+    def test_speedup_collapse_flags(self):
+        slow = _summary(bitset_s=6.0)  # bitset speedup 8/6 vs 8/2
+        diff = compare_bench_summaries(_summary(), slow)
+        assert "bitset speedup" in diff["regressions"]
+
+    def test_improvement_never_flags(self):
+        better = _summary(serial=8.0, parallel=2.0, sets_s=8.0, bitset_s=0.5)
+        diff = compare_bench_summaries(_summary(), better)
+        assert diff["regressions"] == []
+
+    def test_missing_baseline_sections_are_skipped(self):
+        previous = {"totals": {"wall_clock_serial_s": 10.0}}
+        diff = compare_bench_summaries(previous, _summary())
+        assert diff["regressions"] == []
+        assert "no baseline, skipped" in render_bench_diff(diff)
+
+    def test_metric_drift_is_informational(self):
+        diff = compare_bench_summaries(_summary(), _summary(crossover=0.4))
+        assert diff["metric_drift"] == ["figure1"]
+        assert diff["regressions"] == []
+        assert "informational" in render_bench_diff(diff)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(AnalysisError):
+            compare_bench_summaries(_summary(), _summary(), max_regression=-0.1)
+
+
+class TestLoad:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_summary()))
+        assert load_bench_summary(str(path))["totals"]["wall_clock_serial_s"] == 10.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_bench_summary(str(tmp_path / "nope.json"))
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_bench_summary(str(path))
+
+    def test_non_object_file(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(AnalysisError):
+            load_bench_summary(str(path))
