@@ -1,0 +1,49 @@
+"""Sharded gossip rounds: one huge simulation split across processes.
+
+Demonstrates the PR 3 execution mode: ``GossipConfig.shards = k``
+switches partner selection to the permutation-pairing schedule whose
+per-round interaction graph decomposes into independent 4-node cells,
+so the exchange and push phases partition into ``k`` shards — with
+bit-identical results for every ``k``, whether shards run in-process
+or on a :class:`~repro.bargossip.ShardPool` of worker processes.
+
+Run with::
+
+    PYTHONPATH=src python examples/sharded_rounds.py
+"""
+
+import time
+
+from repro.bargossip import GossipConfig, GossipSimulator, ShardPool
+
+
+def run(config, rounds, shard_pool=None):
+    simulator = GossipSimulator(config, seed=0, shard_pool=shard_pool)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        simulator.step()
+    elapsed = time.perf_counter() - start
+    return simulator, elapsed
+
+
+def main():
+    n_nodes, rounds, workers = 20000, 30, 4
+    base = GossipConfig(n_nodes=n_nodes, backend="bitset")
+
+    unsharded, serial_s = run(base.replace(shards=1), rounds)
+    sharded, inproc_s = run(base.replace(shards=workers), rounds)
+    with ShardPool(workers) as pool:
+        pooled, pooled_s = run(base.replace(shards=workers), rounds, pool)
+
+    assert sharded.per_node_delivered == unsharded.per_node_delivered
+    assert pooled.per_node_delivered == unsharded.per_node_delivered
+    print(f"{n_nodes} nodes x {rounds} rounds (bitset backend)")
+    print(f"  shards=1 (unsharded execution)   {serial_s:6.2f}s")
+    print(f"  shards={workers} in-process            {inproc_s:6.2f}s")
+    print(f"  shards={workers} on {workers} worker processes {pooled_s:6.2f}s")
+    print(f"  delivery (correct nodes): {unsharded.delivery_fraction('correct'):.4f}")
+    print("  all three traces bit-identical: yes (asserted)")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,13 @@ from .messages import InteractionReceipt, sign_receipt, verify_receipt
 from .node import GossipNode, ServiceCounters, TargetGroup
 from .partner import PartnerSchedule, Purpose
 from .push import PushPlan, apply_push, plan_optimistic_push
-from .simulator import GossipExperimentResult, GossipSimulator, run_gossip_experiment
+from .sharding import ShardedPartnerSchedule, ShardPool
+from .simulator import (
+    GossipExperimentResult,
+    GossipSimulator,
+    InteractionEngine,
+    run_gossip_experiment,
+)
 from .updates import (
     BitsetPopulationStore,
     BitsetUpdateStore,
@@ -57,6 +63,9 @@ __all__ = [
     "TargetGroup",
     "ServiceCounters",
     "PartnerSchedule",
+    "ShardedPartnerSchedule",
+    "ShardPool",
+    "InteractionEngine",
     "Purpose",
     "UpdateStore",
     "BitsetPopulationStore",

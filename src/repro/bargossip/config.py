@@ -98,6 +98,15 @@ class GossipConfig:
     #: The two backends produce bit-identical traces for the same
     #: seed (pinned by the parity test suite).
     backend: str = "sets"
+    #: Sharded round execution.  0 (default) keeps the classic schedule
+    #: and round loop.  ``k >= 1`` switches to the permutation-pairing
+    #: ``ShardedPartnerSchedule`` (see ``repro.bargossip.sharding``)
+    #: and partitions each round's exchange and push phases into ``k``
+    #: independent shards; results are bit-identical for every ``k``
+    #: (pinned by the shard-parity suite), so the value only decides
+    #: the available parallelism — pass a ``ShardPool`` to the
+    #: simulator to actually spread shards across worker processes.
+    shards: int = 0
 
     @classmethod
     def paper(cls) -> "GossipConfig":
@@ -168,4 +177,8 @@ class GossipConfig:
         if self.backend not in ("sets", "bitset"):
             raise ConfigurationError(
                 f"backend must be 'sets' or 'bitset', got {self.backend!r}"
+            )
+        if self.shards < 0:
+            raise ConfigurationError(
+                f"shards must be >= 0 (0 = unsharded), got {self.shards}"
             )

@@ -14,6 +14,17 @@ We model this with a central deterministic schedule: partners for all
 (round, initiator, purpose) triples are drawn from a dedicated named
 RNG stream in a fixed order, so the schedule is a pure function of the
 root seed and no strategy can influence it.
+
+Two schedules implement the contract:
+
+* :class:`PartnerSchedule` — the reference construction: each
+  initiator's partner is an independent uniform draw over the other
+  nodes (a node may be chosen by several initiators in one round).
+* :class:`~repro.bargossip.sharding.ShardedPartnerSchedule` — a
+  permutation-pairing construction whose pairs partition into shards,
+  enabling the sharded round executor.  It lives in ``sharding.py``
+  but shares the sliding-window semantics via
+  :class:`RoundWindowSchedule`.
 """
 
 from __future__ import annotations
@@ -25,7 +36,7 @@ import numpy as np
 
 from ..core.errors import ConfigurationError
 
-__all__ = ["Purpose", "PartnerSchedule"]
+__all__ = ["Purpose", "RoundWindowSchedule", "PartnerSchedule"]
 
 
 class Purpose(enum.Enum):
@@ -35,13 +46,25 @@ class Purpose(enum.Enum):
     PUSH = "push"
 
 
-class PartnerSchedule:
-    """Deterministic per-round partner assignments for all nodes.
+class RoundWindowSchedule:
+    """Shared sliding-window bookkeeping for partner schedules.
+
+    Draws are materialized round by round in ascending order and only a
+    one-round look-back window is retained, so long runs stay O(1)
+    memory.  The contract every subclass must preserve (pinned by the
+    schedule test suites):
+
+    * querying any (initiator, purpose) of a round is allowed in any
+      order without affecting determinism;
+    * after querying round ``r``, round ``r - 1`` is still available;
+    * round ``r - 2`` and older raise :class:`ConfigurationError`;
+    * :meth:`partners_for_round` returns exactly the array repeated
+      :meth:`partner_of` calls would observe.
 
     Parameters
     ----------
     n_nodes:
-        Population size; partners are uniform over the other
+        Population size; partners are drawn over the other
         ``n_nodes - 1`` nodes.
     rng:
         The dedicated generator partner draws consume.  Nothing else
@@ -56,6 +79,11 @@ class PartnerSchedule:
         self._rng = rng
         self._cache: Dict[Tuple[int, Purpose], np.ndarray] = {}
         self._next_round_to_draw = 0
+
+    @property
+    def n_nodes(self) -> int:
+        """Population size the schedule was built for."""
+        return self._n_nodes
 
     def partner_of(self, round_now: int, initiator: int, purpose: Purpose) -> int:
         """The partner assigned to ``initiator`` for ``purpose`` in ``round_now``.
@@ -91,14 +119,33 @@ class PartnerSchedule:
                 f"round {round_now} precedes already-discarded draws"
             )
         while self._next_round_to_draw <= round_now:
-            current = self._next_round_to_draw
-            for purpose in (Purpose.EXCHANGE, Purpose.PUSH):
-                self._cache[(current, purpose)] = self._draw_round()
+            self._draw_round_entries(self._next_round_to_draw)
             self._next_round_to_draw += 1
         # Keep only a small sliding window so long runs stay O(1) memory.
-        stale = [key for key in self._cache if key[0] < round_now - 1]
+        self._discard_before(round_now - 1)
+
+    def _discard_before(self, cutoff_round: int) -> None:
+        """Drop cached draws of rounds before ``cutoff_round``."""
+        stale = [key for key in self._cache if key[0] < cutoff_round]
         for key in stale:
             del self._cache[key]
+
+    def _draw_round_entries(self, round_now: int) -> None:
+        """Fill the cache for one round (both purposes).  Subclass hook."""
+        raise NotImplementedError
+
+
+class PartnerSchedule(RoundWindowSchedule):
+    """Deterministic per-round partner assignments for all nodes.
+
+    The reference construction: one independent uniform draw per
+    (round, initiator, purpose), avoiding self-selection.  A node may
+    be the partner of several initiators in the same round.
+    """
+
+    def _draw_round_entries(self, round_now: int) -> None:
+        for purpose in (Purpose.EXCHANGE, Purpose.PUSH):
+            self._cache[(round_now, purpose)] = self._draw_round()
 
     def _draw_round(self) -> np.ndarray:
         """Uniform partners for all initiators, avoiding self-selection.

@@ -1,0 +1,642 @@
+"""Sharded execution of gossip rounds: schedule, slices, merge, workers.
+
+The bitset backend (PR 2) vectorized the round loop *within* one core;
+this module partitions the node population of a single round across
+``k`` shards so the exchange and push phases can run on separate
+worker processes.  The obstacle named on the ROADMAP was the exchange
+phase's sequential pair order: with the reference
+:class:`~repro.bargossip.partner.PartnerSchedule` a node can serve
+several initiators in one round, so interactions chain through shared
+state and no partition of the nodes keeps every interaction local.
+
+:class:`ShardedPartnerSchedule` removes the obstacle at the schedule
+level, the same way BAR Gossip's verifiable pseudorandom partner
+selection makes partner choice strategy-independent: each round draws
+one seeded permutation of the population (a pure function of the root
+seed — no node can bias its own draws), consecutive positions form
+*cells* of four nodes, and both sub-protocols pair nodes within their
+cell (exchange pairs ``(0,1)/(2,3)``, push pairs ``(0,2)/(1,3)``).
+Every interaction of a round therefore touches exactly one cell, cells
+are mutually independent, and any grouping of cells into shards yields
+the same trace — results are bit-identical regardless of ``k``.  The
+per-round permutation keeps each node's partner distribution uniform
+over the other nodes across rounds.
+
+Execution reorganizes state ownership: :func:`extract_shard` cuts a
+shard's slice out of the simulator (packed bitset rows or per-node
+sets, eviction flags, the attacker-coalition and reporting-authority
+slices that shard can touch), :func:`run_shard` replays the two phases
+over the slice with the same
+:class:`~repro.bargossip.simulator.InteractionEngine` the classic
+simulator uses, and :func:`merge_shard` folds the outcome back in a
+deterministic shard order.  :class:`ShardPool` runs ``run_shard`` on a
+persistent worker-process pool; the in-process path calls the very
+same function, so worker count can never change results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.behaviors import Behavior
+from ..core.errors import ConfigurationError
+from .attacker import AttackerCoalition, AttackKind
+from .config import GossipConfig
+from .defenses import EvictionAuthority, ReportingPolicy
+from .node import GossipNode, ServiceCounters, TargetGroup
+from .partner import Purpose, RoundWindowSchedule
+from .updates import BitsetPopulationStore, UpdateStore
+
+__all__ = [
+    "CELL_SIZE",
+    "cell_exchange_pairs",
+    "cell_push_pairs",
+    "ShardedPartnerSchedule",
+    "ShardStatic",
+    "ShardState",
+    "ShardOutcome",
+    "extract_shard",
+    "run_shard",
+    "merge_shard",
+    "ShardPool",
+]
+
+#: Nodes per cell of the round permutation.  Four is the smallest cell
+#: granting every node distinct exchange and push partners; shard
+#: boundaries always fall on cell boundaries, which is what makes the
+#: partner draws independent of the shard count.
+CELL_SIZE = 4
+
+Cell = Tuple[int, ...]
+
+
+def cell_exchange_pairs(cell: Cell) -> List[Tuple[int, int]]:
+    """Balanced-exchange pairs within one cell (positions 0-1, 2-3).
+
+    Tail cells shorter than :data:`CELL_SIZE` pair what they can; a
+    lone unpaired node sits the phase out (its schedule entry points
+    at itself and the round executor skips it).
+    """
+    return [
+        (cell[index], cell[index + 1]) for index in range(0, len(cell) - 1, 2)
+    ]
+
+
+def cell_push_pairs(cell: Cell) -> List[Tuple[int, int]]:
+    """Optimistic-push pairs within one cell (positions 0-2, 1-3).
+
+    Full cells cross the exchange pairing so every node sees two
+    distinct partners per round.  A 3-node tail pairs positions 0-2
+    (1 sits out); a 2-node tail reuses its exchange pair — the one
+    degenerate case where both purposes share a partner.
+    """
+    if len(cell) >= CELL_SIZE:
+        return [(cell[0], cell[2]), (cell[1], cell[3])]
+    if len(cell) == 3:
+        return [(cell[0], cell[2])]
+    if len(cell) == 2:
+        return [(cell[0], cell[1])]
+    return []
+
+
+class ShardedPartnerSchedule(RoundWindowSchedule):
+    """Permutation-pairing partner schedule that partitions into shards.
+
+    Satisfies the :class:`~repro.bargossip.partner.RoundWindowSchedule`
+    contract (same sliding window, same ``partner_of`` /
+    ``partners_for_round`` semantics) while guaranteeing that each
+    round's interaction graph decomposes into independent cells.  A
+    node left unpaired for a purpose (the tail of a population not
+    divisible by :data:`CELL_SIZE`) maps to itself; the executor skips
+    such entries.
+
+    The shard count is *not* part of the schedule: draws depend only
+    on the root seed, and :meth:`shard_cells` merely groups the cells,
+    so every ``k`` observes the identical schedule.
+    """
+
+    def __init__(self, n_nodes: int, rng: np.random.Generator) -> None:
+        super().__init__(n_nodes, rng)
+        self._cells: Dict[int, Tuple[Cell, ...]] = {}
+
+    def cells_for_round(self, round_now: int) -> Tuple[Cell, ...]:
+        """The round's cells (tuples of node ids, permutation order)."""
+        if round_now not in self._cells:
+            self._materialize_through(round_now)
+        return self._cells[round_now]
+
+    def round_order(self, round_now: int) -> Tuple[int, ...]:
+        """Canonical initiation order of the round: permutation order.
+
+        Replaces the classic simulator's separate order draw: with
+        cell-local interactions, any order that keeps each cell's
+        positions in sequence yields the same trace, so the executor
+        uses the permutation itself.
+        """
+        return tuple(
+            node for cell in self.cells_for_round(round_now) for node in cell
+        )
+
+    def shard_cells(self, round_now: int, n_shards: int) -> List[Tuple[Cell, ...]]:
+        """The round's cells grouped into ``n_shards`` contiguous shards.
+
+        Shards may be empty when ``n_shards`` exceeds the cell count;
+        callers skip those.  Grouping is the only thing ``n_shards``
+        influences — the underlying draws are shard-count independent.
+        """
+        if n_shards < 1:
+            raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+        cells = self.cells_for_round(round_now)
+        count = len(cells)
+        return [
+            cells[shard * count // n_shards : (shard + 1) * count // n_shards]
+            for shard in range(n_shards)
+        ]
+
+    def partners_for_round(self, round_now: int, purpose: Purpose):
+        """Partner array derived lazily from the round's cells.
+
+        The sharded executor consumes only the cells (each shard
+        re-derives its pairings slice-locally), so the O(n)
+        full-population arrays are built on first request — the
+        ``shards == 1`` execution path and direct schedule queries —
+        instead of every round.  Window semantics are those of the
+        cells: one round of look-back, older raises.
+        """
+        key = (round_now, purpose)
+        if key not in self._cache:
+            cells = self.cells_for_round(round_now)  # window-checked
+            pairs_of = (
+                cell_exchange_pairs
+                if purpose is Purpose.EXCHANGE
+                else cell_push_pairs
+            )
+            partners = np.arange(self._n_nodes)  # unpaired nodes sit out
+            for cell in cells:
+                for left, right in pairs_of(cell):
+                    partners[left] = right
+                    partners[right] = left
+            self._cache[key] = partners
+        return self._cache[key]
+
+    def _draw_round_entries(self, round_now: int) -> None:
+        permutation = [int(node) for node in self._rng.permutation(self._n_nodes)]
+        self._cells[round_now] = tuple(
+            tuple(permutation[start : start + CELL_SIZE])
+            for start in range(0, self._n_nodes, CELL_SIZE)
+        )
+
+    def _discard_before(self, cutoff_round: int) -> None:
+        super()._discard_before(cutoff_round)
+        for stale in [r for r in self._cells if r < cutoff_round]:
+            del self._cells[stale]
+
+
+# ----------------------------------------------------------------------
+# Shard slices: extraction, execution, merge
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardStatic:
+    """Per-simulation constants shipped to each worker exactly once.
+
+    ``behaviors`` is indexed by global node id.  A worker derives the
+    ATTACKER/correct split from it (attackers are exactly the
+    BYZANTINE nodes); the satiated/isolated split — which rotation can
+    change mid-run — travels per round in the attack slice instead,
+    because the interaction engine only consults it through the
+    coalition's target set.
+    """
+
+    config: GossipConfig
+    behaviors: Tuple[Behavior, ...]
+
+
+@dataclass(frozen=True)
+class ShardState:
+    """One shard's slice of one round: everything its phases may read.
+
+    The population store rows (bitset backend) or per-node sets (sets
+    backend) are indexed by *local* position — the flattened cell
+    order, which is also the shard's initiation order.
+    """
+
+    round_now: int
+    cells: Tuple[Cell, ...]
+    node_ids: Tuple[int, ...]
+    evicted_mask: int
+    # Bitset backend: packed rows sliced out of the population store.
+    base: int
+    have_rows: Optional[Tuple[int, ...]]
+    missing_rows: Optional[Tuple[int, ...]]
+    # Sets backend: per-node live-update sets.
+    have_sets: Optional[Tuple[frozenset, ...]]
+    missing_sets: Optional[Tuple[frozenset, ...]]
+    # Attacker-coalition slice; populated only when the shard contains
+    # a coalition node (interactions elsewhere never consult it).
+    attack_kind: AttackKind
+    attack_members: Tuple[int, ...]
+    attack_targets: Tuple[int, ...]
+    attack_pool: Tuple[int, ...]
+    # Reporting-defense slice: standing report state of the shard's
+    # potential offenders (policy None when the defense is off).
+    policy: Optional[ReportingPolicy]
+    reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    already_evicted: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one shard's phases produced, ready for a deterministic merge.
+
+    Counters are *deltas* (the worker starts every node at zero), so
+    the merge is a per-field addition; store rows/sets are final
+    values.  Node-local fields can never conflict across shards — each
+    node belongs to exactly one cell per round — and the shared-state
+    deltas (coalition service total, reports, evictions) are applied
+    in shard order.
+    """
+
+    have_rows: Optional[Tuple[int, ...]]
+    missing_rows: Optional[Tuple[int, ...]]
+    have_sets: Optional[Tuple[frozenset, ...]]
+    missing_sets: Optional[Tuple[frozenset, ...]]
+    counters: Tuple[Tuple[int, ...], ...]
+    evicted_mask: int
+    updates_served: int
+    reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    newly_evicted: Tuple[int, ...]
+    coalition_evicted: Tuple[int, ...]
+
+
+def extract_shard(simulator, cells: Sequence[Cell], round_now: int) -> ShardState:
+    """Cut one shard's slice out of a live :class:`GossipSimulator`.
+
+    Pure read: the simulator is not modified.  The slice carries only
+    what the shard's interactions can observe — in particular the
+    attacker-coalition and authority slices are empty whenever no
+    coalition node landed in the shard this round.
+    """
+    pool = simulator._pool
+    attack = simulator.attack
+    authority = simulator.authority
+    nodes = simulator.nodes
+    node_ids: List[int] = [node for cell in cells for node in cell]
+
+    # The simulator maintains the evicted-id and coalition-member sets
+    # (see its __init__/merge bookkeeping) precisely so the common case
+    # — nobody evicted, no attack — costs no per-node scan here.
+    evicted_mask = 0
+    if simulator._evicted_ids:
+        evicted_ids = simulator._evicted_ids
+        for local, node_id in enumerate(node_ids):
+            if node_id in evicted_ids:
+                evicted_mask |= 1 << local
+    if attack.active:
+        byzantine = simulator._byzantine
+        offenders = [node_id for node_id in node_ids if node_id in byzantine]
+    else:
+        offenders = []
+
+    have_rows = missing_rows = have_sets = missing_sets = None
+    base = 0
+    if pool is not None:
+        base = pool.base
+        have_bits, missing_bits = pool.have_bits, pool.missing_bits
+        have_rows = tuple([have_bits[node_id] for node_id in node_ids])
+        missing_rows = tuple([missing_bits[node_id] for node_id in node_ids])
+    else:
+        have_sets = tuple(
+            frozenset(nodes[node_id].store.have) for node_id in node_ids
+        )
+        missing_sets = tuple(
+            frozenset(nodes[node_id].store.missing) for node_id in node_ids
+        )
+
+    if offenders:
+        members = tuple(sorted(attack.nodes.intersection(node_ids)))
+        targets = tuple(sorted(attack.satiated_targets.intersection(node_ids)))
+        coalition_pool = tuple(sorted(attack.pool))
+        kind = attack.kind
+    else:
+        members = targets = coalition_pool = ()
+        kind = AttackKind.NONE
+
+    policy = None
+    reports: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    already_evicted: Tuple[int, ...] = ()
+    if authority is not None and offenders:
+        policy = authority.policy
+        reports = tuple(
+            (offender, tuple(sorted(authority.reports[offender])))
+            for offender in offenders
+            if offender in authority.reports
+        )
+        already_evicted = tuple(
+            offender for offender in offenders if offender in authority.evicted
+        )
+
+    return ShardState(
+        round_now=round_now,
+        cells=tuple(cells),
+        node_ids=tuple(node_ids),
+        evicted_mask=evicted_mask,
+        base=base,
+        have_rows=have_rows,
+        missing_rows=missing_rows,
+        have_sets=have_sets,
+        missing_sets=missing_sets,
+        attack_kind=kind,
+        attack_members=members,
+        attack_targets=targets,
+        attack_pool=coalition_pool,
+        policy=policy,
+        reports=reports,
+        already_evicted=already_evicted,
+    )
+
+
+def _counter_delta(counters: ServiceCounters) -> Tuple[int, ...]:
+    """One node's counters as a flat tuple (field-declaration order).
+
+    Hand-rolled instead of :func:`dataclasses.astuple`, which
+    deep-copies and dominated the merge cost at 50k nodes.
+    """
+    return (
+        counters.updates_sent,
+        counters.updates_received,
+        counters.junk_sent,
+        counters.junk_received,
+        counters.exchanges_initiated,
+        counters.exchanges_nonempty,
+        counters.pushes_initiated,
+        counters.pushes_nonempty,
+    )
+
+
+def _partner_maps(
+    cells: Sequence[Cell],
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """Local (exchange, push) partner maps derived from the cells."""
+    exchange: Dict[int, int] = {}
+    push: Dict[int, int] = {}
+    for cell in cells:
+        for node in cell:
+            exchange[node] = node
+            push[node] = node
+        for left, right in cell_exchange_pairs(cell):
+            exchange[left] = right
+            exchange[right] = left
+        for left, right in cell_push_pairs(cell):
+            push[left] = right
+            push[right] = left
+    return exchange, push
+
+
+def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
+    """Run one shard's exchange and push phases over its slice.
+
+    A pure function of its arguments — the in-process executor and the
+    worker pool call exactly this, which is what makes worker count
+    irrelevant to results.  The slice is replayed through the same
+    :class:`~repro.bargossip.simulator.InteractionEngine` as the
+    classic round loop, over a shard-local population store.
+    """
+    from .simulator import InteractionEngine  # deferred: avoids module cycle
+
+    config = static.config
+    node_ids = state.node_ids
+
+    slice_pool: Optional[BitsetPopulationStore] = None
+    if state.have_rows is not None:
+        slice_pool = BitsetPopulationStore(
+            len(node_ids), config.updates_per_round, config.update_lifetime
+        )
+        slice_pool.base = state.base
+        slice_pool.have_bits = list(state.have_rows)
+        slice_pool.missing_bits = list(state.missing_rows)
+
+    shard_nodes: List[GossipNode] = []
+    for local, node_id in enumerate(node_ids):
+        behavior = static.behaviors[node_id]
+        if slice_pool is not None:
+            store = slice_pool.view(local)
+        else:
+            store = UpdateStore()
+            store.have = set(state.have_sets[local])
+            store.missing = set(state.missing_sets[local])
+        shard_nodes.append(
+            GossipNode(
+                node_id,
+                behavior,
+                # The engine only distinguishes attacker from correct;
+                # the satiated/isolated split lives in the coalition's
+                # target set, so ISOLATED is a safe stand-in here.
+                TargetGroup.ATTACKER
+                if behavior is Behavior.BYZANTINE
+                else TargetGroup.ISOLATED,
+                store=store,
+                evicted=bool(state.evicted_mask >> local & 1),
+            )
+        )
+
+    attack = AttackerCoalition(
+        state.attack_kind,
+        nodes=state.attack_members,
+        satiated_targets=state.attack_targets,
+    )
+    attack.pool = set(state.attack_pool)
+    initial_members = set(state.attack_members)
+
+    authority: Optional[EvictionAuthority] = None
+    if state.policy is not None:
+        authority = EvictionAuthority(
+            policy=state.policy,
+            reports={
+                offender: set(reporters) for offender, reporters in state.reports
+            },
+            evicted=set(state.already_evicted),
+        )
+
+    engine = InteractionEngine(
+        shard_nodes, config, attack, authority, pool=slice_pool
+    )
+    exchange_partners, push_partners = _partner_maps(state.cells)
+    engine.run_exchanges(state.round_now, node_ids, exchange_partners)
+    engine.run_pushes(state.round_now, node_ids, push_partners)
+
+    evicted_mask = 0
+    for local, node in enumerate(shard_nodes):
+        if node.evicted:
+            evicted_mask |= 1 << local
+
+    reports: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
+    newly_evicted: Tuple[int, ...] = ()
+    if authority is not None:
+        reports = tuple(
+            (offender, tuple(sorted(reporters)))
+            for offender, reporters in sorted(authority.reports.items())
+        )
+        newly_evicted = tuple(
+            sorted(authority.evicted - set(state.already_evicted))
+        )
+
+    return ShardOutcome(
+        have_rows=tuple(slice_pool.have_bits) if slice_pool is not None else None,
+        missing_rows=(
+            tuple(slice_pool.missing_bits) if slice_pool is not None else None
+        ),
+        have_sets=(
+            tuple(frozenset(node.store.have) for node in shard_nodes)
+            if slice_pool is None
+            else None
+        ),
+        missing_sets=(
+            tuple(frozenset(node.store.missing) for node in shard_nodes)
+            if slice_pool is None
+            else None
+        ),
+        counters=tuple(_counter_delta(node.counters) for node in shard_nodes),
+        evicted_mask=evicted_mask,
+        updates_served=attack.updates_served,
+        reports=reports,
+        newly_evicted=newly_evicted,
+        coalition_evicted=tuple(sorted(initial_members - attack.nodes)),
+    )
+
+
+def merge_shard(simulator, state: ShardState, outcome: ShardOutcome) -> None:
+    """Fold one shard's outcome back into the simulator.
+
+    Node-local state is written in place (each node belongs to exactly
+    one shard per round), counter deltas are added field-wise, and the
+    shared coalition/authority deltas are applied in the caller's
+    shard order — which is fixed — so the merged state is identical
+    whatever ran the shards, and in whatever real-time order they
+    finished.
+    """
+    pool = simulator._pool
+    nodes = simulator.nodes
+    for local, node_id in enumerate(state.node_ids):
+        node = nodes[node_id]
+        if pool is not None:
+            pool.have_bits[node_id] = outcome.have_rows[local]
+            pool.missing_bits[node_id] = outcome.missing_rows[local]
+        else:
+            node.store.have = set(outcome.have_sets[local])
+            node.store.missing = set(outcome.missing_sets[local])
+        delta = outcome.counters[local]
+        if any(delta):
+            counters = node.counters
+            counters.updates_sent += delta[0]
+            counters.updates_received += delta[1]
+            counters.junk_sent += delta[2]
+            counters.junk_received += delta[3]
+            counters.exchanges_initiated += delta[4]
+            counters.exchanges_nonempty += delta[5]
+            counters.pushes_initiated += delta[6]
+            counters.pushes_nonempty += delta[7]
+        if outcome.evicted_mask >> local & 1 and not node.evicted:
+            node.evicted = True
+            simulator._evicted_ids.add(node_id)
+
+    simulator.attack.updates_served += outcome.updates_served
+    for node_id in outcome.coalition_evicted:
+        simulator.attack.evict(node_id)
+    if simulator.authority is not None and outcome.reports:
+        for offender, reporters in outcome.reports:
+            simulator.authority.reports[offender] = set(reporters)
+        simulator.authority.evicted.update(outcome.newly_evicted)
+
+
+# ----------------------------------------------------------------------
+# Worker pool
+# ----------------------------------------------------------------------
+
+#: Per-worker simulation constants, installed by the pool initializer so
+#: the static payload crosses the process boundary once, not per round.
+_WORKER_STATIC: Optional[ShardStatic] = None
+
+
+def _init_shard_worker(static: ShardStatic) -> None:
+    global _WORKER_STATIC
+    _WORKER_STATIC = static
+
+
+def _run_shard_in_worker(state: ShardState) -> ShardOutcome:
+    return run_shard(_WORKER_STATIC, state)
+
+
+class ShardPool:
+    """A persistent process pool executing shard slices round by round.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; values below 2 make :meth:`run` execute
+        in-process (identical results — ``run_shard`` is the single
+        execution path either way).
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name; None uses
+        the platform default.
+
+    The pool is bound to one simulation's :class:`ShardStatic` at a
+    time (shipped through the worker initializer); running a different
+    simulation through the same pool transparently restarts the
+    workers.
+    """
+
+    def __init__(self, workers: int, mp_context: Optional[str] = None) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.mp_context = mp_context
+        self._pool: Optional["multiprocessing.pool.Pool"] = None
+        self._static: Optional[ShardStatic] = None
+
+    def run(
+        self, static: ShardStatic, states: Sequence[ShardState]
+    ) -> List[ShardOutcome]:
+        """Execute the round's shard states; results in submission order."""
+        if self.workers < 2 or len(states) < 2:
+            return [run_shard(static, state) for state in states]
+        return self._ensure(static).map(_run_shard_in_worker, states)
+
+    def _ensure(self, static: ShardStatic) -> "multiprocessing.pool.Pool":
+        if self._pool is None or self._static is not static:
+            self.close()
+            context = (
+                multiprocessing.get_context(self.mp_context)
+                if self.mp_context
+                else multiprocessing
+            )
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_init_shard_worker,
+                initargs=(static,),
+            )
+            self._static = static
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent; a later run reopens them)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._static = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self._pool is not None else "idle"
+        return f"ShardPool(workers={self.workers}, {state})"

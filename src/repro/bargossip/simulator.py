@@ -46,9 +46,290 @@ from .push import (
     bitset_plan_push,
     plan_optimistic_push,
 )
+from .sharding import (
+    ShardedPartnerSchedule,
+    ShardPool,
+    ShardStatic,
+    extract_shard,
+    merge_shard,
+    run_shard,
+)
 from .updates import BitsetPopulationStore, UpdateLedger, creation_round, popcount
 
-__all__ = ["GossipSimulator", "GossipExperimentResult", "run_gossip_experiment"]
+__all__ = [
+    "InteractionEngine",
+    "GossipSimulator",
+    "GossipExperimentResult",
+    "run_gossip_experiment",
+]
+
+
+class InteractionEngine:
+    """The exchange and push phases over one population slice.
+
+    Owns no round structure of its own: callers hand it an initiation
+    order and a partner assignment, and it applies the interactions to
+    the node slice it was built over.  The classic simulator builds one
+    engine over the full population (pool row index == node id); the
+    sharded executor builds one per shard over shard-local state (see
+    :mod:`repro.bargossip.sharding`) — reorganizing who *owns* the
+    population state without duplicating the protocol logic.
+
+    Parameters
+    ----------
+    nodes:
+        The slice's nodes; their ``node_id`` stays global.
+    config / attack / authority:
+        As on :class:`GossipSimulator` (``authority`` may be None).
+    pool:
+        The slice's :class:`~repro.bargossip.updates.\
+BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
+        ``nodes[i]``), or None on the sets backend.
+    """
+
+    def __init__(
+        self,
+        nodes: List[GossipNode],
+        config: GossipConfig,
+        attack: AttackerCoalition,
+        authority: Optional[EvictionAuthority],
+        pool: Optional[BitsetPopulationStore] = None,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.config = config
+        self.attack = attack
+        self.authority = authority
+        self.pool = pool
+        self._node_of: Dict[int, GossipNode] = {
+            node.node_id: node for node in self.nodes
+        }
+        self._row_of: Dict[int, int] = {
+            node.node_id: row for row, node in enumerate(self.nodes)
+        }
+
+    def run_exchanges(self, round_now: int, order, partners) -> None:
+        """One balanced-exchange phase.
+
+        ``order`` iterates initiator ids; ``partners`` maps initiator
+        id to partner id (array or mapping).  A self-partner entry
+        means the node sits this phase out (the sharded schedule's
+        unpaired tail); the reference schedule never produces one.
+        """
+        node_of = self._node_of
+        for initiator_id in order:
+            initiator = node_of[initiator_id]
+            if initiator.evicted:
+                continue
+            if initiator.is_attacker and not self.attack.trades():
+                continue  # crash / ideal attackers never initiate
+            partner_id = int(partners[initiator_id])
+            if partner_id == initiator_id:
+                continue  # unpaired this round
+            partner = node_of[partner_id]
+            if partner.evicted:
+                continue
+            initiator.counters.exchanges_initiated += 1
+            self.interact_exchange(round_now, initiator, partner)
+
+    def interact_exchange(
+        self, round_now: int, initiator: GossipNode, partner: GossipNode
+    ) -> None:
+        if initiator.is_attacker and partner.is_attacker:
+            return  # the coalition already pools knowledge
+        if initiator.is_attacker or partner.is_attacker:
+            if not self.attack.trades():
+                return  # crash / ideal attackers never complete exchanges
+            attacker, other = (
+                (initiator, partner) if initiator.is_attacker else (partner, initiator)
+            )
+            self.attacker_dump(round_now, attacker, other, Purpose.EXCHANGE)
+            return
+        if self.pool is not None:
+            to_initiator, to_partner = bitset_exchange(
+                self.pool,
+                self._row_of[initiator.node_id],
+                self._row_of[partner.node_id],
+                cap=self.config.exchange_cap,
+                unbalanced=self.config.unbalanced_exchange,
+                prefer_newest=self.config.exchange_prefer_newest,
+            )
+            if to_initiator == 0 and to_partner == 0:
+                return
+            initiator.counters.record_exchange(sent=to_partner, received=to_initiator)
+            partner.counters.record_exchange(sent=to_initiator, received=to_partner)
+            initiator.counters.exchanges_nonempty += 1
+            return
+        plan = plan_balanced_exchange(
+            initiator.store,
+            partner.store,
+            cap=self.config.exchange_cap,
+            unbalanced=self.config.unbalanced_exchange,
+            prefer_newest=self.config.exchange_prefer_newest,
+        )
+        if plan.size == 0:
+            return
+        apply_exchange(initiator.store, partner.store, plan)
+        initiator.counters.record_exchange(
+            sent=len(plan.to_responder), received=len(plan.to_initiator)
+        )
+        partner.counters.record_exchange(
+            sent=len(plan.to_initiator), received=len(plan.to_responder)
+        )
+        initiator.counters.exchanges_nonempty += 1
+
+    def attacker_dump(
+        self,
+        round_now: int,
+        attacker: GossipNode,
+        other: GossipNode,
+        purpose: Purpose,
+    ) -> None:
+        """Trade attack: serve a satiated target as much as the channel allows.
+
+        A balanced exchange negotiates its own message sizes, so the
+        attacker can hand over everything it has.  The optimistic-push
+        channel is bounded by the protocol (the receiver takes at most
+        ``push_size`` updates), so dumps through it are capped.
+        """
+        if not self.attack.is_satiated_target(other.node_id):
+            return
+        limit = None if purpose is Purpose.EXCHANGE else self.config.push_size
+        # The Section 5 rate-limiting defense: an obedient receiver
+        # refuses service beyond the per-interaction cap, however much
+        # the attacker offers.  Rational receivers happily take it all.
+        if (
+            self.config.accept_cap is not None
+            and other.behavior is Behavior.OBEDIENT
+        ):
+            limit = (
+                self.config.accept_cap
+                if limit is None
+                else min(limit, self.config.accept_cap)
+            )
+        give = self.attack.dump_for(other.store.missing, limit=limit)
+        if not give:
+            return
+        other.store.receive_all(give)
+        other.counters.updates_received += len(give)
+        attacker.counters.updates_sent += len(give)
+        self.maybe_report(round_now, attacker, other, purpose, give)
+
+    def maybe_report(
+        self,
+        round_now: int,
+        giver: GossipNode,
+        beneficiary: GossipNode,
+        purpose: Purpose,
+        updates_given: List[int],
+    ) -> None:
+        """Reporting defense: obedient beneficiaries report excessive service."""
+        if self.authority is None:
+            return
+        receipt = sign_receipt(
+            round_now,
+            giver=giver.node_id,
+            receiver=beneficiary.node_id,
+            purpose=purpose,
+            updates_given=tuple(updates_given),
+            updates_returned=(),
+        )
+        if not self.authority.policy.is_excessive(receipt):
+            return
+        if not self.authority.policy.beneficiary_reports(beneficiary.behavior):
+            return
+        evicted_now = self.authority.file_report(beneficiary.node_id, receipt)
+        if evicted_now:
+            giver.evicted = True
+            self.attack.evict(giver.node_id)
+
+    def run_pushes(self, round_now: int, order, partners) -> None:
+        """One optimistic-push phase (same calling convention as exchanges)."""
+        node_of = self._node_of
+        for initiator_id in order:
+            initiator = node_of[initiator_id]
+            if initiator.evicted:
+                continue
+            partner_id = int(partners[initiator_id])
+            if partner_id == initiator_id:
+                continue  # unpaired this round
+            if initiator.is_attacker:
+                if not self.attack.trades():
+                    continue
+                partner = node_of[partner_id]
+                if not partner.evicted and partner.is_correct:
+                    self.attacker_dump(round_now, initiator, partner, Purpose.PUSH)
+                continue
+            if not initiator.wants_to_push(self.config, round_now):
+                continue
+            partner = node_of[partner_id]
+            if partner.evicted:
+                continue
+            initiator.counters.pushes_initiated += 1
+            if partner.is_attacker:
+                # A push lands on the attacker: under the trade attack a
+                # satiated initiator gets everything it asked for (and
+                # more); everyone else gets silence.
+                if self.attack.trades():
+                    self.attacker_dump(round_now, partner, initiator, Purpose.PUSH)
+                continue
+            if self.pool is not None:
+                self._push_bitset(round_now, initiator, partner)
+                continue
+            plan = plan_optimistic_push(
+                initiator.store, partner.store, self.config, round_now
+            )
+            if not partner.responds_to_push(len(plan.to_responder)):
+                continue
+            apply_push(initiator.store, partner.store, plan)
+            self._record_push(
+                initiator,
+                partner,
+                to_responder=len(plan.to_responder),
+                to_initiator=len(plan.to_initiator),
+                junk_units=plan.junk_units,
+            )
+
+    def _push_bitset(
+        self, round_now: int, initiator: GossipNode, partner: GossipNode
+    ) -> None:
+        """One correct-correct optimistic push on the bitset backend."""
+        plan = bitset_plan_push(
+            self.pool,
+            self._row_of[initiator.node_id],
+            self._row_of[partner.node_id],
+            self.config,
+            round_now,
+        )
+        if not partner.responds_to_push(plan.responder_count):
+            return
+        bitset_apply_push(
+            self.pool,
+            self._row_of[initiator.node_id],
+            self._row_of[partner.node_id],
+            plan,
+        )
+        self._record_push(
+            initiator,
+            partner,
+            to_responder=plan.responder_count,
+            to_initiator=plan.initiator_count,
+            junk_units=plan.junk_units,
+        )
+
+    def _record_push(
+        self,
+        initiator: GossipNode,
+        partner: GossipNode,
+        to_responder: int,
+        to_initiator: int,
+        junk_units: int,
+    ) -> None:
+        """Book one applied push into both sides' service counters."""
+        initiator.counters.pushes_nonempty += 1
+        initiator.counters.record_exchange(sent=to_responder, received=to_initiator)
+        partner.counters.record_exchange(sent=to_initiator, received=to_responder)
+        partner.counters.junk_sent += junk_units
+        initiator.counters.junk_received += junk_units
 
 
 class GossipSimulator(RoundSimulator):
@@ -72,6 +353,11 @@ class GossipSimulator(RoundSimulator):
         When set, the attacker re-draws its satiated target set every
         this many rounds — the paper's rotating variant that spreads
         intermittent starvation over the whole population.
+    shard_pool:
+        Worker processes for sharded execution (requires
+        ``config.shards >= 2``).  None runs the shards in-process;
+        either way the trace is bit-identical — the pool only changes
+        where the shard slices execute.
     """
 
     def __init__(
@@ -82,12 +368,24 @@ class GossipSimulator(RoundSimulator):
         reporting: Optional[ReportingPolicy] = None,
         measure_from_round: Optional[int] = None,
         rotate_targets_every: Optional[int] = None,
+        shard_pool: Optional[ShardPool] = None,
     ) -> None:
         self.config = config
         self.attack = attack if attack is not None else AttackerCoalition(AttackKind.NONE)
         self._validate_attack()
+        if shard_pool is not None and config.shards < 2:
+            raise ConfigurationError(
+                "shard_pool requires a sharded configuration (shards >= 2), "
+                f"got shards={config.shards}"
+            )
+        self._shard_pool = shard_pool
         self._streams = RngStreams(seed)
-        self._partners = PartnerSchedule(config.n_nodes, self._streams.get("partners"))
+        partner_rng = self._streams.get("partners")
+        self._partners = (
+            ShardedPartnerSchedule(config.n_nodes, partner_rng)
+            if config.shards
+            else PartnerSchedule(config.n_nodes, partner_rng)
+        )
         self._seeding_rng = self._streams.get("seeding")
         self._order_rng = self._streams.get("order")
         self._roles_rng = self._streams.get("roles")
@@ -120,6 +418,14 @@ class GossipSimulator(RoundSimulator):
         self.nodes: List[GossipNode] = [
             self._make_node(node_id) for node_id in range(config.n_nodes)
         ]
+        #: Byzantine membership and evicted ids, maintained so shard
+        #: extraction can skip per-node scans in the common case (the
+        #: Byzantine split is fixed at construction; evictions in
+        #: sharded mode only ever land through merge_shard).
+        self._byzantine = frozenset(
+            node.node_id for node in self.nodes if node.is_attacker
+        )
+        self._evicted_ids: set = set()
         self._correct_mask = np.array([node.is_correct for node in self.nodes])
         self._satiated_mask = np.array(
             [node.group is TargetGroup.SATIATED for node in self.nodes]
@@ -141,6 +447,21 @@ class GossipSimulator(RoundSimulator):
             self._windows_by_node = {
                 node_id: {} for node_id in range(config.n_nodes)
             }
+        #: The full-population interaction engine.  The classic round
+        #: loop (and the sharded k=1 "unsharded execution") runs the
+        #: phases through it directly; k >= 2 replays shard slices
+        #: through per-shard engines built by the worker body.
+        self._engine = InteractionEngine(
+            self.nodes, config, self.attack, self.authority, pool=self._pool
+        )
+        self._shard_static = (
+            ShardStatic(
+                config=config,
+                behaviors=tuple(node.behavior for node in self.nodes),
+            )
+            if config.shards
+            else None
+        )
         self._round = 0
 
     # ------------------------------------------------------------------
@@ -235,11 +556,63 @@ class GossipSimulator(RoundSimulator):
         self._maybe_rotate_targets(round_now)
         self._broadcast(round_now)
         self._attack_out_of_band()
-        order = [int(i) for i in self._order_rng.permutation(self.config.n_nodes)]
-        self._run_exchanges(round_now, order)
-        self._run_pushes(round_now, order)
+        if self.config.shards:
+            self._step_sharded(round_now)
+        else:
+            order = [
+                int(i) for i in self._order_rng.permutation(self.config.n_nodes)
+            ]
+            self._engine.run_exchanges(
+                round_now,
+                order,
+                self._partners.partners_for_round(round_now, Purpose.EXCHANGE),
+            )
+            self._engine.run_pushes(
+                round_now,
+                order,
+                self._partners.partners_for_round(round_now, Purpose.PUSH),
+            )
         self._expire(round_now)
         self._round += 1
+
+    def _step_sharded(self, round_now: int) -> None:
+        """Exchange and push phases of one round in sharded mode.
+
+        ``shards == 1`` is the unsharded execution of the sharded
+        schedule: the full-population engine runs both phases directly
+        in canonical (permutation) order.  ``shards >= 2`` cuts the
+        round's cells into shard slices, runs each slice through
+        :func:`~repro.bargossip.sharding.run_shard` — in-process, or
+        on the worker pool when one was supplied — and merges the
+        outcomes in shard order.  The shard-parity suite pins all of
+        these paths to bit-identical traces.
+        """
+        schedule = self._partners
+        if self.config.shards == 1:
+            order = schedule.round_order(round_now)
+            self._engine.run_exchanges(
+                round_now,
+                order,
+                schedule.partners_for_round(round_now, Purpose.EXCHANGE),
+            )
+            self._engine.run_pushes(
+                round_now,
+                order,
+                schedule.partners_for_round(round_now, Purpose.PUSH),
+            )
+            return
+        shards = [
+            cells
+            for cells in schedule.shard_cells(round_now, self.config.shards)
+            if cells
+        ]
+        states = [extract_shard(self, cells, round_now) for cells in shards]
+        if self._shard_pool is not None:
+            outcomes = self._shard_pool.run(self._shard_static, states)
+        else:
+            outcomes = [run_shard(self._shard_static, state) for state in states]
+        for state, outcome in zip(states, outcomes):
+            merge_shard(self, state, outcome)
 
     # ------------------------------------------------------------------
     # Round phases
@@ -301,209 +674,6 @@ class GossipSimulator(RoundSimulator):
             give = self.attack.dump_for(node.store.missing)
             node.store.receive_all(give)
             node.counters.updates_received += len(give)
-
-    def _run_exchanges(self, round_now: int, order: List[int]) -> None:
-        partners = self._partners.partners_for_round(round_now, Purpose.EXCHANGE)
-        nodes = self.nodes
-        for initiator_id in order:
-            initiator = nodes[initiator_id]
-            if initiator.evicted:
-                continue
-            if initiator.is_attacker and not self.attack.trades():
-                continue  # crash / ideal attackers never initiate
-            partner = nodes[partners[initiator_id]]
-            if partner.evicted:
-                continue
-            initiator.counters.exchanges_initiated += 1
-            self._interact_exchange(round_now, initiator, partner)
-
-    def _interact_exchange(
-        self, round_now: int, initiator: GossipNode, partner: GossipNode
-    ) -> None:
-        if initiator.is_attacker and partner.is_attacker:
-            return  # the coalition already pools knowledge
-        if initiator.is_attacker or partner.is_attacker:
-            if not self.attack.trades():
-                return  # crash / ideal attackers never complete exchanges
-            attacker, other = (
-                (initiator, partner) if initiator.is_attacker else (partner, initiator)
-            )
-            self._attacker_dump(round_now, attacker, other, Purpose.EXCHANGE)
-            return
-        if self._pool is not None:
-            to_initiator, to_partner = bitset_exchange(
-                self._pool,
-                initiator.node_id,
-                partner.node_id,
-                cap=self.config.exchange_cap,
-                unbalanced=self.config.unbalanced_exchange,
-                prefer_newest=self.config.exchange_prefer_newest,
-            )
-            if to_initiator == 0 and to_partner == 0:
-                return
-            initiator.counters.record_exchange(sent=to_partner, received=to_initiator)
-            partner.counters.record_exchange(sent=to_initiator, received=to_partner)
-            initiator.counters.exchanges_nonempty += 1
-            return
-        plan = plan_balanced_exchange(
-            initiator.store,
-            partner.store,
-            cap=self.config.exchange_cap,
-            unbalanced=self.config.unbalanced_exchange,
-            prefer_newest=self.config.exchange_prefer_newest,
-        )
-        if plan.size == 0:
-            return
-        apply_exchange(initiator.store, partner.store, plan)
-        initiator.counters.record_exchange(
-            sent=len(plan.to_responder), received=len(plan.to_initiator)
-        )
-        partner.counters.record_exchange(
-            sent=len(plan.to_initiator), received=len(plan.to_responder)
-        )
-        initiator.counters.exchanges_nonempty += 1
-
-    def _attacker_dump(
-        self,
-        round_now: int,
-        attacker: GossipNode,
-        other: GossipNode,
-        purpose: Purpose,
-    ) -> None:
-        """Trade attack: serve a satiated target as much as the channel allows.
-
-        A balanced exchange negotiates its own message sizes, so the
-        attacker can hand over everything it has.  The optimistic-push
-        channel is bounded by the protocol (the receiver takes at most
-        ``push_size`` updates), so dumps through it are capped.
-        """
-        if not self.attack.is_satiated_target(other.node_id):
-            return
-        limit = None if purpose is Purpose.EXCHANGE else self.config.push_size
-        # The Section 5 rate-limiting defense: an obedient receiver
-        # refuses service beyond the per-interaction cap, however much
-        # the attacker offers.  Rational receivers happily take it all.
-        if (
-            self.config.accept_cap is not None
-            and other.behavior is Behavior.OBEDIENT
-        ):
-            limit = (
-                self.config.accept_cap
-                if limit is None
-                else min(limit, self.config.accept_cap)
-            )
-        give = self.attack.dump_for(other.store.missing, limit=limit)
-        if not give:
-            return
-        other.store.receive_all(give)
-        other.counters.updates_received += len(give)
-        attacker.counters.updates_sent += len(give)
-        self._maybe_report(round_now, attacker, other, purpose, give)
-
-    def _maybe_report(
-        self,
-        round_now: int,
-        giver: GossipNode,
-        beneficiary: GossipNode,
-        purpose: Purpose,
-        updates_given: List[int],
-    ) -> None:
-        """Reporting defense: obedient beneficiaries report excessive service."""
-        if self.authority is None:
-            return
-        receipt = sign_receipt(
-            round_now,
-            giver=giver.node_id,
-            receiver=beneficiary.node_id,
-            purpose=purpose,
-            updates_given=tuple(updates_given),
-            updates_returned=(),
-        )
-        if not self.authority.policy.is_excessive(receipt):
-            return
-        if not self.authority.policy.beneficiary_reports(beneficiary.behavior):
-            return
-        evicted_now = self.authority.file_report(beneficiary.node_id, receipt)
-        if evicted_now:
-            giver.evicted = True
-            self.attack.evict(giver.node_id)
-
-    def _run_pushes(self, round_now: int, order: List[int]) -> None:
-        partners = self._partners.partners_for_round(round_now, Purpose.PUSH)
-        nodes = self.nodes
-        for initiator_id in order:
-            initiator = nodes[initiator_id]
-            if initiator.evicted:
-                continue
-            if initiator.is_attacker:
-                if not self.attack.trades():
-                    continue
-                partner = nodes[partners[initiator_id]]
-                if not partner.evicted and partner.is_correct:
-                    self._attacker_dump(round_now, initiator, partner, Purpose.PUSH)
-                continue
-            if not initiator.wants_to_push(self.config, round_now):
-                continue
-            partner = nodes[partners[initiator_id]]
-            if partner.evicted:
-                continue
-            initiator.counters.pushes_initiated += 1
-            if partner.is_attacker:
-                # A push lands on the attacker: under the trade attack a
-                # satiated initiator gets everything it asked for (and
-                # more); everyone else gets silence.
-                if self.attack.trades():
-                    self._attacker_dump(round_now, partner, initiator, Purpose.PUSH)
-                continue
-            if self._pool is not None:
-                self._push_bitset(round_now, initiator, partner)
-                continue
-            plan = plan_optimistic_push(
-                initiator.store, partner.store, self.config, round_now
-            )
-            if not partner.responds_to_push(len(plan.to_responder)):
-                continue
-            apply_push(initiator.store, partner.store, plan)
-            self._record_push(
-                initiator,
-                partner,
-                to_responder=len(plan.to_responder),
-                to_initiator=len(plan.to_initiator),
-                junk_units=plan.junk_units,
-            )
-
-    def _push_bitset(
-        self, round_now: int, initiator: GossipNode, partner: GossipNode
-    ) -> None:
-        """One correct-correct optimistic push on the bitset backend."""
-        plan = bitset_plan_push(
-            self._pool, initiator.node_id, partner.node_id, self.config, round_now
-        )
-        if not partner.responds_to_push(plan.responder_count):
-            return
-        bitset_apply_push(self._pool, initiator.node_id, partner.node_id, plan)
-        self._record_push(
-            initiator,
-            partner,
-            to_responder=plan.responder_count,
-            to_initiator=plan.initiator_count,
-            junk_units=plan.junk_units,
-        )
-
-    def _record_push(
-        self,
-        initiator: GossipNode,
-        partner: GossipNode,
-        to_responder: int,
-        to_initiator: int,
-        junk_units: int,
-    ) -> None:
-        """Book one applied push into both sides' service counters."""
-        initiator.counters.pushes_nonempty += 1
-        initiator.counters.record_exchange(sent=to_responder, received=to_initiator)
-        partner.counters.record_exchange(sent=to_initiator, received=to_responder)
-        partner.counters.junk_sent += junk_units
-        initiator.counters.junk_received += junk_units
 
     def _expire(self, round_now: int) -> None:
         due = self.ledger.expire_due(round_now)
@@ -693,6 +863,7 @@ def run_gossip_experiment(
     rounds: int = 50,
     satiate_fraction: float = DEFAULT_SATIATE_FRACTION,
     reporting: Optional[ReportingPolicy] = None,
+    shard_pool: Optional[ShardPool] = None,
 ) -> GossipExperimentResult:
     """Run one full attack experiment and summarize it.
 
@@ -700,7 +871,9 @@ def run_gossip_experiment(
     coalition of the given kind and size, simulate ``rounds`` rounds,
     and report the per-group delivery fractions over the measured
     window (updates released after one warm-up lifetime and expiring
-    before the run ends).
+    before the run ends).  ``shard_pool`` spreads sharded
+    configurations (``config.shards >= 2``) across worker processes;
+    results never depend on it.
     """
     streams = RngStreams(seed)
     coalition = AttackerCoalition.build(
@@ -711,7 +884,8 @@ def run_gossip_experiment(
         satiate_fraction=satiate_fraction,
     )
     simulator = GossipSimulator(
-        config, attack=coalition, seed=seed, reporting=reporting
+        config, attack=coalition, seed=seed, reporting=reporting,
+        shard_pool=shard_pool,
     )
     pool_samples: List[float] = []
     for _ in range(rounds):

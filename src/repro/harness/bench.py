@@ -28,7 +28,8 @@ from typing import Any, Callable, Dict, Optional
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
-from ..bargossip.simulator import run_gossip_experiment
+from ..bargossip.sharding import ShardPool
+from ..bargossip.simulator import GossipSimulator, run_gossip_experiment
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
 from .parallel import SweepExecutor, resolve_jobs
@@ -37,6 +38,7 @@ from .tables import baseline_check
 __all__ = [
     "BENCH_FIGURES",
     "run_backend_bench",
+    "run_shard_bench",
     "run_bench",
     "render_bench_summary",
     "write_bench_summary",
@@ -109,12 +111,90 @@ def run_backend_bench(
     }
 
 
+def run_shard_bench(
+    n_nodes: int = 50000,
+    rounds: int = 50,
+    workers: int = 4,
+    seed: int = 0,
+    backend: str = "bitset",
+) -> Dict[str, Any]:
+    """Time one huge sharded gossip round sequence, three ways.
+
+    The sharded executor's scaling axis is *within one run*: a single
+    50,000-node round sequence partitioned across worker processes.
+    Three passes over the identical computation (the sharded schedule
+    makes all of them bit-identical, which the returned ``parity_ok``
+    asserts on delivery stats and per-node tallies):
+
+    * ``serial_seconds`` — ``shards=1``, the unsharded execution: the
+      full-population engine runs the round loop directly.
+    * ``inprocess_seconds`` — ``shards=workers`` without a pool:
+      measures the slice extract/merge overhead in isolation.
+    * ``parallel_seconds`` — ``shards=workers`` on a
+      :class:`~repro.bargossip.sharding.ShardPool` of ``workers``
+      processes; ``speedup`` is ``serial / parallel``.
+
+    The speedup is hardware-honest: it needs at least ``workers``
+    physical cores to exceed 1 (``environment.cpu_count`` in the bench
+    summary records what the run actually had), and per-round slice
+    serialization bounds it from above — see the README's sharding
+    section for the measured breakdown.
+    """
+    passes: Dict[str, float] = {}
+    reference: Optional[GossipSimulator] = None
+    parity_ok = True
+    for name, shards, use_pool in (
+        ("serial_seconds", 1, False),
+        ("inprocess_seconds", workers, False),
+        ("parallel_seconds", workers, True),
+    ):
+        # A single worker has no pool to speak of (and the simulator
+        # rejects a pool on an unsharded config): all three passes
+        # then legitimately measure the same serial execution.
+        pool = ShardPool(workers) if use_pool and workers >= 2 else None
+        config = GossipConfig(n_nodes=n_nodes, backend=backend, shards=shards)
+        simulator = GossipSimulator(config, seed=seed, shard_pool=pool)
+        start = time.perf_counter()
+        for _ in range(rounds):
+            simulator.step()
+        passes[name] = time.perf_counter() - start
+        if pool is not None:
+            pool.close()
+        if reference is None:
+            reference = simulator
+        else:
+            parity_ok = parity_ok and (
+                simulator.stats.delivered == reference.stats.delivered
+                and simulator.stats.missed == reference.stats.missed
+                and simulator.per_node_delivered == reference.per_node_delivered
+                and simulator.per_node_missed == reference.per_node_missed
+            )
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "shards": workers,
+        "workers": workers,
+        "backend": backend,
+        **passes,
+        "speedup": (
+            passes["serial_seconds"] / passes["parallel_seconds"]
+            if passes["parallel_seconds"] > 0
+            else None
+        ),
+        "parity_ok": parity_ok,
+        "delivery_fraction": reference.delivery_fraction("correct"),
+    }
+
+
 def run_bench(
     fast: bool = True,
     jobs: Optional[int] = None,
     repetitions: int = 1,
     root_seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    shard_workers: int = 4,
+    shard_nodes: int = 50000,
+    shard_rounds: int = 50,
 ) -> Dict[str, Any]:
     """Run the benchmark suite and return the summary dictionary.
 
@@ -124,6 +204,11 @@ def run_bench(
     pass always runs uncached on one core, so a cache-backed parallel
     pass would report cache speedup, not executor speedup (the CLI's
     ``bench`` command always benches uncached for this reason).
+
+    ``shard_workers`` / ``shard_nodes`` / ``shard_rounds`` parameterize
+    the ``shard_bench`` section (:func:`run_shard_bench`); like the
+    backend bench it deliberately runs at the same headline scale in
+    both profiles so consecutive CI artifacts stay comparable.
     """
     fractions = FAST_FRACTIONS if fast else DEFAULT_FRACTIONS
     rounds = 30 if fast else 50
@@ -170,6 +255,12 @@ def run_bench(
 
     baseline = baseline_check(rounds=rounds, seed=root_seed, executor=executor)
     backend_bench = run_backend_bench(seed=root_seed)
+    shard_bench = run_shard_bench(
+        n_nodes=shard_nodes,
+        rounds=shard_rounds,
+        workers=shard_workers,
+        seed=root_seed,
+    )
     executor_stats = executor.stats()
     if own_executor:
         executor.close()
@@ -188,6 +279,7 @@ def run_bench(
         },
         "executor": executor_stats,
         "backend_bench": backend_bench,
+        "shard_bench": shard_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -233,6 +325,16 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
             f"single core): sets {backend['sets_seconds']:.2f}s, "
             f"bitset {backend['bitset_seconds']:.2f}s "
             f"({backend['speedup']:.2f}x, parity {parity})"
+        )
+    shard = summary.get("shard_bench")
+    if shard:
+        parity = "ok" if shard["parity_ok"] else "MISMATCH"
+        lines.append(
+            f"shards ({shard['n_nodes']} nodes, {shard['rounds']} rounds, "
+            f"{shard['workers']} workers): serial {shard['serial_seconds']:.2f}s, "
+            f"in-process {shard['inprocess_seconds']:.2f}s, "
+            f"parallel {shard['parallel_seconds']:.2f}s "
+            f"({shard['speedup']:.2f}x, parity {parity})"
         )
     return "\n".join(lines)
 

@@ -47,8 +47,12 @@ _KEY_BYTES = 16
 #: never hit.  History: 1 = PR 1 layout; 2 = seed labels normalize grid
 #: values with float(x) exactly like the key does (entries cached under
 #: schema 1 may have been computed under seeds derived from the raw,
-#: unnormalized grid value, so they cannot be trusted).
-CACHE_SCHEMA_VERSION = 2
+#: unnormalized grid value, so they cannot be trusted); 3 = duplicate
+#: grid values derive per-occurrence seed labels (repeated points used
+#: to alias one seed list — and hence one set of cache cells — so any
+#: entry touched by a duplicated grid under schema 2 may hold an
+#: aliased copy rather than an independent repetition).
+CACHE_SCHEMA_VERSION = 3
 
 #: Stamped into every record and checked on read.  Identifies the
 #: simulator code generation that produced the value: bump it to bulk-

@@ -13,6 +13,7 @@ Installed as ``lotus-eater`` (see ``pyproject.toml``)::
     lotus-eater sweep-scrip --grid 0,4,8,16 --metric free_service_share
     lotus-eater sweep-token --grid 0,0.1,0.2,0.4
     lotus-eater sweep-swarm --grid 0,1,2,4 --jobs 0
+    lotus-eater figure1 --shards 4
     lotus-eater bench --fast --output BENCH_summary.json
     lotus-eater bench-diff BENCH_previous.json BENCH_summary.json
 
@@ -24,7 +25,11 @@ content-addressed under ``--cache-dir`` (default
 skip every already-computed simulation.  ``--no-cache`` disables the
 store; parallel output is bit-identical to ``--jobs 1``.  ``--backend
 bitset`` switches the gossip commands to the packed-bitset store (same
-results, measured >3x faster single-core at scale).
+results, measured >3x faster single-core at scale).  ``--shards k``
+switches the gossip commands to the sharded round schedule (one
+simulation partitioned into k independent shards per round — results
+identical for every k; combine with ``--jobs`` freely: jobs split the
+sweep grid, shards split one run).
 """
 
 from __future__ import annotations
@@ -79,7 +84,9 @@ def _report_executor(executor: SweepExecutor) -> None:
 def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
     fractions = FAST_FRACTIONS if args.fast else DEFAULT_FRACTIONS
     rounds = 30 if args.fast else 50
-    config = GossipConfig.paper().replace(backend=args.backend)
+    config = GossipConfig.paper().replace(
+        backend=args.backend, shards=args.shards
+    )
     with build_executor(args) as executor:
         curves = builder(
             config=config,
@@ -116,6 +123,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
             root_seed=args.seed,
             executor=executor,
+            # --shards 0 (the default elsewhere) means "the standard
+            # shard bench" here: the section always runs so trend
+            # artifacts stay comparable across runs.
+            shard_workers=args.shards or 4,
         )
     print(render_bench_summary(summary))
     path = write_bench_summary(summary, args.output)
@@ -127,6 +138,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ]
     if not summary["backend_bench"]["parity_ok"]:
         mismatched.append("backend_bench")
+    if not summary["shard_bench"]["parity_ok"]:
+        mismatched.append("shard_bench")
     if mismatched:
         print(
             f"parallel/serial mismatch in: {', '.join(mismatched)}",
@@ -160,7 +173,9 @@ def _parse_grid(text: str) -> List[float]:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model = args.command.split("-", 1)[1]
-    task, x_label = TASK_BUILDERS[model](args.fast, args.metric, args.backend)
+    task, x_label = TASK_BUILDERS[model](
+        args.fast, args.metric, args.backend, args.shards
+    )
     grid = args.grid if args.grid else DEFAULT_SWEEP_GRIDS[model]
     with build_executor(args) as executor:
         points = sweep(
@@ -365,6 +380,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sets",
         help="gossip update-store backend (bitset: packed rows, "
         "identical results, >3x faster single-core at scale)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="sharded gossip execution: partition each round's "
+        "exchange/push phases into this many shards (0 = classic "
+        "unsharded schedule; results are identical for any k >= 1). "
+        "Unlike --jobs, which splits the sweep grid across processes, "
+        "--shards splits one simulation's rounds; 'bench' also uses it "
+        "as the shard_bench worker count (default 4 — changing it "
+        "changes the shard_bench timings, so keep it fixed across "
+        "runs you intend to bench-diff)",
     )
     parser.add_argument(
         "--grid",

@@ -15,7 +15,7 @@ cell fans out while the reduction stays bit-identical to serial.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.errors import AnalysisError
 from ..core.metrics import TimeSeries, confidence_interval_95
@@ -60,6 +60,7 @@ def sweep(
     grid = list(grid)  # the grid is iterated twice; accept one-shot iterables
     executor = executor if executor is not None else SweepExecutor(jobs=1)
     cells: List[SweepCell] = []
+    occurrences: Dict[float, int] = {}
     for x in grid:
         # The seed label must normalize exactly like the cache key does
         # (cell_key hashes float(x)): an int-vs-float grid (`[0, 1]` vs
@@ -67,7 +68,16 @@ def sweep(
         # cache could serve results computed under seeds the caller
         # never spawned.
         x = float(x)
-        for seed in spawn_seeds(root_seed, repetitions, label=f"sweep:{x}"):
+        # Repeated grid values are independent repetitions, not copies:
+        # disambiguating the label by occurrence gives each duplicate
+        # its own seed list, and since cell cache keys hash the seed,
+        # duplicates can never alias each other's cache cells either.
+        # The first occurrence keeps the historical label, so single-
+        # occurrence grids derive exactly the seeds they always did.
+        occurrence = occurrences.get(x, 0)
+        occurrences[x] = occurrence + 1
+        label = f"sweep:{x}" if occurrence == 0 else f"sweep:{x}#{occurrence}"
+        for seed in spawn_seeds(root_seed, repetitions, label=label):
             cells.append(SweepCell(x=x, seed=seed))
     values = executor.map(run_one, cells, experiment=experiment)
 

@@ -226,10 +226,10 @@ class SwarmSweepTask:
 
 
 def _build_gossip_task(
-    fast: bool, metric: Optional[str], backend: str = "sets"
+    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
 ) -> Tuple[SweepTask, str]:
     task = GossipSweepTask(
-        config=GossipConfig.paper().replace(backend=backend),
+        config=GossipConfig.paper().replace(backend=backend, shards=shards),
         kind=AttackKind.TRADE,
         rounds=30 if fast else 50,
         metric=metric or "isolated_fraction",
@@ -238,7 +238,7 @@ def _build_gossip_task(
 
 
 def _build_scrip_task(
-    fast: bool, metric: Optional[str], backend: str = "sets"
+    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
 ) -> Tuple[SweepTask, str]:
     task = ScripAltruistTask(
         config=ScripConfig.paper(),
@@ -250,7 +250,7 @@ def _build_scrip_task(
 
 
 def _build_token_task(
-    fast: bool, metric: Optional[str], backend: str = "sets"
+    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
 ) -> Tuple[SweepTask, str]:
     task = TokenSweepTask(
         max_rounds=100 if fast else 200,
@@ -260,7 +260,7 @@ def _build_token_task(
 
 
 def _build_swarm_task(
-    fast: bool, metric: Optional[str], backend: str = "sets"
+    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
 ) -> Tuple[SweepTask, str]:
     task = SwarmSweepTask(
         config=SwarmConfig.small() if fast else SwarmConfig.paper(),
@@ -271,9 +271,12 @@ def _build_swarm_task(
 
 
 #: ``lotus-eater sweep-<name>`` builders:
-#: ``name -> (fast, metric, backend) -> (task, x-axis label)``.
-#: ``backend`` selects the gossip update store; the other models take
-#: it for interface uniformity and ignore it.
+#: ``name -> (fast, metric, backend, shards) -> (task, x-axis label)``.
+#: ``backend`` selects the gossip update store and ``shards`` its
+#: sharded execution mode; the other models take both for interface
+#: uniformity and ignore them.  Sweep cells already fan out across
+#: executor workers, so gossip shards run in-process within each cell
+#: (sharding changes the schedule, not the cell's results ownership).
 TASK_BUILDERS = {
     "gossip": _build_gossip_task,
     "scrip": _build_scrip_task,

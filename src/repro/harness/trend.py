@@ -39,6 +39,12 @@ _TRACKED: List = [
     (("backend_bench", "sets_seconds"), "set-backend wall-clock", "lower"),
     (("backend_bench", "bitset_seconds"), "bitset-backend wall-clock", "lower"),
     (("backend_bench", "speedup"), "bitset speedup", "higher"),
+    # The shard_bench section is newer than the artifacts CI already
+    # holds: summaries missing it must diff cleanly ("no baseline,
+    # skipped"), which _lookup's None-on-missing handling guarantees.
+    (("shard_bench", "serial_seconds"), "sharded serial wall-clock", "lower"),
+    (("shard_bench", "parallel_seconds"), "sharded parallel wall-clock", "lower"),
+    (("shard_bench", "speedup"), "shard speedup", "higher"),
 ]
 
 
@@ -105,12 +111,23 @@ def compare_bench_summaries(
         rows.append(row)
 
     drift: List[str] = []
+    malformed: List[str] = []
     previous_figures = previous.get("figures", {})
     current_figures = current.get("figures", {})
     if isinstance(previous_figures, dict) and isinstance(current_figures, dict):
         for name in sorted(set(previous_figures) & set(current_figures)):
-            before_cross = previous_figures[name].get("crossovers")
-            after_cross = current_figures[name].get("crossovers")
+            before_figure = previous_figures[name]
+            after_figure = current_figures[name]
+            # A schema-shifted or hand-damaged artifact can hold
+            # anything here; an unusable row is reported and skipped
+            # rather than crashing the whole trend job.
+            if not isinstance(before_figure, dict) or not isinstance(
+                after_figure, dict
+            ):
+                malformed.append(name)
+                continue
+            before_cross = before_figure.get("crossovers")
+            after_cross = after_figure.get("crossovers")
             if before_cross != after_cross:
                 drift.append(name)
 
@@ -119,6 +136,7 @@ def compare_bench_summaries(
         "rows": rows,
         "regressions": regressions,
         "metric_drift": drift,
+        "malformed_figures": malformed,
     }
 
 
@@ -141,6 +159,11 @@ def render_bench_diff(diff: Dict[str, Any]) -> str:
             "  delivery crossovers changed in: "
             + ", ".join(diff["metric_drift"])
             + " (informational)"
+        )
+    if diff.get("malformed_figures"):
+        lines.append(
+            "  unusable figure rows skipped: "
+            + ", ".join(diff["malformed_figures"])
         )
     if not diff["regressions"]:
         lines.append("  no performance regressions")

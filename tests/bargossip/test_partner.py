@@ -88,3 +88,34 @@ class TestPartnerSchedule:
     def test_too_few_nodes_rejected(self):
         with pytest.raises(ConfigurationError):
             make_schedule(1)
+
+
+class TestSlidingWindowContract:
+    """The exact window semantics the simulator (and any schedule
+    implementation — the sharded one included) must preserve: one
+    round of look-back survives, two rounds back raises, and the batch
+    accessor is the same draw as repeated scalar queries."""
+
+    def test_partners_for_round_matches_repeated_partner_of(self):
+        batch = make_schedule(seed=11)
+        scalar = make_schedule(seed=11)
+        for purpose in Purpose:
+            array = batch.partners_for_round(3, purpose)
+            repeated = [scalar.partner_of(3, node, purpose) for node in range(20)]
+            assert list(array) == repeated
+
+    def test_previous_round_queryable_after_advancing(self):
+        schedule = make_schedule(seed=2)
+        advanced = list(schedule.partners_for_round(4, Purpose.PUSH))
+        previous = schedule.partners_for_round(3, Purpose.PUSH)
+        assert len(previous) == 20
+        # querying the past must not disturb the present
+        assert list(schedule.partners_for_round(4, Purpose.PUSH)) == advanced
+
+    def test_two_rounds_back_raises(self):
+        schedule = make_schedule(seed=2)
+        schedule.partners_for_round(4, Purpose.EXCHANGE)
+        with pytest.raises(ConfigurationError):
+            schedule.partners_for_round(2, Purpose.EXCHANGE)
+        with pytest.raises(ConfigurationError):
+            schedule.partner_of(2, 0, Purpose.EXCHANGE)

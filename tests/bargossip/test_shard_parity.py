@@ -1,0 +1,187 @@
+"""Exact-equality parity suite for sharded execution.
+
+The sharded schedule's cells are mutually independent, so the shard
+count can only decide *where* interactions run, never what they
+compute: for every ``k`` the trace must be bit-identical to the
+unsharded execution of the same schedule (``shards=1``, where the
+full-population engine runs the round loop directly with no slicing).
+This mirrors ``test_bitset_parity.py``: delivery fractions, per-node
+tallies, per-epoch windows, service counters, evictions, and the final
+stores must all be equal — on the figure-1/2/3 configurations, on both
+store backends, and whether shards run in-process or on a worker pool.
+
+CI runs this suite per shard count: set ``LOTUS_SHARD_K`` to a comma
+list (e.g. ``LOTUS_SHARD_K=4``) to restrict the compared ``k`` values.
+"""
+
+import os
+
+import pytest
+
+from repro.bargossip.attacker import AttackKind, AttackerCoalition
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.defenses import (
+    ReportingPolicy,
+    figure3_variants,
+    with_larger_pushes,
+)
+from repro.bargossip.sharding import ShardPool
+from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.core.rng import RngStreams
+
+#: Shard counts compared against the unsharded (shards=1) execution.
+SHARD_KS = tuple(
+    int(k)
+    for k in os.environ.get("LOTUS_SHARD_K", "1,2,4").split(",")
+    if k.strip()
+)
+
+BACKENDS = ("sets", "bitset")
+
+
+def _run_sharded(config, kind, k, seed=7, rounds=15, attacker_fraction=0.2,
+                 shard_pool=None, **sim_kwargs):
+    streams = RngStreams(seed)
+    coalition = AttackerCoalition.build(
+        kind,
+        n_nodes=config.n_nodes,
+        attacker_fraction=attacker_fraction,
+        rng=streams.get("coalition"),
+    )
+    simulator = GossipSimulator(
+        config.replace(shards=k),
+        attack=coalition,
+        seed=seed,
+        shard_pool=shard_pool,
+        **sim_kwargs,
+    )
+    for _ in range(rounds):
+        simulator.step()
+    return simulator
+
+
+def _assert_full_parity(reference, sharded):
+    assert reference.stats.delivered == sharded.stats.delivered
+    assert reference.stats.missed == sharded.stats.missed
+    assert reference.per_node_delivered == sharded.per_node_delivered
+    assert reference.per_node_missed == sharded.per_node_missed
+    assert reference.per_node_windows == sharded.per_node_windows
+    for node_ref, node_shard in zip(reference.nodes, sharded.nodes):
+        assert node_ref.counters == node_shard.counters
+        assert node_ref.evicted == node_shard.evicted
+        assert node_ref.group == node_shard.group
+        assert node_ref.store.have == node_shard.store.have
+        assert node_ref.store.missing == node_shard.store.missing
+    assert reference.attack.updates_served == sharded.attack.updates_served
+    if reference.authority is not None:
+        assert reference.authority.reports == sharded.authority.reports
+        assert reference.authority.evicted == sharded.authority.evicted
+
+
+def _check_config(config, kind, **sim_kwargs):
+    for backend in BACKENDS:
+        variant = config.replace(backend=backend)
+        reference = _run_sharded(variant, kind, 1, **sim_kwargs)
+        for k in SHARD_KS:
+            _assert_full_parity(
+                reference, _run_sharded(variant, kind, k, **sim_kwargs)
+            )
+
+
+class TestFigureConfigParity:
+    """k in {1, 2, 4} vs the unsharded execution, Figures 1-3 configs."""
+
+    @pytest.mark.parametrize(
+        "kind", [AttackKind.CRASH, AttackKind.IDEAL, AttackKind.TRADE]
+    )
+    def test_figure1_config(self, kind):
+        _check_config(GossipConfig.paper(), kind)
+
+    @pytest.mark.parametrize("kind", [AttackKind.IDEAL, AttackKind.TRADE])
+    def test_figure2_config(self, kind):
+        _check_config(with_larger_pushes(GossipConfig.paper(), 10), kind)
+
+    def test_figure3_variants(self):
+        for variant in figure3_variants(GossipConfig.paper()).values():
+            _check_config(variant, AttackKind.TRADE, rounds=12)
+
+
+class TestDefenseAndRotationParity:
+    def test_reporting_defense_evictions(self):
+        policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
+        config = GossipConfig.small().replace(obedient_fraction=0.5)
+        _check_config(
+            config, AttackKind.TRADE, rounds=30, reporting=policy,
+            attacker_fraction=0.25,
+        )
+
+    def test_rotating_targets(self):
+        _check_config(
+            GossipConfig.small(), AttackKind.IDEAL, rounds=30,
+            rotate_targets_every=5,
+        )
+
+    def test_accept_cap_and_unbalanced_oldest_first(self):
+        config = GossipConfig.small().replace(
+            obedient_fraction=0.5,
+            accept_cap=3,
+            unbalanced_exchange=True,
+            exchange_prefer_newest=False,
+        )
+        _check_config(config, AttackKind.TRADE, rounds=30)
+
+
+class TestWorkerPoolParity:
+    """Processes are an execution detail: pooled == in-process == serial."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_pooled_matches_unsharded(self, backend):
+        config = GossipConfig.small().replace(backend=backend)
+        reference = _run_sharded(config, AttackKind.TRADE, 1, rounds=25)
+        with ShardPool(2) as pool:
+            pooled = _run_sharded(
+                config, AttackKind.TRADE, 4, rounds=25, shard_pool=pool
+            )
+        _assert_full_parity(reference, pooled)
+
+    def test_pooled_with_reporting_defense(self):
+        policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
+        config = GossipConfig.small().replace(
+            backend="bitset", obedient_fraction=0.5
+        )
+        reference = _run_sharded(
+            config, AttackKind.TRADE, 1, rounds=30,
+            attacker_fraction=0.25, reporting=policy,
+        )
+        assert any(node.evicted for node in reference.nodes)  # defense bites
+        with ShardPool(3) as pool:
+            pooled = _run_sharded(
+                config, AttackKind.TRADE, 4, rounds=30,
+                attacker_fraction=0.25, reporting=policy, shard_pool=pool,
+            )
+        _assert_full_parity(reference, pooled)
+
+
+class TestExperimentParity:
+    """run_gossip_experiment headline metrics agree across shard counts."""
+
+    @pytest.mark.parametrize("fraction", [0.0, 0.3])
+    def test_small_config_trade(self, fraction):
+        config = GossipConfig.small().replace(shards=1)
+        reference = run_gossip_experiment(
+            config, AttackKind.TRADE, fraction, seed=5, rounds=25
+        )
+        for k in SHARD_KS:
+            sharded = run_gossip_experiment(
+                config.replace(shards=k),
+                AttackKind.TRADE,
+                fraction,
+                seed=5,
+                rounds=25,
+            )
+            assert reference.isolated_fraction == sharded.isolated_fraction
+            assert reference.satiated_fraction == sharded.satiated_fraction
+            assert reference.correct_fraction == sharded.correct_fraction
+            assert reference.pool_coverage == sharded.pool_coverage
+            assert reference.group_sizes == sharded.group_sizes
+            assert reference.evicted_attackers == sharded.evicted_attackers

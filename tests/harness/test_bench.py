@@ -8,16 +8,22 @@ from repro.harness.bench import (
     BENCH_FIGURES,
     render_bench_summary,
     run_bench,
+    run_shard_bench,
     write_bench_summary,
 )
 from repro.harness.cli import main
 from repro.harness.parallel import SweepExecutor
 
+#: Shrunk shard-bench profile for tests: the real section runs 50,000
+#: nodes for 50 rounds three times, which belongs in ``lotus-eater
+#: bench``, not the unit suite.
+SMALL_SHARD_BENCH = dict(shard_nodes=400, shard_rounds=25, shard_workers=2)
+
 
 @pytest.fixture(scope="module")
 def summary():
     """One fast bench run shared by the assertions below."""
-    return run_bench(fast=True, executor=SweepExecutor(jobs=1))
+    return run_bench(fast=True, executor=SweepExecutor(jobs=1), **SMALL_SHARD_BENCH)
 
 
 class TestRunBench:
@@ -64,14 +70,49 @@ class TestRunBench:
         assert backend["speedup"] > 1.0
         assert 0.0 <= backend["delivery_fraction"] <= 1.0
 
+    def test_shard_bench_section(self, summary):
+        shard = summary["shard_bench"]
+        assert shard["n_nodes"] == 400
+        assert shard["rounds"] == 25
+        assert shard["workers"] == 2
+        # The sharded executor's core guarantee: serial, in-process
+        # sharded, and pooled sharded runs agree exactly.
+        assert shard["parity_ok"] is True
+        assert shard["serial_seconds"] > 0
+        assert shard["inprocess_seconds"] > 0
+        assert shard["parallel_seconds"] > 0
+        assert shard["speedup"] > 0
+        assert 0.0 <= shard["delivery_fraction"] <= 1.0
+
+    def test_shard_bench_standalone(self):
+        report = run_shard_bench(n_nodes=300, rounds=6, workers=3)
+        assert report["parity_ok"] is True
+        assert report["shards"] == 3
+        assert report["backend"] == "bitset"
+
+    def test_shard_bench_single_worker(self):
+        """Regression: ``--shards 1`` must degrade to three serial
+        passes, not crash on a pool over an unsharded config."""
+        report = run_shard_bench(n_nodes=300, rounds=6, workers=1)
+        assert report["parity_ok"] is True
+        assert report["workers"] == 1
+        assert report["parallel_seconds"] > 0
+
 
 class TestBenchCli:
     def test_bench_writes_artifact(self, tmp_path, capsys, monkeypatch):
         # One figure is enough to exercise the CLI path; the module
-        # fixture above already benches the full suite.
+        # fixture above already benches the full suite.  The shard
+        # bench likewise runs at a unit-test scale here.
         monkeypatch.setattr(
             "repro.harness.bench.BENCH_FIGURES",
             {"figure1": BENCH_FIGURES["figure1"]},
+        )
+        monkeypatch.setattr(
+            "repro.harness.bench.run_shard_bench",
+            lambda **kwargs: run_shard_bench(
+                n_nodes=300, rounds=6, workers=kwargs.get("workers", 2)
+            ),
         )
         monkeypatch.chdir(tmp_path)
         out = tmp_path / "BENCH_summary.json"

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.bargossip.config import GossipConfig
 from repro.core.errors import AnalysisError
 from repro.harness.figures import attack_curve, crossovers, figure1, figure3
 from repro.harness.sweep import sweep, sweep_series
@@ -53,6 +52,66 @@ class TestSweep:
         a = sweep([1.0], run_one, repetitions=2, root_seed=5)
         b = sweep([1.0], run_one, repetitions=2, root_seed=5)
         assert a == b
+
+
+class TestDuplicateGridPoints:
+    """Regression: ``sweep([0.1, 0.1])`` used to alias both points to
+    one seed list (label ``sweep:0.1``), so repeated grid values
+    silently returned copies of the same samples instead of
+    independent repetitions."""
+
+    def test_duplicates_get_independent_seeds(self):
+        calls = []
+
+        def run_one(x, seed):
+            calls.append(seed)
+            return (seed % 1000) / 1000.0
+
+        points = sweep([0.1, 0.1], run_one, repetitions=3, root_seed=0)
+        assert len(calls) == 6
+        first, second = set(calls[:3]), set(calls[3:])
+        assert first.isdisjoint(second)
+        # independent seeds make independent samples (and a real CI
+        # half-width over the pooled repetitions, were they pooled)
+        assert points[0].mean != points[1].mean
+
+    def test_first_occurrence_seeds_unchanged(self):
+        """Deduplicating must not perturb non-duplicated grids: the
+        first occurrence keeps the historical seed derivation."""
+        solo_calls, dup_calls = [], []
+        sweep([0.1], lambda x, s: solo_calls.append(s) or 0.0,
+              repetitions=3, root_seed=9)
+        sweep([0.1, 0.1], lambda x, s: dup_calls.append(s) or 0.0,
+              repetitions=3, root_seed=9)
+        assert dup_calls[:3] == solo_calls
+
+    def test_duplicates_never_share_cache_cells(self, tmp_path):
+        """With a result cache attached, each duplicate's cells key on
+        its own seeds — a second sweep is served fully from the cache
+        yet still reports independent points."""
+        from dataclasses import dataclass
+
+        from repro.harness.cache import ResultCache
+        from repro.harness.parallel import SweepExecutor
+
+        @dataclass(frozen=True)
+        class SeedEcho:
+            def __call__(self, x, seed):
+                return (seed % 1000) / 1000.0
+
+            def cache_fingerprint(self):
+                return {"task": "seed-echo"}
+
+        cache = ResultCache(tmp_path / "cache")
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            first = sweep([0.2, 0.2], SeedEcho(), repetitions=2,
+                          root_seed=1, executor=executor, experiment="dup")
+            assert executor.cells_executed == 4
+            again = sweep([0.2, 0.2], SeedEcho(), repetitions=2,
+                          root_seed=1, executor=executor, experiment="dup")
+        assert executor.cells_cached == 4
+        assert again == first
+        assert first[0].mean != first[1].mean
 
 
 class TestFigures:

@@ -68,6 +68,52 @@ class TestCompare:
         assert diff["regressions"] == []
         assert "informational" in render_bench_diff(diff)
 
+    def test_malformed_figure_rows_skipped_not_crashed(self):
+        """Regression: a schema-shifted artifact whose figure entry is
+        not a dict used to crash the drift scan with AttributeError."""
+        broken = _summary()
+        broken["figures"]["figure1"] = "not-a-dict"
+        for previous, current in ((broken, _summary()), (_summary(), broken)):
+            diff = compare_bench_summaries(previous, current)
+            assert diff["malformed_figures"] == ["figure1"]
+            assert diff["metric_drift"] == []
+            assert diff["regressions"] == []
+            assert "unusable figure rows skipped" in render_bench_diff(diff)
+
+    def test_non_dict_figures_container_tolerated(self):
+        previous = _summary()
+        previous["figures"] = ["entirely", "wrong"]
+        diff = compare_bench_summaries(previous, _summary())
+        assert diff["metric_drift"] == []
+        assert diff["malformed_figures"] == []
+
+    def test_missing_shard_bench_section_skipped(self):
+        """First run after the shard_bench section landed: the previous
+        artifact has no such section and must diff cleanly."""
+        current = _summary()
+        current["shard_bench"] = {
+            "serial_seconds": 10.0,
+            "parallel_seconds": 4.0,
+            "speedup": 2.5,
+        }
+        diff = compare_bench_summaries(_summary(), current)
+        assert diff["regressions"] == []
+        rendered = render_bench_diff(diff)
+        assert "shard speedup: no baseline, skipped" in rendered
+
+    def test_shard_bench_regression_flags(self):
+        previous = _summary()
+        previous["shard_bench"] = {
+            "serial_seconds": 10.0, "parallel_seconds": 4.0, "speedup": 2.5,
+        }
+        current = _summary()
+        current["shard_bench"] = {
+            "serial_seconds": 10.0, "parallel_seconds": 8.0, "speedup": 1.25,
+        }
+        diff = compare_bench_summaries(previous, current)
+        assert "sharded parallel wall-clock" in diff["regressions"]
+        assert "shard speedup" in diff["regressions"]
+
     def test_bad_tolerance_rejected(self):
         with pytest.raises(AnalysisError):
             compare_bench_summaries(_summary(), _summary(), max_regression=-0.1)
