@@ -93,11 +93,22 @@ class GossipConfig:
     usability_threshold: float = USABILITY_THRESHOLD
     #: Update-store implementation.  ``"sets"`` keeps per-node Python
     #: sets (the reference implementation); ``"bitset"`` stores the
-    #: whole population's live-update state in one dense boolean
-    #: matrix and runs the round phases as batch array operations.
-    #: The two backends produce bit-identical traces for the same
-    #: seed (pinned by the parity test suite).
+    #: whole population's live-update state as packed
+    #: arbitrary-precision rows and runs the round phases as batch bit
+    #: operations; ``"words"`` packs the same rows into fixed-width
+    #: 64-bit word arrays, enabling whole-phase numpy sweeps and the
+    #: shared-memory shard execution (see ``memory``).  All backends
+    #: produce bit-identical traces for the same seed (pinned by the
+    #: parity test suites).
     backend: str = "sets"
+    #: Where the ``words`` backend places its row buffer.  ``"heap"``
+    #: (default) allocates process-private memory; ``"shared"`` puts
+    #: the rows in a ``multiprocessing.shared_memory`` block so
+    #: :class:`~repro.bargossip.sharding.ShardPool` workers mutate
+    #: their shard's rows in place — only counters, evictions, and
+    #: reports cross the process boundary each round.  Requires
+    #: ``backend == "words"``; results are identical either way.
+    memory: str = "heap"
     #: Sharded round execution.  0 (default) keeps the classic schedule
     #: and round loop.  ``k >= 1`` switches to the permutation-pairing
     #: ``ShardedPartnerSchedule`` (see ``repro.bargossip.sharding``)
@@ -174,9 +185,18 @@ class GossipConfig:
             raise ConfigurationError(
                 f"accept_cap must be >= 1 or None, got {self.accept_cap}"
             )
-        if self.backend not in ("sets", "bitset"):
+        if self.backend not in ("sets", "bitset", "words"):
             raise ConfigurationError(
-                f"backend must be 'sets' or 'bitset', got {self.backend!r}"
+                f"backend must be 'sets', 'bitset' or 'words', got {self.backend!r}"
+            )
+        if self.memory not in ("heap", "shared"):
+            raise ConfigurationError(
+                f"memory must be 'heap' or 'shared', got {self.memory!r}"
+            )
+        if self.memory == "shared" and self.backend != "words":
+            raise ConfigurationError(
+                "memory='shared' requires the fixed-width word backend "
+                f"(backend='words'), got backend={self.backend!r}"
             )
         if self.shards < 0:
             raise ConfigurationError(

@@ -19,15 +19,20 @@ rules behind one flag.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
+
+import numpy as np
 
 from ..core.errors import ConfigurationError
 from .updates import (
     BitsetPopulationStore,
     UpdateStore,
+    WordPopulationStore,
     bottom_bits,
     popcount,
     top_bits,
+    truncate_word_rows,
+    word_popcounts,
 )
 
 __all__ = [
@@ -35,6 +40,7 @@ __all__ = [
     "plan_balanced_exchange",
     "apply_exchange",
     "bitset_exchange",
+    "batched_word_exchange",
 ]
 
 
@@ -186,4 +192,65 @@ def bitset_exchange(
     missing[initiator] &= ~selected_initiator
     have[responder] |= selected_responder
     missing[responder] &= ~selected_responder
+    return count_initiator, count_responder
+
+
+def batched_word_exchange(
+    pool: WordPopulationStore,
+    initiators: Sequence[int],
+    responders: Sequence[int],
+    cap: int,
+    unbalanced: bool = False,
+    prefer_newest: bool = True,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Many balanced exchanges in one word-array sweep.
+
+    ``initiators[i]`` exchanges with ``responders[i]``; the pairs must
+    be node-disjoint (the sharded schedule's cells guarantee it), which
+    is what makes the gather/scatter below safe.  Each pair's plan and
+    application are exactly those of :func:`bitset_exchange`, so the
+    trace is bit-identical — the sweep only replaces the per-pair
+    Python dispatch with whole-phase numpy batches.
+
+    Returns the per-pair ``(to_initiator, to_responder)`` transfer
+    counts.
+    """
+    if cap <= 0:
+        raise ConfigurationError(f"cap must be positive, got {cap}")
+    rows_i = np.asarray(initiators, dtype=np.intp)
+    rows_r = np.asarray(responders, dtype=np.intp)
+    have = pool.have_words
+    missing = pool.missing_words
+    have_i = have[rows_i]
+    have_r = have[rows_r]
+    miss_i = missing[rows_i]
+    miss_r = missing[rows_r]
+    available_to_initiator = have_r & miss_i
+    available_to_responder = have_i & miss_r
+    n_initiator = word_popcounts(available_to_initiator)
+    n_responder = word_popcounts(available_to_responder)
+    base = np.minimum(np.minimum(n_initiator, n_responder), cap)
+    if unbalanced:
+        count_initiator = np.minimum(np.minimum(n_initiator, base + 1), cap + 1)
+        count_responder = np.minimum(np.minimum(n_responder, base + 1), cap + 1)
+        empty = base == 0
+        count_initiator[empty] = 0
+        count_responder[empty] = 0
+    else:
+        count_initiator = base
+        count_responder = base.copy()
+    selected_initiator = available_to_initiator.copy()
+    selected_responder = available_to_responder.copy()
+    truncate_word_rows(
+        selected_initiator, available_to_initiator,
+        count_initiator, n_initiator, prefer_newest,
+    )
+    truncate_word_rows(
+        selected_responder, available_to_responder,
+        count_responder, n_responder, prefer_newest,
+    )
+    have[rows_i] = have_i | selected_initiator
+    missing[rows_i] = miss_i & ~selected_initiator
+    have[rows_r] = have_r | selected_responder
+    missing[rows_r] = miss_r & ~selected_responder
     return count_initiator, count_responder

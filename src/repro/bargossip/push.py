@@ -30,10 +30,20 @@ obedient nodes push whenever they have something to offer.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
+
+import numpy as np
 
 from .config import GossipConfig
-from .updates import BitsetPopulationStore, UpdateStore, bottom_bits, popcount
+from .updates import (
+    BitsetPopulationStore,
+    UpdateStore,
+    WordPopulationStore,
+    bottom_bits,
+    popcount,
+    truncate_word_rows,
+    word_popcounts,
+)
 
 __all__ = [
     "PushPlan",
@@ -42,6 +52,8 @@ __all__ = [
     "BitsetPushPlan",
     "bitset_plan_push",
     "bitset_apply_push",
+    "push_window_masks",
+    "batched_word_push",
 ]
 
 
@@ -137,6 +149,32 @@ class BitsetPushPlan:
 _EMPTY_BITSET_PUSH = BitsetPushPlan(0, 0)
 
 
+def _recent_offer_mask(pool, config: GossipConfig, round_now: int) -> int:
+    """Columns offerable in a push (created within the recent window)."""
+    u = pool.updates_per_round
+    recent_lo = max(0, (round_now - config.push_recent_window + 1) * u - pool.base)
+    return pool.full_mask >> recent_lo << recent_lo
+
+
+def _old_need_mask(pool, config: GossipConfig, round_now: int) -> int:
+    """Columns "expiring relatively soon" (before the age cutoff)."""
+    u = pool.updates_per_round
+    old_hi = max(0, (round_now - config.push_age_threshold + 1) * u - pool.base)
+    return (1 << old_hi) - 1
+
+
+def push_window_masks(pool, config: GossipConfig, round_now: int) -> Tuple[int, int]:
+    """This round's ``(recent, old)`` push-window column masks.
+
+    Built from the same two helpers the per-pair planner uses, so the
+    batched word sweep can never disagree with it on the windows.
+    """
+    return (
+        _recent_offer_mask(pool, config, round_now),
+        _old_need_mask(pool, config, round_now),
+    )
+
+
 def bitset_plan_push(
     pool: BitsetPopulationStore,
     initiator: int,
@@ -149,11 +187,11 @@ def bitset_plan_push(
     Selects exactly the ids :func:`plan_optimistic_push` would: the
     responder takes the ``push_size`` *oldest* wanted offers (the sets
     planner sorts the wanted offers ascending before truncating), and
-    pays with the oldest payable requests.
+    pays with the oldest payable requests.  The old-needs mask is only
+    built once an offer survives — the common empty-offer case stays
+    one mask allocation.
     """
-    u = pool.updates_per_round
-    recent_lo = max(0, (round_now - config.push_recent_window + 1) * u - pool.base)
-    recent_mask = pool.full_mask >> recent_lo << recent_lo
+    recent_mask = _recent_offer_mask(pool, config, round_now)
     wanted = (
         pool.have_bits[initiator] & pool.missing_bits[responder] & recent_mask
     )
@@ -162,8 +200,7 @@ def bitset_plan_push(
     to_responder = bottom_bits(wanted, config.push_size)
     if not to_responder:
         return _EMPTY_BITSET_PUSH
-    old_hi = max(0, (round_now - config.push_age_threshold + 1) * u - pool.base)
-    old_mask = (1 << old_hi) - 1
+    old_mask = _old_need_mask(pool, config, round_now)
     payable = pool.missing_bits[initiator] & pool.have_bits[responder] & old_mask
     to_initiator = bottom_bits(payable, popcount(to_responder))
     return BitsetPushPlan(to_responder, to_initiator)
@@ -177,3 +214,56 @@ def bitset_apply_push(
     pool.missing_bits[responder] &= ~plan.to_responder_mask
     pool.have_bits[initiator] |= plan.to_initiator_mask
     pool.missing_bits[initiator] &= ~plan.to_initiator_mask
+
+
+def batched_word_push(
+    pool: WordPopulationStore,
+    initiators: Sequence[int],
+    responders: Sequence[int],
+    config: GossipConfig,
+    round_now: int,
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Many optimistic pushes in one word-array sweep.
+
+    ``initiators[i]`` pushes to ``responders[i]``; pairs must be
+    node-disjoint (cell structure) and pre-filtered to willing
+    initiators and correct, non-evicted responders — the behaviour
+    decisions stay with the caller, exactly where the per-pair path
+    makes them.  Each pair's plan equals :func:`bitset_plan_push` and
+    a responder accepts iff it gains at least one update, so applying
+    here (transfers for pairs with a positive responder count) is the
+    per-pair plan → accept → apply sequence, batched.
+
+    Returns the per-pair ``(to_responder, to_initiator)`` counts; the
+    junk payment is their difference.
+    """
+    rows_i = np.asarray(initiators, dtype=np.intp)
+    rows_r = np.asarray(responders, dtype=np.intp)
+    recent_mask, old_mask = push_window_masks(pool, config, round_now)
+    recent = pool.mask_words(recent_mask)
+    old = pool.mask_words(old_mask)
+    have = pool.have_words
+    missing = pool.missing_words
+    have_i = have[rows_i]
+    have_r = have[rows_r]
+    miss_i = missing[rows_i]
+    miss_r = missing[rows_r]
+    wanted = have_i & miss_r & recent
+    n_wanted = word_popcounts(wanted)
+    responder_counts = np.minimum(n_wanted, config.push_size)
+    to_responder = wanted.copy()
+    truncate_word_rows(
+        to_responder, wanted, responder_counts, n_wanted, prefer_newest=False
+    )
+    payable = miss_i & have_r & old
+    n_payable = word_popcounts(payable)
+    initiator_counts = np.minimum(n_payable, responder_counts)
+    to_initiator = payable.copy()
+    truncate_word_rows(
+        to_initiator, payable, initiator_counts, n_payable, prefer_newest=False
+    )
+    have[rows_r] = have_r | to_responder
+    missing[rows_r] = miss_r & ~to_responder
+    have[rows_i] = have_i | to_initiator
+    missing[rows_i] = miss_i & ~to_initiator
+    return responder_counts, initiator_counts

@@ -36,7 +36,9 @@ same function, so worker count can never change results.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,7 +51,7 @@ from .config import GossipConfig
 from .defenses import EvictionAuthority, ReportingPolicy
 from .node import GossipNode, ServiceCounters, TargetGroup
 from .partner import Purpose, RoundWindowSchedule
-from .updates import BitsetPopulationStore, UpdateStore
+from .updates import BitsetPopulationStore, UpdateStore, WordPopulationStore
 
 __all__ = [
     "CELL_SIZE",
@@ -59,9 +61,12 @@ __all__ = [
     "ShardStatic",
     "ShardState",
     "ShardOutcome",
+    "SharedShardOutcome",
     "extract_shard",
     "run_shard",
+    "run_shard_shared",
     "merge_shard",
+    "merge_shard_shared",
     "ShardPool",
 ]
 
@@ -211,10 +216,16 @@ class ShardStatic:
     change mid-run — travels per round in the attack slice instead,
     because the interaction engine only consults it through the
     coalition's target set.
+
+    ``shm_name`` names the simulation's shared-memory word store when
+    ``config.memory == "shared"``: pool workers attach to it once, in
+    the initializer, and thereafter mutate their shard's rows in
+    place.
     """
 
     config: GossipConfig
     behaviors: Tuple[Behavior, ...]
+    shm_name: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -248,6 +259,12 @@ class ShardState:
     policy: Optional[ReportingPolicy]
     reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
     already_evicted: Tuple[int, ...]
+    # Words backend, memory="heap": packed word rows (numpy uint64).
+    have_words: Optional["np.ndarray"] = None
+    missing_words: Optional["np.ndarray"] = None
+    # Shared-memory execution: the phase this slice drives ("exchange"
+    # or "push"); rows stay in the shared block and never travel.
+    phase: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -272,15 +289,49 @@ class ShardOutcome:
     reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
     newly_evicted: Tuple[int, ...]
     coalition_evicted: Tuple[int, ...]
+    have_words: Optional["np.ndarray"] = None
+    missing_words: Optional["np.ndarray"] = None
 
 
-def extract_shard(simulator, cells: Sequence[Cell], round_now: int) -> ShardState:
+@dataclass(frozen=True)
+class SharedShardOutcome:
+    """One phase's result on the shared-memory path: no rows, ever.
+
+    This is the whole point of ``memory="shared"``: the worker mutated
+    its shard's rows in place, so what crosses the wire back is the
+    O(counters) remainder — the nodes whose counters moved this phase
+    (``counter_rows``, local indices) with their compact delta rows
+    (field order of :func:`_counter_delta`; int32 bounds every
+    realistic per-phase transfer), the eviction mask, and the
+    coalition / authority deltas.  Zero rows are dropped at the
+    source, which makes the sparse push phase nearly free.
+    """
+
+    counter_rows: "np.ndarray"  # (k,) local indices with nonzero deltas
+    counters: "np.ndarray"  # (k, 8) int32 deltas
+    evicted_mask: int
+    updates_served: int
+    reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
+    newly_evicted: Tuple[int, ...]
+    coalition_evicted: Tuple[int, ...]
+
+
+def extract_shard(
+    simulator,
+    cells: Sequence[Cell],
+    round_now: int,
+    phase: Optional[str] = None,
+) -> ShardState:
     """Cut one shard's slice out of a live :class:`GossipSimulator`.
 
     Pure read: the simulator is not modified.  The slice carries only
     what the shard's interactions can observe — in particular the
     attacker-coalition and authority slices are empty whenever no
     coalition node landed in the shard this round.
+
+    ``phase`` marks a shared-memory slice (one phase per dispatch); no
+    rows are copied then, because the worker operates on the shared
+    block in place.
     """
     pool = simulator._pool
     attack = simulator.attack
@@ -304,8 +355,16 @@ def extract_shard(simulator, cells: Sequence[Cell], round_now: int) -> ShardStat
         offenders = []
 
     have_rows = missing_rows = have_sets = missing_sets = None
+    have_words = missing_words = None
     base = 0
-    if pool is not None:
+    if phase is not None:
+        base = pool.base  # rows live in the shared block; only metadata ships
+    elif isinstance(pool, WordPopulationStore):
+        base = pool.base
+        rows = np.asarray(node_ids, dtype=np.intp)
+        have_words = pool.have_words[rows]  # fancy index: a private copy
+        missing_words = pool.missing_words[rows]
+    elif pool is not None:
         base = pool.base
         have_bits, missing_bits = pool.have_bits, pool.missing_bits
         have_rows = tuple([have_bits[node_id] for node_id in node_ids])
@@ -358,6 +417,9 @@ def extract_shard(simulator, cells: Sequence[Cell], round_now: int) -> ShardStat
         policy=policy,
         reports=reports,
         already_evicted=already_evicted,
+        have_words=have_words,
+        missing_words=missing_words,
+        phase=phase,
     )
 
 
@@ -398,6 +460,65 @@ def _partner_maps(
     return exchange, push
 
 
+def _rebuild_attack(state: ShardState) -> AttackerCoalition:
+    """The shard's view of the coalition, counters zeroed for deltas."""
+    attack = AttackerCoalition(
+        state.attack_kind,
+        nodes=state.attack_members,
+        satiated_targets=state.attack_targets,
+    )
+    attack.pool = set(state.attack_pool)
+    return attack
+
+
+def _rebuild_authority(state: ShardState) -> Optional[EvictionAuthority]:
+    """The shard's slice of the reporting defense (None when off)."""
+    if state.policy is None:
+        return None
+    return EvictionAuthority(
+        policy=state.policy,
+        reports={
+            offender: set(reporters) for offender, reporters in state.reports
+        },
+        evicted=set(state.already_evicted),
+    )
+
+
+def _make_shard_node(
+    static: ShardStatic, state: ShardState, local: int, node_id: int, store
+) -> GossipNode:
+    """One shard-local node over the given store view."""
+    behavior = static.behaviors[node_id]
+    return GossipNode(
+        node_id,
+        behavior,
+        # The engine only distinguishes attacker from correct; the
+        # satiated/isolated split lives in the coalition's target set,
+        # so ISOLATED is a safe stand-in here.
+        TargetGroup.ATTACKER
+        if behavior is Behavior.BYZANTINE
+        else TargetGroup.ISOLATED,
+        store=store,
+        evicted=bool(state.evicted_mask >> local & 1),
+    )
+
+
+def _authority_deltas(
+    authority: Optional[EvictionAuthority], state: ShardState
+) -> Tuple[Tuple[Tuple[int, Tuple[int, ...]], ...], Tuple[int, ...]]:
+    """(final report state, newly evicted) of one shard execution."""
+    if authority is None:
+        return (), ()
+    reports = tuple(
+        (offender, tuple(sorted(reporters)))
+        for offender, reporters in sorted(authority.reports.items())
+    )
+    newly_evicted = tuple(
+        sorted(authority.evicted - set(state.already_evicted))
+    )
+    return reports, newly_evicted
+
+
 def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
     """Run one shard's exchange and push phases over its slice.
 
@@ -405,14 +526,16 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
     worker pool call exactly this, which is what makes worker count
     irrelevant to results.  The slice is replayed through the same
     :class:`~repro.bargossip.simulator.InteractionEngine` as the
-    classic round loop, over a shard-local population store.
+    classic round loop, over a shard-local population store; a words
+    slice additionally runs the phases through the engine's batched
+    word-array dispatch (bit-identical by construction).
     """
     from .simulator import InteractionEngine  # deferred: avoids module cycle
 
     config = static.config
     node_ids = state.node_ids
 
-    slice_pool: Optional[BitsetPopulationStore] = None
+    slice_pool = None
     if state.have_rows is not None:
         slice_pool = BitsetPopulationStore(
             len(node_ids), config.updates_per_round, config.update_lifetime
@@ -420,10 +543,16 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
         slice_pool.base = state.base
         slice_pool.have_bits = list(state.have_rows)
         slice_pool.missing_bits = list(state.missing_rows)
+    elif state.have_words is not None:
+        slice_pool = WordPopulationStore(
+            len(node_ids), config.updates_per_round, config.update_lifetime
+        )
+        slice_pool.base = state.base
+        slice_pool.have_words[:] = state.have_words
+        slice_pool.missing_words[:] = state.missing_words
 
     shard_nodes: List[GossipNode] = []
     for local, node_id in enumerate(node_ids):
-        behavior = static.behaviors[node_id]
         if slice_pool is not None:
             store = slice_pool.view(local)
         else:
@@ -431,66 +560,42 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
             store.have = set(state.have_sets[local])
             store.missing = set(state.missing_sets[local])
         shard_nodes.append(
-            GossipNode(
-                node_id,
-                behavior,
-                # The engine only distinguishes attacker from correct;
-                # the satiated/isolated split lives in the coalition's
-                # target set, so ISOLATED is a safe stand-in here.
-                TargetGroup.ATTACKER
-                if behavior is Behavior.BYZANTINE
-                else TargetGroup.ISOLATED,
-                store=store,
-                evicted=bool(state.evicted_mask >> local & 1),
-            )
+            _make_shard_node(static, state, local, node_id, store)
         )
 
-    attack = AttackerCoalition(
-        state.attack_kind,
-        nodes=state.attack_members,
-        satiated_targets=state.attack_targets,
-    )
-    attack.pool = set(state.attack_pool)
+    attack = _rebuild_attack(state)
     initial_members = set(state.attack_members)
-
-    authority: Optional[EvictionAuthority] = None
-    if state.policy is not None:
-        authority = EvictionAuthority(
-            policy=state.policy,
-            reports={
-                offender: set(reporters) for offender, reporters in state.reports
-            },
-            evicted=set(state.already_evicted),
-        )
+    authority = _rebuild_authority(state)
 
     engine = InteractionEngine(
         shard_nodes, config, attack, authority, pool=slice_pool
     )
-    exchange_partners, push_partners = _partner_maps(state.cells)
-    engine.run_exchanges(state.round_now, node_ids, exchange_partners)
-    engine.run_pushes(state.round_now, node_ids, push_partners)
+    if isinstance(slice_pool, WordPopulationStore):
+        engine.run_exchanges_batched(
+            state.round_now,
+            [pair for cell in state.cells for pair in cell_exchange_pairs(cell)],
+        )
+        engine.run_pushes_batched(
+            state.round_now,
+            [pair for cell in state.cells for pair in cell_push_pairs(cell)],
+        )
+    else:
+        exchange_partners, push_partners = _partner_maps(state.cells)
+        engine.run_exchanges(state.round_now, node_ids, exchange_partners)
+        engine.run_pushes(state.round_now, node_ids, push_partners)
 
     evicted_mask = 0
     for local, node in enumerate(shard_nodes):
         if node.evicted:
             evicted_mask |= 1 << local
 
-    reports: Tuple[Tuple[int, Tuple[int, ...]], ...] = ()
-    newly_evicted: Tuple[int, ...] = ()
-    if authority is not None:
-        reports = tuple(
-            (offender, tuple(sorted(reporters)))
-            for offender, reporters in sorted(authority.reports.items())
-        )
-        newly_evicted = tuple(
-            sorted(authority.evicted - set(state.already_evicted))
-        )
+    reports, newly_evicted = _authority_deltas(authority, state)
+    is_words = isinstance(slice_pool, WordPopulationStore)
+    is_bitset = slice_pool is not None and not is_words
 
     return ShardOutcome(
-        have_rows=tuple(slice_pool.have_bits) if slice_pool is not None else None,
-        missing_rows=(
-            tuple(slice_pool.missing_bits) if slice_pool is not None else None
-        ),
+        have_rows=tuple(slice_pool.have_bits) if is_bitset else None,
+        missing_rows=tuple(slice_pool.missing_bits) if is_bitset else None,
         have_sets=(
             tuple(frozenset(node.store.have) for node in shard_nodes)
             if slice_pool is None
@@ -502,6 +607,81 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
             else None
         ),
         counters=tuple(_counter_delta(node.counters) for node in shard_nodes),
+        evicted_mask=evicted_mask,
+        updates_served=attack.updates_served,
+        reports=reports,
+        newly_evicted=newly_evicted,
+        coalition_evicted=tuple(sorted(initial_members - attack.nodes)),
+        have_words=slice_pool.have_words if is_words else None,
+        missing_words=slice_pool.missing_words if is_words else None,
+    )
+
+
+def run_shard_shared(
+    static: ShardStatic, state: ShardState, store: WordPopulationStore
+) -> SharedShardOutcome:
+    """Run one phase of one shard *in place* on the shared word store.
+
+    The worker's (or, in-process, the coordinator's) ``store`` maps
+    the same shared-memory block the simulator owns, so the phase
+    mutates the shard's rows directly — ``state`` carries cells and
+    the coalition/authority slices in, the outcome carries counters,
+    evictions and reports back, and rows never cross the process
+    boundary.  Safe because cells are node-disjoint across shards and
+    the coordinator barriers each phase.
+    """
+    from .simulator import InteractionEngine  # deferred: avoids module cycle
+
+    config = static.config
+    node_ids = state.node_ids
+    store.base = state.base
+
+    shard_nodes = [
+        _make_shard_node(static, state, local, node_id, store.view(node_id))
+        for local, node_id in enumerate(node_ids)
+    ]
+
+    attack = _rebuild_attack(state)
+    initial_members = set(state.attack_members)
+    authority = _rebuild_authority(state)
+
+    engine = InteractionEngine(
+        shard_nodes, config, attack, authority, pool=store, rows=list(node_ids)
+    )
+    if state.phase == "exchange":
+        engine.run_exchanges_batched(
+            state.round_now,
+            [pair for cell in state.cells for pair in cell_exchange_pairs(cell)],
+        )
+    else:
+        engine.run_pushes_batched(
+            state.round_now,
+            [pair for cell in state.cells for pair in cell_push_pairs(cell)],
+        )
+
+    evicted_mask = 0
+    for local, node in enumerate(shard_nodes):
+        if node.evicted:
+            evicted_mask |= 1 << local
+
+    reports, newly_evicted = _authority_deltas(authority, state)
+    deltas = np.array(
+        [_counter_delta(node.counters) for node in shard_nodes],
+        dtype=np.int64,
+    ).reshape(len(shard_nodes), 8)
+    moved = np.flatnonzero(deltas.any(axis=1))
+    selected = deltas[moved]
+    # Deltas are non-negative and tiny (bounded by one phase's
+    # transfers); int16 halves the wire size, int32 covers the
+    # pathological huge-window configurations.
+    narrow = (
+        np.int16
+        if selected.size == 0 or int(selected.max()) <= np.iinfo(np.int16).max
+        else np.int32
+    )
+    return SharedShardOutcome(
+        counter_rows=moved.astype(np.int32),
+        counters=selected.astype(narrow),
         evicted_mask=evicted_mask,
         updates_served=attack.updates_served,
         reports=reports,
@@ -522,29 +702,67 @@ def merge_shard(simulator, state: ShardState, outcome: ShardOutcome) -> None:
     """
     pool = simulator._pool
     nodes = simulator.nodes
+    if outcome.have_words is not None:
+        rows = np.asarray(state.node_ids, dtype=np.intp)
+        pool.have_words[rows] = outcome.have_words
+        pool.missing_words[rows] = outcome.missing_words
     for local, node_id in enumerate(state.node_ids):
         node = nodes[node_id]
-        if pool is not None:
+        if outcome.have_rows is not None:
             pool.have_bits[node_id] = outcome.have_rows[local]
             pool.missing_bits[node_id] = outcome.missing_rows[local]
-        else:
+        elif outcome.have_sets is not None:
             node.store.have = set(outcome.have_sets[local])
             node.store.missing = set(outcome.missing_sets[local])
         delta = outcome.counters[local]
         if any(delta):
-            counters = node.counters
-            counters.updates_sent += delta[0]
-            counters.updates_received += delta[1]
-            counters.junk_sent += delta[2]
-            counters.junk_received += delta[3]
-            counters.exchanges_initiated += delta[4]
-            counters.exchanges_nonempty += delta[5]
-            counters.pushes_initiated += delta[6]
-            counters.pushes_nonempty += delta[7]
+            _apply_counter_delta(node.counters, delta)
         if outcome.evicted_mask >> local & 1 and not node.evicted:
             node.evicted = True
             simulator._evicted_ids.add(node_id)
 
+    _merge_shared_state_deltas(simulator, outcome)
+
+
+def merge_shard_shared(
+    simulator, state: ShardState, outcome: SharedShardOutcome
+) -> None:
+    """Fold one shared-memory phase outcome back into the simulator.
+
+    Rows already live where they belong (the worker mutated the shared
+    block in place), so the merge reduces to the counter deltas and
+    the shared coalition/authority state — the O(counters) remainder
+    the wire actually carried.
+    """
+    nodes = simulator.nodes
+    for local, delta in zip(
+        outcome.counter_rows.tolist(), outcome.counters.tolist()
+    ):
+        _apply_counter_delta(nodes[state.node_ids[local]].counters, delta)
+    if outcome.evicted_mask:
+        for local, node_id in enumerate(state.node_ids):
+            if outcome.evicted_mask >> local & 1:
+                node = nodes[node_id]
+                if not node.evicted:
+                    node.evicted = True
+                    simulator._evicted_ids.add(node_id)
+    _merge_shared_state_deltas(simulator, outcome)
+
+
+def _apply_counter_delta(counters: ServiceCounters, delta) -> None:
+    """Add one flat delta tuple (field order of :func:`_counter_delta`)."""
+    counters.updates_sent += delta[0]
+    counters.updates_received += delta[1]
+    counters.junk_sent += delta[2]
+    counters.junk_received += delta[3]
+    counters.exchanges_initiated += delta[4]
+    counters.exchanges_nonempty += delta[5]
+    counters.pushes_initiated += delta[6]
+    counters.pushes_nonempty += delta[7]
+
+
+def _merge_shared_state_deltas(simulator, outcome) -> None:
+    """Coalition and authority deltas common to both merge paths."""
     simulator.attack.updates_served += outcome.updates_served
     for node_id in outcome.coalition_evicted:
         simulator.attack.evict(node_id)
@@ -562,14 +780,35 @@ def merge_shard(simulator, state: ShardState, outcome: ShardOutcome) -> None:
 #: the static payload crosses the process boundary once, not per round.
 _WORKER_STATIC: Optional[ShardStatic] = None
 
+#: The worker's attachment to the simulation's shared-memory word
+#: store (None on the heap paths).  Attached once per pool lifetime —
+#: this is the "zero-copy" half of the shared execution.
+_WORKER_STORE: Optional[WordPopulationStore] = None
+
 
 def _init_shard_worker(static: ShardStatic) -> None:
-    global _WORKER_STATIC
+    global _WORKER_STATIC, _WORKER_STORE
     _WORKER_STATIC = static
+    if _WORKER_STORE is not None:
+        _WORKER_STORE.close()
+        _WORKER_STORE = None
+    if static.shm_name is not None:
+        config = static.config
+        _WORKER_STORE = WordPopulationStore(
+            config.n_nodes,
+            config.updates_per_round,
+            config.update_lifetime,
+            memory="shared",
+            shm_name=static.shm_name,
+        )
 
 
 def _run_shard_in_worker(state: ShardState) -> ShardOutcome:
     return run_shard(_WORKER_STATIC, state)
+
+
+def _run_shared_in_worker(state: ShardState) -> SharedShardOutcome:
+    return run_shard_shared(_WORKER_STATIC, state, _WORKER_STORE)
 
 
 class ShardPool:
@@ -607,6 +846,26 @@ class ShardPool:
             return [run_shard(static, state) for state in states]
         return self._ensure(static).map(_run_shard_in_worker, states)
 
+    def run_shared(
+        self,
+        static: ShardStatic,
+        states: Sequence[ShardState],
+        local_store: WordPopulationStore,
+    ) -> List[SharedShardOutcome]:
+        """Execute one phase's shard states on the shared word store.
+
+        Workers mutate the shared block through their own attachment;
+        the in-process fallback uses the coordinator's ``local_store``.
+        Returning is the phase barrier: every shard's phase has been
+        applied before the coordinator proceeds.
+        """
+        if self.workers < 2 or len(states) < 2:
+            return [
+                run_shard_shared(static, state, local_store)
+                for state in states
+            ]
+        return self._ensure(static).map(_run_shared_in_worker, states)
+
     def _ensure(self, static: ShardStatic) -> "multiprocessing.pool.Pool":
         if self._pool is None or self._static is not static:
             self.close()
@@ -621,6 +880,7 @@ class ShardPool:
                 initargs=(static,),
             )
             self._static = static
+            _LIVE_POOLS.add(self)
         return self._pool
 
     def close(self) -> None:
@@ -630,6 +890,21 @@ class ShardPool:
             self._pool.join()
             self._pool = None
             self._static = None
+        _LIVE_POOLS.discard(self)
+
+    def terminate(self) -> None:
+        """Kill the workers immediately (failure path; idempotent).
+
+        Unlike :meth:`close` this does not wait for in-flight tasks —
+        it is what a failing round calls so no worker outlives the
+        coordinator's exception.
+        """
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._static = None
+        _LIVE_POOLS.discard(self)
 
     def __enter__(self) -> "ShardPool":
         return self
@@ -640,3 +915,17 @@ class ShardPool:
     def __repr__(self) -> str:
         state = "live" if self._pool is not None else "idle"
         return f"ShardPool(workers={self.workers}, {state})"
+
+
+#: Pools with live workers, swept at interpreter exit so an abandoned
+#: pool (coordinator exception, forgotten close) cannot leak children.
+_LIVE_POOLS: "weakref.WeakSet[ShardPool]" = weakref.WeakSet()
+
+
+@atexit.register
+def _terminate_live_pools() -> None:  # pragma: no cover - exit hook
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.terminate()
+        except Exception:
+            pass

@@ -36,25 +36,41 @@ from ..core.rng import RngStreams
 from .attacker import DEFAULT_SATIATE_FRACTION, AttackKind, AttackerCoalition
 from .config import GossipConfig
 from .defenses import EvictionAuthority, ReportingPolicy
-from .exchange import apply_exchange, bitset_exchange, plan_balanced_exchange
+from .exchange import (
+    apply_exchange,
+    batched_word_exchange,
+    bitset_exchange,
+    plan_balanced_exchange,
+)
 from .messages import sign_receipt
 from .node import GossipNode, TargetGroup
 from .partner import PartnerSchedule, Purpose
 from .push import (
     apply_push,
+    batched_word_push,
     bitset_apply_push,
     bitset_plan_push,
     plan_optimistic_push,
+    push_window_masks,
 )
 from .sharding import (
     ShardedPartnerSchedule,
     ShardPool,
     ShardStatic,
+    cell_exchange_pairs,
+    cell_push_pairs,
     extract_shard,
     merge_shard,
+    merge_shard_shared,
     run_shard,
+    run_shard_shared,
 )
-from .updates import BitsetPopulationStore, UpdateLedger, creation_round, popcount
+from .updates import (
+    BitsetPopulationStore,
+    UpdateLedger,
+    WordPopulationStore,
+    creation_round,
+)
 
 __all__ = [
     "InteractionEngine",
@@ -82,9 +98,14 @@ class InteractionEngine:
     config / attack / authority:
         As on :class:`GossipSimulator` (``authority`` may be None).
     pool:
-        The slice's :class:`~repro.bargossip.updates.\
-BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
-        ``nodes[i]``), or None on the sets backend.
+        The slice's packed population store on the bitset or words
+        backend (row ``i`` belongs to ``nodes[i]``), or None on the
+        sets backend.
+    rows:
+        Optional explicit pool row per node (same order as ``nodes``).
+        The shared-memory shard path passes global node ids here so a
+        shard engine addresses the full population store in place;
+        default is local position, matching a sliced store.
     """
 
     def __init__(
@@ -94,6 +115,7 @@ BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
         attack: AttackerCoalition,
         authority: Optional[EvictionAuthority],
         pool: Optional[BitsetPopulationStore] = None,
+        rows: Optional[List[int]] = None,
     ) -> None:
         self.nodes = list(nodes)
         self.config = config
@@ -103,8 +125,10 @@ BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
         self._node_of: Dict[int, GossipNode] = {
             node.node_id: node for node in self.nodes
         }
+        if rows is None:
+            rows = list(range(len(self.nodes)))
         self._row_of: Dict[int, int] = {
-            node.node_id: row for row, node in enumerate(self.nodes)
+            node.node_id: row for node, row in zip(self.nodes, rows)
         }
 
     def run_exchanges(self, round_now: int, order, partners) -> None:
@@ -115,21 +139,90 @@ BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
         means the node sits this phase out (the sharded schedule's
         unpaired tail); the reference schedule never produces one.
         """
-        node_of = self._node_of
         for initiator_id in order:
-            initiator = node_of[initiator_id]
-            if initiator.evicted:
-                continue
-            if initiator.is_attacker and not self.attack.trades():
-                continue  # crash / ideal attackers never initiate
             partner_id = int(partners[initiator_id])
-            if partner_id == initiator_id:
-                continue  # unpaired this round
-            partner = node_of[partner_id]
-            if partner.evicted:
-                continue
-            initiator.counters.exchanges_initiated += 1
-            self.interact_exchange(round_now, initiator, partner)
+            if partner_id != initiator_id:  # self-partner: unpaired
+                self._exchange_directed(round_now, initiator_id, partner_id)
+
+    def _exchange_directed(
+        self, round_now: int, initiator_id: int, partner_id: int
+    ) -> None:
+        """One directed exchange initiation (shared by all dispatchers)."""
+        node_of = self._node_of
+        initiator = node_of[initiator_id]
+        if initiator.evicted:
+            return
+        if initiator.is_attacker and not self.attack.trades():
+            return  # crash / ideal attackers never initiate
+        partner = node_of[partner_id]
+        if partner.evicted:
+            return
+        initiator.counters.exchanges_initiated += 1
+        self.interact_exchange(round_now, initiator, partner)
+
+    def _split_cell_pairs(self, pairs):
+        """Partition cell pairs into batched and scalar islands.
+
+        Returns ``(fast, slow)``: ``fast`` holds ``(left_node,
+        right_node)`` tuples — correct, non-evicted two-node islands
+        safe for the vectorized passes — and ``slow`` holds the
+        directed id pairs (both directions, island-local order) that
+        must take the scalar path because an attacker or evicted node
+        is involved.
+        """
+        node_of = self._node_of
+        fast: List[tuple] = []
+        slow: List[tuple] = []
+        for left_id, right_id in pairs:
+            left, right = node_of[left_id], node_of[right_id]
+            if (
+                left.is_attacker or right.is_attacker
+                or left.evicted or right.evicted
+            ):
+                slow.append((left_id, right_id))
+                slow.append((right_id, left_id))
+            else:
+                fast.append((left, right))
+        return fast, slow
+
+    def run_exchanges_batched(self, round_now: int, pairs) -> None:
+        """One balanced-exchange phase over disjoint cell pairs, batched.
+
+        ``pairs`` lists each cell's exchange pair once (undirected);
+        both directions initiate, exactly as when the per-pair
+        dispatcher walks the permutation order.  Because cell pairs are
+        node-disjoint, the phase decomposes into two-node islands whose
+        internal order (first the left node initiates, then the right)
+        is all that matters — so the correct-correct islands run as two
+        whole-phase word-array sweeps, and only islands containing an
+        attacker or evicted node take the scalar path.  Requires the
+        words backend.
+        """
+        fast, slow = self._split_cell_pairs(pairs)
+        for initiator_id, partner_id in slow:
+            self._exchange_directed(round_now, initiator_id, partner_id)
+        if not fast:
+            return
+        config = self.config
+        row_of = self._row_of
+        for ordered in (fast, [(right, left) for left, right in fast]):
+            to_initiator, to_partner = batched_word_exchange(
+                self.pool,
+                [row_of[initiator.node_id] for initiator, _ in ordered],
+                [row_of[partner.node_id] for _, partner in ordered],
+                cap=config.exchange_cap,
+                unbalanced=config.unbalanced_exchange,
+                prefer_newest=config.exchange_prefer_newest,
+            )
+            for (initiator, partner), gained, given in zip(
+                ordered, to_initiator.tolist(), to_partner.tolist()
+            ):
+                initiator.counters.exchanges_initiated += 1
+                if gained == 0 and given == 0:
+                    continue
+                initiator.counters.record_exchange(sent=given, received=gained)
+                partner.counters.record_exchange(sent=gained, received=given)
+                initiator.counters.exchanges_nonempty += 1
 
     def interact_exchange(
         self, round_now: int, initiator: GossipNode, partner: GossipNode
@@ -244,49 +337,131 @@ BitsetPopulationStore` on the bitset backend (row ``i`` belongs to
 
     def run_pushes(self, round_now: int, order, partners) -> None:
         """One optimistic-push phase (same calling convention as exchanges)."""
-        node_of = self._node_of
         for initiator_id in order:
-            initiator = node_of[initiator_id]
-            if initiator.evicted:
-                continue
             partner_id = int(partners[initiator_id])
-            if partner_id == initiator_id:
-                continue  # unpaired this round
-            if initiator.is_attacker:
-                if not self.attack.trades():
-                    continue
-                partner = node_of[partner_id]
-                if not partner.evicted and partner.is_correct:
-                    self.attacker_dump(round_now, initiator, partner, Purpose.PUSH)
-                continue
-            if not initiator.wants_to_push(self.config, round_now):
-                continue
+            if partner_id != initiator_id:  # self-partner: unpaired
+                self._push_directed(round_now, initiator_id, partner_id)
+
+    def _push_directed(
+        self, round_now: int, initiator_id: int, partner_id: int
+    ) -> None:
+        """One directed push initiation (shared by all dispatchers)."""
+        node_of = self._node_of
+        initiator = node_of[initiator_id]
+        if initiator.evicted:
+            return
+        if initiator.is_attacker:
+            if not self.attack.trades():
+                return
             partner = node_of[partner_id]
-            if partner.evicted:
-                continue
+            if not partner.evicted and partner.is_correct:
+                self.attacker_dump(round_now, initiator, partner, Purpose.PUSH)
+            return
+        if not initiator.wants_to_push(self.config, round_now):
+            return
+        partner = node_of[partner_id]
+        if partner.evicted:
+            return
+        initiator.counters.pushes_initiated += 1
+        if partner.is_attacker:
+            # A push lands on the attacker: under the trade attack a
+            # satiated initiator gets everything it asked for (and
+            # more); everyone else gets silence.
+            if self.attack.trades():
+                self.attacker_dump(round_now, partner, initiator, Purpose.PUSH)
+            return
+        if self.pool is not None:
+            self._push_bitset(round_now, initiator, partner)
+            return
+        plan = plan_optimistic_push(
+            initiator.store, partner.store, self.config, round_now
+        )
+        if not partner.responds_to_push(len(plan.to_responder)):
+            return
+        apply_push(initiator.store, partner.store, plan)
+        self._record_push(
+            initiator,
+            partner,
+            to_responder=len(plan.to_responder),
+            to_initiator=len(plan.to_initiator),
+            junk_units=plan.junk_units,
+        )
+
+    def run_pushes_batched(self, round_now: int, pairs) -> None:
+        """One optimistic-push phase over disjoint cell pairs, batched.
+
+        Mirrors :meth:`run_exchanges_batched`: each undirected cell
+        pair initiates in both directions, correct-correct islands run
+        as whole-phase word-array sweeps (the second direction's
+        willingness is evaluated after the first has been applied, as
+        in the per-pair order), attacker/evicted islands fall back to
+        the scalar path.
+        """
+        fast, slow = self._split_cell_pairs(pairs)
+        for initiator_id, partner_id in slow:
+            self._push_directed(round_now, initiator_id, partner_id)
+        if not fast:
+            return
+        recent_mask, old_mask = push_window_masks(
+            self.pool, self.config, round_now
+        )
+        recent_words = self.pool.mask_words(recent_mask)
+        old_words = self.pool.mask_words(old_mask)
+        for ordered in (fast, [(right, left) for left, right in fast]):
+            self._push_pass_batched(round_now, ordered, recent_words, old_words)
+
+    def _push_pass_batched(
+        self, round_now: int, ordered, recent_words, old_words
+    ) -> None:
+        """One direction of the batched push phase.
+
+        The willingness rule is ``GossipNode.wants_to_push`` evaluated
+        as array sweeps: rational nodes push iff they miss an old
+        update, obedient nodes also when they hold a recent offer.
+        """
+        pool = self.pool
+        row_of = self._row_of
+        rows = np.fromiter(
+            (row_of[initiator.node_id] for initiator, _ in ordered),
+            dtype=np.intp,
+            count=len(ordered),
+        )
+        wants = (pool.missing_words[rows] & old_words).any(axis=1)
+        obedient = np.fromiter(
+            (
+                initiator.behavior is Behavior.OBEDIENT
+                for initiator, _ in ordered
+            ),
+            dtype=bool,
+            count=len(ordered),
+        )
+        if obedient.any():
+            has_offers = (pool.have_words[rows] & recent_words).any(axis=1)
+            wants |= obedient & has_offers
+        eligible = [
+            pair for pair, want in zip(ordered, wants.tolist()) if want
+        ]
+        if not eligible:
+            return
+        responder_counts, initiator_counts = batched_word_push(
+            pool,
+            [row_of[initiator.node_id] for initiator, _ in eligible],
+            [row_of[partner.node_id] for _, partner in eligible],
+            self.config,
+            round_now,
+        )
+        for (initiator, partner), to_responder, to_initiator in zip(
+            eligible, responder_counts.tolist(), initiator_counts.tolist()
+        ):
             initiator.counters.pushes_initiated += 1
-            if partner.is_attacker:
-                # A push lands on the attacker: under the trade attack a
-                # satiated initiator gets everything it asked for (and
-                # more); everyone else gets silence.
-                if self.attack.trades():
-                    self.attacker_dump(round_now, partner, initiator, Purpose.PUSH)
+            if to_responder == 0:
                 continue
-            if self.pool is not None:
-                self._push_bitset(round_now, initiator, partner)
-                continue
-            plan = plan_optimistic_push(
-                initiator.store, partner.store, self.config, round_now
-            )
-            if not partner.responds_to_push(len(plan.to_responder)):
-                continue
-            apply_push(initiator.store, partner.store, plan)
             self._record_push(
                 initiator,
                 partner,
-                to_responder=len(plan.to_responder),
-                to_initiator=len(plan.to_initiator),
-                junk_units=plan.junk_units,
+                to_responder=to_responder,
+                to_initiator=to_initiator,
+                junk_units=to_responder - to_initiator,
             )
 
     def _push_bitset(
@@ -405,16 +580,24 @@ class GossipSimulator(RoundSimulator):
             )
         self.rotate_targets_every = rotate_targets_every
         self._rotation_rng = self._streams.get("rotation")
-        #: The dense population store when ``config.backend == "bitset"``;
-        #: None on the reference set backend.  Owned by the simulator:
-        #: node stores are lightweight views into it.
-        self._pool: Optional[BitsetPopulationStore] = (
-            BitsetPopulationStore(
+        #: The dense population store on the packed backends (bitset
+        #: rows of Python ints, or fixed-width word rows — optionally
+        #: in a shared-memory block); None on the reference set
+        #: backend.  Owned by the simulator: node stores are
+        #: lightweight views into it.
+        if config.backend == "bitset":
+            self._pool = BitsetPopulationStore(
                 config.n_nodes, config.updates_per_round, config.update_lifetime
             )
-            if config.backend == "bitset"
-            else None
-        )
+        elif config.backend == "words":
+            self._pool = WordPopulationStore(
+                config.n_nodes,
+                config.updates_per_round,
+                config.update_lifetime,
+                memory=config.memory,
+            )
+        else:
+            self._pool = None
         self.nodes: List[GossipNode] = [
             self._make_node(node_id) for node_id in range(config.n_nodes)
         ]
@@ -458,11 +641,52 @@ class GossipSimulator(RoundSimulator):
             ShardStatic(
                 config=config,
                 behaviors=tuple(node.behavior for node in self.nodes),
+                shm_name=(
+                    self._pool.shm_name
+                    if isinstance(self._pool, WordPopulationStore)
+                    else None
+                ),
             )
             if config.shards
             else None
         )
         self._round = 0
+
+    # ------------------------------------------------------------------
+    # Resource lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backing resources (the shared-memory block, if any).
+
+        Idempotent.  Heap-backed simulators have nothing to release;
+        on ``memory="shared"`` this closes and unlinks the store's
+        segment, after which the simulator's stores are unusable
+        (aggregate metrics — stats, counters, groups — stay readable).
+        """
+        if isinstance(self._pool, WordPopulationStore):
+            self._pool.release()
+
+    def _release_after_failure(self) -> None:
+        """Failure path of a sharded round: leak nothing.
+
+        A raising dispatch or merge leaves the round half-done; the
+        contract is that the worker pool is torn down and any
+        shared-memory segment is unlinked before the exception
+        propagates (an ``atexit`` sweep backstops even this).
+        """
+        if self._shard_pool is not None:
+            try:
+                self._shard_pool.terminate()
+            except Exception:  # pragma: no cover - teardown best effort
+                pass
+        self.close()
+
+    def __enter__(self) -> "GossipSimulator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Setup
@@ -580,15 +804,27 @@ class GossipSimulator(RoundSimulator):
 
         ``shards == 1`` is the unsharded execution of the sharded
         schedule: the full-population engine runs both phases directly
-        in canonical (permutation) order.  ``shards >= 2`` cuts the
-        round's cells into shard slices, runs each slice through
-        :func:`~repro.bargossip.sharding.run_shard` — in-process, or
-        on the worker pool when one was supplied — and merges the
-        outcomes in shard order.  The shard-parity suite pins all of
+        — in canonical (permutation) order per pair, or as whole-phase
+        batched sweeps on the words backend.  ``shards >= 2`` cuts the
+        round's cells into shard slices and merges the outcomes in
+        shard order; on ``memory="shared"`` the slices carry no rows
+        (workers mutate the shared block in place) and the coordinator
+        barriers the two phases.  The shard-parity suite pins all of
         these paths to bit-identical traces.
         """
         schedule = self._partners
         if self.config.shards == 1:
+            if isinstance(self._pool, WordPopulationStore):
+                cells = schedule.cells_for_round(round_now)
+                self._engine.run_exchanges_batched(
+                    round_now,
+                    [pair for cell in cells for pair in cell_exchange_pairs(cell)],
+                )
+                self._engine.run_pushes_batched(
+                    round_now,
+                    [pair for cell in cells for pair in cell_push_pairs(cell)],
+                )
+                return
             order = schedule.round_order(round_now)
             self._engine.run_exchanges(
                 round_now,
@@ -606,13 +842,52 @@ class GossipSimulator(RoundSimulator):
             for cells in schedule.shard_cells(round_now, self.config.shards)
             if cells
         ]
-        states = [extract_shard(self, cells, round_now) for cells in shards]
-        if self._shard_pool is not None:
-            outcomes = self._shard_pool.run(self._shard_static, states)
-        else:
-            outcomes = [run_shard(self._shard_static, state) for state in states]
-        for state, outcome in zip(states, outcomes):
-            merge_shard(self, state, outcome)
+        try:
+            if self.config.memory == "shared":
+                self._dispatch_shards_shared(round_now, shards)
+            else:
+                states = [
+                    extract_shard(self, cells, round_now) for cells in shards
+                ]
+                if self._shard_pool is not None:
+                    outcomes = self._shard_pool.run(self._shard_static, states)
+                else:
+                    outcomes = [
+                        run_shard(self._shard_static, state) for state in states
+                    ]
+                for state, outcome in zip(states, outcomes):
+                    merge_shard(self, state, outcome)
+        except Exception:
+            self._release_after_failure()
+            raise
+
+    def _dispatch_shards_shared(self, round_now: int, shards) -> None:
+        """One round's phases over in-place shared-memory shard state.
+
+        Each phase is dispatched separately with a coordinator-side
+        barrier between them (``ShardPool.run_shared`` returns only
+        when every shard's phase finished), because a node's push
+        behaviour depends on its post-exchange state.  The per-phase
+        messages carry cells, the evicted mask and the coalition /
+        authority slices out — and counters, evictions and reports
+        back; rows never travel.
+        """
+        for phase in ("exchange", "push"):
+            states = [
+                extract_shard(self, cells, round_now, phase=phase)
+                for cells in shards
+            ]
+            if self._shard_pool is not None:
+                outcomes = self._shard_pool.run_shared(
+                    self._shard_static, states, self._pool
+                )
+            else:
+                outcomes = [
+                    run_shard_shared(self._shard_static, state, self._pool)
+                    for state in states
+                ]
+            for state, outcome in zip(states, outcomes):
+                merge_shard_shared(self, state, outcome)
 
     # ------------------------------------------------------------------
     # Round phases
@@ -727,12 +1002,7 @@ class GossipSimulator(RoundSimulator):
         due_mask = pool.mask_of(due)
         created = creation_round(due[0], self.config.updates_per_round)
         if created >= self.measure_from_round:
-            have_bits = pool.have_bits
-            delivered_counts = np.fromiter(
-                (popcount(row & due_mask) for row in have_bits),
-                dtype=np.int64,
-                count=pool.n_nodes,
-            )
+            delivered_counts = pool.masked_have_popcounts(due_mask)
             due_each = len(due)
             correct = self._correct_mask
             satiated = correct & self._satiated_mask
@@ -887,27 +1157,32 @@ def run_gossip_experiment(
         config, attack=coalition, seed=seed, reporting=reporting,
         shard_pool=shard_pool,
     )
-    pool_samples: List[float] = []
-    for _ in range(rounds):
-        simulator.step()
-        live = simulator.ledger.live_count
-        if coalition.active and live:
-            pool_samples.append(len(coalition.pool) / live)
-    pool_coverage = (
-        sum(pool_samples) / len(pool_samples) if pool_samples else None
-    )
-    evicted = sum(
-        1
-        for node in simulator.nodes
-        if node.evicted and node.group is TargetGroup.ATTACKER
-    )
-    return GossipExperimentResult(
-        attack=kind,
-        attacker_fraction=attacker_fraction,
-        isolated_fraction=simulator.delivery_fraction("isolated"),
-        satiated_fraction=simulator.delivery_fraction("satiated"),
-        correct_fraction=simulator.delivery_fraction("correct"),
-        pool_coverage=pool_coverage,
-        group_sizes=simulator.group_sizes(),
-        evicted_attackers=evicted,
-    )
+    try:
+        pool_samples: List[float] = []
+        for _ in range(rounds):
+            simulator.step()
+            live = simulator.ledger.live_count
+            if coalition.active and live:
+                pool_samples.append(len(coalition.pool) / live)
+        pool_coverage = (
+            sum(pool_samples) / len(pool_samples) if pool_samples else None
+        )
+        evicted = sum(
+            1
+            for node in simulator.nodes
+            if node.evicted and node.group is TargetGroup.ATTACKER
+        )
+        return GossipExperimentResult(
+            attack=kind,
+            attacker_fraction=attacker_fraction,
+            isolated_fraction=simulator.delivery_fraction("isolated"),
+            satiated_fraction=simulator.delivery_fraction("satiated"),
+            correct_fraction=simulator.delivery_fraction("correct"),
+            pool_coverage=pool_coverage,
+            group_sizes=simulator.group_sizes(),
+            evicted_attackers=evicted,
+        )
+    finally:
+        # One experiment, one lifetime: a shared-memory store must not
+        # outlive its run whether it completed or raised.
+        simulator.close()

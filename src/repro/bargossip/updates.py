@@ -22,6 +22,15 @@ Three views of update state are kept:
   ``updates_per_round * update_lifetime`` ids; column ``c`` always
   holds update ``base + c``, so id order equals column order and the
   round phases become batch array operations.
+* :class:`WordPopulationStore` — the fixed-width word-array backend
+  (``GossipConfig.backend == "words"``): the same packed rows stored
+  as 64-bit words in one flat buffer instead of arbitrary-precision
+  ints.  The fixed layout buys two things the bitset backend cannot
+  offer: whole-phase numpy sweeps over many rows at once (see the
+  batched :class:`~repro.bargossip.simulator.InteractionEngine`
+  dispatch) and the option to place the buffer in a
+  ``multiprocessing.shared_memory`` block so shard workers mutate
+  their rows in place instead of shipping them per round.
 * :class:`UpdateLedger` — global: which updates are currently live and
   when each expires, used to drive per-round expiry and the delivery
   metric ("fraction of updates received ... " in Figures 1-3).
@@ -29,12 +38,14 @@ Three views of update state are kept:
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 import numpy as np
 
-from ..core.errors import SimulationError
+from ..core.errors import ConfigurationError, SimulationError
 
 __all__ = [
     "update_id",
@@ -42,11 +53,18 @@ __all__ = [
     "UpdateStore",
     "BitsetPopulationStore",
     "BitsetUpdateStore",
+    "WordPopulationStore",
     "UpdateLedger",
     "popcount",
     "top_bits",
     "bottom_bits",
     "iter_bits",
+    "words_to_int",
+    "int_to_words",
+    "word_popcounts",
+    "truncate_word_rows",
+    "shared_memory_available",
+    "WORD_BITS",
 ]
 
 
@@ -178,13 +196,16 @@ class UpdateStore:
         )
 
 
-def popcount(bits: int) -> int:
-    """Number of set bits (``int.bit_count`` with a 3.9 fallback)."""
+def _python_popcount(bits: int) -> int:
+    """Pure-Python popcount: the pre-3.10 fallback behind :func:`popcount`."""
     return bin(bits).count("1")
 
 
-if hasattr(int, "bit_count"):  # Python >= 3.10: one C call instead of bin()
-    popcount = int.bit_count  # noqa: F811 - deliberate fast-path override
+#: Number of set bits; ``int.bit_count`` (one C call) on Python >= 3.10,
+#: :func:`_python_popcount` otherwise.
+popcount = (
+    int.bit_count if hasattr(int, "bit_count") else _python_popcount
+)
 
 
 def top_bits(bits: int, count: int) -> int:
@@ -347,6 +368,14 @@ class BitsetPopulationStore:
             have_bits[node_id] &= unset
             missing_bits[node_id] &= unset
 
+    def masked_have_popcounts(self, mask: int) -> "np.ndarray":
+        """Per-node count of held updates under ``mask`` (expiry scoring)."""
+        return np.fromiter(
+            (popcount(row & mask) for row in self.have_bits),
+            dtype=np.int64,
+            count=self.n_nodes,
+        )
+
 
 class BitsetUpdateStore:
     """Per-node view into a :class:`BitsetPopulationStore`.
@@ -446,6 +475,388 @@ class BitsetUpdateStore:
         """Whether any held update was created at or after ``cutoff_round``."""
         bound = self._col_below(cutoff_round)
         return bool(self.pool.have_bits[self.node_id] >> bound)
+
+
+# ----------------------------------------------------------------------
+# Fixed-width word-array backend
+# ----------------------------------------------------------------------
+
+#: Bits per storage word of the word-array backend.
+WORD_BITS = 64
+
+_WORD_BYTES = WORD_BITS // 8
+
+
+def words_to_int(row: "np.ndarray") -> int:
+    """One packed word row as an arbitrary-precision bitmask."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def int_to_words(bits: int, n_words: int) -> "np.ndarray":
+    """An arbitrary-precision bitmask as a packed word row."""
+    return np.frombuffer(
+        bits.to_bytes(n_words * _WORD_BYTES, "little"), dtype=np.uint64
+    )
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def word_popcounts(words: "np.ndarray") -> "np.ndarray":
+        """Per-row popcount of packed word rows (last axis summed)."""
+        return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+
+    _POP16 = np.array(
+        [_python_popcount(value) for value in range(1 << 16)], dtype=np.uint8
+    )
+
+    def word_popcounts(words: "np.ndarray") -> "np.ndarray":
+        """Per-row popcount via a 16-bit lookup table (numpy < 2.0)."""
+        halves = np.ascontiguousarray(words).view(np.uint16)
+        return _POP16[halves].sum(axis=-1, dtype=np.int64)
+
+
+def truncate_word_rows(
+    selected: "np.ndarray",
+    available: "np.ndarray",
+    counts: "np.ndarray",
+    n_available: "np.ndarray",
+    prefer_newest: bool,
+) -> None:
+    """Overwrite ``selected`` rows whose transfer count is capped.
+
+    The batched planners start from ``selected = available`` (the
+    common full-take case costs nothing); a row whose count falls
+    short of its availability is re-picked with the exact
+    :func:`top_bits` / :func:`bottom_bits` rule on the
+    arbitrary-precision view of that one row, so selection order stays
+    bit-identical to the other backends.
+    """
+    take = top_bits if prefer_newest else bottom_bits
+    n_words = available.shape[1]
+    for row in np.flatnonzero(counts < n_available):
+        count = int(counts[row])
+        if count == 0:
+            selected[row] = 0
+        else:
+            selected[row] = int_to_words(
+                take(words_to_int(available[row]), count), n_words
+            )
+
+
+def shared_memory_available() -> bool:
+    """Whether a ``multiprocessing.shared_memory`` block can be created.
+
+    Containers without a usable ``/dev/shm`` raise at creation time;
+    callers (bench passes, the CI parity matrix) skip the shared-memory
+    path gracefully instead of failing.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        probe = shared_memory.SharedMemory(create=True, size=_WORD_BYTES)
+    except (ImportError, OSError):
+        return False
+    probe.close()
+    probe.unlink()
+    return True
+
+
+class _WordRows:
+    """Int-compatible view over packed word rows.
+
+    Exposes a ``(n_rows, n_words)`` uint64 array with the
+    ``have_bits[i] -> int`` / ``have_bits[i] = int`` protocol of
+    :class:`BitsetPopulationStore`, so every arbitrary-precision
+    consumer — :class:`BitsetUpdateStore` views, the per-pair
+    exchange/push planners, shard extraction — works unchanged against
+    the word-array backend.  The hot paths bypass this view and sweep
+    the underlying array directly.
+    """
+
+    __slots__ = ("_words", "_n_bytes")
+
+    def __init__(self, words: "np.ndarray") -> None:
+        self._words = words
+        self._n_bytes = words.shape[1] * _WORD_BYTES
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __getitem__(self, row: int) -> int:
+        return int.from_bytes(self._words[row].tobytes(), "little")
+
+    def __setitem__(self, row: int, bits: int) -> None:
+        self._words[row] = np.frombuffer(
+            bits.to_bytes(self._n_bytes, "little"), dtype=np.uint64
+        )
+
+    def __iter__(self) -> Iterable[int]:
+        flat = self._words.tobytes()
+        stride = self._n_bytes
+        for start in range(0, len(flat), stride):
+            yield int.from_bytes(flat[start : start + stride], "little")
+
+
+def _release_shared_block(shm: object, owner: bool) -> None:
+    """Best-effort close (+ unlink for the creator) of one shm block.
+
+    Runs from ``weakref.finalize`` — possibly at interpreter exit,
+    possibly after another process already unlinked the segment — so
+    every failure is swallowed.
+    """
+    try:
+        shm.close()
+    except (BufferError, OSError):
+        pass
+    if owner:
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+class WordPopulationStore:
+    """Dense live-update state as fixed-width word rows.
+
+    The third population-store backend (``GossipConfig.backend ==
+    "words"``): semantically identical to
+    :class:`BitsetPopulationStore` — same columns, same base/window
+    arithmetic, bit-identical traces — but each row is
+    ``ceil(capacity / 64)`` 64-bit words in one flat numpy buffer
+    instead of a Python int.  The fixed layout is what enables
+
+    * whole-population numpy sweeps (window slide, broadcast, expiry
+      scoring and the batched exchange/push phases are array
+      operations over all rows at once), and
+    * ``memory="shared"``: the buffer lives in a
+      ``multiprocessing.shared_memory`` block, so shard workers attach
+      once and mutate their rows in place — per-round messages carry
+      counters and eviction decisions, never rows.
+
+    Lifecycle of the shared block is explicit: the creating process
+    owns the segment (``close`` + ``unlink``), attached processes only
+    ``close``.  A ``weakref.finalize`` guard (and an ``atexit`` sweep)
+    releases whatever a crashed round leaves behind.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        updates_per_round: int,
+        lifetime: int,
+        memory: str = "heap",
+        shm_name: Optional[str] = None,
+    ) -> None:
+        if n_nodes < 1:
+            raise SimulationError(f"n_nodes must be >= 1, got {n_nodes}")
+        if memory not in ("heap", "shared"):
+            raise ConfigurationError(
+                f"memory must be 'heap' or 'shared', got {memory!r}"
+            )
+        if shm_name is not None and memory != "shared":
+            raise ConfigurationError("shm_name requires memory='shared'")
+        self.n_nodes = n_nodes
+        self.updates_per_round = updates_per_round
+        self.lifetime = lifetime
+        self.capacity = updates_per_round * lifetime
+        self.base = 0
+        self.full_mask = (1 << self.capacity) - 1
+        self.memory = memory
+        self.words_per_row = -(-self.capacity // WORD_BITS)
+        n_words = 2 * n_nodes * self.words_per_row
+        self.owns_shm = memory == "shared" and shm_name is None
+        shm = None
+        if memory == "shared":
+            from multiprocessing import shared_memory
+
+            if shm_name is None:
+                shm = shared_memory.SharedMemory(
+                    create=True, size=n_words * _WORD_BYTES
+                )
+            else:
+                # Attaching re-registers the name with the resource
+                # tracker; pool workers share the coordinator's tracker
+                # (fork and POSIX spawn both inherit its fd), so the
+                # duplicate collapses and the creator's unlink settles
+                # the books.
+                shm = shared_memory.SharedMemory(name=shm_name)
+            flat = np.frombuffer(shm.buf, dtype=np.uint64, count=n_words)
+            if self.owns_shm:
+                flat[:] = 0
+        else:
+            flat = np.zeros(n_words, dtype=np.uint64)
+        rows = n_nodes * self.words_per_row
+        #: Packed have/missing rows, ``(n_nodes, words_per_row)`` uint64.
+        self.have_words = flat[:rows].reshape(n_nodes, self.words_per_row)
+        self.missing_words = flat[rows:].reshape(n_nodes, self.words_per_row)
+        #: Int-compatible row views (the BitsetPopulationStore protocol).
+        self.have_bits = _WordRows(self.have_words)
+        self.missing_bits = _WordRows(self.missing_words)
+        # _shm enters the instance dict after the array views so an
+        # un-closed store tears down views first, letting the segment's
+        # own __del__ close its mmap without exported-buffer errors.
+        self._shm = shm
+        self._finalizer = (
+            weakref.finalize(self, _release_shared_block, shm, self.owns_shm)
+            if shm is not None
+            else None
+        )
+        if shm is not None:
+            _LIVE_SHARED_STORES.add(self)
+
+    # -- shared-block lifecycle ----------------------------------------
+
+    @property
+    def shm_name(self) -> Optional[str]:
+        """Name of the backing shared block (None on the heap)."""
+        return self._shm.name if self._shm is not None else None
+
+    def close(self) -> None:
+        """Release this process's mapping of the shared block.
+
+        Idempotent; a heap store is a no-op.  The arrays die with the
+        mapping, so the store must not be used afterwards.  A creator
+        keeps its unlink responsibility (and its crash-safety
+        finalizer) until :meth:`unlink` runs.
+        """
+        if self._shm is None:
+            return
+        shm, self._shm = self._shm, None
+        self._pending_unlink = shm if self.owns_shm else None
+        self.have_words = self.missing_words = None
+        self.have_bits = self.missing_bits = None
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - stray exported views
+            pass
+        if not self.owns_shm:
+            self._detach_guard()
+
+    def unlink(self) -> None:
+        """Destroy the shared segment (creator only; idempotent)."""
+        if not self.owns_shm:
+            return
+        if self._shm is not None:
+            self.close()
+        shm = getattr(self, "_pending_unlink", None)
+        self._pending_unlink = None
+        if shm is not None:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._detach_guard()
+
+    def _detach_guard(self) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        _LIVE_SHARED_STORES.discard(self)
+
+    def release(self) -> None:
+        """Close and, when this process created the block, unlink it."""
+        self.close()
+        self.unlink()
+
+    # -- BitsetPopulationStore protocol --------------------------------
+
+    def view(self, node_id: int) -> "BitsetUpdateStore":
+        """The per-node :class:`UpdateStore`-compatible view."""
+        return BitsetUpdateStore(self, node_id)
+
+    def as_matrices(self) -> "np.ndarray":
+        """The (have, missing) state as one stacked boolean array."""
+        dense = np.zeros((2, self.n_nodes, self.capacity), dtype=bool)
+        for node_id in range(self.n_nodes):
+            for col in iter_bits(self.have_bits[node_id]):
+                dense[0, node_id, col] = True
+            for col in iter_bits(self.missing_bits[node_id]):
+                dense[1, node_id, col] = True
+        return dense
+
+    def col_of(self, update: int) -> int:
+        """Column (bit position) holding ``update``; raises if out of window."""
+        col = update - self.base
+        if not 0 <= col < self.capacity:
+            raise SimulationError(
+                f"update {update} outside live window [{self.base}, "
+                f"{self.base + self.capacity})"
+            )
+        return col
+
+    def mask_of(self, updates: Iterable[int]) -> int:
+        """Bitmask covering many updates (each validated)."""
+        mask = 0
+        for update in updates:
+            mask |= 1 << self.col_of(update)
+        return mask
+
+    def mask_words(self, mask: int) -> "np.ndarray":
+        """An in-window bitmask as one packed word row."""
+        return int_to_words(mask, self.words_per_row)
+
+    def advance_to(self, round_now: int) -> None:
+        """Slide the window so round ``round_now``'s fresh ids fit."""
+        new_base = max(0, round_now - self.lifetime + 1) * self.updates_per_round
+        shift = new_base - self.base
+        if shift <= 0:
+            return
+        self._shift_rows_right(self.have_words, shift)
+        self._shift_rows_right(self.missing_words, shift)
+        self.base = new_base
+
+    @staticmethod
+    def _shift_rows_right(rows: "np.ndarray", shift: int) -> None:
+        """In-place ``>>= shift`` of every packed row (one numpy pass)."""
+        n_words = rows.shape[1]
+        whole, rem = divmod(shift, WORD_BITS)
+        if whole:
+            if whole >= n_words:
+                rows[:] = 0
+                return
+            rows[:, : n_words - whole] = rows[:, whole:]
+            rows[:, n_words - whole :] = 0
+        if rem:
+            down = np.uint64(rem)
+            up = np.uint64(WORD_BITS - rem)
+            rows[:, :-1] = (rows[:, :-1] >> down) | (rows[:, 1:] << up)
+            rows[:, -1] >>= down
+
+    def announce_fresh(self, first_col: int, count: int) -> None:
+        """Mark ``count`` fresh columns missing for every node."""
+        mask = ((1 << count) - 1) << first_col
+        self.missing_words |= self.mask_words(mask)
+
+    def seed(self, node_ids: Iterable[int], col: int) -> None:
+        """Flip one fresh column to held for the seeded nodes."""
+        rows = list(node_ids)
+        word, bit = divmod(col, WORD_BITS)
+        set_bit = np.uint64(1 << bit)
+        self.have_words[rows, word] |= set_bit
+        self.missing_words[rows, word] &= ~set_bit
+
+    def clear_mask(self, mask: int) -> None:
+        """Drop the masked columns from every row (end-of-life)."""
+        keep = ~self.mask_words(mask)
+        self.have_words &= keep
+        self.missing_words &= keep
+
+    def masked_have_popcounts(self, mask: int) -> "np.ndarray":
+        """Per-node count of held updates under ``mask`` (expiry scoring)."""
+        return word_popcounts(self.have_words & self.mask_words(mask))
+
+
+#: Live shared-memory stores, swept by ``atexit`` so a crashed run
+#: cannot leak segments (normal exits release explicitly first).
+_LIVE_SHARED_STORES: "weakref.WeakSet[WordPopulationStore]" = weakref.WeakSet()
+
+
+@atexit.register
+def _release_live_shared_stores() -> None:  # pragma: no cover - exit hook
+    for store in list(_LIVE_SHARED_STORES):
+        store.release()
 
 
 @dataclass

@@ -22,14 +22,16 @@ from __future__ import annotations
 
 import json
 import os
+import pickle
 import platform
 import time
 from typing import Any, Callable, Dict, Optional
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
-from ..bargossip.sharding import ShardPool
+from ..bargossip.sharding import ShardPool, extract_shard, run_shard, run_shard_shared
 from ..bargossip.simulator import GossipSimulator, run_gossip_experiment
+from ..bargossip.updates import shared_memory_available
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
 from .parallel import SweepExecutor, resolve_jobs
@@ -39,10 +41,22 @@ __all__ = [
     "BENCH_FIGURES",
     "run_backend_bench",
     "run_shard_bench",
+    "run_memory_bench",
     "run_bench",
     "render_bench_summary",
     "write_bench_summary",
 ]
+
+
+def _pool_undersubscribed(workers: int) -> bool:
+    """Whether pooled timings on this host are hardware-meaningless.
+
+    With fewer CPUs than workers the pooled pass measures
+    oversubscription, not parallel speedup; the bench records the flag
+    in the artifact (and the CLI warns) so a 1-CPU container's
+    "speedup" is never mistaken for a regression or an improvement.
+    """
+    return workers > (os.cpu_count() or 1)
 
 #: The figure builders exercised by the benchmark, in report order.
 BENCH_FIGURES: Dict[str, Callable[..., Dict[str, TimeSeries]]] = {
@@ -181,8 +195,181 @@ def run_shard_bench(
             if passes["parallel_seconds"] > 0
             else None
         ),
+        "pool_undersubscribed": _pool_undersubscribed(workers),
         "parity_ok": parity_ok,
         "delivery_fraction": reference.delivery_fraction("correct"),
+    }
+
+
+def _time_rounds(config: GossipConfig, rounds: int, seed: int, pool=None):
+    """(seconds, simulator-after-close aggregates) of one timed run."""
+    simulator = GossipSimulator(config, seed=seed, shard_pool=pool)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        simulator.step()
+    seconds = time.perf_counter() - start
+    aggregates = (
+        simulator.stats.delivered,
+        simulator.stats.missed,
+        tuple(simulator.per_node_delivered),
+        tuple(simulator.per_node_missed),
+        simulator.delivery_fraction("correct"),
+    )
+    simulator.close()
+    return seconds, aggregates
+
+
+def _round_traffic_bytes(
+    config: GossipConfig, workers: int, seed: int, warm_rounds: int = 2
+) -> Dict[str, int]:
+    """Measured pickled payload of one round's shard dispatch.
+
+    Builds one simulator, warms it past the first broadcasts, then
+    extracts (and, for byte-accounting, executes in-process) exactly
+    what a pooled round would ship.  This is the artifact's evidence
+    that ``memory="shared"`` cuts per-round cross-process traffic from
+    O(nodes) rows to O(counters): the states/outcomes are the literal
+    objects ``ShardPool`` would pickle.
+    """
+    simulator = GossipSimulator(config.replace(shards=workers), seed=seed)
+    try:
+        for _ in range(warm_rounds):
+            simulator.step()
+        round_now = simulator._round
+        simulator._maybe_rotate_targets(round_now)
+        simulator._broadcast(round_now)
+        simulator._attack_out_of_band()
+        shards = [
+            cells
+            for cells in simulator._partners.shard_cells(round_now, workers)
+            if cells
+        ]
+        state_bytes = 0
+        outcome_bytes = 0
+        if config.memory == "shared":
+            for phase in ("exchange", "push"):
+                states = [
+                    extract_shard(simulator, cells, round_now, phase=phase)
+                    for cells in shards
+                ]
+                outcomes = [
+                    run_shard_shared(simulator._shard_static, state, simulator._pool)
+                    for state in states
+                ]
+                state_bytes += sum(len(pickle.dumps(s)) for s in states)
+                outcome_bytes += sum(len(pickle.dumps(o)) for o in outcomes)
+        else:
+            states = [
+                extract_shard(simulator, cells, round_now) for cells in shards
+            ]
+            outcomes = [
+                run_shard(simulator._shard_static, state) for state in states
+            ]
+            state_bytes = sum(len(pickle.dumps(s)) for s in states)
+            outcome_bytes = sum(len(pickle.dumps(o)) for o in outcomes)
+        return {"state_bytes": state_bytes, "outcome_bytes": outcome_bytes}
+    finally:
+        simulator.close()
+
+
+def run_memory_bench(
+    n_nodes: int = 20000,
+    rounds: int = 30,
+    workers: int = 4,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Time the population-store memory layouts head to head.
+
+    One no-attack gossip run per pass, all over the sharded schedule so
+    every pass computes the bit-identical trace (asserted on delivery
+    stats and per-node tallies):
+
+    * ``serial_*`` — ``shards=1``: the full-population engine, per-pair
+      dispatch on the bitset backend, batched word sweeps on words.
+    * ``inprocess_*`` — ``shards=workers``, no pool: slice
+      extract/execute/merge overhead in isolation.
+    * ``pooled_*`` — ``shards=workers`` on a worker-process pool;
+      ``heap`` ships rows per round, ``shared`` mutates a shared-memory
+      block in place and ships only counters.
+
+    ``round_traffic`` records the measured pickled bytes of one
+    round's dispatch for the pooled paths — the O(nodes)-rows versus
+    O(counters) comparison the shared layout exists for.  Shared
+    passes are skipped (``None`` timings, ``shared_available`` False)
+    where no shared-memory segment can be created.
+    """
+    shared_ok = shared_memory_available()
+    passes = (
+        ("serial_bitset_seconds", "bitset", "heap", 1, False),
+        ("serial_words_seconds", "words", "heap", 1, False),
+        ("inprocess_bitset_seconds", "bitset", "heap", workers, False),
+        ("inprocess_words_seconds", "words", "heap", workers, False),
+        ("pooled_bitset_seconds", "bitset", "heap", workers, True),
+        ("pooled_words_heap_seconds", "words", "heap", workers, True),
+        ("pooled_words_shared_seconds", "words", "shared", workers, True),
+    )
+    seconds: Dict[str, Optional[float]] = {}
+    reference = None
+    parity_ok = True
+    delivery = None
+    for name, backend, memory, shards, use_pool in passes:
+        if memory == "shared" and not shared_ok:
+            seconds[name] = None
+            continue
+        config = GossipConfig(
+            n_nodes=n_nodes, backend=backend, memory=memory, shards=shards
+        )
+        pool = ShardPool(workers) if use_pool and workers >= 2 else None
+        try:
+            elapsed, aggregates = _time_rounds(config, rounds, seed, pool=pool)
+        finally:
+            if pool is not None:
+                pool.close()
+        seconds[name] = elapsed
+        if reference is None:
+            reference = aggregates
+            delivery = aggregates[-1]
+        else:
+            parity_ok = parity_ok and aggregates == reference
+
+    def _ratio(numerator: Optional[float], denominator: Optional[float]):
+        if numerator is None or denominator is None or denominator <= 0:
+            return None
+        return numerator / denominator
+
+    traffic: Dict[str, Any] = {
+        "words_heap": _round_traffic_bytes(
+            GossipConfig(n_nodes=n_nodes, backend="words"), workers, seed
+        )
+    }
+    if shared_ok:
+        traffic["words_shared"] = _round_traffic_bytes(
+            GossipConfig(n_nodes=n_nodes, backend="words", memory="shared"),
+            workers,
+            seed,
+        )
+        heap_total = sum(traffic["words_heap"].values())
+        shared_total = sum(traffic["words_shared"].values())
+        traffic["heap_over_shared"] = _ratio(heap_total, shared_total)
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "workers": workers,
+        "pool_undersubscribed": _pool_undersubscribed(workers),
+        "shared_available": shared_ok,
+        **seconds,
+        "serial_words_vs_bitset_speedup": _ratio(
+            seconds["serial_bitset_seconds"], seconds["serial_words_seconds"]
+        ),
+        "inprocess_words_vs_bitset_speedup": _ratio(
+            seconds["inprocess_bitset_seconds"], seconds["inprocess_words_seconds"]
+        ),
+        "pooled_shared_speedup_vs_serial": _ratio(
+            seconds["serial_words_seconds"], seconds["pooled_words_shared_seconds"]
+        ),
+        "round_traffic": traffic,
+        "parity_ok": parity_ok,
+        "delivery_fraction": delivery,
     }
 
 
@@ -195,6 +382,8 @@ def run_bench(
     shard_workers: int = 4,
     shard_nodes: int = 50000,
     shard_rounds: int = 50,
+    memory_nodes: int = 20000,
+    memory_rounds: int = 30,
 ) -> Dict[str, Any]:
     """Run the benchmark suite and return the summary dictionary.
 
@@ -206,9 +395,11 @@ def run_bench(
     ``bench`` command always benches uncached for this reason).
 
     ``shard_workers`` / ``shard_nodes`` / ``shard_rounds`` parameterize
-    the ``shard_bench`` section (:func:`run_shard_bench`); like the
-    backend bench it deliberately runs at the same headline scale in
-    both profiles so consecutive CI artifacts stay comparable.
+    the ``shard_bench`` section (:func:`run_shard_bench`), and
+    ``memory_nodes`` / ``memory_rounds`` the ``memory_bench`` section
+    (:func:`run_memory_bench`); like the backend bench these
+    deliberately run at the same headline scale in both profiles so
+    consecutive CI artifacts stay comparable.
     """
     fractions = FAST_FRACTIONS if fast else DEFAULT_FRACTIONS
     rounds = 30 if fast else 50
@@ -261,6 +452,12 @@ def run_bench(
         workers=shard_workers,
         seed=root_seed,
     )
+    memory_bench = run_memory_bench(
+        n_nodes=memory_nodes,
+        rounds=memory_rounds,
+        workers=shard_workers,
+        seed=root_seed,
+    )
     executor_stats = executor.stats()
     if own_executor:
         executor.close()
@@ -280,6 +477,7 @@ def run_bench(
         "executor": executor_stats,
         "backend_bench": backend_bench,
         "shard_bench": shard_bench,
+        "memory_bench": memory_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -329,13 +527,46 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
     shard = summary.get("shard_bench")
     if shard:
         parity = "ok" if shard["parity_ok"] else "MISMATCH"
+        undersubscribed = (
+            ", POOL UNDERSUBSCRIBED" if shard.get("pool_undersubscribed") else ""
+        )
         lines.append(
             f"shards ({shard['n_nodes']} nodes, {shard['rounds']} rounds, "
             f"{shard['workers']} workers): serial {shard['serial_seconds']:.2f}s, "
             f"in-process {shard['inprocess_seconds']:.2f}s, "
             f"parallel {shard['parallel_seconds']:.2f}s "
-            f"({shard['speedup']:.2f}x, parity {parity})"
+            f"({shard['speedup']:.2f}x, parity {parity}{undersubscribed})"
         )
+    memory = summary.get("memory_bench")
+    if memory:
+        parity = "ok" if memory["parity_ok"] else "MISMATCH"
+        undersubscribed = (
+            ", POOL UNDERSUBSCRIBED" if memory.get("pool_undersubscribed") else ""
+        )
+        lines.append(
+            f"memory ({memory['n_nodes']} nodes, {memory['rounds']} rounds, "
+            f"{memory['workers']} workers): "
+            f"serial bitset {memory['serial_bitset_seconds']:.2f}s, "
+            f"words {memory['serial_words_seconds']:.2f}s; "
+            f"in-process bitset {memory['inprocess_bitset_seconds']:.2f}s, "
+            f"words {memory['inprocess_words_seconds']:.2f}s "
+            f"(parity {parity}{undersubscribed})"
+        )
+        shared_seconds = memory.get("pooled_words_shared_seconds")
+        heap_seconds = memory.get("pooled_words_heap_seconds")
+        if shared_seconds is not None and heap_seconds is not None:
+            traffic = memory.get("round_traffic", {})
+            heap_traffic = traffic.get("words_heap", {})
+            shared_traffic = traffic.get("words_shared", {})
+            heap_bytes = sum(heap_traffic.values())
+            shared_bytes = sum(shared_traffic.values())
+            lines.append(
+                f"  pooled: heap rows {heap_seconds:.2f}s "
+                f"({heap_bytes} B/round), shared in-place "
+                f"{shared_seconds:.2f}s ({shared_bytes} B/round)"
+            )
+        elif not memory.get("shared_available", True):
+            lines.append("  pooled shared: skipped (no shared memory available)")
     return "\n".join(lines)
 
 

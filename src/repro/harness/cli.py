@@ -14,8 +14,10 @@ Installed as ``lotus-eater`` (see ``pyproject.toml``)::
     lotus-eater sweep-token --grid 0,0.1,0.2,0.4
     lotus-eater sweep-swarm --grid 0,1,2,4 --jobs 0
     lotus-eater figure1 --shards 4
+    lotus-eater figure1 --backend words --memory shared --shards 4
     lotus-eater bench --fast --output BENCH_summary.json
     lotus-eater bench-diff BENCH_previous.json BENCH_summary.json
+    lotus-eater bench-trend --history-dir .bench-history
 
 Sweep-based commands (the figures, the per-model ``sweep-*``
 subcommands, ``table1``'s baseline, ``bench``) fan their (grid-point,
@@ -25,11 +27,14 @@ content-addressed under ``--cache-dir`` (default
 skip every already-computed simulation.  ``--no-cache`` disables the
 store; parallel output is bit-identical to ``--jobs 1``.  ``--backend
 bitset`` switches the gossip commands to the packed-bitset store (same
-results, measured >3x faster single-core at scale).  ``--shards k``
-switches the gossip commands to the sharded round schedule (one
-simulation partitioned into k independent shards per round — results
-identical for every k; combine with ``--jobs`` freely: jobs split the
-sweep grid, shards split one run).
+results, measured >3x faster single-core at scale); ``--backend
+words`` to the fixed-width word-array store (batched phase sweeps, and
+the only backend supporting ``--memory shared``, which places the rows
+in a shared-memory block so sharded workers mutate them in place).
+``--shards k`` switches the gossip commands to the sharded round
+schedule (one simulation partitioned into k independent shards per
+round — results identical for every k; combine with ``--jobs`` freely:
+jobs split the sweep grid, shards split one run).
 """
 
 from __future__ import annotations
@@ -52,7 +57,14 @@ from .parallel import SweepExecutor
 from .sweep import sweep
 from .tables import baseline_check, render_table1
 from .tasks import TASK_BUILDERS
-from .trend import compare_bench_summaries, load_bench_summary, render_bench_diff
+from .trend import (
+    compare_bench_history,
+    compare_bench_summaries,
+    load_bench_summary,
+    render_bench_diff,
+    render_bench_history,
+    update_bench_history,
+)
 
 __all__ = ["main", "build_executor"]
 
@@ -85,7 +97,7 @@ def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
     fractions = FAST_FRACTIONS if args.fast else DEFAULT_FRACTIONS
     rounds = 30 if args.fast else 50
     config = GossipConfig.paper().replace(
-        backend=args.backend, shards=args.shards
+        backend=args.backend, shards=args.shards, memory=args.memory
     )
     with build_executor(args) as executor:
         curves = builder(
@@ -140,6 +152,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         mismatched.append("backend_bench")
     if not summary["shard_bench"]["parity_ok"]:
         mismatched.append("shard_bench")
+    if not summary["memory_bench"]["parity_ok"]:
+        mismatched.append("memory_bench")
+    if summary["shard_bench"].get("pool_undersubscribed") or summary[
+        "memory_bench"
+    ].get("pool_undersubscribed"):
+        workers = summary["shard_bench"]["workers"]
+        print(
+            f"warning: pool undersubscribed ({workers} workers > "
+            f"{os.cpu_count()} CPU(s)) — pooled timings measure "
+            "oversubscription, not parallel speedup (flagged in the "
+            "artifact as pool_undersubscribed)",
+            file=sys.stderr,
+        )
     if mismatched:
         print(
             f"parallel/serial mismatch in: {', '.join(mismatched)}",
@@ -174,7 +199,7 @@ def _parse_grid(text: str) -> List[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model = args.command.split("-", 1)[1]
     task, x_label = TASK_BUILDERS[model](
-        args.fast, args.metric, args.backend, args.shards
+        args.fast, args.metric, args.backend, args.shards, args.memory
     )
     grid = args.grid if args.grid else DEFAULT_SWEEP_GRIDS[model]
     with build_executor(args) as executor:
@@ -206,6 +231,34 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         print(
             f"bench-diff: {len(diff['regressions'])} regression(s) beyond "
             f"{args.max_regression:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    # Fold the current summary into the rolling history, then scan the
+    # window for sustained — not single-run — drift.  The positionals
+    # are shared with bench-diff, so `bench-trend MY_run.json` binds
+    # MY_run.json to the (here meaningless) `previous` slot: treat a
+    # lone non-default first positional as the current summary instead
+    # of silently reading the default BENCH_summary.json.
+    current = args.current
+    if current == "BENCH_summary.json" and args.previous != "BENCH_previous.json":
+        current = args.previous
+    paths = update_bench_history(args.history_dir, current, window=args.window)
+    summaries = [load_bench_summary(path) for path in paths]
+    report = compare_bench_history(
+        summaries,
+        max_regression=args.max_regression,
+        min_sustained=args.min_sustained,
+    )
+    print(render_bench_history(report))
+    if report["sustained_regressions"]:
+        print(
+            f"bench-trend: {len(report['sustained_regressions'])} metric(s) "
+            f"drifted for >= {args.min_sustained} consecutive runs",
             file=sys.stderr,
         )
         return 1
@@ -376,10 +429,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=["sets", "bitset"],
+        choices=["sets", "bitset", "words"],
         default="sets",
         help="gossip update-store backend (bitset: packed rows, "
-        "identical results, >3x faster single-core at scale)",
+        "identical results, >3x faster single-core at scale; words: "
+        "fixed-width word arrays with batched phase sweeps, required "
+        "for --memory shared)",
+    )
+    parser.add_argument(
+        "--memory",
+        choices=["heap", "shared"],
+        default="heap",
+        help="where the words backend keeps its rows: process-private "
+        "heap, or a multiprocessing shared-memory block that sharded "
+        "worker processes mutate in place (requires --backend words; "
+        "results are identical either way)",
     )
     parser.add_argument(
         "--shards",
@@ -410,8 +474,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-regression",
         type=float,
         default=0.2,
-        help="bench-diff: tolerated relative wall-clock/speedup "
-        "regression before failing (default 0.2 = 20%%)",
+        help="bench-diff/bench-trend: tolerated relative "
+        "wall-clock/speedup regression before failing "
+        "(default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--history-dir",
+        default=".bench-history",
+        help="bench-trend: rolling-history directory for bench "
+        "artifacts (default .bench-history)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=10,
+        help="bench-trend: artifacts kept in the rolling history "
+        "(default 10)",
+    )
+    parser.add_argument(
+        "--min-sustained",
+        type=int,
+        default=3,
+        help="bench-trend: consecutive bad run-to-run steps required "
+        "before drift is flagged (default 3)",
     )
     parser.add_argument(
         "command",
@@ -419,7 +504,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "table1", "figure1", "figure2", "figure3",
             "tokenmodel", "scrip", "bittorrent",
             "sweep-gossip", "sweep-scrip", "sweep-token", "sweep-swarm",
-            "bench", "bench-diff",
+            "bench", "bench-diff", "bench-trend",
         ],
         help="which experiment to regenerate",
     )
@@ -433,7 +518,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "current",
         nargs="?",
         default="BENCH_summary.json",
-        help="bench-diff: the current run's summary JSON",
+        help="bench-diff/bench-trend: the current run's summary JSON",
     )
     return parser
 
@@ -456,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-swarm": _cmd_sweep,
         "bench": _cmd_bench,
         "bench-diff": _cmd_bench_diff,
+        "bench-trend": _cmd_bench_trend,
     }
     try:
         return commands[args.command](args)

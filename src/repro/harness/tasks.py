@@ -226,10 +226,16 @@ class SwarmSweepTask:
 
 
 def _build_gossip_task(
-    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
+    fast: bool,
+    metric: Optional[str],
+    backend: str = "sets",
+    shards: int = 0,
+    memory: str = "heap",
 ) -> Tuple[SweepTask, str]:
     task = GossipSweepTask(
-        config=GossipConfig.paper().replace(backend=backend, shards=shards),
+        config=GossipConfig.paper().replace(
+            backend=backend, shards=shards, memory=memory
+        ),
         kind=AttackKind.TRADE,
         rounds=30 if fast else 50,
         metric=metric or "isolated_fraction",
@@ -238,7 +244,11 @@ def _build_gossip_task(
 
 
 def _build_scrip_task(
-    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
+    fast: bool,
+    metric: Optional[str],
+    backend: str = "sets",
+    shards: int = 0,
+    memory: str = "heap",
 ) -> Tuple[SweepTask, str]:
     task = ScripAltruistTask(
         config=ScripConfig.paper(),
@@ -250,7 +260,11 @@ def _build_scrip_task(
 
 
 def _build_token_task(
-    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
+    fast: bool,
+    metric: Optional[str],
+    backend: str = "sets",
+    shards: int = 0,
+    memory: str = "heap",
 ) -> Tuple[SweepTask, str]:
     task = TokenSweepTask(
         max_rounds=100 if fast else 200,
@@ -260,7 +274,11 @@ def _build_token_task(
 
 
 def _build_swarm_task(
-    fast: bool, metric: Optional[str], backend: str = "sets", shards: int = 0
+    fast: bool,
+    metric: Optional[str],
+    backend: str = "sets",
+    shards: int = 0,
+    memory: str = "heap",
 ) -> Tuple[SweepTask, str]:
     task = SwarmSweepTask(
         config=SwarmConfig.small() if fast else SwarmConfig.paper(),
@@ -270,13 +288,14 @@ def _build_swarm_task(
     return task, "attackers"
 
 
-#: ``lotus-eater sweep-<name>`` builders:
-#: ``name -> (fast, metric, backend, shards) -> (task, x-axis label)``.
-#: ``backend`` selects the gossip update store and ``shards`` its
-#: sharded execution mode; the other models take both for interface
-#: uniformity and ignore them.  Sweep cells already fan out across
-#: executor workers, so gossip shards run in-process within each cell
-#: (sharding changes the schedule, not the cell's results ownership).
+#: ``lotus-eater sweep-<name>`` builders: ``name -> (fast, metric,
+#: backend, shards, memory) -> (task, x-axis label)``.  ``backend``
+#: selects the gossip update store, ``shards`` its sharded execution
+#: mode, and ``memory`` the word backend's row placement; the other
+#: models take all three for interface uniformity and ignore them.
+#: Sweep cells already fan out across executor workers, so gossip
+#: shards run in-process within each cell (sharding changes the
+#: schedule, not the cell's results ownership).
 TASK_BUILDERS = {
     "gossip": _build_gossip_task,
     "scrip": _build_scrip_task,

@@ -1,4 +1,4 @@
-"""Bench trend tracking: diff two ``BENCH_summary.json`` artifacts.
+"""Bench trend tracking: diff and history of ``BENCH_summary.json``.
 
 CI uploads a ``BENCH_summary.json`` per run (see ``lotus-eater
 bench``).  This module compares the current run against the previous
@@ -13,11 +13,23 @@ Timing comparisons between two CI runs are inherently noisy (different
 runner hardware, neighbors, thermal state), which is why the default
 tolerance is a generous 20% and why the CI job is expected to
 *annotate* rather than hard-fail when no baseline exists.
+
+``lotus-eater bench-trend`` extends the pairwise diff with a rolling
+history: :func:`update_bench_history` keeps the last N artifacts in a
+directory, and :func:`compare_bench_history` flags only *sustained*
+drift — a metric that moved in the bad direction across the last
+``min_sustained`` consecutive runs and lost more than the tolerance
+over that stretch.  Single noisy runs, which the pairwise diff can
+misflag, wash out.
 """
 
 from __future__ import annotations
 
+import glob
 import json
+import os
+import re
+import shutil
 from typing import Any, Dict, List, Optional
 
 from ..core.errors import AnalysisError
@@ -26,6 +38,9 @@ __all__ = [
     "load_bench_summary",
     "compare_bench_summaries",
     "render_bench_diff",
+    "update_bench_history",
+    "compare_bench_history",
+    "render_bench_history",
 ]
 
 #: (summary path, human label, direction) of each tracked performance
@@ -45,6 +60,12 @@ _TRACKED: List = [
     (("shard_bench", "serial_seconds"), "sharded serial wall-clock", "lower"),
     (("shard_bench", "parallel_seconds"), "sharded parallel wall-clock", "lower"),
     (("shard_bench", "speedup"), "shard speedup", "higher"),
+    # memory_bench landed after shard_bench; older artifacts diff as
+    # "no baseline, skipped" exactly like the comment above describes.
+    (("memory_bench", "serial_words_seconds"), "word-backend serial wall-clock", "lower"),
+    (("memory_bench", "inprocess_words_seconds"), "word-backend in-process wall-clock", "lower"),
+    (("memory_bench", "pooled_words_shared_seconds"), "shared-memory pooled wall-clock", "lower"),
+    (("memory_bench", "serial_words_vs_bitset_speedup"), "word-backend speedup vs bitset", "higher"),
 ]
 
 
@@ -167,4 +188,144 @@ def render_bench_diff(diff: Dict[str, Any]) -> str:
         )
     if not diff["regressions"]:
         lines.append("  no performance regressions")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Rolling history: sustained drift instead of single-run noise
+# ----------------------------------------------------------------------
+
+_HISTORY_PATTERN = re.compile(r"BENCH_(\d+)\.json$")
+
+
+def _history_paths(history_dir: str) -> List[str]:
+    """The history directory's artifacts, oldest first."""
+    paths = [
+        path
+        for path in glob.glob(os.path.join(history_dir, "BENCH_*.json"))
+        if _HISTORY_PATTERN.search(os.path.basename(path))
+    ]
+    paths.sort(
+        key=lambda path: int(_HISTORY_PATTERN.search(path).group(1))
+    )
+    return paths
+
+
+def update_bench_history(
+    history_dir: str, current_path: str, window: int = 10
+) -> List[str]:
+    """Append the current artifact to a rolling history directory.
+
+    Copies ``current_path`` in as the next ``BENCH_<seq>.json`` and
+    prunes everything but the newest ``window`` artifacts.  Returns
+    the window's paths, oldest first.  The current summary is
+    validated first, so a corrupt artifact never enters the history.
+    """
+    if window < 1:
+        raise AnalysisError(f"window must be >= 1, got {window}")
+    load_bench_summary(current_path)
+    os.makedirs(history_dir, exist_ok=True)
+    existing = _history_paths(history_dir)
+    next_seq = (
+        int(_HISTORY_PATTERN.search(existing[-1]).group(1)) + 1
+        if existing
+        else 1
+    )
+    shutil.copyfile(
+        current_path, os.path.join(history_dir, f"BENCH_{next_seq:06d}.json")
+    )
+    paths = _history_paths(history_dir)
+    for stale in paths[:-window]:
+        os.remove(stale)
+    return paths[-window:]
+
+
+def compare_bench_history(
+    summaries: List[Dict[str, Any]],
+    max_regression: float = 0.2,
+    min_sustained: int = 3,
+) -> Dict[str, Any]:
+    """Scan a chronological window of summaries for sustained drift.
+
+    A tracked metric is flagged only when it moved in the bad
+    direction on each of the last ``min_sustained`` run-to-run steps
+    *and* the cumulative change over that stretch exceeds
+    ``max_regression`` — one noisy run can neither trigger the flag
+    (its neighbour step moves the other way) nor hide a real drift
+    (the cumulative test spans the full stretch).  "Consecutive" means
+    adjacent *summaries*: a metric absent from any of the window's
+    newest ``min_sustained + 1`` artifacts (schema growth, a bench
+    section skipped on that runner) is reported as an informational
+    row, never flagged — gaps must not be stitched into a fake streak.
+    """
+    if not 0.0 <= max_regression:
+        raise AnalysisError(
+            f"max_regression must be >= 0, got {max_regression}"
+        )
+    if min_sustained < 1:
+        raise AnalysisError(
+            f"min_sustained must be >= 1, got {min_sustained}"
+        )
+    rows: List[Dict[str, Any]] = []
+    sustained: List[str] = []
+    for path, label, direction in _TRACKED:
+        aligned = [_lookup(summary, path) for summary in summaries]
+        values = [value for value in aligned if value is not None]
+        row: Dict[str, Any] = {
+            "metric": label,
+            "direction": direction,
+            "values": values,
+            "sustained": False,
+        }
+        stretch = aligned[-(min_sustained + 1) :]
+        if (
+            len(stretch) == min_sustained + 1
+            and all(value is not None for value in stretch)
+        ):
+            steps = [after - before for before, after in zip(stretch, stretch[1:])]
+            monotone_bad = (
+                all(step > 0 for step in steps)
+                if direction == "lower"
+                else all(step < 0 for step in steps)
+            )
+            if monotone_bad and stretch[0] > 0:
+                change = (stretch[-1] - stretch[0]) / stretch[0]
+                row["relative_change"] = change
+                beyond = (
+                    change > max_regression
+                    if direction == "lower"
+                    else change < -max_regression
+                )
+                if beyond:
+                    row["sustained"] = True
+                    sustained.append(label)
+        rows.append(row)
+    return {
+        "window": len(summaries),
+        "min_sustained": min_sustained,
+        "max_regression": max_regression,
+        "rows": rows,
+        "sustained_regressions": sustained,
+    }
+
+
+def render_bench_history(report: Dict[str, Any]) -> str:
+    """Human-readable digest of :func:`compare_bench_history`."""
+    lines = [
+        f"bench history ({report['window']} run(s), sustained = "
+        f"{report['min_sustained']} consecutive bad steps beyond "
+        f"{report['max_regression']:.0%}):"
+    ]
+    for row in report["rows"]:
+        values = row["values"]
+        if not values:
+            lines.append(f"  {row['metric']}: no data in window")
+            continue
+        series = " -> ".join(f"{value:.3f}" for value in values[-5:])
+        flag = ""
+        if row["sustained"]:
+            flag = f"  << SUSTAINED DRIFT ({row['relative_change']:+.1%})"
+        lines.append(f"  {row['metric']}: {series}{flag}")
+    if not report["sustained_regressions"]:
+        lines.append("  no sustained drift")
     return "\n".join(lines)

@@ -7,11 +7,16 @@ unsharded execution of the same schedule (``shards=1``, where the
 full-population engine runs the round loop directly with no slicing).
 This mirrors ``test_bitset_parity.py``: delivery fractions, per-node
 tallies, per-epoch windows, service counters, evictions, and the final
-stores must all be equal — on the figure-1/2/3 configurations, on both
-store backends, and whether shards run in-process or on a worker pool.
+stores must all be equal — on the figure-1/2/3 configurations, on
+every store backend (``sets == bitset == words``, asserted across
+backends too), and whether shards run in-process or on a worker pool.
 
-CI runs this suite per shard count: set ``LOTUS_SHARD_K`` to a comma
-list (e.g. ``LOTUS_SHARD_K=4``) to restrict the compared ``k`` values.
+CI runs this suite per shard count and memory mode: set
+``LOTUS_SHARD_K`` to a comma list (e.g. ``LOTUS_SHARD_K=4``) to
+restrict the compared ``k`` values, and ``LOTUS_MEMORY`` (e.g.
+``LOTUS_MEMORY=shared``) to restrict the word backend's row placement.
+A requested ``shared`` mode degrades gracefully to nothing where the
+host cannot create shared-memory segments.
 """
 
 import os
@@ -27,6 +32,7 @@ from repro.bargossip.defenses import (
 )
 from repro.bargossip.sharding import ShardPool
 from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.bargossip.updates import shared_memory_available
 from repro.core.rng import RngStreams
 
 #: Shard counts compared against the unsharded (shards=1) execution.
@@ -36,7 +42,19 @@ SHARD_KS = tuple(
     if k.strip()
 )
 
-BACKENDS = ("sets", "bitset")
+#: Memory placements exercised for the words backend ("shared" is
+#: dropped, not failed, where no shared-memory block can be created).
+MEMORY_MODES = tuple(
+    memory
+    for memory in os.environ.get("LOTUS_MEMORY", "heap,shared").split(",")
+    if memory.strip() and (memory != "shared" or shared_memory_available())
+)
+
+#: (backend, memory) variants; every one must produce the identical
+#: trace, which _check_config asserts both within and across variants.
+BACKENDS = (("sets", "heap"), ("bitset", "heap")) + tuple(
+    ("words", memory) for memory in MEMORY_MODES
+)
 
 
 def _run_sharded(config, kind, k, seed=7, rounds=15, attacker_fraction=0.2,
@@ -79,9 +97,15 @@ def _assert_full_parity(reference, sharded):
 
 
 def _check_config(config, kind, **sim_kwargs):
-    for backend in BACKENDS:
-        variant = config.replace(backend=backend)
+    baseline = None
+    for backend, memory in BACKENDS:
+        variant = config.replace(backend=backend, memory=memory)
         reference = _run_sharded(variant, kind, 1, **sim_kwargs)
+        if baseline is None:
+            baseline = reference
+        else:
+            # Cross-backend: sets == bitset == words (heap and shared).
+            _assert_full_parity(baseline, reference)
         for k in SHARD_KS:
             _assert_full_parity(
                 reference, _run_sharded(variant, kind, k, **sim_kwargs)
@@ -134,9 +158,9 @@ class TestDefenseAndRotationParity:
 class TestWorkerPoolParity:
     """Processes are an execution detail: pooled == in-process == serial."""
 
-    @pytest.mark.parametrize("backend", BACKENDS)
-    def test_pooled_matches_unsharded(self, backend):
-        config = GossipConfig.small().replace(backend=backend)
+    @pytest.mark.parametrize("backend,memory", BACKENDS)
+    def test_pooled_matches_unsharded(self, backend, memory):
+        config = GossipConfig.small().replace(backend=backend, memory=memory)
         reference = _run_sharded(config, AttackKind.TRADE, 1, rounds=25)
         with ShardPool(2) as pool:
             pooled = _run_sharded(
@@ -144,10 +168,17 @@ class TestWorkerPoolParity:
             )
         _assert_full_parity(reference, pooled)
 
-    def test_pooled_with_reporting_defense(self):
+    @pytest.mark.parametrize(
+        "backend,memory",
+        [
+            ("bitset", "heap"),
+            *(("words", memory) for memory in MEMORY_MODES),
+        ],
+    )
+    def test_pooled_with_reporting_defense(self, backend, memory):
         policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
         config = GossipConfig.small().replace(
-            backend="bitset", obedient_fraction=0.5
+            backend=backend, memory=memory, obedient_fraction=0.5
         )
         reference = _run_sharded(
             config, AttackKind.TRADE, 1, rounds=30,

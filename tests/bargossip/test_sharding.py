@@ -5,6 +5,8 @@ this module pins the pieces: the permutation-pairing schedule's
 structure and window contract, shard grouping, and the worker pool.
 """
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
@@ -18,6 +20,7 @@ from repro.bargossip.sharding import (
     cell_push_pairs,
 )
 from repro.bargossip.simulator import GossipSimulator
+from repro.bargossip.updates import shared_memory_available
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RngStreams
 
@@ -174,6 +177,76 @@ class TestShardPool:
             simulator.step()
             assert pool._pool is live  # same workers, not respawned
         assert pool._pool is None
+
+
+class TestFailureRelease:
+    """A failing round must leak neither workers nor shared memory."""
+
+    def _fail_mid_round(self, config, monkeypatch):
+        import repro.bargossip.simulator as simulator_module
+
+        pool = ShardPool(2)
+        simulator = GossipSimulator(config, seed=3, shard_pool=pool)
+        simulator.step()  # pool spins up, a full round completes
+        assert pool._pool is not None
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("mid-round failure")
+
+        monkeypatch.setattr(simulator_module, "merge_shard", explode)
+        monkeypatch.setattr(simulator_module, "merge_shard_shared", explode)
+        with pytest.raises(RuntimeError, match="mid-round failure"):
+            simulator.step()
+        return pool, simulator
+
+    def test_failing_round_terminates_workers(self, monkeypatch):
+        config = GossipConfig.small().replace(backend="bitset", shards=4)
+        pool, _ = self._fail_mid_round(config, monkeypatch)
+        assert pool._pool is None
+        assert not multiprocessing.active_children()
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory on this host"
+    )
+    def test_failing_round_unlinks_shared_segment(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        config = GossipConfig.small().replace(
+            backend="words", memory="shared", shards=4
+        )
+        pool, simulator = self._fail_mid_round(config, monkeypatch)
+        assert pool._pool is None
+        assert not multiprocessing.active_children()
+        name = simulator._shard_static.shm_name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory on this host"
+    )
+    def test_normal_exit_releases_shared_segment(self):
+        from multiprocessing import shared_memory
+
+        config = GossipConfig.small().replace(
+            backend="words", memory="shared", shards=2
+        )
+        with GossipSimulator(config, seed=0) as simulator:
+            simulator.step()
+            name = simulator._pool.shm_name
+            shared_memory.SharedMemory(name=name).close()  # alive mid-run
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_terminate_is_idempotent(self):
+        pool = ShardPool(2)
+        config = GossipConfig.small().replace(shards=3, backend="bitset")
+        simulator = GossipSimulator(config, seed=1, shard_pool=pool)
+        simulator.step()
+        assert pool._pool is not None
+        pool.terminate()
+        assert pool._pool is None
+        pool.terminate()
+        assert not multiprocessing.active_children()
 
 
 class TestShardedSimulatorBasics:

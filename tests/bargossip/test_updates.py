@@ -1,10 +1,27 @@
-"""Tests for update stores and the global ledger."""
+"""Tests for update stores, bit helpers, and the global ledger."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.bargossip.updates import UpdateLedger, UpdateStore, creation_round, update_id
-from repro.core.errors import SimulationError
+from repro.bargossip.updates import (
+    BitsetPopulationStore,
+    UpdateLedger,
+    UpdateStore,
+    WordPopulationStore,
+    _python_popcount,
+    bottom_bits,
+    creation_round,
+    int_to_words,
+    iter_bits,
+    popcount,
+    shared_memory_available,
+    top_bits,
+    update_id,
+    word_popcounts,
+    words_to_int,
+)
+from repro.core.errors import ConfigurationError, SimulationError
 
 
 class TestIdArithmetic:
@@ -98,6 +115,162 @@ class TestUpdateStore:
             store.receive(update)
         assert store.have.isdisjoint(store.missing)
         assert store.have | store.missing == universe
+
+
+class TestBitHelpers:
+    """Edge cases of the packed-row selection helpers."""
+
+    SAMPLES = (0, 1, 0b1010110, (1 << 70) | 0b11, (1 << 200) - 1)
+
+    def test_count_zero_selects_nothing(self):
+        for bits in self.SAMPLES:
+            assert top_bits(bits, 0) == 0
+            assert bottom_bits(bits, 0) == 0
+
+    def test_count_beyond_popcount_selects_everything(self):
+        for bits in self.SAMPLES:
+            assert top_bits(bits, popcount(bits) + 1) == bits
+            assert bottom_bits(bits, popcount(bits) + 5) == bits
+
+    def test_empty_mask_is_a_fixed_point(self):
+        assert top_bits(0, 3) == 0
+        assert bottom_bits(0, 3) == 0
+
+    def test_top_and_bottom_partition_priority(self):
+        bits = 0b1011010001
+        assert top_bits(bits, 2) == 0b1010000000
+        assert bottom_bits(bits, 2) == 0b0000010001
+        # Complementary picks partition the mask.
+        assert top_bits(bits, 3) | bottom_bits(bits, popcount(bits) - 3) == bits
+
+    @given(bits=st.integers(0, (1 << 130) - 1), count=st.integers(0, 140))
+    def test_selection_invariants(self, bits, count):
+        for take in (top_bits, bottom_bits):
+            picked = take(bits, count)
+            assert picked & ~bits == 0  # subset
+            assert popcount(picked) == min(count, popcount(bits))
+
+    def test_python_popcount_fallback_matches_fast_path(self):
+        """The pre-3.10 ``bin().count`` fallback and ``int.bit_count``
+        agree on every sample (the module picks one at import)."""
+        for bits in self.SAMPLES + ((1 << 1000) | 12345,):
+            assert _python_popcount(bits) == bin(bits).count("1")
+            if hasattr(int, "bit_count"):
+                assert _python_popcount(bits) == bits.bit_count()
+            assert popcount(bits) == _python_popcount(bits)
+
+    def test_iter_bits_round_trip(self):
+        bits = (1 << 90) | 0b1001
+        assert sum(1 << position for position in iter_bits(bits)) == bits
+        assert list(iter_bits(0)) == []
+
+
+class TestWordHelpers:
+    def test_int_word_round_trip(self):
+        for bits in (0, 5, (1 << 127) - 1, 1 << 64):
+            assert words_to_int(int_to_words(bits, 2)) == bits
+
+    def test_word_popcounts_matches_scalar(self):
+        rows = np.array(
+            [int_to_words((1 << 70) | 0b111, 2), int_to_words(0, 2)]
+        )
+        assert list(word_popcounts(rows)) == [4, 0]
+
+
+class TestWordPopulationStore:
+    """The word-array store mirrors the bitset store bit for bit."""
+
+    def _mirror(self, n=5, updates_per_round=10, lifetime=10, seed=3):
+        rng = np.random.default_rng(seed)
+        bitset = BitsetPopulationStore(n, updates_per_round, lifetime)
+        words = WordPopulationStore(n, updates_per_round, lifetime)
+        for node in range(n):
+            have = int(rng.integers(0, 1 << 63)) | (
+                int(rng.integers(0, 1 << 37)) << 63
+            )
+            missing = (
+                int(rng.integers(0, 1 << 63))
+                | (int(rng.integers(0, 1 << 37)) << 63)
+            ) & ~have
+            bitset.have_bits[node] = have
+            words.have_bits[node] = have
+            bitset.missing_bits[node] = missing
+            words.missing_bits[node] = missing
+        return bitset, words
+
+    def _assert_rows_equal(self, bitset, words):
+        assert bitset.base == words.base
+        for node in range(bitset.n_nodes):
+            assert bitset.have_bits[node] == words.have_bits[node]
+            assert bitset.missing_bits[node] == words.missing_bits[node]
+
+    def test_row_views_round_trip(self):
+        store = WordPopulationStore(3, 10, 10)
+        store.have_bits[1] = (1 << 70) | 5
+        assert store.have_bits[1] == (1 << 70) | 5
+        assert list(store.have_bits)[1] == (1 << 70) | 5
+        assert len(store.have_bits) == 3
+
+    def test_window_slide_matches_bitset(self):
+        bitset, words = self._mirror()
+        for round_now in (3, 11, 17, 40):
+            bitset.advance_to(round_now)
+            words.advance_to(round_now)
+            self._assert_rows_equal(bitset, words)
+
+    def test_broadcast_and_expiry_ops_match_bitset(self):
+        bitset, words = self._mirror()
+        for store in (bitset, words):
+            store.announce_fresh(4, 6)
+            store.seed([0, 3], 5)
+        self._assert_rows_equal(bitset, words)
+        mask = (1 << 30) - 1
+        assert list(bitset.masked_have_popcounts(mask)) == list(
+            words.masked_have_popcounts(mask)
+        )
+        bitset.clear_mask(mask)
+        words.clear_mask(mask)
+        self._assert_rows_equal(bitset, words)
+
+    def test_view_is_updatestore_compatible(self):
+        store = WordPopulationStore(2, 4, 3)
+        store.announce_fresh(0, 4)
+        view = store.view(0)
+        assert view.receive(2) is True
+        assert view.receive(2) is False
+        assert 2 in view.have and 2 not in view.missing
+        assert not view.is_satiated
+
+    def test_bad_memory_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WordPopulationStore(2, 4, 3, memory="flash")
+        with pytest.raises(ConfigurationError):
+            WordPopulationStore(2, 4, 3, memory="heap", shm_name="x")
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory on this host"
+    )
+    def test_shared_lifecycle(self):
+        creator = WordPopulationStore(4, 10, 10, memory="shared")
+        name = creator.shm_name
+        assert name is not None and creator.owns_shm
+        creator.have_bits[2] = 0b1011
+        attached = WordPopulationStore(
+            4, 10, 10, memory="shared", shm_name=name
+        )
+        assert not attached.owns_shm
+        assert attached.have_bits[2] == 0b1011
+        attached.have_words[2, 0] |= np.uint64(1 << 5)
+        assert creator.have_bits[2] == 0b101011
+        attached.close()
+        attached.unlink()  # non-owner unlink: no-op
+        from multiprocessing import shared_memory
+
+        shared_memory.SharedMemory(name=name).close()  # still alive
+        creator.release()
+        creator.release()  # idempotent
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
 
 
 class TestUpdateLedger:

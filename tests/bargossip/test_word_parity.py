@@ -1,0 +1,141 @@
+"""Exact-equality parity suite: word-array backend vs the reference.
+
+Mirrors ``test_bitset_parity.py`` for ``backend="words"``: the
+fixed-width word rows consume exactly the same RNG draws as the other
+backends, so delivery fractions, per-node tallies, per-epoch windows,
+service counters, evictions, and the final stores must all be *equal*
+for the same seed — on the classic (unsharded) schedule here; the
+sharded and shared-memory paths are pinned by ``test_shard_parity.py``.
+
+Both memory placements are covered: ``heap`` always, ``shared`` when
+the host can create a ``multiprocessing.shared_memory`` block.
+"""
+
+import pytest
+
+from repro.bargossip.attacker import AttackKind, AttackerCoalition
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.defenses import ReportingPolicy, with_larger_pushes
+from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.bargossip.updates import shared_memory_available
+from repro.core.errors import ConfigurationError
+from repro.core.rng import RngStreams
+
+MEMORY_MODES = ("heap",) + (
+    ("shared",) if shared_memory_available() else ()
+)
+
+
+def _run(config, kind, seed=7, rounds=20, attacker_fraction=0.2, **sim_kwargs):
+    streams = RngStreams(seed)
+    coalition = AttackerCoalition.build(
+        kind,
+        n_nodes=config.n_nodes,
+        attacker_fraction=attacker_fraction,
+        rng=streams.get("coalition"),
+    )
+    simulator = GossipSimulator(
+        config, attack=coalition, seed=seed, **sim_kwargs
+    )
+    for _ in range(rounds):
+        simulator.step()
+    return simulator
+
+
+def _snapshot(simulator):
+    """Everything parity pins, materialized before the store may close."""
+    snapshot = (
+        simulator.stats.delivered,
+        simulator.stats.missed,
+        simulator.per_node_delivered,
+        simulator.per_node_missed,
+        simulator.per_node_windows,
+        [
+            (node.counters, node.evicted, node.group,
+             frozenset(node.store.have), frozenset(node.store.missing))
+            for node in simulator.nodes
+        ],
+        simulator.attack.updates_served,
+    )
+    simulator.close()
+    return snapshot
+
+
+def _assert_parity(config, kind, **kwargs):
+    reference = _snapshot(_run(config.replace(backend="sets"), kind, **kwargs))
+    for memory in MEMORY_MODES:
+        vectorized = _snapshot(
+            _run(config.replace(backend="words", memory=memory), kind, **kwargs)
+        )
+        assert vectorized == reference, f"memory={memory}"
+
+
+class TestExperimentParity:
+    @pytest.mark.parametrize(
+        "kind", [AttackKind.CRASH, AttackKind.IDEAL, AttackKind.TRADE]
+    )
+    @pytest.mark.parametrize("fraction", [0.0, 0.3])
+    def test_small_config_all_attacks(self, kind, fraction):
+        config = GossipConfig.small()
+        reference = run_gossip_experiment(
+            config, kind, fraction, seed=5, rounds=25
+        )
+        for memory in MEMORY_MODES:
+            vectorized = run_gossip_experiment(
+                config.replace(backend="words", memory=memory),
+                kind, fraction, seed=5, rounds=25,
+            )
+            assert reference == vectorized
+
+
+class TestFigureConfigParity:
+    @pytest.mark.parametrize("kind", [AttackKind.CRASH, AttackKind.TRADE])
+    def test_figure1_config(self, kind):
+        _assert_parity(GossipConfig.paper(), kind, rounds=15)
+
+    def test_figure2_config(self):
+        _assert_parity(
+            with_larger_pushes(GossipConfig.paper(), 10),
+            AttackKind.TRADE,
+            rounds=15,
+        )
+
+
+class TestDefenseAndRotationParity:
+    def test_reporting_defense(self):
+        policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
+        _assert_parity(
+            GossipConfig.small().replace(obedient_fraction=0.5),
+            AttackKind.TRADE,
+            rounds=30,
+            attacker_fraction=0.25,
+            reporting=policy,
+        )
+
+    def test_rotating_targets(self):
+        _assert_parity(
+            GossipConfig.small(),
+            AttackKind.IDEAL,
+            rounds=30,
+            rotate_targets_every=5,
+        )
+
+    def test_behavior_mix_accept_cap_unbalanced_oldest_first(self):
+        config = GossipConfig.small().replace(
+            obedient_fraction=0.5,
+            accept_cap=3,
+            unbalanced_exchange=True,
+            exchange_prefer_newest=False,
+        )
+        _assert_parity(config, AttackKind.TRADE, rounds=30)
+
+
+class TestMemoryConfigValidation:
+    def test_shared_requires_words_backend(self):
+        for backend in ("sets", "bitset"):
+            with pytest.raises(ConfigurationError):
+                GossipConfig.small().replace(backend=backend, memory="shared")
+
+    def test_unknown_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GossipConfig.small().replace(backend="words", memory="flash")

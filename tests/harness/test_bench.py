@@ -8,22 +8,44 @@ from repro.harness.bench import (
     BENCH_FIGURES,
     render_bench_summary,
     run_bench,
+    run_memory_bench,
     run_shard_bench,
     write_bench_summary,
 )
 from repro.harness.cli import main
 from repro.harness.parallel import SweepExecutor
 
-#: Shrunk shard-bench profile for tests: the real section runs 50,000
-#: nodes for 50 rounds three times, which belongs in ``lotus-eater
-#: bench``, not the unit suite.
-SMALL_SHARD_BENCH = dict(shard_nodes=400, shard_rounds=25, shard_workers=2)
+#: Shrunk shard/memory-bench profile for tests: the real sections run
+#: tens of thousands of nodes for dozens of rounds, which belongs in
+#: ``lotus-eater bench``, not the unit suite.
+SMALL_SHARD_BENCH = dict(
+    shard_nodes=400, shard_rounds=25, shard_workers=2,
+    memory_nodes=400, memory_rounds=10,
+)
 
 
 @pytest.fixture(scope="module")
 def summary():
     """One fast bench run shared by the assertions below."""
     return run_bench(fast=True, executor=SweepExecutor(jobs=1), **SMALL_SHARD_BENCH)
+
+
+def _minimal_summary():
+    """The smallest dict ``render_bench_summary`` accepts."""
+    return {
+        "profile": "fast",
+        "rounds": 5,
+        "repetitions": 1,
+        "executor": {"jobs": 1, "cells_executed": 0, "cells_cached": 0},
+        "figures": {},
+        "totals": {
+            "wall_clock_serial_s": 1.0,
+            "wall_clock_parallel_s": 1.0,
+            "speedup_vs_serial": 1.0,
+        },
+        "baseline_delivery_fraction": 0.99,
+        "usability_threshold": 0.93,
+    }
 
 
 class TestRunBench:
@@ -98,6 +120,55 @@ class TestRunBench:
         assert report["workers"] == 1
         assert report["parallel_seconds"] > 0
 
+    def test_memory_bench_section(self, summary):
+        memory = summary["memory_bench"]
+        assert memory["n_nodes"] == 400
+        assert memory["rounds"] == 10
+        # Every layout computes the bit-identical trace.
+        assert memory["parity_ok"] is True
+        for name in (
+            "serial_bitset_seconds", "serial_words_seconds",
+            "inprocess_bitset_seconds", "inprocess_words_seconds",
+            "pooled_bitset_seconds", "pooled_words_heap_seconds",
+        ):
+            assert memory[name] > 0
+        assert isinstance(memory["pool_undersubscribed"], bool)
+        traffic = memory["round_traffic"]
+        assert traffic["words_heap"]["state_bytes"] > 0
+        assert traffic["words_heap"]["outcome_bytes"] > 0
+        if memory["shared_available"]:
+            assert memory["pooled_words_shared_seconds"] > 0
+            # The shared layout's raison d'etre: rows stay in place, so
+            # the per-round dispatch ships measurably fewer bytes.
+            heap_bytes = sum(traffic["words_heap"].values())
+            shared_bytes = sum(traffic["words_shared"].values())
+            assert shared_bytes < heap_bytes
+            assert traffic["heap_over_shared"] > 1.0
+
+    def test_undersubscription_flag(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.bench.os.cpu_count", lambda: 1)
+        report = run_shard_bench(n_nodes=120, rounds=4, workers=2)
+        assert report["pool_undersubscribed"] is True
+        monkeypatch.setattr("repro.harness.bench.os.cpu_count", lambda: 64)
+        report = run_shard_bench(n_nodes=120, rounds=4, workers=2)
+        assert report["pool_undersubscribed"] is False
+
+    def test_memory_bench_without_shared_memory(self, monkeypatch):
+        """Hosts without /dev/shm skip the shared passes gracefully."""
+        monkeypatch.setattr(
+            "repro.harness.bench.shared_memory_available", lambda: False
+        )
+        report = run_memory_bench(n_nodes=120, rounds=4, workers=2)
+        assert report["shared_available"] is False
+        assert report["pooled_words_shared_seconds"] is None
+        assert report["pooled_shared_speedup_vs_serial"] is None
+        assert "words_shared" not in report["round_traffic"]
+        assert report["parity_ok"] is True
+        rendered = render_bench_summary(
+            {**_minimal_summary(), "memory_bench": report}
+        )
+        assert "skipped (no shared memory available)" in rendered
+
 
 class TestBenchCli:
     def test_bench_writes_artifact(self, tmp_path, capsys, monkeypatch):
@@ -114,10 +185,19 @@ class TestBenchCli:
                 n_nodes=300, rounds=6, workers=kwargs.get("workers", 2)
             ),
         )
+        monkeypatch.setattr(
+            "repro.harness.bench.run_memory_bench",
+            lambda **kwargs: run_memory_bench(
+                n_nodes=200, rounds=4, workers=kwargs.get("workers", 2)
+            ),
+        )
         monkeypatch.chdir(tmp_path)
         out = tmp_path / "BENCH_summary.json"
         assert main(["--fast", "--no-cache", "--output", str(out), "bench"]) == 0
         assert out.exists()
         loaded = json.loads(out.read_text())
         assert set(loaded["figures"]) == {"figure1"}
-        assert "total" in capsys.readouterr().out
+        assert "memory_bench" in loaded
+        captured = capsys.readouterr()
+        assert "total" in captured.out
+        assert "memory (" in captured.out

@@ -96,6 +96,95 @@ class TestBackendFlag:
         bitset_out = capsys.readouterr().out
         assert sets_out == bitset_out
 
+    def test_sweep_words_backend_matches_sets(self, capsys):
+        args = [
+            "--fast", "--no-cache", "--grid", "0.1,0.3",
+            "--shards", "2", "sweep-gossip",
+        ]
+        assert main(args) == 0
+        sets_out = capsys.readouterr().out
+        assert main(args + ["--backend", "words"]) == 0
+        words_out = capsys.readouterr().out
+        assert sets_out == words_out
+
+    def test_memory_flag_requires_words_backend(self, capsys):
+        code = main([
+            "--fast", "--no-cache", "--grid", "0.1",
+            "--memory", "shared", "sweep-gossip",
+        ])
+        assert code == 2
+        assert "backend='words'" in capsys.readouterr().err
+
+    def test_unknown_memory_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--memory", "flash", "figure1"])
+
+
+class TestBenchTrendCommand:
+    def _write_summary(self, path, serial):
+        import json
+
+        path.write_text(json.dumps({
+            "totals": {
+                "wall_clock_serial_s": serial,
+                "wall_clock_parallel_s": serial / 2,
+                "speedup_vs_serial": 2.0,
+            },
+            "figures": {},
+        }))
+
+    def test_rolling_history_flags_only_sustained_drift(self, capsys, tmp_path):
+        current = tmp_path / "BENCH_summary.json"
+        history = str(tmp_path / "hist")
+        codes = []
+        for serial in (10.0, 11.0, 12.5, 14.5):
+            self._write_summary(current, serial)
+            codes.append(main([
+                "--history-dir", history, "--window", "10",
+                "bench-trend", "unused-previous", str(current),
+            ]))
+        # Drift only counts once three consecutive bad steps accumulate.
+        assert codes == [0, 0, 0, 1]
+        out = capsys.readouterr()
+        assert "SUSTAINED DRIFT" in out.out
+        assert "drifted for >= 3 consecutive runs" in out.err
+
+    def test_window_is_pruned(self, tmp_path, capsys):
+        import os
+
+        current = tmp_path / "BENCH_summary.json"
+        history = tmp_path / "hist"
+        self._write_summary(current, 10.0)
+        for _ in range(4):
+            assert main([
+                "--history-dir", str(history), "--window", "2",
+                "bench-trend", "unused-previous", str(current),
+            ]) == 0
+        assert len(os.listdir(history)) == 2
+
+    def test_missing_current_errors_cleanly(self, capsys, tmp_path):
+        code = main([
+            "--history-dir", str(tmp_path / "hist"),
+            "bench-trend", "unused", str(tmp_path / "absent.json"),
+        ])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_single_positional_is_the_current_summary(self, tmp_path, capsys):
+        """`bench-trend MY_run.json` binds to the shared 'previous'
+        slot; the command must still record MY_run.json, not a stale
+        default BENCH_summary.json from the cwd."""
+        import os
+
+        current = tmp_path / "MY_run.json"
+        history = tmp_path / "hist"
+        self._write_summary(current, 12.0)
+        assert main([
+            "--history-dir", str(history), "bench-trend", str(current),
+        ]) == 0
+        recorded = history / os.listdir(history)[0]
+        assert "12.0" in recorded.read_text()
+
 
 class TestBenchDiffCommand:
     def _write(self, path, serial):
