@@ -6,12 +6,28 @@ first pass fans every (fraction, seed) cell across worker processes,
 the second is served entirely from the on-disk result cache — zero
 simulator runs — while producing identical curves.
 
-Run:  python examples/parallel_sweep.py
+All current simulator knobs are exposed, so the same script doubles as
+a quick tour of the execution matrix::
+
+    python examples/parallel_sweep.py                       # reference sets backend
+    python examples/parallel_sweep.py --backend words       # batched word sweeps
+    python examples/parallel_sweep.py --backend words --shards 4
+    python examples/parallel_sweep.py --backend words --memory shared --shards 4
+
+``--jobs`` defaults to one worker per CPU and is clamped to the CPU
+count: requesting more workers than cores would only measure
+oversubscription noise (on a 1-CPU container the sweep simply runs
+serially, which is the honest configuration there).
 """
 
+import argparse
+import os
+import sys
 import tempfile
 import time
 
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.updates import shared_memory_available
 from repro.harness import (
     FAST_FRACTIONS,
     ResultCache,
@@ -20,23 +36,104 @@ from repro.harness import (
     figure1,
 )
 
-cache_dir = tempfile.mkdtemp(prefix="lotus-cache-")
-executor = SweepExecutor(jobs=0, cache=ResultCache(cache_dir))  # 0 = all CPUs
-print(f"executor: {executor!r}\ncache: {cache_dir}\n")
 
-start = time.perf_counter()
-first = figure1(fractions=FAST_FRACTIONS, rounds=30, repetitions=3, executor=executor)
-cold = time.perf_counter() - start
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--backend",
+        choices=["sets", "bitset", "words"],
+        default="sets",
+        help="gossip update-store backend (default: sets, the reference)",
+    )
+    parser.add_argument(
+        "--memory",
+        choices=["heap", "shared"],
+        default="heap",
+        help="word-row placement (shared requires --backend words)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="sharded round execution inside each simulation "
+        "(0 = classic schedule; results identical for any k >= 1)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="sweep worker processes (0 = one per CPU; clamped to the "
+        "CPU count to avoid undersubscription noise)",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, help="seeds per grid point"
+    )
+    return parser.parse_args()
 
-start = time.perf_counter()
-second = figure1(fractions=FAST_FRACTIONS, rounds=30, repetitions=3, executor=executor)
-warm = time.perf_counter() - start
 
-assert all(first[k].ys == second[k].ys for k in first), "cache changed results?!"
-stats = executor.stats()
-print(f"cold run {cold:.2f}s ({stats['cells_executed']} cells executed)")
-print(f"warm run {warm:.2f}s ({stats['cells_cached']} cells from cache)")
+def main() -> int:
+    args = parse_args()
+    cpus = os.cpu_count() or 1
+    jobs = cpus if args.jobs == 0 else min(args.jobs, cpus)
+    if args.jobs > cpus:
+        print(
+            f"note: clamping --jobs {args.jobs} to {cpus} CPU(s) — more "
+            "workers than cores measures oversubscription, not speedup"
+        )
+    if args.memory == "shared" and args.backend != "words":
+        print(
+            "error: --memory shared requires --backend words "
+            "(the fixed-width word store is the only shared-memory layout)"
+        )
+        return 2
+    if args.memory == "shared" and not shared_memory_available():
+        print("note: no usable shared memory here; falling back to --memory heap")
+        args.memory = "heap"
+    config = GossipConfig.paper().replace(
+        backend=args.backend, shards=args.shards, memory=args.memory
+    )
 
-print("\nusability crossovers (attacker fraction pushing delivery below 93%):")
-for label, value in crossovers(first).items():
-    print(f"  {label:<28} {'never' if value is None else f'{value:.3f}'}")
+    cache_dir = tempfile.mkdtemp(prefix="lotus-cache-")
+    with SweepExecutor(jobs=jobs, cache=ResultCache(cache_dir)) as executor:
+        print(
+            f"executor: {executor!r}\ncache: {cache_dir}\n"
+            f"config: backend={config.backend} memory={config.memory} "
+            f"shards={config.shards}\n"
+        )
+
+        start = time.perf_counter()
+        first = figure1(
+            config=config,
+            fractions=FAST_FRACTIONS,
+            rounds=30,
+            repetitions=args.repetitions,
+            executor=executor,
+        )
+        cold = time.perf_counter() - start
+
+        start = time.perf_counter()
+        second = figure1(
+            config=config,
+            fractions=FAST_FRACTIONS,
+            rounds=30,
+            repetitions=args.repetitions,
+            executor=executor,
+        )
+        warm = time.perf_counter() - start
+
+        assert all(
+            first[k].ys == second[k].ys for k in first
+        ), "cache changed results?!"
+        stats = executor.stats()
+
+    print(f"cold run {cold:.2f}s ({stats['cells_executed']} cells executed)")
+    print(f"warm run {warm:.2f}s ({stats['cells_cached']} cells from cache)")
+
+    print("\nusability crossovers (attacker fraction pushing delivery below 93%):")
+    for label, value in crossovers(first).items():
+        print(f"  {label:<28} {'never' if value is None else f'{value:.3f}'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,9 @@ from .defenses import (
 )
 from .exchange import ExchangePlan, apply_exchange, plan_balanced_exchange
 from .messages import InteractionReceipt, sign_receipt, verify_receipt
-from .node import GossipNode, ServiceCounters, TargetGroup
+from .node import COUNTER_FIELDS, CounterColumnView, GossipNode, ServiceCounters, TargetGroup
 from .partner import PartnerSchedule, Purpose
+from .population import Population
 from .push import PushPlan, apply_push, plan_optimistic_push
 from .sharding import ShardedPartnerSchedule, ShardPool
 from .simulator import (
@@ -62,6 +63,9 @@ __all__ = [
     "GossipNode",
     "TargetGroup",
     "ServiceCounters",
+    "CounterColumnView",
+    "COUNTER_FIELDS",
+    "Population",
     "PartnerSchedule",
     "ShardedPartnerSchedule",
     "ShardPool",

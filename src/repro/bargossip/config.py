@@ -103,11 +103,13 @@ class GossipConfig:
     backend: str = "sets"
     #: Where the ``words`` backend places its row buffer.  ``"heap"``
     #: (default) allocates process-private memory; ``"shared"`` puts
-    #: the rows in a ``multiprocessing.shared_memory`` block so
+    #: the rows *and the columnar service-counter matrix* in one
+    #: ``multiprocessing.shared_memory`` block so
     #: :class:`~repro.bargossip.sharding.ShardPool` workers mutate
-    #: their shard's rows in place — only counters, evictions, and
-    #: reports cross the process boundary each round.  Requires
-    #: ``backend == "words"``; results are identical either way.
+    #: their shard's rows and bump the live counter columns in place —
+    #: only evictions and reports cross the process boundary each
+    #: round.  Requires ``backend == "words"``; results are identical
+    #: either way.
     memory: str = "heap"
     #: Sharded round execution.  0 (default) keeps the classic schedule
     #: and round loop.  ``k >= 1`` switches to the permutation-pairing

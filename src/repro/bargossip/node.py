@@ -10,18 +10,43 @@ counters, and the two behaviour decisions the protocol leaves open:
 * *whether to respond to a push* — any correct node responds when it
   gains at least one update, declines otherwise (so a fully satiated
   node declines: it cannot gain).
+
+Since the columnar :class:`~repro.bargossip.population.Population`
+refactor, the per-node objects the simulator hands out are lightweight
+*views*: ``counters``, ``group`` and ``evicted`` read and write columns
+of the simulation-owned arrays (mirroring how the packed stores already
+materialize ``have``/``missing`` on access), while a standalone
+``GossipNode(...)`` — as unit tests construct — keeps plain per-object
+state.  Either way, all counter mutation flows through the single
+:meth:`ServiceCounters.add` API so the columnar view intercepts every
+write.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
 
 from ..core.behaviors import Behavior
+from ..core.errors import SimulationError
+from ..core.metrics import GROUP_CODE_ORDER
 from .config import GossipConfig
 from .updates import UpdateStore
 
-__all__ = ["TargetGroup", "ServiceCounters", "GossipNode"]
+__all__ = [
+    "TargetGroup",
+    "COUNTER_FIELDS",
+    "COUNTER_INDEX",
+    "COUNTER_MAX",
+    "ServiceCounters",
+    "CounterColumnView",
+    "GossipNode",
+    "GROUP_CODES",
+    "GROUPS_BY_CODE",
+    "BEHAVIOR_CODES",
+    "BEHAVIORS_BY_CODE",
+]
 
 
 class TargetGroup(enum.Enum):
@@ -41,9 +66,111 @@ class TargetGroup(enum.Enum):
         return self.value
 
 
-@dataclass
-class ServiceCounters:
-    """Per-node tallies used by reports and the reporting defense."""
+#: The service-counter columns, in storage order.  This tuple *is* the
+#: schema of the columnar counters matrix: column ``i`` of a
+#: ``Population``'s ``(n_nodes, 8)`` buffer holds field
+#: ``COUNTER_FIELDS[i]``, and the shard protocol's counter deltas use
+#: the same order.
+COUNTER_FIELDS: Tuple[str, ...] = (
+    "updates_sent",
+    "updates_received",
+    "junk_sent",
+    "junk_received",
+    "exchanges_initiated",
+    "exchanges_nonempty",
+    "pushes_initiated",
+    "pushes_nonempty",
+)
+
+#: Field name -> column index of the counters matrix.
+COUNTER_INDEX: Dict[str, int] = {
+    name: index for index, name in enumerate(COUNTER_FIELDS)
+}
+
+#: Largest value a counter column may hold.  The columns are int64; the
+#: guard keeps silent two's-complement wraparound (numpy's overflow
+#: behaviour) from ever corrupting a tally — any write beyond this
+#: raises instead.
+COUNTER_MAX = 2**63 - 1
+
+#: Small integer codes for the columnar ``group`` / ``behavior``
+#: arrays.  Derived from :data:`~repro.core.metrics.GROUP_CODE_ORDER`
+#: (the enum values are exactly its names), so the expiry-scoring
+#: reduction in ``core.metrics`` and the population columns can never
+#: disagree on the encoding.
+GROUPS_BY_CODE: Tuple[TargetGroup, ...] = tuple(
+    TargetGroup(name) for name in GROUP_CODE_ORDER
+)
+GROUP_CODES: Dict[TargetGroup, int] = {
+    group: code for code, group in enumerate(GROUPS_BY_CODE)
+}
+BEHAVIOR_CODES: Dict[Behavior, int] = {
+    behavior: code for code, behavior in enumerate(Behavior)
+}
+BEHAVIORS_BY_CODE: Tuple[Behavior, ...] = tuple(Behavior)
+
+
+def _check_counter_value(name: str, value: int) -> None:
+    """The overflow/underflow guard shared by both counter backends."""
+    if value < 0:
+        raise SimulationError(
+            f"counter {name} would go negative ({value}); deltas must be "
+            "non-negative"
+        )
+    if value > COUNTER_MAX:
+        raise SimulationError(
+            f"counter {name} overflows the int64 column ({value} > "
+            f"{COUNTER_MAX})"
+        )
+
+
+class _CounterProtocol:
+    """The behaviour both counter implementations share.
+
+    Subclasses provide per-field attributes and :meth:`add`; the
+    ``record_*`` helpers and the value-equality contract (compare the
+    eight tallies, accept any object exposing the same fields — a
+    plain dataclass and a column view with equal tallies are equal)
+    live here once, so the two implementations cannot drift.
+    """
+
+    __slots__ = ()
+
+    def record_exchange(self, sent: int, received: int) -> None:
+        """Book one interaction's useful-update transfer, both ways."""
+        self.add(updates_sent=sent, updates_received=received)
+
+    def record_nonempty_exchange(self, sent: int, received: int) -> None:
+        """Book one balanced exchange that actually moved updates."""
+        self.add(
+            updates_sent=sent, updates_received=received, exchanges_nonempty=1
+        )
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The eight tallies in :data:`COUNTER_FIELDS` order."""
+        return tuple(getattr(self, name) for name in COUNTER_FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        try:
+            other_values = tuple(
+                getattr(other, name) for name in COUNTER_FIELDS
+            )
+        except AttributeError:
+            return NotImplemented
+        return self.as_tuple() == other_values
+
+    __hash__ = None  # mutable tallies; never used as dict keys
+
+
+@dataclass(eq=False)
+class ServiceCounters(_CounterProtocol):
+    """Per-node tallies used by reports and the reporting defense.
+
+    All mutation goes through :meth:`add` (and the ``record_*``
+    helpers built on it) so the columnar
+    :class:`CounterColumnView` can substitute array writes for
+    attribute writes without any caller noticing.
+    """
 
     updates_sent: int = 0
     updates_received: int = 0
@@ -54,36 +181,191 @@ class ServiceCounters:
     pushes_initiated: int = 0
     pushes_nonempty: int = 0
 
-    def record_exchange(self, sent: int, received: int) -> None:
-        self.updates_sent += sent
-        self.updates_received += received
+    def add(self, **deltas: int) -> None:
+        """Bump counters by the given non-negative per-field deltas."""
+        for name, amount in deltas.items():
+            if name not in COUNTER_INDEX:
+                raise SimulationError(f"unknown counter field {name!r}")
+            value = getattr(self, name) + amount
+            _check_counter_value(name, value)
+            setattr(self, name, value)
 
 
-@dataclass
+class CounterColumnView(_CounterProtocol):
+    """One node's :class:`ServiceCounters`, backed by counter columns.
+
+    A view into row ``row`` of a columnar
+    :class:`~repro.bargossip.population.Population`'s ``(n_nodes, 8)``
+    int64 counters matrix.  Implements the complete
+    :class:`ServiceCounters` protocol — per-field attributes (read and
+    write), :meth:`add`, the ``record_*`` helpers, value equality — so
+    every existing consumer (defenses, reports, parity tests) works
+    unchanged, while the batched interaction paths bypass the view and
+    scatter-add whole phases into the matrix directly.
+
+    The view holds the owning population, not the matrix: if the
+    population re-homes its columns (a shared-memory store being
+    released copies them to the heap first), live views follow.
+    """
+
+    __slots__ = ("_population", "_row")
+
+    def __init__(self, population, row: int) -> None:
+        self._population = population
+        self._row = row
+
+    def add(self, **deltas: int) -> None:
+        """Bump counters by the given non-negative per-field deltas."""
+        counters = self._population.counters
+        row = self._row
+        index_of = COUNTER_INDEX
+        for name, amount in deltas.items():
+            index = index_of.get(name)
+            if index is None:
+                raise SimulationError(f"unknown counter field {name!r}")
+            current = counters[row, index]
+            # Guard before adding: arbitrary-precision comparison, so
+            # an overflowing delta raises instead of wrapping int64.
+            if amount < 0 or amount > COUNTER_MAX - current:
+                _check_counter_value(name, int(current) + amount)
+            counters[row, index] = current + amount
+
+    def as_tuple(self) -> Tuple[int, ...]:
+        return tuple(int(v) for v in self._population.counters[self._row])
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{name}={value}"
+            for name, value in zip(COUNTER_FIELDS, self.as_tuple())
+        )
+        return f"CounterColumnView({fields})"
+
+
+def _make_counter_property(index: int, name: str):
+    def _get(self: CounterColumnView) -> int:
+        return int(self._population.counters[self._row, index])
+
+    def _set(self: CounterColumnView, value: int) -> None:
+        _check_counter_value(name, value)
+        self._population.counters[self._row, index] = value
+
+    return property(_get, _set)
+
+
+for _index, _name in enumerate(COUNTER_FIELDS):
+    setattr(CounterColumnView, _name, _make_counter_property(_index, _name))
+del _index, _name
+
+
 class GossipNode:
-    """One participant in the gossip system."""
+    """One participant in the gossip system.
 
-    node_id: int
-    behavior: Behavior
-    group: TargetGroup
-    store: UpdateStore = field(default_factory=UpdateStore)
-    counters: ServiceCounters = field(default_factory=ServiceCounters)
-    evicted: bool = False
+    Constructed either *standalone* (unit tests, ad-hoc experiments) —
+    behaviour, group, counters and the evicted flag live on the object
+    — or as a *population view* via ``population=/row=``, in which case
+    ``group``, ``evicted`` and ``counters`` delegate to the simulation's
+    columnar arrays and the object is nothing but an id, a behaviour
+    tag, and a store view.
+    """
+
+    __slots__ = (
+        "node_id",
+        "behavior",
+        "store",
+        "_population",
+        "_row",
+        "_group",
+        "_counters",
+        "_evicted",
+        "_is_attacker",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        behavior: Behavior,
+        group: TargetGroup,
+        store: Optional[UpdateStore] = None,
+        counters: Optional[ServiceCounters] = None,
+        evicted: bool = False,
+        population=None,
+        row: Optional[int] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.behavior = behavior
+        self._population = population
+        self._row = node_id if row is None else row
+        self._is_attacker = group is TargetGroup.ATTACKER
+        if population is not None:
+            population.group_codes[self._row] = GROUP_CODES[group]
+            population.behavior_codes[self._row] = BEHAVIOR_CODES[behavior]
+            population.evicted[self._row] = evicted
+            self._group = None
+            self._counters = None
+            self._evicted = False
+        else:
+            self._group = group
+            self._counters = counters
+            self._evicted = evicted
+        self.store = store if store is not None else UpdateStore()
+
+    # -- population-backed columns -------------------------------------
+
+    @property
+    def group(self) -> TargetGroup:
+        if self._population is not None:
+            return GROUPS_BY_CODE[int(self._population.group_codes[self._row])]
+        return self._group
+
+    @group.setter
+    def group(self, value: TargetGroup) -> None:
+        self._is_attacker = value is TargetGroup.ATTACKER
+        if self._population is not None:
+            self._population.group_codes[self._row] = GROUP_CODES[value]
+        else:
+            self._group = value
+
+    @property
+    def counters(self):
+        """The node's service counters (lazily materialized view)."""
+        if self._counters is None:
+            if self._population is not None:
+                self._counters = CounterColumnView(self._population, self._row)
+            else:
+                self._counters = ServiceCounters()
+        return self._counters
+
+    @property
+    def evicted(self) -> bool:
+        if self._population is not None:
+            return bool(self._population.evicted[self._row])
+        return self._evicted
+
+    @evicted.setter
+    def evicted(self, value: bool) -> None:
+        if self._population is not None:
+            self._population.evicted[self._row] = value
+        else:
+            self._evicted = value
+
+    # -- role flags ----------------------------------------------------
 
     @property
     def is_attacker(self) -> bool:
         """Whether this node is controlled by the attacker."""
-        return self.group is TargetGroup.ATTACKER
+        return self._is_attacker
 
     @property
     def is_correct(self) -> bool:
         """Whether this node runs the real protocol (possibly rationally)."""
-        return not self.is_attacker
+        return not self._is_attacker
 
     @property
     def is_satiated(self) -> bool:
         """Whether the node currently misses no live update."""
         return self.store.is_satiated
+
+    # -- behaviour decisions -------------------------------------------
 
     def wants_to_push(self, config: GossipConfig, round_now: int) -> bool:
         """Behaviour decision: initiate an optimistic push this round?
@@ -122,3 +404,9 @@ class GossipNode:
         if self.evicted or self.is_attacker:
             return False
         return gain > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"GossipNode(node_id={self.node_id}, behavior={self.behavior}, "
+            f"group={self.group}, evicted={self.evicted})"
+        )

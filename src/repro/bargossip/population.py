@@ -1,0 +1,179 @@
+"""Columnar per-node simulation state: struct-of-arrays population.
+
+Before this module, every :class:`~repro.bargossip.node.GossipNode`
+carried its own :class:`~repro.bargossip.node.ServiceCounters` object,
+its group enum and its evicted flag — so each round paid O(n) Python
+attribute updates even after the update *stores* had been vectorized.
+:class:`Population` turns that per-node object graph into four flat
+arrays owned by the simulation:
+
+=================  ========================  =============================
+column             dtype / shape             contents
+=================  ========================  =============================
+``counters``       int64 ``(n_nodes, 8)``    the :data:`~repro.bargossip.
+                                             node.COUNTER_FIELDS` tallies
+``group_codes``    int8 ``(n_nodes,)``       :data:`~repro.bargossip.
+                                             node.GROUP_CODES`
+``behavior_codes`` int8 ``(n_nodes,)``       :data:`~repro.bargossip.
+                                             node.BEHAVIOR_CODES`
+``evicted``        bool ``(n_nodes,)``       eviction flags
+=================  ========================  =============================
+
+Node objects survive as lazily-materialized views (the same move the
+packed stores already make for ``have``/``missing``): ``node.counters``
+is a :class:`~repro.bargossip.node.CounterColumnView` over one matrix
+row, ``node.group``/``node.evicted`` read and write the code arrays.
+The batched interaction paths skip the views entirely and scatter-add
+whole phases into the matrix — cell pairs are node-disjoint, so plain
+fancy-index ``+=`` is exact.
+
+The counters matrix can live on the heap (default) or view the spare
+region of a shared-memory
+:class:`~repro.bargossip.updates.WordPopulationStore` (``memory ==
+"shared"``): shard workers then bump the *live global* tallies in
+place, and the per-phase shard outcome carries no counter payload at
+all.  :meth:`materialize` re-homes shared columns to the heap before
+the segment is released, so aggregate metrics stay readable after
+``simulator.close()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.behaviors import Behavior
+from .node import (
+    BEHAVIOR_CODES,
+    COUNTER_FIELDS,
+    GROUP_CODES,
+    CounterColumnView,
+    TargetGroup,
+)
+
+__all__ = ["N_COUNTER_COLS", "Population"]
+
+#: Columns of the counters matrix (== len(COUNTER_FIELDS)).
+N_COUNTER_COLS = len(COUNTER_FIELDS)
+
+_BYZANTINE_CODE = BEHAVIOR_CODES[Behavior.BYZANTINE]
+_OBEDIENT_CODE = BEHAVIOR_CODES[Behavior.OBEDIENT]
+_ATTACKER_CODE = GROUP_CODES[TargetGroup.ATTACKER]
+_SATIATED_CODE = GROUP_CODES[TargetGroup.SATIATED]
+
+
+class Population:
+    """Columnar per-node state for one population (or one shard slice).
+
+    Parameters
+    ----------
+    n_nodes:
+        Rows of every column.
+    counters:
+        Optional pre-allocated ``(n_nodes, 8)`` int64 matrix to adopt —
+        the shared-memory path passes a view into the word store's
+        counter region so workers mutate tallies in place.  Default:
+        a zeroed heap matrix.
+    """
+
+    __slots__ = ("n_nodes", "counters", "group_codes", "behavior_codes", "evicted")
+
+    def __init__(
+        self,
+        n_nodes: int,
+        counters: Optional["np.ndarray"] = None,
+    ) -> None:
+        self.n_nodes = n_nodes
+        if counters is None:
+            counters = np.zeros((n_nodes, N_COUNTER_COLS), dtype=np.int64)
+        elif counters.shape != (n_nodes, N_COUNTER_COLS):
+            raise ValueError(
+                f"counters must have shape {(n_nodes, N_COUNTER_COLS)}, "
+                f"got {counters.shape}"
+            )
+        self.counters = counters
+        self.group_codes = np.zeros(n_nodes, dtype=np.int8)
+        self.behavior_codes = np.zeros(n_nodes, dtype=np.int8)
+        self.evicted = np.zeros(n_nodes, dtype=bool)
+
+    # -- views ---------------------------------------------------------
+
+    def counters_view(self, row: int) -> CounterColumnView:
+        """The :class:`ServiceCounters`-compatible view of one row."""
+        return CounterColumnView(self, row)
+
+    # -- role masks (vectorized eligibility) ---------------------------
+
+    @property
+    def byzantine_mask(self) -> "np.ndarray":
+        """Per-row attacker membership (Byzantine behaviour)."""
+        return self.behavior_codes == _BYZANTINE_CODE
+
+    @property
+    def obedient_mask(self) -> "np.ndarray":
+        """Per-row obedience (the lever the defenses pull on)."""
+        return self.behavior_codes == _OBEDIENT_CODE
+
+    @property
+    def correct_mask(self) -> "np.ndarray":
+        """Per-row correctness: every node the attacker does not run."""
+        return self.group_codes != _ATTACKER_CODE
+
+    @property
+    def satiated_mask(self) -> "np.ndarray":
+        """Per-row membership of the attacker's satiated target group."""
+        return self.group_codes == _SATIATED_CODE
+
+    def group_masks(self) -> Dict[str, "np.ndarray"]:
+        """The expiry-scoring masks: isolated / satiated / correct."""
+        correct = self.correct_mask
+        satiated = self.group_codes == _SATIATED_CODE
+        return {
+            "isolated": correct & ~satiated,
+            "satiated": correct & satiated,
+            "correct": correct,
+        }
+
+    # -- shard-delta helpers -------------------------------------------
+
+    def sparse_counter_deltas(self) -> "tuple[np.ndarray, np.ndarray]":
+        """``(rows, deltas)`` of the rows whose counters moved.
+
+        The lean shard payload: rows with an all-zero delta are dropped
+        at the source, and the surviving deltas are narrowed to the
+        smallest signed integer dtype that fits (one phase's transfers
+        are tiny; int16 covers every realistic window, int32 the
+        pathological ones).
+        """
+        moved = np.flatnonzero(self.counters.any(axis=1))
+        selected = self.counters[moved]
+        narrow = (
+            np.int16
+            if selected.size == 0
+            or int(selected.max()) <= np.iinfo(np.int16).max
+            else np.int32
+        )
+        return moved.astype(np.int32), selected.astype(narrow)
+
+    def add_counter_deltas(self, rows: "np.ndarray", deltas: "np.ndarray") -> None:
+        """Fold sparse per-row deltas in (rows unique, deltas >= 0)."""
+        if len(rows):
+            self.counters[np.asarray(rows, dtype=np.intp)] += deltas
+
+    # -- lifecycle -----------------------------------------------------
+
+    def materialize(self) -> None:
+        """Re-home the counters matrix onto the process heap.
+
+        A no-op for heap-backed populations.  Called before a backing
+        shared-memory segment is released so live
+        :class:`CounterColumnView`s (which resolve ``self.counters`` at
+        every access) keep reading valid tallies afterwards.
+        """
+        if self.counters.base is not None:
+            self.counters = self.counters.copy()
+
+    def __repr__(self) -> str:
+        placement = "heap" if self.counters.base is None else "view"
+        return f"Population(n_nodes={self.n_nodes}, counters={placement})"

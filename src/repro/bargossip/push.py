@@ -53,6 +53,7 @@ __all__ = [
     "bitset_plan_push",
     "bitset_apply_push",
     "push_window_masks",
+    "batched_push_eligibility",
     "batched_word_push",
 ]
 
@@ -173,6 +174,34 @@ def push_window_masks(pool, config: GossipConfig, round_now: int) -> Tuple[int, 
         _recent_offer_mask(pool, config, round_now),
         _old_need_mask(pool, config, round_now),
     )
+
+
+def batched_push_eligibility(
+    pool: WordPopulationStore,
+    rows: "np.ndarray",
+    obedient: "np.ndarray",
+    config: GossipConfig,
+    round_now: int,
+) -> "np.ndarray":
+    """Which of ``rows`` would initiate an optimistic push, as one sweep.
+
+    The vectorized ``GossipNode.wants_to_push`` over the word store:
+    every node pushes when it misses an update old enough to be
+    "expiring relatively soon"; an obedient node (per the ``obedient``
+    mask, aligned with ``rows``) additionally pushes when it holds a
+    recently released offer.  Callers pre-filter attackers and evicted
+    nodes, exactly as the per-pair path's early returns do.  Built on
+    the same window masks as the per-pair planner, so the two can never
+    disagree on the cutoffs.
+    """
+    recent_mask, old_mask = push_window_masks(pool, config, round_now)
+    old_words = pool.mask_words(old_mask)
+    wants = (pool.missing_words[rows] & old_words).any(axis=1)
+    if obedient.any():
+        recent_words = pool.mask_words(recent_mask)
+        has_offers = (pool.have_words[rows] & recent_words).any(axis=1)
+        wants |= obedient & has_offers
+    return wants
 
 
 def bitset_plan_push(

@@ -49,8 +49,9 @@ from ..core.errors import ConfigurationError
 from .attacker import AttackerCoalition, AttackKind
 from .config import GossipConfig
 from .defenses import EvictionAuthority, ReportingPolicy
-from .node import GossipNode, ServiceCounters, TargetGroup
+from .node import GossipNode, TargetGroup
 from .partner import Purpose, RoundWindowSchedule
+from .population import N_COUNTER_COLS, Population
 from .updates import BitsetPopulationStore, UpdateStore, WordPopulationStore
 
 __all__ = [
@@ -271,19 +272,25 @@ class ShardState:
 class ShardOutcome:
     """What one shard's phases produced, ready for a deterministic merge.
 
-    Counters are *deltas* (the worker starts every node at zero), so
-    the merge is a per-field addition; store rows/sets are final
-    values.  Node-local fields can never conflict across shards — each
-    node belongs to exactly one cell per round — and the shared-state
-    deltas (coalition service total, reports, evictions) are applied
-    in shard order.
+    Counter deltas are *sparse columns* (the worker's shard-local
+    :class:`~repro.bargossip.population.Population` starts every node
+    at zero): ``counter_rows`` names the local indices whose tallies
+    moved, ``counters`` their compact delta rows in
+    :data:`~repro.bargossip.node.COUNTER_FIELDS` order, narrowed to
+    int16/int32 — so the merge is one fancy-index scatter-add into the
+    simulator's counters matrix instead of a per-node tuple walk.
+    Store rows/sets are final values.  Node-local fields can never
+    conflict across shards — each node belongs to exactly one cell per
+    round — and the shared-state deltas (coalition service total,
+    reports, evictions) are applied in shard order.
     """
 
     have_rows: Optional[Tuple[int, ...]]
     missing_rows: Optional[Tuple[int, ...]]
     have_sets: Optional[Tuple[frozenset, ...]]
     missing_sets: Optional[Tuple[frozenset, ...]]
-    counters: Tuple[Tuple[int, ...], ...]
+    counter_rows: "np.ndarray"  # (k,) local indices with nonzero deltas
+    counters: "np.ndarray"  # (k, 8) narrow-int delta rows
     evicted_mask: int
     updates_served: int
     reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
@@ -295,20 +302,15 @@ class ShardOutcome:
 
 @dataclass(frozen=True)
 class SharedShardOutcome:
-    """One phase's result on the shared-memory path: no rows, ever.
+    """One phase's result on the shared-memory path: no rows, no counters.
 
     This is the whole point of ``memory="shared"``: the worker mutated
-    its shard's rows in place, so what crosses the wire back is the
-    O(counters) remainder — the nodes whose counters moved this phase
-    (``counter_rows``, local indices) with their compact delta rows
-    (field order of :func:`_counter_delta`; int32 bounds every
-    realistic per-phase transfer), the eviction mask, and the
-    coalition / authority deltas.  Zero rows are dropped at the
-    source, which makes the sparse push phase nearly free.
+    its shard's word rows *and its counter columns* in place (both
+    live in the same shared segment), so what crosses the wire back is
+    only the eviction mask and the coalition / authority deltas —
+    nothing that scales with the shard's node count.
     """
 
-    counter_rows: "np.ndarray"  # (k,) local indices with nonzero deltas
-    counters: "np.ndarray"  # (k, 8) int32 deltas
     evicted_mask: int
     updates_served: int
     reports: Tuple[Tuple[int, Tuple[int, ...]], ...]
@@ -423,24 +425,6 @@ def extract_shard(
     )
 
 
-def _counter_delta(counters: ServiceCounters) -> Tuple[int, ...]:
-    """One node's counters as a flat tuple (field-declaration order).
-
-    Hand-rolled instead of :func:`dataclasses.astuple`, which
-    deep-copies and dominated the merge cost at 50k nodes.
-    """
-    return (
-        counters.updates_sent,
-        counters.updates_received,
-        counters.junk_sent,
-        counters.junk_received,
-        counters.exchanges_initiated,
-        counters.exchanges_nonempty,
-        counters.pushes_initiated,
-        counters.pushes_nonempty,
-    )
-
-
 def _partner_maps(
     cells: Sequence[Cell],
 ) -> Tuple[Dict[int, int], Dict[int, int]]:
@@ -485,9 +469,15 @@ def _rebuild_authority(state: ShardState) -> Optional[EvictionAuthority]:
 
 
 def _make_shard_node(
-    static: ShardStatic, state: ShardState, local: int, node_id: int, store
+    static: ShardStatic,
+    state: ShardState,
+    local: int,
+    node_id: int,
+    store,
+    population: Population,
+    row: int,
 ) -> GossipNode:
-    """One shard-local node over the given store view."""
+    """One shard-local node view over the given store and population row."""
     behavior = static.behaviors[node_id]
     return GossipNode(
         node_id,
@@ -500,7 +490,26 @@ def _make_shard_node(
         else TargetGroup.ISOLATED,
         store=store,
         evicted=bool(state.evicted_mask >> local & 1),
+        population=population,
+        row=row,
     )
+
+
+def _evicted_mask_of(population: Population, rows=None) -> int:
+    """Shard-local eviction bitmask from a population's flag column.
+
+    ``rows`` maps local position -> population row (the shared path's
+    global ids); None means rows equal locals (a shard-local
+    population).  Evictions are rare, so the mask assembly only walks
+    the flagged positions.
+    """
+    flags = population.evicted
+    if rows is not None:
+        flags = flags[np.asarray(rows, dtype=np.intp)]
+    mask = 0
+    for local in np.flatnonzero(flags).tolist():
+        mask |= 1 << local
+    return mask
 
 
 def _authority_deltas(
@@ -551,6 +560,10 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
         slice_pool.have_words[:] = state.have_words
         slice_pool.missing_words[:] = state.missing_words
 
+    # Shard-local columnar state: counters start at zero, so after the
+    # phases the matrix *is* the shard's delta, ready for the sparse
+    # extraction below.
+    population = Population(len(node_ids))
     shard_nodes: List[GossipNode] = []
     for local, node_id in enumerate(node_ids):
         if slice_pool is not None:
@@ -560,7 +573,9 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
             store.have = set(state.have_sets[local])
             store.missing = set(state.missing_sets[local])
         shard_nodes.append(
-            _make_shard_node(static, state, local, node_id, store)
+            _make_shard_node(
+                static, state, local, node_id, store, population, local
+            )
         )
 
     attack = _rebuild_attack(state)
@@ -568,7 +583,12 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
     authority = _rebuild_authority(state)
 
     engine = InteractionEngine(
-        shard_nodes, config, attack, authority, pool=slice_pool
+        shard_nodes,
+        config,
+        attack,
+        authority,
+        pool=slice_pool,
+        population=population,
     )
     if isinstance(slice_pool, WordPopulationStore):
         engine.run_exchanges_batched(
@@ -584,14 +604,10 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
         engine.run_exchanges(state.round_now, node_ids, exchange_partners)
         engine.run_pushes(state.round_now, node_ids, push_partners)
 
-    evicted_mask = 0
-    for local, node in enumerate(shard_nodes):
-        if node.evicted:
-            evicted_mask |= 1 << local
-
     reports, newly_evicted = _authority_deltas(authority, state)
     is_words = isinstance(slice_pool, WordPopulationStore)
     is_bitset = slice_pool is not None and not is_words
+    counter_rows, counter_deltas = population.sparse_counter_deltas()
 
     return ShardOutcome(
         have_rows=tuple(slice_pool.have_bits) if is_bitset else None,
@@ -606,8 +622,9 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
             if slice_pool is None
             else None
         ),
-        counters=tuple(_counter_delta(node.counters) for node in shard_nodes),
-        evicted_mask=evicted_mask,
+        counter_rows=counter_rows,
+        counters=counter_deltas,
+        evicted_mask=_evicted_mask_of(population),
         updates_served=attack.updates_served,
         reports=reports,
         newly_evicted=newly_evicted,
@@ -623,10 +640,13 @@ def run_shard_shared(
     """Run one phase of one shard *in place* on the shared word store.
 
     The worker's (or, in-process, the coordinator's) ``store`` maps
-    the same shared-memory block the simulator owns, so the phase
-    mutates the shard's rows directly — ``state`` carries cells and
-    the coalition/authority slices in, the outcome carries counters,
-    evictions and reports back, and rows never cross the process
+    the same shared-memory block the simulator owns — word rows *and*
+    counter columns — so the phase mutates the shard's rows directly
+    and bumps the live global tallies through a
+    :class:`~repro.bargossip.population.Population` view of the
+    store's counter region.  ``state`` carries cells and the
+    coalition/authority slices in, the outcome carries evictions and
+    reports back; neither rows nor counters ever cross the process
     boundary.  Safe because cells are node-disjoint across shards and
     the coordinator barriers each phase.
     """
@@ -636,8 +656,19 @@ def run_shard_shared(
     node_ids = state.node_ids
     store.base = state.base
 
+    # Counters view the shared segment (in-place global tallies);
+    # behaviour codes and eviction flags stay worker-local — the
+    # flagged evictions travel back through the outcome, exactly as on
+    # the heap path, so the authority keeps its dedup authority.
+    population = Population(
+        config.n_nodes,
+        counters=store.extra.reshape(config.n_nodes, N_COUNTER_COLS),
+    )
     shard_nodes = [
-        _make_shard_node(static, state, local, node_id, store.view(node_id))
+        _make_shard_node(
+            static, state, local, node_id, store.view(node_id),
+            population, node_id,
+        )
         for local, node_id in enumerate(node_ids)
     ]
 
@@ -646,7 +677,13 @@ def run_shard_shared(
     authority = _rebuild_authority(state)
 
     engine = InteractionEngine(
-        shard_nodes, config, attack, authority, pool=store, rows=list(node_ids)
+        shard_nodes,
+        config,
+        attack,
+        authority,
+        pool=store,
+        rows=list(node_ids),
+        population=population,
     )
     if state.phase == "exchange":
         engine.run_exchanges_batched(
@@ -659,30 +696,9 @@ def run_shard_shared(
             [pair for cell in state.cells for pair in cell_push_pairs(cell)],
         )
 
-    evicted_mask = 0
-    for local, node in enumerate(shard_nodes):
-        if node.evicted:
-            evicted_mask |= 1 << local
-
     reports, newly_evicted = _authority_deltas(authority, state)
-    deltas = np.array(
-        [_counter_delta(node.counters) for node in shard_nodes],
-        dtype=np.int64,
-    ).reshape(len(shard_nodes), 8)
-    moved = np.flatnonzero(deltas.any(axis=1))
-    selected = deltas[moved]
-    # Deltas are non-negative and tiny (bounded by one phase's
-    # transfers); int16 halves the wire size, int32 covers the
-    # pathological huge-window configurations.
-    narrow = (
-        np.int16
-        if selected.size == 0 or int(selected.max()) <= np.iinfo(np.int16).max
-        else np.int32
-    )
     return SharedShardOutcome(
-        counter_rows=moved.astype(np.int32),
-        counters=selected.astype(narrow),
-        evicted_mask=evicted_mask,
+        evicted_mask=_evicted_mask_of(population, rows=node_ids),
         updates_served=attack.updates_served,
         reports=reports,
         newly_evicted=newly_evicted,
@@ -694,11 +710,11 @@ def merge_shard(simulator, state: ShardState, outcome: ShardOutcome) -> None:
     """Fold one shard's outcome back into the simulator.
 
     Node-local state is written in place (each node belongs to exactly
-    one shard per round), counter deltas are added field-wise, and the
-    shared coalition/authority deltas are applied in the caller's
-    shard order — which is fixed — so the merged state is identical
-    whatever ran the shards, and in whatever real-time order they
-    finished.
+    one shard per round), the sparse counter deltas land as one
+    scatter-add on the simulator's counters matrix, and the shared
+    coalition/authority deltas are applied in the caller's shard order
+    — which is fixed — so the merged state is identical whatever ran
+    the shards, and in whatever real-time order they finished.
     """
     pool = simulator._pool
     nodes = simulator.nodes
@@ -706,21 +722,19 @@ def merge_shard(simulator, state: ShardState, outcome: ShardOutcome) -> None:
         rows = np.asarray(state.node_ids, dtype=np.intp)
         pool.have_words[rows] = outcome.have_words
         pool.missing_words[rows] = outcome.missing_words
-    for local, node_id in enumerate(state.node_ids):
-        node = nodes[node_id]
-        if outcome.have_rows is not None:
+    elif outcome.have_rows is not None:
+        for local, node_id in enumerate(state.node_ids):
             pool.have_bits[node_id] = outcome.have_rows[local]
             pool.missing_bits[node_id] = outcome.missing_rows[local]
-        elif outcome.have_sets is not None:
-            node.store.have = set(outcome.have_sets[local])
-            node.store.missing = set(outcome.missing_sets[local])
-        delta = outcome.counters[local]
-        if any(delta):
-            _apply_counter_delta(node.counters, delta)
-        if outcome.evicted_mask >> local & 1 and not node.evicted:
-            node.evicted = True
-            simulator._evicted_ids.add(node_id)
-
+    elif outcome.have_sets is not None:
+        for local, node_id in enumerate(state.node_ids):
+            store = nodes[node_id].store
+            store.have = set(outcome.have_sets[local])
+            store.missing = set(outcome.missing_sets[local])
+    if len(outcome.counter_rows):
+        ids = np.asarray(state.node_ids, dtype=np.intp)[outcome.counter_rows]
+        simulator.population.add_counter_deltas(ids, outcome.counters)
+    _apply_eviction_mask(simulator, state, outcome.evicted_mask)
     _merge_shared_state_deltas(simulator, outcome)
 
 
@@ -729,36 +743,25 @@ def merge_shard_shared(
 ) -> None:
     """Fold one shared-memory phase outcome back into the simulator.
 
-    Rows already live where they belong (the worker mutated the shared
-    block in place), so the merge reduces to the counter deltas and
-    the shared coalition/authority state — the O(counters) remainder
-    the wire actually carried.
+    Rows and counters already live where they belong (the worker
+    mutated the shared segment in place), so the merge reduces to the
+    eviction flags and the shared coalition/authority state — exactly
+    what the wire carried.
     """
-    nodes = simulator.nodes
-    for local, delta in zip(
-        outcome.counter_rows.tolist(), outcome.counters.tolist()
-    ):
-        _apply_counter_delta(nodes[state.node_ids[local]].counters, delta)
-    if outcome.evicted_mask:
-        for local, node_id in enumerate(state.node_ids):
-            if outcome.evicted_mask >> local & 1:
-                node = nodes[node_id]
-                if not node.evicted:
-                    node.evicted = True
-                    simulator._evicted_ids.add(node_id)
+    _apply_eviction_mask(simulator, state, outcome.evicted_mask)
     _merge_shared_state_deltas(simulator, outcome)
 
 
-def _apply_counter_delta(counters: ServiceCounters, delta) -> None:
-    """Add one flat delta tuple (field order of :func:`_counter_delta`)."""
-    counters.updates_sent += delta[0]
-    counters.updates_received += delta[1]
-    counters.junk_sent += delta[2]
-    counters.junk_received += delta[3]
-    counters.exchanges_initiated += delta[4]
-    counters.exchanges_nonempty += delta[5]
-    counters.pushes_initiated += delta[6]
-    counters.pushes_nonempty += delta[7]
+def _apply_eviction_mask(simulator, state: ShardState, mask: int) -> None:
+    """Raise the flagged locals' eviction flags (idempotent)."""
+    if not mask:
+        return
+    for local, node_id in enumerate(state.node_ids):
+        if mask >> local & 1:
+            node = simulator.nodes[node_id]
+            if not node.evicted:
+                node.evicted = True
+                simulator._evicted_ids.add(node_id)
 
 
 def _merge_shared_state_deltas(simulator, outcome) -> None:
@@ -800,6 +803,9 @@ def _init_shard_worker(static: ShardStatic) -> None:
             config.update_lifetime,
             memory="shared",
             shm_name=static.shm_name,
+            # Mirror the creator's layout: the counter columns sit in
+            # the same segment, after the word rows.
+            extra_int64=config.n_nodes * N_COUNTER_COLS,
         )
 
 

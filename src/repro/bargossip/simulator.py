@@ -30,8 +30,8 @@ import numpy as np
 
 from ..core.behaviors import Behavior
 from ..core.engine import RoundSimulator
-from ..core.errors import ConfigurationError
-from ..core.metrics import DeliveryStats, tally_groups
+from ..core.errors import ConfigurationError, SimulationError
+from ..core.metrics import DeliveryStats, tally_group_codes
 from ..core.rng import RngStreams
 from .attacker import DEFAULT_SATIATE_FRACTION, AttackKind, AttackerCoalition
 from .config import GossipConfig
@@ -43,15 +43,16 @@ from .exchange import (
     plan_balanced_exchange,
 )
 from .messages import sign_receipt
-from .node import GossipNode, TargetGroup
+from .node import COUNTER_INDEX, GossipNode, TargetGroup
 from .partner import PartnerSchedule, Purpose
+from .population import N_COUNTER_COLS, Population
 from .push import (
     apply_push,
+    batched_push_eligibility,
     batched_word_push,
     bitset_apply_push,
     bitset_plan_push,
     plan_optimistic_push,
-    push_window_masks,
 )
 from .sharding import (
     ShardedPartnerSchedule,
@@ -78,6 +79,17 @@ __all__ = [
     "GossipExperimentResult",
     "run_gossip_experiment",
 ]
+
+# Counter-matrix column indices, hoisted to module constants so the
+# scatter-add hot paths skip the dict lookups.
+CI_UPDATES_SENT = COUNTER_INDEX["updates_sent"]
+CI_UPDATES_RECEIVED = COUNTER_INDEX["updates_received"]
+CI_JUNK_SENT = COUNTER_INDEX["junk_sent"]
+CI_JUNK_RECEIVED = COUNTER_INDEX["junk_received"]
+CI_EXCHANGES_INITIATED = COUNTER_INDEX["exchanges_initiated"]
+CI_EXCHANGES_NONEMPTY = COUNTER_INDEX["exchanges_nonempty"]
+CI_PUSHES_INITIATED = COUNTER_INDEX["pushes_initiated"]
+CI_PUSHES_NONEMPTY = COUNTER_INDEX["pushes_nonempty"]
 
 
 class InteractionEngine:
@@ -106,6 +118,12 @@ class InteractionEngine:
         The shared-memory shard path passes global node ids here so a
         shard engine addresses the full population store in place;
         default is local position, matching a sliced store.
+    population:
+        The slice's columnar :class:`~repro.bargossip.population.
+        Population` (row layout identical to ``pool``'s).  Required for
+        the batched word paths, whose eligibility checks and counter
+        updates run as array sweeps and scatter-adds over its columns;
+        the scalar per-pair paths only need the node views.
     """
 
     def __init__(
@@ -116,12 +134,14 @@ class InteractionEngine:
         authority: Optional[EvictionAuthority],
         pool: Optional[BitsetPopulationStore] = None,
         rows: Optional[List[int]] = None,
+        population: Optional[Population] = None,
     ) -> None:
         self.nodes = list(nodes)
         self.config = config
         self.attack = attack
         self.authority = authority
         self.pool = pool
+        self.population = population
         self._node_of: Dict[int, GossipNode] = {
             node.node_id: node for node in self.nodes
         }
@@ -130,6 +150,42 @@ class InteractionEngine:
         self._row_of: Dict[int, int] = {
             node.node_id: row for node, row in zip(self.nodes, rows)
         }
+        #: Dense node-id -> row map for the vectorized paths (scalar
+        #: paths keep the dict).  Built lazily: only the batched word
+        #: dispatch needs it.
+        self._row_lookup: Optional[np.ndarray] = None
+
+    def _rows_of_ids(self, ids: "np.ndarray") -> "np.ndarray":
+        """Population/pool rows of an array of global node ids.
+
+        Raises on an id this engine does not own (the dict-based scalar
+        path would KeyError; the -1 sentinel must not silently index
+        the last row instead).
+        """
+        if self._row_lookup is None:
+            own_ids = np.fromiter(
+                (node.node_id for node in self.nodes),
+                dtype=np.intp,
+                count=len(self.nodes),
+            )
+            lookup = np.full(int(own_ids.max()) + 1, -1, dtype=np.intp)
+            lookup[own_ids] = np.fromiter(
+                (self._row_of[node.node_id] for node in self.nodes),
+                dtype=np.intp,
+                count=len(self.nodes),
+            )
+            self._row_lookup = lookup
+        if int(ids.max(initial=-1)) >= len(self._row_lookup):
+            raise SimulationError(
+                f"node id {int(ids.max())} not in this engine's slice"
+            )
+        rows = self._row_lookup[ids]
+        if (rows < 0).any():
+            unknown = ids[rows < 0].ravel()
+            raise SimulationError(
+                f"node id {int(unknown[0])} not in this engine's slice"
+            )
+        return rows
 
     def run_exchanges(self, round_now: int, order, partners) -> None:
         """One balanced-exchange phase.
@@ -157,33 +213,31 @@ class InteractionEngine:
         partner = node_of[partner_id]
         if partner.evicted:
             return
-        initiator.counters.exchanges_initiated += 1
+        initiator.counters.add(exchanges_initiated=1)
         self.interact_exchange(round_now, initiator, partner)
 
     def _split_cell_pairs(self, pairs):
         """Partition cell pairs into batched and scalar islands.
 
-        Returns ``(fast, slow)``: ``fast`` holds ``(left_node,
-        right_node)`` tuples — correct, non-evicted two-node islands
-        safe for the vectorized passes — and ``slow`` holds the
+        Returns ``(fast_rows, slow)``: ``fast_rows`` is an ``(m, 2)``
+        array of population rows — correct, non-evicted two-node
+        islands safe for the vectorized passes — and ``slow`` holds the
         directed id pairs (both directions, island-local order) that
         must take the scalar path because an attacker or evicted node
-        is involved.
+        is involved.  The split itself is a masked array op over the
+        population's behaviour/eviction columns, not a Python walk.
         """
-        node_of = self._node_of
-        fast: List[tuple] = []
+        ids = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
+        rows = self._rows_of_ids(ids)
+        population = self.population
+        bad_node = population.byzantine_mask | population.evicted
+        bad = bad_node[rows].any(axis=1)
         slow: List[tuple] = []
-        for left_id, right_id in pairs:
-            left, right = node_of[left_id], node_of[right_id]
-            if (
-                left.is_attacker or right.is_attacker
-                or left.evicted or right.evicted
-            ):
+        if bad.any():
+            for left_id, right_id in ids[bad].tolist():
                 slow.append((left_id, right_id))
                 slow.append((right_id, left_id))
-            else:
-                fast.append((left, right))
-        return fast, slow
+        return rows[~bad], slow
 
     def run_exchanges_batched(self, round_now: int, pairs) -> None:
         """One balanced-exchange phase over disjoint cell pairs, batched.
@@ -194,35 +248,43 @@ class InteractionEngine:
         node-disjoint, the phase decomposes into two-node islands whose
         internal order (first the left node initiates, then the right)
         is all that matters — so the correct-correct islands run as two
-        whole-phase word-array sweeps, and only islands containing an
-        attacker or evicted node take the scalar path.  Requires the
-        words backend.
+        whole-phase word-array sweeps whose counter updates land as
+        scatter-adds on the counters matrix, and only islands
+        containing an attacker or evicted node take the scalar path.
+        Requires the words backend and a population.
         """
-        fast, slow = self._split_cell_pairs(pairs)
+        if not pairs:
+            return
+        fast_rows, slow = self._split_cell_pairs(pairs)
         for initiator_id, partner_id in slow:
             self._exchange_directed(round_now, initiator_id, partner_id)
-        if not fast:
+        if not len(fast_rows):
             return
         config = self.config
-        row_of = self._row_of
-        for ordered in (fast, [(right, left) for left, right in fast]):
+        counters = self.population.counters
+        left, right = fast_rows[:, 0], fast_rows[:, 1]
+        for rows_i, rows_r in ((left, right), (right, left)):
             to_initiator, to_partner = batched_word_exchange(
                 self.pool,
-                [row_of[initiator.node_id] for initiator, _ in ordered],
-                [row_of[partner.node_id] for _, partner in ordered],
+                rows_i,
+                rows_r,
                 cap=config.exchange_cap,
                 unbalanced=config.unbalanced_exchange,
                 prefer_newest=config.exchange_prefer_newest,
             )
-            for (initiator, partner), gained, given in zip(
-                ordered, to_initiator.tolist(), to_partner.tolist()
-            ):
-                initiator.counters.exchanges_initiated += 1
-                if gained == 0 and given == 0:
-                    continue
-                initiator.counters.record_exchange(sent=given, received=gained)
-                partner.counters.record_exchange(sent=gained, received=given)
-                initiator.counters.exchanges_nonempty += 1
+            # Rows are pairwise disjoint within a pass, so fancy-index
+            # += is an exact scatter-add (no np.add.at needed).
+            counters[rows_i, CI_EXCHANGES_INITIATED] += 1
+            moved = (to_initiator > 0) | (to_partner > 0)
+            if not moved.any():
+                continue
+            rows_i, rows_r = rows_i[moved], rows_r[moved]
+            gained, given = to_initiator[moved], to_partner[moved]
+            counters[rows_i, CI_UPDATES_SENT] += given
+            counters[rows_i, CI_UPDATES_RECEIVED] += gained
+            counters[rows_r, CI_UPDATES_SENT] += gained
+            counters[rows_r, CI_UPDATES_RECEIVED] += given
+            counters[rows_i, CI_EXCHANGES_NONEMPTY] += 1
 
     def interact_exchange(
         self, round_now: int, initiator: GossipNode, partner: GossipNode
@@ -248,9 +310,10 @@ class InteractionEngine:
             )
             if to_initiator == 0 and to_partner == 0:
                 return
-            initiator.counters.record_exchange(sent=to_partner, received=to_initiator)
+            initiator.counters.record_nonempty_exchange(
+                sent=to_partner, received=to_initiator
+            )
             partner.counters.record_exchange(sent=to_initiator, received=to_partner)
-            initiator.counters.exchanges_nonempty += 1
             return
         plan = plan_balanced_exchange(
             initiator.store,
@@ -262,13 +325,12 @@ class InteractionEngine:
         if plan.size == 0:
             return
         apply_exchange(initiator.store, partner.store, plan)
-        initiator.counters.record_exchange(
+        initiator.counters.record_nonempty_exchange(
             sent=len(plan.to_responder), received=len(plan.to_initiator)
         )
         partner.counters.record_exchange(
             sent=len(plan.to_initiator), received=len(plan.to_responder)
         )
-        initiator.counters.exchanges_nonempty += 1
 
     def attacker_dump(
         self,
@@ -303,8 +365,8 @@ class InteractionEngine:
         if not give:
             return
         other.store.receive_all(give)
-        other.counters.updates_received += len(give)
-        attacker.counters.updates_sent += len(give)
+        other.counters.add(updates_received=len(give))
+        attacker.counters.add(updates_sent=len(give))
         self.maybe_report(round_now, attacker, other, purpose, give)
 
     def maybe_report(
@@ -362,7 +424,7 @@ class InteractionEngine:
         partner = node_of[partner_id]
         if partner.evicted:
             return
-        initiator.counters.pushes_initiated += 1
+        initiator.counters.add(pushes_initiated=1)
         if partner.is_attacker:
             # A push lands on the attacker: under the trade attack a
             # satiated initiator gets everything it asked for (and
@@ -397,72 +459,54 @@ class InteractionEngine:
         in the per-pair order), attacker/evicted islands fall back to
         the scalar path.
         """
-        fast, slow = self._split_cell_pairs(pairs)
+        if not pairs:
+            return
+        fast_rows, slow = self._split_cell_pairs(pairs)
         for initiator_id, partner_id in slow:
             self._push_directed(round_now, initiator_id, partner_id)
-        if not fast:
+        if not len(fast_rows):
             return
-        recent_mask, old_mask = push_window_masks(
-            self.pool, self.config, round_now
-        )
-        recent_words = self.pool.mask_words(recent_mask)
-        old_words = self.pool.mask_words(old_mask)
-        for ordered in (fast, [(right, left) for left, right in fast]):
-            self._push_pass_batched(round_now, ordered, recent_words, old_words)
+        obedient = self.population.obedient_mask
+        left, right = fast_rows[:, 0], fast_rows[:, 1]
+        for rows_i, rows_r in ((left, right), (right, left)):
+            self._push_pass_batched(round_now, rows_i, rows_r, obedient)
 
     def _push_pass_batched(
-        self, round_now: int, ordered, recent_words, old_words
+        self, round_now: int, rows_i, rows_r, obedient
     ) -> None:
         """One direction of the batched push phase.
 
         The willingness rule is ``GossipNode.wants_to_push`` evaluated
-        as array sweeps: rational nodes push iff they miss an old
-        update, obedient nodes also when they hold a recent offer.
+        as one masked array sweep over the population columns
+        (:func:`~repro.bargossip.push.batched_push_eligibility`);
+        counter updates for the eligible pairs land as scatter-adds on
+        the counters matrix.
         """
-        pool = self.pool
-        row_of = self._row_of
-        rows = np.fromiter(
-            (row_of[initiator.node_id] for initiator, _ in ordered),
-            dtype=np.intp,
-            count=len(ordered),
+        wants = batched_push_eligibility(
+            self.pool, rows_i, obedient[rows_i], self.config, round_now
         )
-        wants = (pool.missing_words[rows] & old_words).any(axis=1)
-        obedient = np.fromiter(
-            (
-                initiator.behavior is Behavior.OBEDIENT
-                for initiator, _ in ordered
-            ),
-            dtype=bool,
-            count=len(ordered),
-        )
-        if obedient.any():
-            has_offers = (pool.have_words[rows] & recent_words).any(axis=1)
-            wants |= obedient & has_offers
-        eligible = [
-            pair for pair, want in zip(ordered, wants.tolist()) if want
-        ]
-        if not eligible:
+        if not wants.any():
             return
+        rows_i, rows_r = rows_i[wants], rows_r[wants]
         responder_counts, initiator_counts = batched_word_push(
-            pool,
-            [row_of[initiator.node_id] for initiator, _ in eligible],
-            [row_of[partner.node_id] for _, partner in eligible],
-            self.config,
-            round_now,
+            self.pool, rows_i, rows_r, self.config, round_now
         )
-        for (initiator, partner), to_responder, to_initiator in zip(
-            eligible, responder_counts.tolist(), initiator_counts.tolist()
-        ):
-            initiator.counters.pushes_initiated += 1
-            if to_responder == 0:
-                continue
-            self._record_push(
-                initiator,
-                partner,
-                to_responder=to_responder,
-                to_initiator=to_initiator,
-                junk_units=to_responder - to_initiator,
-            )
+        counters = self.population.counters
+        counters[rows_i, CI_PUSHES_INITIATED] += 1
+        applied = responder_counts > 0
+        if not applied.any():
+            return
+        rows_i, rows_r = rows_i[applied], rows_r[applied]
+        to_responder = responder_counts[applied]
+        to_initiator = initiator_counts[applied]
+        junk = to_responder - to_initiator
+        counters[rows_i, CI_PUSHES_NONEMPTY] += 1
+        counters[rows_i, CI_UPDATES_SENT] += to_responder
+        counters[rows_i, CI_UPDATES_RECEIVED] += to_initiator
+        counters[rows_r, CI_UPDATES_SENT] += to_initiator
+        counters[rows_r, CI_UPDATES_RECEIVED] += to_responder
+        counters[rows_r, CI_JUNK_SENT] += junk
+        counters[rows_i, CI_JUNK_RECEIVED] += junk
 
     def _push_bitset(
         self, round_now: int, initiator: GossipNode, partner: GossipNode
@@ -500,11 +544,17 @@ class InteractionEngine:
         junk_units: int,
     ) -> None:
         """Book one applied push into both sides' service counters."""
-        initiator.counters.pushes_nonempty += 1
-        initiator.counters.record_exchange(sent=to_responder, received=to_initiator)
-        partner.counters.record_exchange(sent=to_initiator, received=to_responder)
-        partner.counters.junk_sent += junk_units
-        initiator.counters.junk_received += junk_units
+        initiator.counters.add(
+            pushes_nonempty=1,
+            updates_sent=to_responder,
+            updates_received=to_initiator,
+            junk_received=junk_units,
+        )
+        partner.counters.add(
+            updates_sent=to_initiator,
+            updates_received=to_responder,
+            junk_sent=junk_units,
+        )
 
 
 class GossipSimulator(RoundSimulator):
@@ -595,9 +645,30 @@ class GossipSimulator(RoundSimulator):
                 config.updates_per_round,
                 config.update_lifetime,
                 memory=config.memory,
+                # memory="shared": reserve the counter columns in the
+                # same segment, right after the word rows, so shard
+                # workers bump the live tallies in place.
+                extra_int64=(
+                    config.n_nodes * N_COUNTER_COLS
+                    if config.memory == "shared"
+                    else 0
+                ),
             )
         else:
             self._pool = None
+        #: The columnar per-node state (counters matrix, group /
+        #: behaviour codes, eviction flags) — every backend uses it;
+        #: node objects are views into its columns.
+        if (
+            isinstance(self._pool, WordPopulationStore)
+            and config.memory == "shared"
+        ):
+            self.population = Population(
+                config.n_nodes,
+                counters=self._pool.extra.reshape(config.n_nodes, -1),
+            )
+        else:
+            self.population = Population(config.n_nodes)
         self.nodes: List[GossipNode] = [
             self._make_node(node_id) for node_id in range(config.n_nodes)
         ]
@@ -609,10 +680,6 @@ class GossipSimulator(RoundSimulator):
             node.node_id for node in self.nodes if node.is_attacker
         )
         self._evicted_ids: set = set()
-        self._correct_mask = np.array([node.is_correct for node in self.nodes])
-        self._satiated_mask = np.array(
-            [node.group is TargetGroup.SATIATED for node in self.nodes]
-        )
         # Per-node (delivered, missed) tallies over the measured window
         # (see the `per_node_delivered` property): plain lists on the
         # set backend (cheap scalar increments), arrays on the bitset
@@ -635,7 +702,12 @@ class GossipSimulator(RoundSimulator):
         #: phases through it directly; k >= 2 replays shard slices
         #: through per-shard engines built by the worker body.
         self._engine = InteractionEngine(
-            self.nodes, config, self.attack, self.authority, pool=self._pool
+            self.nodes,
+            config,
+            self.attack,
+            self.authority,
+            pool=self._pool,
+            population=self.population,
         )
         self._shard_static = (
             ShardStatic(
@@ -662,9 +734,12 @@ class GossipSimulator(RoundSimulator):
         Idempotent.  Heap-backed simulators have nothing to release;
         on ``memory="shared"`` this closes and unlinks the store's
         segment, after which the simulator's stores are unusable
-        (aggregate metrics — stats, counters, groups — stay readable).
+        (aggregate metrics — stats, counters, groups — stay readable:
+        the population re-homes its shared counter columns onto the
+        heap before the segment goes away).
         """
         if isinstance(self._pool, WordPopulationStore):
+            self.population.materialize()
             self._pool.release()
 
     def _release_after_failure(self) -> None:
@@ -703,7 +778,7 @@ class GossipSimulator(RoundSimulator):
 
     def _make_node(self, node_id: int) -> GossipNode:
         if self.attack.controls(node_id):
-            node = GossipNode(node_id, Behavior.BYZANTINE, TargetGroup.ATTACKER)
+            behavior, group = Behavior.BYZANTINE, TargetGroup.ATTACKER
         else:
             group = (
                 TargetGroup.SATIATED
@@ -715,10 +790,15 @@ class GossipSimulator(RoundSimulator):
                 if self._roles_rng.random() < self.config.obedient_fraction
                 else Behavior.RATIONAL
             )
-            node = GossipNode(node_id, behavior, group)
-        if self._pool is not None:
-            node.store = self._pool.view(node_id)
-        return node
+        store = self._pool.view(node_id) if self._pool is not None else None
+        return GossipNode(
+            node_id,
+            behavior,
+            group,
+            store=store,
+            population=self.population,
+            row=node_id,
+        )
 
     # ------------------------------------------------------------------
     # Per-node tally views (backend-independent API)
@@ -758,7 +838,7 @@ class GossipSimulator(RoundSimulator):
         windows: Dict[int, Dict[int, List[int]]] = {
             node_id: {} for node_id in range(self.config.n_nodes)
         }
-        correct_ids = np.flatnonzero(self._correct_mask)
+        correct_ids = np.flatnonzero(self.population.correct_mask)
         for window, (delivered, missed) in sorted(self._window_tallies.items()):
             for node_id in correct_ids:
                 windows[int(node_id)][window] = [
@@ -911,11 +991,13 @@ class GossipSimulator(RoundSimulator):
         self.attack.retarget(new_targets)
         for node in self.nodes:
             if node.is_correct:
-                satiated = node.node_id in new_targets
+                # The group property writes the population's code
+                # column, so the expiry-scoring masks follow for free.
                 node.group = (
-                    TargetGroup.SATIATED if satiated else TargetGroup.ISOLATED
+                    TargetGroup.SATIATED
+                    if node.node_id in new_targets
+                    else TargetGroup.ISOLATED
                 )
-                self._satiated_mask[node.node_id] = satiated
 
     def _broadcast(self, round_now: int) -> None:
         """Release this round's updates and seed each to random nodes."""
@@ -1004,9 +1086,7 @@ class GossipSimulator(RoundSimulator):
         if created >= self.measure_from_round:
             delivered_counts = pool.masked_have_popcounts(due_mask)
             due_each = len(due)
-            correct = self._correct_mask
-            satiated = correct & self._satiated_mask
-            isolated = correct & ~self._satiated_mask
+            correct = self.population.correct_mask
             self._delivered_by_node[correct] += delivered_counts[correct]
             self._missed_by_node[correct] += due_each - delivered_counts[correct]
             window = created // self.config.update_lifetime
@@ -1020,10 +1100,8 @@ class GossipSimulator(RoundSimulator):
             window_delivered[correct] += delivered_counts[correct]
             window_missed[correct] += due_each - delivered_counts[correct]
             self.stats.record_groups(
-                tally_groups(
-                    delivered_counts,
-                    due_each,
-                    {"isolated": isolated, "satiated": satiated, "correct": correct},
+                tally_group_codes(
+                    delivered_counts, due_each, self.population.group_codes
                 )
             )
         pool.clear_mask(due_mask)

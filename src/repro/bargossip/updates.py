@@ -648,6 +648,7 @@ class WordPopulationStore:
         lifetime: int,
         memory: str = "heap",
         shm_name: Optional[str] = None,
+        extra_int64: int = 0,
     ) -> None:
         if n_nodes < 1:
             raise SimulationError(f"n_nodes must be >= 1, got {n_nodes}")
@@ -657,6 +658,10 @@ class WordPopulationStore:
             )
         if shm_name is not None and memory != "shared":
             raise ConfigurationError("shm_name requires memory='shared'")
+        if extra_int64 < 0:
+            raise ConfigurationError(
+                f"extra_int64 must be >= 0, got {extra_int64}"
+            )
         self.n_nodes = n_nodes
         self.updates_per_round = updates_per_round
         self.lifetime = lifetime
@@ -665,7 +670,12 @@ class WordPopulationStore:
         self.full_mask = (1 << self.capacity) - 1
         self.memory = memory
         self.words_per_row = -(-self.capacity // WORD_BITS)
-        n_words = 2 * n_nodes * self.words_per_row
+        #: Extra int64 slots reserved at the tail of the flat buffer —
+        #: the columnar counter region when ``memory == "shared"``
+        #: (attaching processes must pass the creator's count so the
+        #: row/extra split lands on the same offsets).
+        self.extra_int64 = extra_int64
+        n_words = 2 * n_nodes * self.words_per_row + extra_int64
         self.owns_shm = memory == "shared" and shm_name is None
         shm = None
         if memory == "shared":
@@ -690,7 +700,12 @@ class WordPopulationStore:
         rows = n_nodes * self.words_per_row
         #: Packed have/missing rows, ``(n_nodes, words_per_row)`` uint64.
         self.have_words = flat[:rows].reshape(n_nodes, self.words_per_row)
-        self.missing_words = flat[rows:].reshape(n_nodes, self.words_per_row)
+        self.missing_words = flat[rows : 2 * rows].reshape(
+            n_nodes, self.words_per_row
+        )
+        #: The reserved tail region viewed as int64 (empty when
+        #: ``extra_int64 == 0``); zeroed with the rest of the buffer.
+        self.extra = flat[2 * rows :].view(np.int64)
         #: Int-compatible row views (the BitsetPopulationStore protocol).
         self.have_bits = _WordRows(self.have_words)
         self.missing_bits = _WordRows(self.missing_words)
@@ -725,7 +740,7 @@ class WordPopulationStore:
             return
         shm, self._shm = self._shm, None
         self._pending_unlink = shm if self.owns_shm else None
-        self.have_words = self.missing_words = None
+        self.have_words = self.missing_words = self.extra = None
         self.have_bits = self.missing_bits = None
         try:
             shm.close()

@@ -29,6 +29,8 @@ __all__ = [
     "DeliveryStats",
     "TimeSeries",
     "tally_groups",
+    "tally_group_codes",
+    "GROUP_CODE_ORDER",
     "mean",
     "confidence_interval_95",
     "first_crossing_below",
@@ -131,6 +133,49 @@ def tally_groups(
         members = int(np.count_nonzero(mask))
         delivered = int(counts[mask].sum()) if members else 0
         tallies[group] = (delivered, due_each * members - delivered)
+    return tallies
+
+
+#: The small-integer group encoding :func:`tally_group_codes` reduces
+#: over — position is the code.  Matches the columnar population's
+#: ``GROUP_CODES`` (``repro.bargossip.node``): code 0 marks
+#: attacker-run nodes, which delivery scoring excludes.
+GROUP_CODE_ORDER: Tuple[str, ...] = ("attacker", "satiated", "isolated")
+
+
+def tally_group_codes(
+    delivered_counts: "Sequence[int]",
+    due_each: int,
+    group_codes: "Sequence[int]",
+) -> Dict[str, Tuple[int, int]]:
+    """Single-pass :func:`tally_groups` over a group-code column.
+
+    ``group_codes`` assigns every node a :data:`GROUP_CODE_ORDER` code;
+    the reduction is one integer scatter-add instead of one masked sum
+    per group, and the ``"correct"`` union (satiated + isolated — every
+    node the attacker does not run) falls out of the per-code sums.
+    Attacker-only populations therefore produce all-zero tallies, which
+    :meth:`DeliveryStats.record_groups` skips, matching the masked
+    path.  Integer arithmetic throughout — no float accumulation.
+    """
+    codes = np.asarray(group_codes, dtype=np.intp)
+    counts = np.asarray(delivered_counts, dtype=np.int64)
+    n_groups = len(GROUP_CODE_ORDER)
+    members = np.bincount(codes, minlength=n_groups)
+    delivered = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(delivered, codes, counts)
+    tallies: Dict[str, Tuple[int, int]] = {}
+    for name, code in (("isolated", 2), ("satiated", 1)):
+        group_delivered = int(delivered[code])
+        tallies[name] = (
+            group_delivered,
+            due_each * int(members[code]) - group_delivered,
+        )
+    correct_delivered = int(delivered[1] + delivered[2])
+    tallies["correct"] = (
+        correct_delivered,
+        due_each * int(members[1] + members[2]) - correct_delivered,
+    )
     return tallies
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "run_backend_bench",
     "run_shard_bench",
     "run_memory_bench",
+    "run_counters_bench",
     "run_bench",
     "render_bench_summary",
     "write_bench_summary",
@@ -373,6 +374,91 @@ def run_memory_bench(
     }
 
 
+def run_counters_bench(
+    n_nodes: int = 20000,
+    rounds: int = 10,
+    workers: int = 4,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Measure what the columnar counter refactor changed, per round.
+
+    Two numbers, both deliberately at the ``memory_bench`` headline
+    scale (20,000 nodes) so consecutive artifacts — and the PR-4
+    baseline — stay directly comparable:
+
+    * ``words_round_seconds`` / ``bitset_round_seconds`` — wall-clock
+      per round of one serial no-attack run on the sharded schedule
+      (``shards=1``).  The words backend's phases are whole-population
+      sweeps whose counter updates are scatter-adds on the columnar
+      matrix; the bitset backend keeps the per-pair scalar dispatch and
+      therefore pays the column-view tax on every interaction — the
+      recorded ratio is the honest price of the trade.
+    * ``dispatch`` — the measured pickled bytes of one pooled round's
+      shard messages (states out, outcomes back) on the words backend,
+      heap versus shared.  Heap outcomes now carry sparse narrowed
+      counter columns instead of per-node tuples; shared outcomes carry
+      no counter payload at all (workers bump the segment's columns in
+      place), so ``outcome_bytes`` is where the lean-delta re-cut
+      shows up.
+
+    Shared rows are skipped (``None``) where no shared-memory segment
+    can be created.
+    """
+    per_round: Dict[str, Optional[float]] = {}
+    reference = None
+    parity_ok = True
+    delivery = None
+    for name, backend in (
+        ("words_round_seconds", "words"),
+        ("bitset_round_seconds", "bitset"),
+    ):
+        config = GossipConfig(n_nodes=n_nodes, backend=backend, shards=1)
+        elapsed, aggregates = _time_rounds(config, rounds, seed)
+        per_round[name] = elapsed / rounds
+        if reference is None:
+            reference = aggregates
+            delivery = aggregates[-1]
+        else:
+            parity_ok = parity_ok and aggregates == reference
+
+    shared_ok = shared_memory_available()
+    dispatch: Dict[str, Any] = {
+        "words_heap": _round_traffic_bytes(
+            GossipConfig(n_nodes=n_nodes, backend="words"), workers, seed
+        ),
+        "words_shared": (
+            _round_traffic_bytes(
+                GossipConfig(n_nodes=n_nodes, backend="words", memory="shared"),
+                workers,
+                seed,
+            )
+            if shared_ok
+            else None
+        ),
+    }
+    if shared_ok:
+        heap_out = dispatch["words_heap"]["outcome_bytes"]
+        shared_out = dispatch["words_shared"]["outcome_bytes"]
+        dispatch["outcome_bytes_heap_over_shared"] = (
+            heap_out / shared_out if shared_out else None
+        )
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "workers": workers,
+        "shared_available": shared_ok,
+        **per_round,
+        "words_vs_bitset_round_speedup": (
+            per_round["bitset_round_seconds"] / per_round["words_round_seconds"]
+            if per_round["words_round_seconds"]
+            else None
+        ),
+        "dispatch": dispatch,
+        "parity_ok": parity_ok,
+        "delivery_fraction": delivery,
+    }
+
+
 def run_bench(
     fast: bool = True,
     jobs: Optional[int] = None,
@@ -458,6 +544,11 @@ def run_bench(
         workers=shard_workers,
         seed=root_seed,
     )
+    counters_bench = run_counters_bench(
+        n_nodes=memory_nodes,
+        workers=shard_workers,
+        seed=root_seed,
+    )
     executor_stats = executor.stats()
     if own_executor:
         executor.close()
@@ -478,6 +569,7 @@ def run_bench(
         "backend_bench": backend_bench,
         "shard_bench": shard_bench,
         "memory_bench": memory_bench,
+        "counters_bench": counters_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -567,6 +659,31 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
             )
         elif not memory.get("shared_available", True):
             lines.append("  pooled shared: skipped (no shared memory available)")
+    counters = summary.get("counters_bench")
+    if counters:
+        parity = "ok" if counters["parity_ok"] else "MISMATCH"
+        lines.append(
+            f"counters ({counters['n_nodes']} nodes, serial shards=1): "
+            f"words {counters['words_round_seconds'] * 1000:.0f} ms/round, "
+            f"bitset {counters['bitset_round_seconds'] * 1000:.0f} ms/round "
+            f"({counters['words_vs_bitset_round_speedup']:.2f}x, "
+            f"parity {parity})"
+        )
+        dispatch = counters.get("dispatch", {})
+        heap = dispatch.get("words_heap") or {}
+        shared = dispatch.get("words_shared")
+        if shared is not None:
+            ratio = dispatch.get("outcome_bytes_heap_over_shared")
+            ratio_text = f" ({ratio:.2f}x leaner)" if ratio else ""
+            lines.append(
+                f"  dispatch/round: heap {heap.get('outcome_bytes', 0)} B "
+                f"out, shared {shared['outcome_bytes']} B out{ratio_text}"
+            )
+        else:
+            lines.append(
+                f"  dispatch/round: heap {heap.get('outcome_bytes', 0)} B out "
+                "(shared skipped: no shared memory available)"
+            )
     return "\n".join(lines)
 
 

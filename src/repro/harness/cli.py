@@ -27,7 +27,7 @@ content-addressed under ``--cache-dir`` (default
 skip every already-computed simulation.  ``--no-cache`` disables the
 store; parallel output is bit-identical to ``--jobs 1``.  ``--backend
 bitset`` switches the gossip commands to the packed-bitset store (same
-results, measured >3x faster single-core at scale); ``--backend
+results, measured ~2.8x faster single-core at scale); ``--backend
 words`` to the fixed-width word-array store (batched phase sweeps, and
 the only backend supporting ``--memory shared``, which places the rows
 in a shared-memory block so sharded workers mutate them in place).
@@ -154,6 +154,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         mismatched.append("shard_bench")
     if not summary["memory_bench"]["parity_ok"]:
         mismatched.append("memory_bench")
+    if not summary["counters_bench"]["parity_ok"]:
+        mismatched.append("counters_bench")
     if summary["shard_bench"].get("pool_undersubscribed") or summary[
         "memory_bench"
     ].get("pool_undersubscribed"):
@@ -432,7 +434,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["sets", "bitset", "words"],
         default="sets",
         help="gossip update-store backend (bitset: packed rows, "
-        "identical results, >3x faster single-core at scale; words: "
+        "identical results, ~2.8x faster single-core at scale; words: "
         "fixed-width word arrays with batched phase sweeps, required "
         "for --memory shared)",
     )

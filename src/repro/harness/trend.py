@@ -66,6 +66,11 @@ _TRACKED: List = [
     (("memory_bench", "inprocess_words_seconds"), "word-backend in-process wall-clock", "lower"),
     (("memory_bench", "pooled_words_shared_seconds"), "shared-memory pooled wall-clock", "lower"),
     (("memory_bench", "serial_words_vs_bitset_speedup"), "word-backend speedup vs bitset", "higher"),
+    # counters_bench landed after memory_bench (columnar population
+    # refactor); older artifacts diff as "no baseline, skipped".
+    (("counters_bench", "words_round_seconds"), "word-backend serial per-round", "lower"),
+    (("counters_bench", "words_vs_bitset_round_speedup"), "per-round words speedup vs bitset", "higher"),
+    (("counters_bench", "dispatch", "words_shared", "outcome_bytes"), "shared shard outcome bytes/round", "lower"),
 ]
 
 

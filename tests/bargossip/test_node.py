@@ -92,3 +92,21 @@ class TestCounters:
         node.counters.record_exchange(sent=1, received=0)
         assert node.counters.updates_sent == 4
         assert node.counters.updates_received == 2
+
+    def test_add_is_the_single_mutation_api(self):
+        """Inline ``counter.field += n`` bumps are gone from the round
+        loop: everything funnels through add(), which both the plain
+        dataclass and the columnar view implement."""
+        node = make_node()
+        node.counters.add(exchanges_initiated=1, pushes_initiated=2)
+        node.counters.add(junk_received=3)
+        assert node.counters.exchanges_initiated == 1
+        assert node.counters.pushes_initiated == 2
+        assert node.counters.junk_received == 3
+
+    def test_record_nonempty_exchange(self):
+        node = make_node()
+        node.counters.record_nonempty_exchange(sent=2, received=1)
+        assert node.counters.updates_sent == 2
+        assert node.counters.updates_received == 1
+        assert node.counters.exchanges_nonempty == 1

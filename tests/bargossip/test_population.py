@@ -1,0 +1,230 @@
+"""Unit tests for the columnar population state.
+
+The end-to-end guarantees (bit-exact parity across backends, shard
+counts and memory placements with the columnar counters in place) live
+in the parity suites; this module pins the pieces: the counters matrix
+and its views, the code columns behind ``group``/``behavior``/
+``evicted``, the overflow guards, the sparse shard deltas, and the
+shared-memory re-homing that keeps counters readable after release.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bargossip.node import (
+    COUNTER_FIELDS,
+    COUNTER_MAX,
+    CounterColumnView,
+    GossipNode,
+    ServiceCounters,
+    TargetGroup,
+)
+from repro.bargossip.population import N_COUNTER_COLS, Population
+from repro.bargossip.updates import (
+    WordPopulationStore,
+    shared_memory_available,
+)
+from repro.core.behaviors import Behavior
+from repro.core.errors import SimulationError
+
+
+class TestCounterColumns:
+    def test_view_reads_and_writes_matrix(self):
+        population = Population(4)
+        view = population.counters_view(2)
+        view.add(updates_sent=3, junk_received=1)
+        view.updates_received = 7
+        assert population.counters[2].tolist() == [3, 7, 0, 1, 0, 0, 0, 0]
+        assert view.updates_sent == 3
+        assert population.counters[1].tolist() == [0] * N_COUNTER_COLS
+
+    def test_record_helpers_match_dataclass(self):
+        population = Population(1)
+        view = population.counters_view(0)
+        plain = ServiceCounters()
+        for counters in (view, plain):
+            counters.record_exchange(sent=3, received=2)
+            counters.record_nonempty_exchange(sent=1, received=0)
+            counters.add(pushes_initiated=2, junk_sent=4)
+        assert view == plain
+        assert plain == view
+        assert view.as_tuple() == plain.as_tuple()
+
+    def test_views_with_different_tallies_differ(self):
+        population = Population(2)
+        a, b = population.counters_view(0), population.counters_view(1)
+        a.add(updates_sent=1)
+        assert a != b
+        assert a != ServiceCounters()
+        assert b == ServiceCounters()
+
+    def test_unknown_field_rejected(self):
+        population = Population(1)
+        with pytest.raises(SimulationError):
+            population.counters_view(0).add(bogus_field=1)
+        with pytest.raises(SimulationError):
+            ServiceCounters().add(bogus_field=1)
+
+    def test_field_order_is_the_schema(self):
+        population = Population(1)
+        view = population.counters_view(0)
+        for offset, name in enumerate(COUNTER_FIELDS):
+            view.add(**{name: offset + 1})
+        assert population.counters[0].tolist() == [
+            offset + 1 for offset in range(len(COUNTER_FIELDS))
+        ]
+
+
+class TestOverflowGuards:
+    """The int64 columns refuse to wrap, on every mutation path."""
+
+    def test_add_overflow_raises(self):
+        population = Population(1)
+        view = population.counters_view(0)
+        view.updates_sent = COUNTER_MAX - 1
+        with pytest.raises(SimulationError):
+            view.add(updates_sent=2)
+        # The failed add must not have corrupted the column.
+        assert view.updates_sent == COUNTER_MAX - 1
+        view.add(updates_sent=1)  # exactly at the max is fine
+        assert view.updates_sent == COUNTER_MAX
+
+    def test_negative_delta_raises(self):
+        population = Population(1)
+        with pytest.raises(SimulationError):
+            population.counters_view(0).add(updates_sent=-1)
+        with pytest.raises(SimulationError):
+            ServiceCounters().add(updates_sent=-1)
+
+    def test_setter_guards(self):
+        population = Population(1)
+        view = population.counters_view(0)
+        with pytest.raises(SimulationError):
+            view.junk_sent = -5
+        with pytest.raises(SimulationError):
+            view.junk_sent = COUNTER_MAX + 1
+
+    def test_dataclass_add_overflow_raises(self):
+        counters = ServiceCounters(updates_sent=COUNTER_MAX)
+        with pytest.raises(SimulationError):
+            counters.add(updates_sent=1)
+
+
+class TestGroupCodeVocabulary:
+    def test_codes_match_metrics_order(self):
+        """The population's group encoding and core.metrics'
+        tally_group_codes reduction must agree code for code — the
+        codes are derived from GROUP_CODE_ORDER, pinned here."""
+        from repro.bargossip.node import GROUP_CODES, GROUPS_BY_CODE
+        from repro.core.metrics import GROUP_CODE_ORDER
+
+        assert tuple(group.value for group in GROUPS_BY_CODE) == GROUP_CODE_ORDER
+        for group, code in GROUP_CODES.items():
+            assert GROUP_CODE_ORDER[code] == group.value
+        assert GROUP_CODES[TargetGroup.ATTACKER] == 0
+
+
+class TestNodeViews:
+    def test_bound_node_delegates_to_columns(self):
+        population = Population(3)
+        node = GossipNode(
+            1,
+            Behavior.OBEDIENT,
+            TargetGroup.SATIATED,
+            population=population,
+            row=1,
+        )
+        assert population.satiated_mask.tolist() == [False, True, False]
+        node.group = TargetGroup.ISOLATED
+        assert not population.satiated_mask.any()
+        assert node.group is TargetGroup.ISOLATED
+        node.evicted = True
+        assert population.evicted[1]
+        node.counters.add(updates_sent=2)
+        assert population.counters[1, 0] == 2
+        assert isinstance(node.counters, CounterColumnView)
+
+    def test_standalone_node_keeps_local_state(self):
+        node = GossipNode(0, Behavior.RATIONAL, TargetGroup.ISOLATED)
+        node.evicted = True
+        node.group = TargetGroup.SATIATED
+        node.counters.add(updates_sent=1)
+        assert node.evicted and node.group is TargetGroup.SATIATED
+        assert isinstance(node.counters, ServiceCounters)
+
+    def test_attacker_flag_tracks_group(self):
+        node = GossipNode(0, Behavior.BYZANTINE, TargetGroup.ATTACKER)
+        assert node.is_attacker and not node.is_correct
+        population = Population(1)
+        bound = GossipNode(
+            0, Behavior.BYZANTINE, TargetGroup.ATTACKER,
+            population=population, row=0,
+        )
+        assert bound.is_attacker
+        assert population.byzantine_mask.tolist() == [True]
+        assert population.correct_mask.tolist() == [False]
+
+
+class TestSparseDeltas:
+    def test_only_moved_rows_ship(self):
+        population = Population(5)
+        population.counters_view(1).add(updates_sent=3)
+        population.counters_view(4).add(pushes_nonempty=1)
+        rows, deltas = population.sparse_counter_deltas()
+        assert rows.tolist() == [1, 4]
+        assert deltas.dtype == np.int16
+        assert deltas[0].tolist() == [3, 0, 0, 0, 0, 0, 0, 0]
+
+    def test_wide_deltas_widen_dtype(self):
+        population = Population(2)
+        population.counters_view(0).add(updates_sent=40000)
+        rows, deltas = population.sparse_counter_deltas()
+        assert deltas.dtype == np.int32
+        assert int(deltas[0, 0]) == 40000
+
+    def test_empty_population_ships_nothing(self):
+        rows, deltas = Population(3).sparse_counter_deltas()
+        assert len(rows) == 0 and deltas.size == 0
+
+    def test_roundtrip_through_add(self):
+        source = Population(4)
+        source.counters_view(0).add(updates_sent=2, junk_sent=1)
+        source.counters_view(3).add(exchanges_initiated=5)
+        target = Population(4)
+        target.counters_view(3).add(exchanges_initiated=1)
+        target.add_counter_deltas(*source.sparse_counter_deltas())
+        assert target.counters[0].tolist() == source.counters[0].tolist()
+        assert int(target.counters[3, 4]) == 6
+
+
+class TestSharedCounterColumns:
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory on this host"
+    )
+    def test_materialize_survives_store_release(self):
+        store = WordPopulationStore(
+            3, 2, 2, memory="shared", extra_int64=3 * N_COUNTER_COLS
+        )
+        population = Population(
+            3, counters=store.extra.reshape(3, N_COUNTER_COLS)
+        )
+        view = population.counters_view(2)
+        view.add(updates_sent=9)
+        # A second attachment sees the in-place write.
+        attached = WordPopulationStore(
+            3, 2, 2, memory="shared", shm_name=store.shm_name,
+            extra_int64=3 * N_COUNTER_COLS,
+        )
+        assert int(attached.extra.reshape(3, N_COUNTER_COLS)[2, 0]) == 9
+        attached.close()
+        population.materialize()
+        store.release()
+        # Views re-resolve the re-homed matrix: still readable.
+        assert view.updates_sent == 9
+        assert view == ServiceCounters(updates_sent=9)
+
+    def test_materialize_is_noop_on_heap(self):
+        population = Population(2)
+        matrix = population.counters
+        population.materialize()
+        assert population.counters is matrix

@@ -247,6 +247,41 @@ class TestWordPopulationStore:
         with pytest.raises(ConfigurationError):
             WordPopulationStore(2, 4, 3, memory="heap", shm_name="x")
 
+    def test_extra_region_heap(self):
+        store = WordPopulationStore(3, 4, 3, extra_int64=6)
+        assert store.extra.shape == (6,)
+        assert store.extra.dtype == np.int64
+        assert not store.extra.any()
+        store.extra[4] = -7  # int64, not uint64: signed round-trips
+        assert int(store.extra[4]) == -7
+        # The rows are unaffected by extra-slot writes.
+        assert store.have_bits[2] == 0 and store.missing_bits[2] == 0
+        plain = WordPopulationStore(3, 4, 3)
+        assert plain.extra.shape == (0,)
+        with pytest.raises(ConfigurationError):
+            WordPopulationStore(3, 4, 3, extra_int64=-1)
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory on this host"
+    )
+    def test_extra_region_shared_attach(self):
+        creator = WordPopulationStore(
+            2, 4, 3, memory="shared", extra_int64=4
+        )
+        creator.have_bits[1] = 0b11
+        creator.extra[3] = 42
+        attached = WordPopulationStore(
+            2, 4, 3, memory="shared", shm_name=creator.shm_name, extra_int64=4
+        )
+        # Same layout on both sides: rows and extra land on the same
+        # offsets, so neither view bleeds into the other.
+        assert attached.have_bits[1] == 0b11
+        assert int(attached.extra[3]) == 42
+        attached.extra[0] = 7
+        assert int(creator.extra[0]) == 7
+        attached.close()
+        creator.release()
+
     @pytest.mark.skipif(
         not shared_memory_available(), reason="no shared memory on this host"
     )

@@ -11,6 +11,8 @@ from repro.core.metrics import (
     confidence_interval_95,
     first_crossing_below,
     mean,
+    tally_group_codes,
+    tally_groups,
 )
 
 
@@ -125,6 +127,69 @@ class TestFirstCrossingBelow:
         crossing = first_crossing_below(xs, ys, threshold)
         if crossing is not None:
             assert xs[0] <= crossing <= xs[-1]
+
+
+class TestTallyGroups:
+    """The expiry-scoring reductions, masked and code-based."""
+
+    def test_masked_and_coded_reductions_agree(self):
+        # Node 0 is the attacker; 1-2 satiated; 3-5 isolated.
+        delivered = [9, 4, 3, 2, 1, 0]
+        codes = [0, 1, 1, 2, 2, 2]
+        satiated = [False, True, True, False, False, False]
+        isolated = [False, False, False, True, True, True]
+        correct = [a or b for a, b in zip(satiated, isolated)]
+        masked = tally_groups(
+            delivered,
+            5,
+            {"isolated": isolated, "satiated": satiated, "correct": correct},
+        )
+        coded = tally_group_codes(delivered, 5, codes)
+        assert masked == coded
+        assert coded["satiated"] == (7, 3)
+        assert coded["isolated"] == (3, 12)
+        assert coded["correct"] == (10, 15)
+
+    def test_attacker_only_round_produces_no_records(self):
+        """An all-attacker population tallies zero everywhere — and the
+        stats recorder skips the all-zero groups, so an attacker-only
+        round leaves no trace in the delivery report."""
+        tallies = tally_group_codes([5, 5, 5], 5, [0, 0, 0])
+        assert tallies == {
+            "isolated": (0, 0), "satiated": (0, 0), "correct": (0, 0)
+        }
+        stats = DeliveryStats()
+        stats.record_groups(tallies)
+        assert stats.groups() == []
+
+    def test_empty_mask_group(self):
+        """A group with no members (e.g. every member evicted out of a
+        fixed-target attack) tallies (0, 0) and is skipped, not
+        recorded as a 0/0 fraction."""
+        tallies = tally_groups(
+            [1, 2], 3, {"satiated": [False, False], "correct": [True, True]}
+        )
+        assert tallies["satiated"] == (0, 0)
+        stats = DeliveryStats()
+        stats.record_groups(tallies)
+        assert stats.groups() == ["correct"]
+        with pytest.raises(AnalysisError):
+            stats.fraction("satiated")
+
+    def test_integer_exactness_at_int64_scale(self):
+        """The code-based reduction accumulates in integers: tallies
+        near the int64 counter ceiling stay exact (a float pass would
+        round above 2**53)."""
+        big = 2**60
+        tallies = tally_group_codes([big, big + 1], big + 1, [2, 2])
+        assert tallies["isolated"] == (2 * big + 1, 1)
+        assert tallies["correct"] == (2 * big + 1, 1)
+
+    def test_all_nodes_one_group(self):
+        tallies = tally_group_codes([3, 1], 4, [1, 1])
+        assert tallies["satiated"] == (4, 4)
+        assert tallies["isolated"] == (0, 0)
+        assert tallies["correct"] == (4, 4)
 
 
 class TestAggregates:

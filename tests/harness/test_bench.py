@@ -8,6 +8,7 @@ from repro.harness.bench import (
     BENCH_FIGURES,
     render_bench_summary,
     run_bench,
+    run_counters_bench,
     run_memory_bench,
     run_shard_bench,
     write_bench_summary,
@@ -145,6 +146,38 @@ class TestRunBench:
             assert shared_bytes < heap_bytes
             assert traffic["heap_over_shared"] > 1.0
 
+    def test_counters_bench_section(self, summary):
+        counters = summary["counters_bench"]
+        assert counters["n_nodes"] == 400
+        assert counters["parity_ok"] is True
+        assert counters["words_round_seconds"] > 0
+        assert counters["bitset_round_seconds"] > 0
+        assert counters["words_vs_bitset_round_speedup"] > 0
+        dispatch = counters["dispatch"]
+        assert dispatch["words_heap"]["outcome_bytes"] > 0
+        if counters["shared_available"]:
+            # The lean-delta re-cut: shared outcomes carry no counter
+            # columns at all, so they ship strictly fewer bytes than
+            # heap outcomes (which still carry rows + sparse deltas).
+            assert (
+                dispatch["words_shared"]["outcome_bytes"]
+                < dispatch["words_heap"]["outcome_bytes"]
+            )
+            assert dispatch["outcome_bytes_heap_over_shared"] > 1.0
+
+    def test_counters_bench_without_shared_memory(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.harness.bench.shared_memory_available", lambda: False
+        )
+        report = run_counters_bench(n_nodes=120, rounds=4, workers=2)
+        assert report["shared_available"] is False
+        assert report["dispatch"]["words_shared"] is None
+        assert report["parity_ok"] is True
+        rendered = render_bench_summary(
+            {**_minimal_summary(), "counters_bench": report}
+        )
+        assert "shared skipped" in rendered
+
     def test_undersubscription_flag(self, monkeypatch):
         monkeypatch.setattr("repro.harness.bench.os.cpu_count", lambda: 1)
         report = run_shard_bench(n_nodes=120, rounds=4, workers=2)
@@ -191,6 +224,12 @@ class TestBenchCli:
                 n_nodes=200, rounds=4, workers=kwargs.get("workers", 2)
             ),
         )
+        monkeypatch.setattr(
+            "repro.harness.bench.run_counters_bench",
+            lambda **kwargs: run_counters_bench(
+                n_nodes=200, rounds=4, workers=kwargs.get("workers", 2)
+            ),
+        )
         monkeypatch.chdir(tmp_path)
         out = tmp_path / "BENCH_summary.json"
         assert main(["--fast", "--no-cache", "--output", str(out), "bench"]) == 0
@@ -198,6 +237,8 @@ class TestBenchCli:
         loaded = json.loads(out.read_text())
         assert set(loaded["figures"]) == {"figure1"}
         assert "memory_bench" in loaded
+        assert "counters_bench" in loaded
         captured = capsys.readouterr()
         assert "total" in captured.out
         assert "memory (" in captured.out
+        assert "counters (" in captured.out
