@@ -27,6 +27,7 @@ import tempfile
 import time
 
 from repro.bargossip.config import GossipConfig
+from repro.bargossip.scenario import ExecutionConfig
 from repro.bargossip.updates import shared_memory_available
 from repro.harness import (
     FAST_FRACTIONS,
@@ -89,16 +90,17 @@ def main() -> int:
     if args.memory == "shared" and not shared_memory_available():
         print("note: no usable shared memory here; falling back to --memory heap")
         args.memory = "heap"
-    config = GossipConfig.paper().replace(
-        backend=args.backend, shards=args.shards, memory=args.memory
+    config = GossipConfig.paper()
+    execution = ExecutionConfig(
+        backend=args.backend, memory=args.memory, shards=args.shards, jobs=jobs
     )
 
     cache_dir = tempfile.mkdtemp(prefix="lotus-cache-")
     with SweepExecutor(jobs=jobs, cache=ResultCache(cache_dir)) as executor:
         print(
             f"executor: {executor!r}\ncache: {cache_dir}\n"
-            f"config: backend={config.backend} memory={config.memory} "
-            f"shards={config.shards}\n"
+            f"execution: backend={execution.backend} "
+            f"memory={execution.memory} shards={execution.shards}\n"
         )
 
         start = time.perf_counter()
@@ -108,6 +110,7 @@ def main() -> int:
             rounds=30,
             repetitions=args.repetitions,
             executor=executor,
+            execution=execution,
         )
         cold = time.perf_counter() - start
 
@@ -118,6 +121,7 @@ def main() -> int:
             rounds=30,
             repetitions=args.repetitions,
             executor=executor,
+            execution=execution,
         )
         warm = time.perf_counter() - start
 

@@ -9,7 +9,7 @@ usable stream.
 Run:  python examples/quickstart.py
 """
 
-from repro import AttackKind, GossipConfig, run_gossip_experiment
+from repro import AttackKind, GossipConfig, Scenario, run_experiment
 
 config = GossipConfig.paper()  # Table 1: 250 nodes, 10 upd/round, ...
 FRACTION = 0.15                # attacker controls 15% of the system
@@ -18,7 +18,10 @@ print(f"BAR Gossip, {config.n_nodes} nodes, attacker fraction {FRACTION:.0%}")
 print(f"usable stream = more than {config.usability_threshold:.0%} of updates\n")
 
 for kind in (AttackKind.CRASH, AttackKind.IDEAL, AttackKind.TRADE):
-    result = run_gossip_experiment(config, kind, FRACTION, seed=0, rounds=40)
+    scenario = Scenario(
+        config=config, kind=kind, attacker_fraction=FRACTION, rounds=40
+    )
+    result = run_experiment(scenario, seed=0)
     satiated = (
         f"{result.satiated_fraction:.3f}"
         if result.satiated_fraction is not None

@@ -1,6 +1,6 @@
 """Sharded gossip rounds: one huge simulation split across processes.
 
-Demonstrates the PR 3 execution mode: ``GossipConfig.shards = k``
+Demonstrates the PR 3 execution mode: ``ExecutionConfig(shards=k)``
 switches partner selection to the permutation-pairing schedule whose
 per-round interaction graph decomposes into independent 4-node cells,
 so the exchange and push phases partition into ``k`` shards — with
@@ -14,11 +14,13 @@ Run with::
 
 import time
 
-from repro.bargossip import GossipConfig, GossipSimulator, ShardPool
+from repro.bargossip import ExecutionConfig, GossipConfig, GossipSimulator, ShardPool
 
 
-def run(config, rounds, shard_pool=None):
-    simulator = GossipSimulator(config, seed=0, shard_pool=shard_pool)
+def run(config, execution, rounds, shard_pool=None):
+    simulator = GossipSimulator(
+        config, seed=0, shard_pool=shard_pool, execution=execution
+    )
     start = time.perf_counter()
     for _ in range(rounds):
         simulator.step()
@@ -28,12 +30,13 @@ def run(config, rounds, shard_pool=None):
 
 def main():
     n_nodes, rounds, workers = 20000, 30, 4
-    base = GossipConfig(n_nodes=n_nodes, backend="bitset")
+    config = GossipConfig(n_nodes=n_nodes)
+    base = ExecutionConfig(backend="bitset")
 
-    unsharded, serial_s = run(base.replace(shards=1), rounds)
-    sharded, inproc_s = run(base.replace(shards=workers), rounds)
+    unsharded, serial_s = run(config, base.replace(shards=1), rounds)
+    sharded, inproc_s = run(config, base.replace(shards=workers), rounds)
     with ShardPool(workers) as pool:
-        pooled, pooled_s = run(base.replace(shards=workers), rounds, pool)
+        pooled, pooled_s = run(config, base.replace(shards=workers), rounds, pool)
 
     assert sharded.per_node_delivered == unsharded.per_node_delivered
     assert pooled.per_node_delivered == unsharded.per_node_delivered

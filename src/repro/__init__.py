@@ -23,9 +23,11 @@ This package provides:
 
 Quickstart
 ----------
->>> from repro import GossipConfig, AttackKind, run_gossip_experiment
->>> result = run_gossip_experiment(
-...     GossipConfig.small(), AttackKind.TRADE, attacker_fraction=0.2, rounds=30)
+>>> from repro import AttackKind, GossipConfig, Scenario, run_experiment
+>>> scenario = Scenario(
+...     config=GossipConfig.small(), kind=AttackKind.TRADE,
+...     attacker_fraction=0.2, rounds=30)
+>>> result = run_experiment(scenario)
 >>> result.isolated_fraction is not None
 True
 """
@@ -33,11 +35,15 @@ True
 from .bargossip import (
     AttackKind,
     AttackerCoalition,
+    ExecutionConfig,
     GossipConfig,
     GossipExperimentResult,
     GossipSimulator,
+    NetworkModel,
     ReportingPolicy,
+    Scenario,
     figure3_variants,
+    run_experiment,
     run_gossip_experiment,
     with_larger_pushes,
     with_unbalanced_exchanges,
@@ -75,6 +81,10 @@ __all__ = [
     "GossipConfig",
     "GossipSimulator",
     "GossipExperimentResult",
+    "Scenario",
+    "ExecutionConfig",
+    "NetworkModel",
+    "run_experiment",
     "run_gossip_experiment",
     "AttackKind",
     "AttackerCoalition",

@@ -18,12 +18,15 @@ from .defenses import (
     with_rate_limit,
     with_unbalanced_exchanges,
 )
+from .events import EventQueue
 from .exchange import ExchangePlan, apply_exchange, plan_balanced_exchange
 from .messages import InteractionReceipt, sign_receipt, verify_receipt
+from .network import DeliveryTimeTracker, NetworkModel, NetworkStats
 from .node import COUNTER_FIELDS, CounterColumnView, GossipNode, ServiceCounters, TargetGroup
 from .partner import PartnerSchedule, Purpose
 from .population import Population
 from .push import PushPlan, apply_push, plan_optimistic_push
+from .scenario import ExecutionConfig, Scenario, run_experiment
 from .sharding import ShardedPartnerSchedule, ShardPool
 from .simulator import (
     GossipExperimentResult,
@@ -44,6 +47,13 @@ __all__ = [
     "GossipConfig",
     "GossipSimulator",
     "GossipExperimentResult",
+    "Scenario",
+    "ExecutionConfig",
+    "NetworkModel",
+    "NetworkStats",
+    "DeliveryTimeTracker",
+    "EventQueue",
+    "run_experiment",
     "run_gossip_experiment",
     "AttackKind",
     "AttackerCoalition",

@@ -91,35 +91,6 @@ class GossipConfig:
     obedient_fraction: float = 0.0
     #: Delivery fraction above which the stream is usable.
     usability_threshold: float = USABILITY_THRESHOLD
-    #: Update-store implementation.  ``"sets"`` keeps per-node Python
-    #: sets (the reference implementation); ``"bitset"`` stores the
-    #: whole population's live-update state as packed
-    #: arbitrary-precision rows and runs the round phases as batch bit
-    #: operations; ``"words"`` packs the same rows into fixed-width
-    #: 64-bit word arrays, enabling whole-phase numpy sweeps and the
-    #: shared-memory shard execution (see ``memory``).  All backends
-    #: produce bit-identical traces for the same seed (pinned by the
-    #: parity test suites).
-    backend: str = "sets"
-    #: Where the ``words`` backend places its row buffer.  ``"heap"``
-    #: (default) allocates process-private memory; ``"shared"`` puts
-    #: the rows *and the columnar service-counter matrix* in one
-    #: ``multiprocessing.shared_memory`` block so
-    #: :class:`~repro.bargossip.sharding.ShardPool` workers mutate
-    #: their shard's rows and bump the live counter columns in place —
-    #: only evictions and reports cross the process boundary each
-    #: round.  Requires ``backend == "words"``; results are identical
-    #: either way.
-    memory: str = "heap"
-    #: Sharded round execution.  0 (default) keeps the classic schedule
-    #: and round loop.  ``k >= 1`` switches to the permutation-pairing
-    #: ``ShardedPartnerSchedule`` (see ``repro.bargossip.sharding``)
-    #: and partitions each round's exchange and push phases into ``k``
-    #: independent shards; results are bit-identical for every ``k``
-    #: (pinned by the shard-parity suite), so the value only decides
-    #: the available parallelism — pass a ``ShardPool`` to the
-    #: simulator to actually spread shards across worker processes.
-    shards: int = 0
 
     @classmethod
     def paper(cls) -> "GossipConfig":
@@ -143,6 +114,26 @@ class GossipConfig:
     def replace(self, **changes) -> "GossipConfig":
         """A copy of this configuration with ``changes`` applied."""
         return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """A plain-JSON representation (canonical cache/spec form)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GossipConfig":
+        """Inverse of :meth:`to_dict`.
+
+        Execution keys that moved to ``ExecutionConfig`` get the same
+        pointed error as the constructor; other unknown keys are
+        rejected outright.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known - set(_MOVED_TO_EXECUTION))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown GossipConfig keys: {unknown} (known: {sorted(known)})"
+            )
+        return cls(**payload)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -187,20 +178,29 @@ class GossipConfig:
             raise ConfigurationError(
                 f"accept_cap must be >= 1 or None, got {self.accept_cap}"
             )
-        if self.backend not in ("sets", "bitset", "words"):
-            raise ConfigurationError(
-                f"backend must be 'sets', 'bitset' or 'words', got {self.backend!r}"
-            )
-        if self.memory not in ("heap", "shared"):
-            raise ConfigurationError(
-                f"memory must be 'heap' or 'shared', got {self.memory!r}"
-            )
-        if self.memory == "shared" and self.backend != "words":
-            raise ConfigurationError(
-                "memory='shared' requires the fixed-width word backend "
-                f"(backend='words'), got backend={self.backend!r}"
-            )
-        if self.shards < 0:
-            raise ConfigurationError(
-                f"shards must be >= 0 (0 = unsharded), got {self.shards}"
-            )
+
+
+# ``backend`` / ``memory`` / ``shards`` lived on GossipConfig through
+# PRs 2-5 and moved to ``repro.bargossip.scenario.ExecutionConfig`` in
+# the Scenario API redesign.  Passing them here gets a pointed error
+# instead of dataclass's generic TypeError, so old call sites read
+# their own migration note.
+_MOVED_TO_EXECUTION = ("backend", "memory", "shards")
+
+_dataclass_init = GossipConfig.__init__
+
+
+def _guarded_init(self, *args, **kwargs) -> None:
+    moved = sorted(set(kwargs) & set(_MOVED_TO_EXECUTION))
+    if moved:
+        raise ConfigurationError(
+            f"GossipConfig no longer owns {moved}: execution concerns moved "
+            "to repro.bargossip.scenario.ExecutionConfig(backend=..., "
+            "memory=..., shards=..., jobs=...); pass it to "
+            "run_experiment(scenario, execution=...) or "
+            "GossipSimulator(config, execution=...)"
+        )
+    _dataclass_init(self, *args, **kwargs)
+
+
+GossipConfig.__init__ = _guarded_init  # type: ignore[method-assign]

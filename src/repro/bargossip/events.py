@@ -1,0 +1,144 @@
+"""The virtual-time event engine behind ``schedule="event"``.
+
+The paper's experiments run in synchronous rounds; the asynchronous
+scenario layer replays the same protocol against virtual time.  The
+engine is deliberately tiny: a priority queue of ``(time, seq, event)``
+triples (the shape of SNIPPETS.md's cobra-walk simulator, snippet 3)
+plus the event vocabulary of one gossip round.
+
+Determinism is the load-bearing property.  Events at equal timestamps
+pop in insertion order — the monotonically increasing ``seq`` breaks
+ties, and event payloads are never compared — so the whole event trace
+is a pure function of the root seed.  This is what makes the parity
+pin possible: with zero latency every send and its delivery share one
+timestamp, and insertion order reproduces the classic schedule's
+initiator order bit-exact.
+
+Interaction events come in send/deliver pairs: a ``*Send`` is the
+initiator handing the message to the network (where loss and latency
+apply), the matching ``*Deliver`` is the network handing it to the
+partner (where the actual :class:`~repro.bargossip.simulator.
+InteractionEngine` interaction runs).  Churn events carry no victim —
+the victim is drawn when the event fires, so the draw sees the
+population as it is then, not as it was when the event was scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from ..core.errors import SimulationError
+
+__all__ = [
+    "EventQueue",
+    "ExchangeSend",
+    "ExchangeDeliver",
+    "PushSend",
+    "PushDeliver",
+    "PartnerTimeout",
+    "NodeLeave",
+    "NodeJoin",
+]
+
+
+@dataclass(frozen=True)
+class ExchangeSend:
+    """An initiator hands its balanced-exchange request to the network."""
+
+    initiator: int
+    partner: int
+
+
+@dataclass(frozen=True)
+class ExchangeDeliver:
+    """The network delivers an exchange request to the partner."""
+
+    initiator: int
+    partner: int
+
+
+@dataclass(frozen=True)
+class PushSend:
+    """An initiator hands its optimistic-push offer to the network."""
+
+    initiator: int
+    partner: int
+
+
+@dataclass(frozen=True)
+class PushDeliver:
+    """The network delivers a push offer to the partner."""
+
+    initiator: int
+    partner: int
+
+
+@dataclass(frozen=True)
+class PartnerTimeout:
+    """The initiator's liveness timer for an unanswered partner fires.
+
+    Scheduled when a delivery finds the partner departed: the initiator
+    cannot *know* that — it only observes silence — so departure is
+    detected when the timeout fires and the partner is still gone.  If
+    the partner rejoined in the meantime the probe counts as answered.
+    """
+
+    initiator: int
+    partner: int
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """Churn: one correct node (drawn at fire time) leaves the system."""
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """Churn: one departed node (drawn at fire time) rejoins."""
+
+
+class EventQueue:
+    """A deterministic virtual-time priority queue.
+
+    A thin heapq wrapper over ``(time, seq, event)`` triples.  ``seq``
+    increases monotonically across pushes, so events at equal
+    timestamps pop in insertion order and event payloads never need to
+    be comparable.  Times must be finite and non-decreasing relative
+    to nothing — the queue itself accepts any finite time; scheduling
+    into the past is the caller's bug and is rejected at pop time by
+    the simulator's round loop, not here.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Any]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, event: Any) -> None:
+        """Schedule ``event`` at virtual ``time``."""
+        time = float(time)
+        if not math.isfinite(time) or time < 0.0:
+            raise SimulationError(
+                f"event time must be finite and >= 0, got {time!r}"
+            )
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest ``(time, event)`` pair."""
+        if not self._heap:
+            raise SimulationError("pop from an empty EventQueue")
+        time, _, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> Optional[float]:
+        """The earliest scheduled time, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -29,8 +29,10 @@ from typing import Any, Callable, Dict, Optional
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
+from ..bargossip.network import NetworkModel
+from ..bargossip.scenario import ExecutionConfig, Scenario, run_experiment
 from ..bargossip.sharding import ShardPool, extract_shard, run_shard, run_shard_shared
-from ..bargossip.simulator import GossipSimulator, run_gossip_experiment
+from ..bargossip.simulator import GossipSimulator
 from ..bargossip.updates import shared_memory_available
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
@@ -43,6 +45,7 @@ __all__ = [
     "run_shard_bench",
     "run_memory_bench",
     "run_counters_bench",
+    "run_event_bench",
     "run_bench",
     "render_bench_summary",
     "write_bench_summary",
@@ -105,11 +108,13 @@ def run_backend_bench(
     """
     seconds: Dict[str, float] = {}
     fractions: Dict[str, Optional[float]] = {}
+    scenario = Scenario(
+        config=GossipConfig(n_nodes=n_nodes), kind=AttackKind.NONE, rounds=rounds
+    )
     for backend in ("sets", "bitset"):
-        config = GossipConfig(n_nodes=n_nodes, backend=backend)
         start = time.perf_counter()
-        result = run_gossip_experiment(
-            config, AttackKind.NONE, 0.0, seed=seed, rounds=rounds
+        result = run_experiment(
+            scenario, execution=ExecutionConfig(backend=backend), seed=seed
         )
         seconds[backend] = time.perf_counter() - start
         fractions[backend] = result.correct_fraction
@@ -167,8 +172,12 @@ def run_shard_bench(
         # rejects a pool on an unsharded config): all three passes
         # then legitimately measure the same serial execution.
         pool = ShardPool(workers) if use_pool and workers >= 2 else None
-        config = GossipConfig(n_nodes=n_nodes, backend=backend, shards=shards)
-        simulator = GossipSimulator(config, seed=seed, shard_pool=pool)
+        simulator = GossipSimulator(
+            GossipConfig(n_nodes=n_nodes),
+            seed=seed,
+            shard_pool=pool,
+            execution=ExecutionConfig(backend=backend, shards=shards),
+        )
         start = time.perf_counter()
         for _ in range(rounds):
             simulator.step()
@@ -202,9 +211,17 @@ def run_shard_bench(
     }
 
 
-def _time_rounds(config: GossipConfig, rounds: int, seed: int, pool=None):
+def _time_rounds(
+    config: GossipConfig,
+    execution: ExecutionConfig,
+    rounds: int,
+    seed: int,
+    pool=None,
+):
     """(seconds, simulator-after-close aggregates) of one timed run."""
-    simulator = GossipSimulator(config, seed=seed, shard_pool=pool)
+    simulator = GossipSimulator(
+        config, seed=seed, shard_pool=pool, execution=execution
+    )
     start = time.perf_counter()
     for _ in range(rounds):
         simulator.step()
@@ -221,7 +238,11 @@ def _time_rounds(config: GossipConfig, rounds: int, seed: int, pool=None):
 
 
 def _round_traffic_bytes(
-    config: GossipConfig, workers: int, seed: int, warm_rounds: int = 2
+    config: GossipConfig,
+    execution: ExecutionConfig,
+    workers: int,
+    seed: int,
+    warm_rounds: int = 2,
 ) -> Dict[str, int]:
     """Measured pickled payload of one round's shard dispatch.
 
@@ -232,7 +253,9 @@ def _round_traffic_bytes(
     O(nodes) rows to O(counters): the states/outcomes are the literal
     objects ``ShardPool`` would pickle.
     """
-    simulator = GossipSimulator(config.replace(shards=workers), seed=seed)
+    simulator = GossipSimulator(
+        config, seed=seed, execution=execution.replace(shards=workers)
+    )
     try:
         for _ in range(warm_rounds):
             simulator.step()
@@ -247,7 +270,7 @@ def _round_traffic_bytes(
         ]
         state_bytes = 0
         outcome_bytes = 0
-        if config.memory == "shared":
+        if execution.memory == "shared":
             for phase in ("exchange", "push"):
                 states = [
                     extract_shard(simulator, cells, round_now, phase=phase)
@@ -317,12 +340,12 @@ def run_memory_bench(
         if memory == "shared" and not shared_ok:
             seconds[name] = None
             continue
-        config = GossipConfig(
-            n_nodes=n_nodes, backend=backend, memory=memory, shards=shards
-        )
+        execution = ExecutionConfig(backend=backend, memory=memory, shards=shards)
         pool = ShardPool(workers) if use_pool and workers >= 2 else None
         try:
-            elapsed, aggregates = _time_rounds(config, rounds, seed, pool=pool)
+            elapsed, aggregates = _time_rounds(
+                GossipConfig(n_nodes=n_nodes), execution, rounds, seed, pool=pool
+            )
         finally:
             if pool is not None:
                 pool.close()
@@ -340,12 +363,16 @@ def run_memory_bench(
 
     traffic: Dict[str, Any] = {
         "words_heap": _round_traffic_bytes(
-            GossipConfig(n_nodes=n_nodes, backend="words"), workers, seed
+            GossipConfig(n_nodes=n_nodes),
+            ExecutionConfig(backend="words"),
+            workers,
+            seed,
         )
     }
     if shared_ok:
         traffic["words_shared"] = _round_traffic_bytes(
-            GossipConfig(n_nodes=n_nodes, backend="words", memory="shared"),
+            GossipConfig(n_nodes=n_nodes),
+            ExecutionConfig(backend="words", memory="shared"),
             workers,
             seed,
         )
@@ -412,8 +439,12 @@ def run_counters_bench(
         ("words_round_seconds", "words"),
         ("bitset_round_seconds", "bitset"),
     ):
-        config = GossipConfig(n_nodes=n_nodes, backend=backend, shards=1)
-        elapsed, aggregates = _time_rounds(config, rounds, seed)
+        elapsed, aggregates = _time_rounds(
+            GossipConfig(n_nodes=n_nodes),
+            ExecutionConfig(backend=backend, shards=1),
+            rounds,
+            seed,
+        )
         per_round[name] = elapsed / rounds
         if reference is None:
             reference = aggregates
@@ -424,11 +455,15 @@ def run_counters_bench(
     shared_ok = shared_memory_available()
     dispatch: Dict[str, Any] = {
         "words_heap": _round_traffic_bytes(
-            GossipConfig(n_nodes=n_nodes, backend="words"), workers, seed
+            GossipConfig(n_nodes=n_nodes),
+            ExecutionConfig(backend="words"),
+            workers,
+            seed,
         ),
         "words_shared": (
             _round_traffic_bytes(
-                GossipConfig(n_nodes=n_nodes, backend="words", memory="shared"),
+                GossipConfig(n_nodes=n_nodes),
+                ExecutionConfig(backend="words", memory="shared"),
                 workers,
                 seed,
             )
@@ -456,6 +491,114 @@ def run_counters_bench(
         "dispatch": dispatch,
         "parity_ok": parity_ok,
         "delivery_fraction": delivery,
+    }
+
+
+#: The network points the event bench sweeps, from the ideal network
+#: (the parity anchor) through progressively harsher asynchrony.  Rates
+#: are in round units: mean latency of 0.3 rounds, 5% message loss,
+#: and per-node Poisson churn (leave 0.002/round, rejoin 0.05/round).
+EVENT_BENCH_POINTS: Dict[str, NetworkModel] = {
+    "ideal": NetworkModel.ideal(),
+    "latency": NetworkModel(latency_kind="exponential", latency_mean=0.3),
+    "latency_loss": NetworkModel(
+        latency_kind="exponential", latency_mean=0.3, loss_rate=0.05
+    ),
+    "latency_loss_churn": NetworkModel(
+        latency_kind="exponential",
+        latency_mean=0.3,
+        loss_rate=0.05,
+        churn_leave_rate=0.002,
+        churn_join_rate=0.05,
+    ),
+}
+
+
+def run_event_bench(
+    n_nodes: int = 20000,
+    rounds: int = 25,
+    seed: int = 0,
+    backend: str = "words",
+) -> Dict[str, Any]:
+    """Time the virtual-time event engine across network harshness points.
+
+    One no-attack run per :data:`EVENT_BENCH_POINTS` entry, all on the
+    event schedule, plus one classic-rounds reference run.  Two things
+    come out of it:
+
+    * ``parity_ok`` — the ideal-network event run must reproduce the
+      classic synchronous schedule's delivery metrics exactly (the
+      schedule-parity suite pins the full trace; this is the bench
+      artifact's last-line check).
+    * per-point ``time_to_90_delivery`` / ``reached_fraction`` — the
+      virtual-time delivery metrics only the event engine can measure:
+      how long an update takes to reach 90% of the live population,
+      and what fraction of measured updates ever get there, as latency,
+      loss and churn are layered on.
+
+    Like the memory bench this runs at the 20,000-node headline scale
+    in both profiles so consecutive CI artifacts stay comparable.
+
+    ``rounds`` must comfortably exceed twice the update lifetime:
+    measurement starts at round ``update_lifetime`` (the warm-up) and
+    the first measured update only expires — and is counted — a full
+    lifetime after that, so shorter runs report no delivery at all.
+    """
+    config = GossipConfig(n_nodes=n_nodes)
+    execution = ExecutionConfig(backend=backend)
+    start = time.perf_counter()
+    classic = run_experiment(
+        Scenario(config=config, kind=AttackKind.NONE, rounds=rounds),
+        execution=execution,
+        seed=seed,
+    )
+    classic_seconds = time.perf_counter() - start
+    points: Dict[str, Any] = {}
+    parity_ok = True
+    for name, network in EVENT_BENCH_POINTS.items():
+        scenario = Scenario(
+            config=config,
+            network=network,
+            schedule="event",
+            kind=AttackKind.NONE,
+            rounds=rounds,
+        )
+        start = time.perf_counter()
+        result = run_experiment(scenario, execution=execution, seed=seed)
+        elapsed = time.perf_counter() - start
+        if name == "ideal":
+            # Requiring a measured fraction keeps the check honest: a
+            # run too short to record any delivery would otherwise
+            # compare None against None and pass vacuously.
+            parity_ok = (
+                classic.correct_fraction is not None
+                and result.isolated_fraction == classic.isolated_fraction
+                and result.satiated_fraction == classic.satiated_fraction
+                and result.correct_fraction == classic.correct_fraction
+            )
+        points[name] = {
+            "seconds": elapsed,
+            "network": network.to_dict(),
+            "correct_fraction": result.correct_fraction,
+            "time_to_90_delivery": result.time_to_90_delivery,
+            "delivery_reached_fraction": result.delivery_reached_fraction,
+            "network_stats": result.network_stats,
+        }
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "backend": backend,
+        "rounds_seconds": classic_seconds,
+        "ideal_seconds": points["ideal"]["seconds"],
+        "latency_loss_churn_seconds": points["latency_loss_churn"]["seconds"],
+        "event_overhead_vs_rounds": (
+            points["ideal"]["seconds"] / classic_seconds
+            if classic_seconds > 0
+            else None
+        ),
+        "points": points,
+        "parity_ok": parity_ok,
+        "delivery_fraction": classic.correct_fraction,
     }
 
 
@@ -549,6 +692,7 @@ def run_bench(
         workers=shard_workers,
         seed=root_seed,
     )
+    event_bench = run_event_bench(n_nodes=memory_nodes, seed=root_seed)
     executor_stats = executor.stats()
     if own_executor:
         executor.close()
@@ -570,6 +714,7 @@ def run_bench(
         "shard_bench": shard_bench,
         "memory_bench": memory_bench,
         "counters_bench": counters_bench,
+        "event_bench": event_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -683,6 +828,30 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
             lines.append(
                 f"  dispatch/round: heap {heap.get('outcome_bytes', 0)} B out "
                 "(shared skipped: no shared memory available)"
+            )
+    event = summary.get("event_bench")
+    if event:
+        parity = "ok" if event["parity_ok"] else "MISMATCH"
+        lines.append(
+            f"event ({event['n_nodes']} nodes, {event['rounds']} rounds, "
+            f"{event['backend']} backend): classic rounds "
+            f"{event['rounds_seconds']:.2f}s, event ideal "
+            f"{event['ideal_seconds']:.2f}s "
+            f"({event['event_overhead_vs_rounds']:.2f}x, parity {parity})"
+        )
+        for name, point in event["points"].items():
+            if name == "ideal":
+                continue
+            t90 = point["time_to_90_delivery"]
+            t90_text = f"{t90:.2f}" if t90 is not None else "n/a"
+            reached = point["delivery_reached_fraction"]
+            reached_text = f"{reached:.3f}" if reached is not None else "n/a"
+            delivery = point["correct_fraction"]
+            delivery_text = f"{delivery:.3f}" if delivery is not None else "n/a"
+            lines.append(
+                f"  {name}: {point['seconds']:.2f}s, "
+                f"t90 {t90_text} rounds, reached {reached_text}, "
+                f"delivery {delivery_text}"
             )
     return "\n".join(lines)
 

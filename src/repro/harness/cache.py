@@ -51,8 +51,12 @@ _KEY_BYTES = 16
 #: grid values derive per-occurrence seed labels (repeated points used
 #: to alias one seed list — and hence one set of cache cells — so any
 #: entry touched by a duplicated grid under schema 2 may hold an
-#: aliased copy rather than an independent repetition).
-CACHE_SCHEMA_VERSION = 3
+#: aliased copy rather than an independent repetition); 4 = the
+#: Scenario API redesign keys sweep cells by Scenario.to_dict() (config
+#: + network + schedule + attack) instead of a flat GossipConfig dict
+#: that still carried execution fields — same physics, incompatible
+#: fingerprint shape.
+CACHE_SCHEMA_VERSION = 4
 
 #: Stamped into every record and checked on read.  Identifies the
 #: simulator code generation that produced the value: bump it to bulk-

@@ -15,6 +15,9 @@ Installed as ``lotus-eater`` (see ``pyproject.toml``)::
     lotus-eater sweep-swarm --grid 0,1,2,4 --jobs 0
     lotus-eater figure1 --shards 4
     lotus-eater figure1 --backend words --memory shared --shards 4
+    lotus-eater figure1 --schedule event
+    lotus-eater figure1 --schedule event --latency exponential:0.3 --loss 0.05
+    lotus-eater sweep-gossip --schedule event --churn 0.002:0.05
     lotus-eater bench --fast --output BENCH_summary.json
     lotus-eater bench-diff BENCH_previous.json BENCH_summary.json
     lotus-eater bench-trend --history-dir .bench-history
@@ -34,7 +37,11 @@ in a shared-memory block so sharded workers mutate them in place).
 ``--shards k`` switches the gossip commands to the sharded round
 schedule (one simulation partitioned into k independent shards per
 round — results identical for every k; combine with ``--jobs`` freely:
-jobs split the sweep grid, shards split one run).
+jobs split the sweep grid, shards split one run).  ``--schedule
+event`` replays the gossip commands on the virtual-time event engine
+(bit-identical to the rounds schedule when the network is ideal), and
+``--latency`` / ``--loss`` / ``--churn`` describe the asynchronous
+network it simulates (all three require ``--schedule event``).
 """
 
 from __future__ import annotations
@@ -47,6 +54,8 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..bargossip.config import GossipConfig
+from ..bargossip.network import NetworkModel
+from ..bargossip.scenario import ExecutionConfig
 from ..core.errors import ReproError
 from ..core.metrics import USABILITY_THRESHOLD
 from .ascii import render_chart, render_series_table, render_table
@@ -93,20 +102,78 @@ def _report_executor(executor: SweepExecutor) -> None:
     )
 
 
+def _parse_latency(text: str):
+    """``--latency`` spec: MEAN, or KIND:MEAN, or uniform:MEAN:JITTER."""
+    parts = text.split(":")
+    try:
+        if len(parts) == 1:
+            return ("fixed", float(parts[0]), 0.0)
+        kind = parts[0]
+        mean = float(parts[1])
+        jitter = float(parts[2]) if len(parts) > 2 else 0.0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad latency {text!r}: expected MEAN, KIND:MEAN or "
+            "uniform:MEAN:JITTER (kinds: fixed, uniform, exponential)"
+        )
+    if kind not in ("fixed", "uniform", "exponential"):
+        raise argparse.ArgumentTypeError(
+            f"bad latency kind {kind!r}: expected fixed, uniform or exponential"
+        )
+    return (kind, mean, jitter)
+
+
+def _parse_churn(text: str):
+    """``--churn`` spec: LEAVE or LEAVE:JOIN (per-node Poisson rates)."""
+    parts = text.split(":")
+    try:
+        leave = float(parts[0])
+        join = float(parts[1]) if len(parts) > 1 else 0.0
+    except (ValueError, IndexError):
+        raise argparse.ArgumentTypeError(
+            f"bad churn {text!r}: expected LEAVE or LEAVE:JOIN rates"
+        )
+    return (leave, join)
+
+
+def network_from_args(args: argparse.Namespace) -> NetworkModel:
+    """The NetworkModel implied by --latency / --loss / --churn."""
+    kind, mean, jitter = args.latency if args.latency else ("fixed", 0.0, 0.0)
+    leave, join = args.churn if args.churn else (0.0, 0.0)
+    return NetworkModel(
+        latency_kind=kind,
+        latency_mean=mean,
+        latency_jitter=jitter,
+        loss_rate=args.loss,
+        churn_leave_rate=leave,
+        churn_join_rate=join,
+    )
+
+
+def execution_from_args(args: argparse.Namespace) -> ExecutionConfig:
+    """The ExecutionConfig implied by --backend / --memory / --shards."""
+    return ExecutionConfig(
+        backend=args.backend,
+        memory=args.memory,
+        shards=args.shards,
+        jobs=1 if args.jobs is None else args.jobs,
+    )
+
+
 def _figure_command(builder: Callable, args: argparse.Namespace) -> int:
     fractions = FAST_FRACTIONS if args.fast else DEFAULT_FRACTIONS
     rounds = 30 if args.fast else 50
-    config = GossipConfig.paper().replace(
-        backend=args.backend, shards=args.shards, memory=args.memory
-    )
     with build_executor(args) as executor:
         curves = builder(
-            config=config,
+            config=GossipConfig.paper(),
             fractions=fractions,
             rounds=rounds,
             repetitions=args.repetitions,
             root_seed=args.seed,
             executor=executor,
+            network=network_from_args(args),
+            schedule=args.schedule,
+            execution=execution_from_args(args),
         )
     print(render_series_table(curves, x_label="attacker fraction"))
     print()
@@ -156,6 +223,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         mismatched.append("memory_bench")
     if not summary["counters_bench"]["parity_ok"]:
         mismatched.append("counters_bench")
+    if not summary["event_bench"]["parity_ok"]:
+        mismatched.append("event_bench")
     if summary["shard_bench"].get("pool_undersubscribed") or summary[
         "memory_bench"
     ].get("pool_undersubscribed"):
@@ -201,7 +270,11 @@ def _parse_grid(text: str) -> List[float]:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     model = args.command.split("-", 1)[1]
     task, x_label = TASK_BUILDERS[model](
-        args.fast, args.metric, args.backend, args.shards, args.memory
+        args.fast,
+        args.metric,
+        execution=execution_from_args(args),
+        network=network_from_args(args),
+        schedule=args.schedule,
     )
     grid = args.grid if args.grid else DEFAULT_SWEEP_GRIDS[model]
     with build_executor(args) as executor:
@@ -459,6 +532,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "as the shard_bench worker count (default 4 — changing it "
         "changes the shard_bench timings, so keep it fixed across "
         "runs you intend to bench-diff)",
+    )
+    parser.add_argument(
+        "--schedule",
+        choices=["rounds", "event"],
+        default="rounds",
+        help="gossip schedule: the paper's synchronous rounds, or the "
+        "virtual-time event engine (required for --latency/--loss/"
+        "--churn; bit-identical to rounds when the network is ideal)",
+    )
+    parser.add_argument(
+        "--latency",
+        type=_parse_latency,
+        default=None,
+        metavar="SPEC",
+        help="per-message latency in round units: MEAN (fixed), "
+        "KIND:MEAN, or uniform:MEAN:JITTER "
+        "(kinds: fixed, uniform, exponential)",
+    )
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        help="probability an individual message is dropped in flight",
+    )
+    parser.add_argument(
+        "--churn",
+        type=_parse_churn,
+        default=None,
+        metavar="SPEC",
+        help="node churn as per-node Poisson rates: LEAVE or LEAVE:JOIN "
+        "(per node per round unit; rejoining nodes bootstrap from a "
+        "live correct node)",
     )
     parser.add_argument(
         "--grid",

@@ -20,6 +20,8 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
 from ..bargossip.defenses import figure3_variants, with_larger_pushes
+from ..bargossip.network import NetworkModel
+from ..bargossip.scenario import ExecutionConfig, Scenario
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
 from .parallel import SweepExecutor
 from .sweep import sweep_series
@@ -55,12 +57,30 @@ def attack_curve(
     root_seed: int = 0,
     label: Optional[str] = None,
     executor: Optional[SweepExecutor] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
+    execution: Optional[ExecutionConfig] = None,
 ) -> TimeSeries:
-    """One curve: isolated-node delivery vs attacker fraction."""
+    """One curve: isolated-node delivery vs attacker fraction.
+
+    ``network``/``schedule`` replay the same attack sweep against an
+    asynchronous network (latency, loss, churn) on the event engine;
+    ``execution`` decides only how cells run and never changes results.
+    """
+    scenario = Scenario(
+        config=config,
+        network=network if network is not None else NetworkModel.ideal(),
+        schedule=schedule,
+        kind=kind,
+        rounds=rounds,
+    )
     return sweep_series(
         label=label or f"{kind.value} attack",
         grid=fractions,
-        run_one=GossipSweepTask(config=config, kind=kind, rounds=rounds),
+        run_one=GossipSweepTask(
+            scenario=scenario,
+            execution=execution if execution is not None else ExecutionConfig(),
+        ),
         repetitions=repetitions,
         root_seed=root_seed,
         executor=executor,
@@ -75,6 +95,9 @@ def figure1(
     repetitions: int = 1,
     root_seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 1: crash vs ideal vs trade lotus-eater attack.
 
@@ -86,14 +109,17 @@ def figure1(
         "Crash attack": attack_curve(
             config, AttackKind.CRASH, fractions, rounds, repetitions, root_seed,
             label="Crash attack", executor=executor,
+            network=network, schedule=schedule, execution=execution,
         ),
         "Ideal lotus-eater attack": attack_curve(
             config, AttackKind.IDEAL, fractions, rounds, repetitions, root_seed,
             label="Ideal lotus-eater attack", executor=executor,
+            network=network, schedule=schedule, execution=execution,
         ),
         "Trade lotus-eater attack": attack_curve(
             config, AttackKind.TRADE, fractions, rounds, repetitions, root_seed,
             label="Trade lotus-eater attack", executor=executor,
+            network=network, schedule=schedule, execution=execution,
         ),
     }
 
@@ -106,6 +132,9 @@ def figure2(
     repetitions: int = 1,
     root_seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 2: the same three attacks with a larger optimistic push.
 
@@ -120,6 +149,9 @@ def figure2(
         repetitions=repetitions,
         root_seed=root_seed,
         executor=executor,
+        network=network,
+        schedule=schedule,
+        execution=execution,
     )
 
 
@@ -130,6 +162,9 @@ def figure3(
     repetitions: int = 1,
     root_seed: int = 0,
     executor: Optional[SweepExecutor] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, TimeSeries]:
     """Figure 3: trade attack vs push size and exchange-balance defenses.
 
@@ -149,6 +184,9 @@ def figure3(
             root_seed,
             label=name,
             executor=executor,
+            network=network,
+            schedule=schedule,
+            execution=execution,
         )
     return curves
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
+from ..bargossip.scenario import Scenario
 from .ascii import render_table
 from .figures import GossipSweepTask
 from .parallel import SweepCell, SweepExecutor
@@ -69,9 +70,7 @@ def baseline_check(
     config = config if config is not None else GossipConfig.paper()
     executor = executor if executor is not None else SweepExecutor(jobs=1)
     task = GossipSweepTask(
-        config=config,
-        kind=AttackKind.NONE,
-        rounds=rounds,
+        scenario=Scenario(config=config, kind=AttackKind.NONE, rounds=rounds),
         metric="correct_fraction",
     )
     values = executor.map(

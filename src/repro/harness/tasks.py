@@ -26,6 +26,8 @@ from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
+from ..bargossip.network import NetworkModel
+from ..bargossip.scenario import ExecutionConfig, Scenario
 from ..bittorrent.config import SwarmConfig
 from ..core.rng import derive_seed
 from ..scrip.config import ScripConfig
@@ -57,30 +59,35 @@ class GossipSweepTask:
     """A picklable ``run_one(fraction, seed)`` for gossip sweeps.
 
     The sweep executor ships this object to worker processes (a plain
-    closure over ``config`` would not pickle) and hashes
+    closure over a scenario would not pickle) and hashes
     :meth:`cache_fingerprint` into result-cache keys, so changing any
-    configuration field — the store ``backend`` included —
-    transparently invalidates cached cells.
+    scenario field — protocol, network model or schedule —
+    transparently invalidates cached cells.  The grid value is the
+    attacker fraction: each cell runs ``scenario.replace(
+    attacker_fraction=x)`` through :func:`~repro.bargossip.scenario.
+    run_experiment`.  ``execution`` decides only *how* cells run and
+    is deliberately absent from the fingerprint (execution strategy
+    never changes results — pinned by the parity suites).
     """
 
-    config: GossipConfig
-    kind: AttackKind
-    rounds: int
+    scenario: Scenario
+    execution: ExecutionConfig = ExecutionConfig()
     metric: str = "isolated_fraction"
 
     def __call__(self, fraction: float, seed: int) -> Optional[float]:
-        from ..bargossip.simulator import run_gossip_experiment
+        from ..bargossip.scenario import run_experiment
 
-        result = run_gossip_experiment(
-            self.config, self.kind, fraction, seed=seed, rounds=self.rounds
+        result = run_experiment(
+            self.scenario.replace(attacker_fraction=fraction),
+            execution=self.execution,
+            seed=seed,
         )
         return getattr(result, self.metric)
 
     def cache_fingerprint(self) -> Dict[str, Any]:
         return {
-            "config": fingerprint_of(self.config),
-            "kind": self.kind.value,
-            "rounds": self.rounds,
+            "scenario": self.scenario.to_dict(),
+            "execution": self.execution.cache_fingerprint(),
             "metric": self.metric,
         }
 
@@ -228,16 +235,19 @@ class SwarmSweepTask:
 def _build_gossip_task(
     fast: bool,
     metric: Optional[str],
-    backend: str = "sets",
-    shards: int = 0,
-    memory: str = "heap",
+    execution: Optional[ExecutionConfig] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
 ) -> Tuple[SweepTask, str]:
     task = GossipSweepTask(
-        config=GossipConfig.paper().replace(
-            backend=backend, shards=shards, memory=memory
+        scenario=Scenario(
+            config=GossipConfig.paper(),
+            network=network if network is not None else NetworkModel.ideal(),
+            schedule=schedule,
+            kind=AttackKind.TRADE,
+            rounds=30 if fast else 50,
         ),
-        kind=AttackKind.TRADE,
-        rounds=30 if fast else 50,
+        execution=execution if execution is not None else ExecutionConfig(),
         metric=metric or "isolated_fraction",
     )
     return task, "attacker fraction"
@@ -246,9 +256,9 @@ def _build_gossip_task(
 def _build_scrip_task(
     fast: bool,
     metric: Optional[str],
-    backend: str = "sets",
-    shards: int = 0,
-    memory: str = "heap",
+    execution: Optional[ExecutionConfig] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
 ) -> Tuple[SweepTask, str]:
     task = ScripAltruistTask(
         config=ScripConfig.paper(),
@@ -262,9 +272,9 @@ def _build_scrip_task(
 def _build_token_task(
     fast: bool,
     metric: Optional[str],
-    backend: str = "sets",
-    shards: int = 0,
-    memory: str = "heap",
+    execution: Optional[ExecutionConfig] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
 ) -> Tuple[SweepTask, str]:
     task = TokenSweepTask(
         max_rounds=100 if fast else 200,
@@ -276,9 +286,9 @@ def _build_token_task(
 def _build_swarm_task(
     fast: bool,
     metric: Optional[str],
-    backend: str = "sets",
-    shards: int = 0,
-    memory: str = "heap",
+    execution: Optional[ExecutionConfig] = None,
+    network: Optional[NetworkModel] = None,
+    schedule: str = "rounds",
 ) -> Tuple[SweepTask, str]:
     task = SwarmSweepTask(
         config=SwarmConfig.small() if fast else SwarmConfig.paper(),
@@ -289,13 +299,14 @@ def _build_swarm_task(
 
 
 #: ``lotus-eater sweep-<name>`` builders: ``name -> (fast, metric,
-#: backend, shards, memory) -> (task, x-axis label)``.  ``backend``
-#: selects the gossip update store, ``shards`` its sharded execution
-#: mode, and ``memory`` the word backend's row placement; the other
-#: models take all three for interface uniformity and ignore them.
-#: Sweep cells already fan out across executor workers, so gossip
-#: shards run in-process within each cell (sharding changes the
-#: schedule, not the cell's results ownership).
+#: execution, network, schedule) -> (task, x-axis label)``.
+#: ``execution`` is the gossip :class:`ExecutionConfig` (backend,
+#: memory, shards), ``network``/``schedule`` the gossip scenario's
+#: asynchronous-network knobs; the other models take them for
+#: interface uniformity and ignore them.  Sweep cells already fan out
+#: across executor workers, so gossip shards run in-process within
+#: each cell (sharding changes the schedule, not the cell's results
+#: ownership).
 TASK_BUILDERS = {
     "gossip": _build_gossip_task,
     "scrip": _build_scrip_task,

@@ -71,6 +71,11 @@ _TRACKED: List = [
     (("counters_bench", "words_round_seconds"), "word-backend serial per-round", "lower"),
     (("counters_bench", "words_vs_bitset_round_speedup"), "per-round words speedup vs bitset", "higher"),
     (("counters_bench", "dispatch", "words_shared", "outcome_bytes"), "shared shard outcome bytes/round", "lower"),
+    # event_bench landed after counters_bench (Scenario API / event
+    # engine); older artifacts diff as "no baseline, skipped".
+    (("event_bench", "ideal_seconds"), "event-engine ideal-network wall-clock", "lower"),
+    (("event_bench", "latency_loss_churn_seconds"), "event-engine churny-network wall-clock", "lower"),
+    (("event_bench", "event_overhead_vs_rounds"), "event-engine overhead vs rounds", "lower"),
 ]
 
 

@@ -16,7 +16,8 @@ from repro.bargossip.defenses import (
     figure3_variants,
     with_larger_pushes,
 )
-from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.bargossip.scenario import ExecutionConfig, Scenario, run_experiment
+from repro.bargossip.simulator import GossipSimulator
 from repro.core.rng import RngStreams
 
 
@@ -31,9 +32,10 @@ def _run_pair(config, kind, seed=7, rounds=20, attacker_fraction=0.2, **sim_kwar
             rng=streams.get("coalition"),
         )
         simulator = GossipSimulator(
-            config.replace(backend=backend),
+            config,
             attack=coalition,
             seed=seed,
+            execution=ExecutionConfig(backend=backend),
             **sim_kwargs,
         )
         for _ in range(rounds):
@@ -57,19 +59,22 @@ def _assert_full_parity(reference, vectorized):
 
 
 class TestExperimentParity:
-    """run_gossip_experiment agrees exactly across backends."""
+    """run_experiment agrees exactly across backends."""
 
     @pytest.mark.parametrize(
         "kind", [AttackKind.CRASH, AttackKind.IDEAL, AttackKind.TRADE]
     )
     @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.3])
     def test_small_config_all_attacks(self, kind, fraction):
-        config = GossipConfig.small()
-        reference = run_gossip_experiment(
-            config, kind, fraction, seed=5, rounds=25
+        scenario = Scenario(
+            config=GossipConfig.small(),
+            kind=kind,
+            attacker_fraction=fraction,
+            rounds=25,
         )
-        vectorized = run_gossip_experiment(
-            config.replace(backend="bitset"), kind, fraction, seed=5, rounds=25
+        reference = run_experiment(scenario, seed=5)
+        vectorized = run_experiment(
+            scenario, execution=ExecutionConfig(backend="bitset"), seed=5
         )
         assert reference.isolated_fraction == vectorized.isolated_fraction
         assert reference.satiated_fraction == vectorized.satiated_fraction

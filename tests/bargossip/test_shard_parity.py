@@ -30,8 +30,9 @@ from repro.bargossip.defenses import (
     figure3_variants,
     with_larger_pushes,
 )
+from repro.bargossip.scenario import ExecutionConfig, Scenario, run_experiment
 from repro.bargossip.sharding import ShardPool
-from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.bargossip.simulator import GossipSimulator
 from repro.bargossip.updates import shared_memory_available
 from repro.core.rng import RngStreams
 
@@ -58,7 +59,7 @@ BACKENDS = (("sets", "heap"), ("bitset", "heap")) + tuple(
 
 
 def _run_sharded(config, kind, k, seed=7, rounds=15, attacker_fraction=0.2,
-                 shard_pool=None, **sim_kwargs):
+                 shard_pool=None, execution=ExecutionConfig(), **sim_kwargs):
     streams = RngStreams(seed)
     coalition = AttackerCoalition.build(
         kind,
@@ -67,10 +68,11 @@ def _run_sharded(config, kind, k, seed=7, rounds=15, attacker_fraction=0.2,
         rng=streams.get("coalition"),
     )
     simulator = GossipSimulator(
-        config.replace(shards=k),
+        config,
         attack=coalition,
         seed=seed,
         shard_pool=shard_pool,
+        execution=execution.replace(shards=k),
         **sim_kwargs,
     )
     for _ in range(rounds):
@@ -99,8 +101,10 @@ def _assert_full_parity(reference, sharded):
 def _check_config(config, kind, **sim_kwargs):
     baseline = None
     for backend, memory in BACKENDS:
-        variant = config.replace(backend=backend, memory=memory)
-        reference = _run_sharded(variant, kind, 1, **sim_kwargs)
+        execution = ExecutionConfig(backend=backend, memory=memory)
+        reference = _run_sharded(
+            config, kind, 1, execution=execution, **sim_kwargs
+        )
         if baseline is None:
             baseline = reference
         else:
@@ -108,7 +112,8 @@ def _check_config(config, kind, **sim_kwargs):
             _assert_full_parity(baseline, reference)
         for k in SHARD_KS:
             _assert_full_parity(
-                reference, _run_sharded(variant, kind, k, **sim_kwargs)
+                reference,
+                _run_sharded(config, kind, k, execution=execution, **sim_kwargs),
             )
 
 
@@ -160,11 +165,15 @@ class TestWorkerPoolParity:
 
     @pytest.mark.parametrize("backend,memory", BACKENDS)
     def test_pooled_matches_unsharded(self, backend, memory):
-        config = GossipConfig.small().replace(backend=backend, memory=memory)
-        reference = _run_sharded(config, AttackKind.TRADE, 1, rounds=25)
+        config = GossipConfig.small()
+        execution = ExecutionConfig(backend=backend, memory=memory)
+        reference = _run_sharded(
+            config, AttackKind.TRADE, 1, rounds=25, execution=execution
+        )
         with ShardPool(2) as pool:
             pooled = _run_sharded(
-                config, AttackKind.TRADE, 4, rounds=25, shard_pool=pool
+                config, AttackKind.TRADE, 4, rounds=25, shard_pool=pool,
+                execution=execution,
             )
         _assert_full_parity(reference, pooled)
 
@@ -177,38 +186,39 @@ class TestWorkerPoolParity:
     )
     def test_pooled_with_reporting_defense(self, backend, memory):
         policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
-        config = GossipConfig.small().replace(
-            backend=backend, memory=memory, obedient_fraction=0.5
-        )
+        config = GossipConfig.small().replace(obedient_fraction=0.5)
+        execution = ExecutionConfig(backend=backend, memory=memory)
         reference = _run_sharded(
             config, AttackKind.TRADE, 1, rounds=30,
-            attacker_fraction=0.25, reporting=policy,
+            attacker_fraction=0.25, reporting=policy, execution=execution,
         )
         assert any(node.evicted for node in reference.nodes)  # defense bites
         with ShardPool(3) as pool:
             pooled = _run_sharded(
                 config, AttackKind.TRADE, 4, rounds=30,
                 attacker_fraction=0.25, reporting=policy, shard_pool=pool,
+                execution=execution,
             )
         _assert_full_parity(reference, pooled)
 
 
 class TestExperimentParity:
-    """run_gossip_experiment headline metrics agree across shard counts."""
+    """run_experiment headline metrics agree across shard counts."""
 
     @pytest.mark.parametrize("fraction", [0.0, 0.3])
     def test_small_config_trade(self, fraction):
-        config = GossipConfig.small().replace(shards=1)
-        reference = run_gossip_experiment(
-            config, AttackKind.TRADE, fraction, seed=5, rounds=25
+        scenario = Scenario(
+            config=GossipConfig.small(),
+            kind=AttackKind.TRADE,
+            attacker_fraction=fraction,
+            rounds=25,
+        )
+        reference = run_experiment(
+            scenario, execution=ExecutionConfig(shards=1), seed=5
         )
         for k in SHARD_KS:
-            sharded = run_gossip_experiment(
-                config.replace(shards=k),
-                AttackKind.TRADE,
-                fraction,
-                seed=5,
-                rounds=25,
+            sharded = run_experiment(
+                scenario, execution=ExecutionConfig(shards=k), seed=5
             )
             assert reference.isolated_fraction == sharded.isolated_fraction
             assert reference.satiated_fraction == sharded.satiated_fraction

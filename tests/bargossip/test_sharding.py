@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.bargossip.config import GossipConfig
+from repro.bargossip.scenario import ExecutionConfig
 from repro.bargossip.partner import Purpose
 from repro.bargossip.sharding import (
     CELL_SIZE,
@@ -151,9 +152,13 @@ class TestShardPool:
     def test_single_worker_runs_in_process(self):
         with ShardPool(1) as pool:
             assert pool._pool is None
-            config = GossipConfig.small().replace(shards=2)
             # run() falls back in-process for a single state too
-            simulator = GossipSimulator(config, seed=0, shard_pool=pool)
+            simulator = GossipSimulator(
+                GossipConfig.small(),
+                seed=0,
+                shard_pool=pool,
+                execution=ExecutionConfig(shards=2),
+            )
             simulator.step()
             assert pool._pool is None  # workers=1 never spawns
 
@@ -167,9 +172,11 @@ class TestShardPool:
                 GossipSimulator(GossipConfig.small(), seed=0, shard_pool=pool)
 
     def test_pool_reused_across_rounds_and_closed(self):
-        config = GossipConfig.small().replace(shards=3, backend="bitset")
+        execution = ExecutionConfig(backend="bitset", shards=3)
         with ShardPool(2) as pool:
-            simulator = GossipSimulator(config, seed=1, shard_pool=pool)
+            simulator = GossipSimulator(
+                GossipConfig.small(), seed=1, shard_pool=pool, execution=execution
+            )
             for _ in range(3):
                 simulator.step()
             live = pool._pool
@@ -182,11 +189,13 @@ class TestShardPool:
 class TestFailureRelease:
     """A failing round must leak neither workers nor shared memory."""
 
-    def _fail_mid_round(self, config, monkeypatch):
+    def _fail_mid_round(self, execution, monkeypatch):
         import repro.bargossip.simulator as simulator_module
 
         pool = ShardPool(2)
-        simulator = GossipSimulator(config, seed=3, shard_pool=pool)
+        simulator = GossipSimulator(
+            GossipConfig.small(), seed=3, shard_pool=pool, execution=execution
+        )
         simulator.step()  # pool spins up, a full round completes
         assert pool._pool is not None
 
@@ -200,8 +209,8 @@ class TestFailureRelease:
         return pool, simulator
 
     def test_failing_round_terminates_workers(self, monkeypatch):
-        config = GossipConfig.small().replace(backend="bitset", shards=4)
-        pool, _ = self._fail_mid_round(config, monkeypatch)
+        execution = ExecutionConfig(backend="bitset", shards=4)
+        pool, _ = self._fail_mid_round(execution, monkeypatch)
         assert pool._pool is None
         assert not multiprocessing.active_children()
 
@@ -211,10 +220,8 @@ class TestFailureRelease:
     def test_failing_round_unlinks_shared_segment(self, monkeypatch):
         from multiprocessing import shared_memory
 
-        config = GossipConfig.small().replace(
-            backend="words", memory="shared", shards=4
-        )
-        pool, simulator = self._fail_mid_round(config, monkeypatch)
+        execution = ExecutionConfig(backend="words", memory="shared", shards=4)
+        pool, simulator = self._fail_mid_round(execution, monkeypatch)
         assert pool._pool is None
         assert not multiprocessing.active_children()
         name = simulator._shard_static.shm_name
@@ -227,10 +234,10 @@ class TestFailureRelease:
     def test_normal_exit_releases_shared_segment(self):
         from multiprocessing import shared_memory
 
-        config = GossipConfig.small().replace(
-            backend="words", memory="shared", shards=2
-        )
-        with GossipSimulator(config, seed=0) as simulator:
+        execution = ExecutionConfig(backend="words", memory="shared", shards=2)
+        with GossipSimulator(
+            GossipConfig.small(), seed=0, execution=execution
+        ) as simulator:
             simulator.step()
             name = simulator._pool.shm_name
             shared_memory.SharedMemory(name=name).close()  # alive mid-run
@@ -239,8 +246,12 @@ class TestFailureRelease:
 
     def test_terminate_is_idempotent(self):
         pool = ShardPool(2)
-        config = GossipConfig.small().replace(shards=3, backend="bitset")
-        simulator = GossipSimulator(config, seed=1, shard_pool=pool)
+        simulator = GossipSimulator(
+            GossipConfig.small(),
+            seed=1,
+            shard_pool=pool,
+            execution=ExecutionConfig(backend="bitset", shards=3),
+        )
         simulator.step()
         assert pool._pool is not None
         pool.terminate()
@@ -253,16 +264,20 @@ class TestShardedSimulatorBasics:
     def test_unpaired_tail_sits_out(self):
         """With n % 4 != 0 some node sits a phase out each round; the
         round must still complete and deliver."""
-        config = GossipConfig.small().replace(n_nodes=61, shards=2)
-        simulator = GossipSimulator(config, seed=0)
+        config = GossipConfig.small().replace(n_nodes=61)
+        simulator = GossipSimulator(
+            config, seed=0, execution=ExecutionConfig(shards=2)
+        )
         for _ in range(25):
             simulator.step()
         fraction = simulator.delivery_fraction("correct")
         assert fraction is not None and fraction > 0.9
 
     def test_shards_beyond_cells_are_skipped(self):
-        config = GossipConfig.small().replace(n_nodes=10, shards=64)
-        simulator = GossipSimulator(config, seed=0)
+        config = GossipConfig.small().replace(n_nodes=10)
+        simulator = GossipSimulator(
+            config, seed=0, execution=ExecutionConfig(shards=64)
+        )
         for _ in range(20):
             simulator.step()
         assert simulator.delivery_fraction("correct") is not None

@@ -44,7 +44,10 @@ class TestStoreInvariant:
         rotate=st.sampled_from([None, 3]),
     )
     def test_invariant_at_every_round_boundary(self, seed, kind, backend, rotate):
-        config = GossipConfig.small().replace(backend=backend)
+        from repro.bargossip.scenario import ExecutionConfig
+
+        config = GossipConfig.small()
+        execution = ExecutionConfig(backend=backend)
         streams = RngStreams(seed)
         coalition = AttackerCoalition.build(
             kind,
@@ -57,6 +60,7 @@ class TestStoreInvariant:
             attack=coalition,
             seed=seed,
             rotate_targets_every=rotate,
+            execution=execution,
         )
         for _ in range(2 * config.update_lifetime + 3):
             simulator.step()

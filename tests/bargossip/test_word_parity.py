@@ -16,7 +16,8 @@ import pytest
 from repro.bargossip.attacker import AttackKind, AttackerCoalition
 from repro.bargossip.config import GossipConfig
 from repro.bargossip.defenses import ReportingPolicy, with_larger_pushes
-from repro.bargossip.simulator import GossipSimulator, run_gossip_experiment
+from repro.bargossip.scenario import ExecutionConfig, Scenario, run_experiment
+from repro.bargossip.simulator import GossipSimulator
 from repro.bargossip.updates import shared_memory_available
 from repro.core.errors import ConfigurationError
 from repro.core.rng import RngStreams
@@ -26,7 +27,9 @@ MEMORY_MODES = ("heap",) + (
 )
 
 
-def _run(config, kind, seed=7, rounds=20, attacker_fraction=0.2, **sim_kwargs):
+def _run(
+    config, kind, execution, seed=7, rounds=20, attacker_fraction=0.2, **sim_kwargs
+):
     streams = RngStreams(seed)
     coalition = AttackerCoalition.build(
         kind,
@@ -35,7 +38,7 @@ def _run(config, kind, seed=7, rounds=20, attacker_fraction=0.2, **sim_kwargs):
         rng=streams.get("coalition"),
     )
     simulator = GossipSimulator(
-        config, attack=coalition, seed=seed, **sim_kwargs
+        config, attack=coalition, seed=seed, execution=execution, **sim_kwargs
     )
     for _ in range(rounds):
         simulator.step()
@@ -62,10 +65,17 @@ def _snapshot(simulator):
 
 
 def _assert_parity(config, kind, **kwargs):
-    reference = _snapshot(_run(config.replace(backend="sets"), kind, **kwargs))
+    reference = _snapshot(
+        _run(config, kind, ExecutionConfig(backend="sets"), **kwargs)
+    )
     for memory in MEMORY_MODES:
         vectorized = _snapshot(
-            _run(config.replace(backend="words", memory=memory), kind, **kwargs)
+            _run(
+                config,
+                kind,
+                ExecutionConfig(backend="words", memory=memory),
+                **kwargs,
+            )
         )
         assert vectorized == reference, f"memory={memory}"
 
@@ -76,14 +86,18 @@ class TestExperimentParity:
     )
     @pytest.mark.parametrize("fraction", [0.0, 0.3])
     def test_small_config_all_attacks(self, kind, fraction):
-        config = GossipConfig.small()
-        reference = run_gossip_experiment(
-            config, kind, fraction, seed=5, rounds=25
+        scenario = Scenario(
+            config=GossipConfig.small(),
+            kind=kind,
+            attacker_fraction=fraction,
+            rounds=25,
         )
+        reference = run_experiment(scenario, seed=5)
         for memory in MEMORY_MODES:
-            vectorized = run_gossip_experiment(
-                config.replace(backend="words", memory=memory),
-                kind, fraction, seed=5, rounds=25,
+            vectorized = run_experiment(
+                scenario,
+                execution=ExecutionConfig(backend="words", memory=memory),
+                seed=5,
             )
             assert reference == vectorized
 
@@ -134,8 +148,8 @@ class TestMemoryConfigValidation:
     def test_shared_requires_words_backend(self):
         for backend in ("sets", "bitset"):
             with pytest.raises(ConfigurationError):
-                GossipConfig.small().replace(backend=backend, memory="shared")
+                ExecutionConfig(backend=backend, memory="shared")
 
     def test_unknown_memory_rejected(self):
         with pytest.raises(ConfigurationError):
-            GossipConfig.small().replace(backend="words", memory="flash")
+            ExecutionConfig(backend="words", memory="flash")

@@ -6,9 +6,11 @@ import pytest
 
 from repro.harness.bench import (
     BENCH_FIGURES,
+    EVENT_BENCH_POINTS,
     render_bench_summary,
     run_bench,
     run_counters_bench,
+    run_event_bench,
     run_memory_bench,
     run_shard_bench,
     write_bench_summary,
@@ -178,6 +180,36 @@ class TestRunBench:
         )
         assert "shared skipped" in rendered
 
+    def test_event_bench_section(self, summary):
+        event = summary["event_bench"]
+        assert event["n_nodes"] == 400
+        # The bench artifact's last-line schedule check: the ideal
+        # event run reproduces the classic rounds run exactly.
+        assert event["parity_ok"] is True
+        assert event["rounds_seconds"] > 0
+        assert event["ideal_seconds"] > 0
+        assert event["event_overhead_vs_rounds"] > 0
+        assert set(event["points"]) == set(EVENT_BENCH_POINTS)
+        for point in event["points"].values():
+            assert point["seconds"] > 0
+            assert 0.0 <= point["correct_fraction"] <= 1.0
+            assert point["network_stats"]["messages_sent"] > 0
+        ideal = event["points"]["ideal"]
+        # Tail updates released too close to the end can expire before
+        # reaching the threshold, so "almost all" is the ideal pin.
+        assert ideal["delivery_reached_fraction"] > 0.9
+        assert ideal["time_to_90_delivery"] is not None
+        assert event["points"]["latency_loss"]["network_stats"]["messages_lost"] > 0
+
+    def test_event_bench_standalone(self):
+        # rounds must cover warm-up + one full lifetime or nothing is
+        # measured and the parity check compares None against None.
+        report = run_event_bench(n_nodes=120, rounds=25)
+        assert report["parity_ok"] is True
+        assert report["backend"] == "words"
+        assert report["latency_loss_churn_seconds"] > 0
+        assert report["points"]["ideal"]["correct_fraction"] is not None
+
     def test_undersubscription_flag(self, monkeypatch):
         monkeypatch.setattr("repro.harness.bench.os.cpu_count", lambda: 1)
         report = run_shard_bench(n_nodes=120, rounds=4, workers=2)
@@ -230,6 +262,10 @@ class TestBenchCli:
                 n_nodes=200, rounds=4, workers=kwargs.get("workers", 2)
             ),
         )
+        monkeypatch.setattr(
+            "repro.harness.bench.run_event_bench",
+            lambda **kwargs: run_event_bench(n_nodes=200, rounds=25),
+        )
         monkeypatch.chdir(tmp_path)
         out = tmp_path / "BENCH_summary.json"
         assert main(["--fast", "--no-cache", "--output", str(out), "bench"]) == 0
@@ -238,7 +274,9 @@ class TestBenchCli:
         assert set(loaded["figures"]) == {"figure1"}
         assert "memory_bench" in loaded
         assert "counters_bench" in loaded
+        assert "event_bench" in loaded
         captured = capsys.readouterr()
         assert "total" in captured.out
         assert "memory (" in captured.out
         assert "counters (" in captured.out
+        assert "event (" in captured.out

@@ -13,6 +13,7 @@ from repro.harness.cache import (
     cell_key,
     fingerprint_of,
 )
+from repro.bargossip.scenario import Scenario
 from repro.harness.figures import GossipSweepTask
 
 
@@ -65,13 +66,20 @@ class TestCellKey:
     def test_task_fingerprint_invalidation(self):
         """Changing any task field invalidates the cache key."""
         config = GossipConfig.small()
-        task = GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=20)
-        base = cell_key("exp", task.cache_fingerprint(), 0.1, 1)
+
+        def task_for(**changes):
+            metric = changes.pop("metric", "isolated_fraction")
+            scenario = Scenario(config=config, kind=AttackKind.TRADE, rounds=20)
+            return GossipSweepTask(
+                scenario=scenario.replace(**changes), metric=metric
+            )
+
+        base = cell_key("exp", task_for().cache_fingerprint(), 0.1, 1)
         for variant in (
-            GossipSweepTask(config=config.replace(exchange_cap=7), kind=AttackKind.TRADE, rounds=20),
-            GossipSweepTask(config=config, kind=AttackKind.CRASH, rounds=20),
-            GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=21),
-            GossipSweepTask(config=config, kind=AttackKind.TRADE, rounds=20, metric="correct_fraction"),
+            task_for(config=config.replace(exchange_cap=7)),
+            task_for(kind=AttackKind.CRASH),
+            task_for(rounds=21),
+            task_for(metric="correct_fraction"),
         ):
             assert cell_key("exp", variant.cache_fingerprint(), 0.1, 1) != base
 

@@ -65,10 +65,13 @@ class TestSweepCommands:
         assert "cached=2" in err
 
     def test_sweep_gossip_respects_backend(self, capsys):
+        from repro.bargossip.scenario import ExecutionConfig
         from repro.harness.tasks import TASK_BUILDERS
 
-        task, _ = TASK_BUILDERS["gossip"](True, None, "bitset")
-        assert task.config.backend == "bitset"
+        task, _ = TASK_BUILDERS["gossip"](
+            True, None, execution=ExecutionConfig(backend="bitset")
+        )
+        assert task.execution.backend == "bitset"
         assert main([
             "--fast", "--no-cache", "--grid", "0.1",
             "--backend", "bitset", "sweep-gossip",

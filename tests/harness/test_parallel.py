@@ -7,6 +7,7 @@ from repro.bargossip.config import GossipConfig
 from repro.core.errors import AnalysisError
 from repro.core.rng import spawn_seeds
 from repro.harness.cache import ResultCache
+from repro.bargossip.scenario import Scenario
 from repro.harness.figures import GossipSweepTask, attack_curve, figure1
 from repro.harness.parallel import SweepCell, SweepExecutor, resolve_jobs
 from repro.harness.sweep import sweep
@@ -80,7 +81,9 @@ class TestExecutorMap:
 class TestSweepThroughExecutor:
     def test_sweep_results_independent_of_jobs(self):
         config = GossipConfig.small()
-        task = GossipSweepTask(config=config, kind=AttackKind.CRASH, rounds=20)
+        task = GossipSweepTask(
+            scenario=Scenario(config=config, kind=AttackKind.CRASH, rounds=20)
+        )
         serial = sweep(FRACTIONS, task, repetitions=2, root_seed=3)
         pooled = sweep(
             FRACTIONS,
@@ -136,7 +139,9 @@ class TestExecutorCache:
     def test_repeated_sweep_skips_execution(self, tmp_path, small_gossip):
         cache = ResultCache(tmp_path / "c")
         executor = SweepExecutor(jobs=1, cache=cache)
-        task = GossipSweepTask(config=small_gossip, kind=AttackKind.TRADE, rounds=20)
+        task = GossipSweepTask(
+            scenario=Scenario(config=small_gossip, kind=AttackKind.TRADE, rounds=20)
+        )
 
         first = sweep(FRACTIONS, task, repetitions=2, root_seed=0,
                       executor=executor, experiment="t")
@@ -164,14 +169,18 @@ class TestExecutorCache:
     def test_config_change_invalidates(self, tmp_path, small_gossip):
         cache = ResultCache(tmp_path / "c")
         executor = SweepExecutor(jobs=1, cache=cache)
-        base = GossipSweepTask(config=small_gossip, kind=AttackKind.TRADE, rounds=20)
+        base = GossipSweepTask(
+            scenario=Scenario(config=small_gossip, kind=AttackKind.TRADE, rounds=20)
+        )
         sweep(FRACTIONS, base, executor=executor, experiment="t")
         executed = executor.cells_executed
 
         changed = GossipSweepTask(
-            config=small_gossip.replace(push_size=small_gossip.push_size + 2),
-            kind=AttackKind.TRADE,
-            rounds=20,
+            scenario=Scenario(
+                config=small_gossip.replace(push_size=small_gossip.push_size + 2),
+                kind=AttackKind.TRADE,
+                rounds=20,
+            )
         )
         sweep(FRACTIONS, changed, executor=executor, experiment="t")
         # every cell of the changed config was a miss and re-ran
@@ -180,7 +189,9 @@ class TestExecutorCache:
     def test_cache_ignored_without_experiment_name(self, tmp_path, small_gossip):
         cache = ResultCache(tmp_path / "c")
         executor = SweepExecutor(jobs=1, cache=cache)
-        task = GossipSweepTask(config=small_gossip, kind=AttackKind.CRASH, rounds=20)
+        task = GossipSweepTask(
+            scenario=Scenario(config=small_gossip, kind=AttackKind.CRASH, rounds=20)
+        )
         sweep(FRACTIONS, task, executor=executor)  # no experiment name
         assert len(cache) == 0
 

@@ -6,6 +6,7 @@ import pytest
 
 from repro.bargossip.attacker import AttackKind
 from repro.bargossip.config import GossipConfig
+from repro.bargossip.scenario import ExecutionConfig, Scenario
 from repro.bittorrent.config import SwarmConfig
 from repro.harness.cache import ResultCache, cell_key
 from repro.harness.parallel import SweepExecutor
@@ -77,7 +78,11 @@ class TestIntVsFloatGridRegression:
 
 class TestTaskContracts:
     TASKS = [
-        GossipSweepTask(config=GossipConfig.small(), kind=AttackKind.TRADE, rounds=5),
+        GossipSweepTask(
+            scenario=Scenario(
+                config=GossipConfig.small(), kind=AttackKind.TRADE, rounds=5
+            )
+        ),
         ScripAltruistTask(config=ScripConfig.small(), rounds=50, warmup=10),
         TokenSweepTask(rows=4, cols=4, n_tokens=3, copies_per_token=2, max_rounds=20),
         SwarmSweepTask(config=SwarmConfig.small(), n_targets=2, max_rounds=60),
@@ -109,16 +114,33 @@ class TestTaskContracts:
         )
         assert base.cache_fingerprint() != other.cache_fingerprint()
 
-    def test_fingerprint_distinguishes_backend(self):
-        sets_task = GossipSweepTask(
+    def test_fingerprint_ignores_execution_strategy(self):
+        # Execution never changes results, so cells cached on one
+        # backend must be served on every other.
+        scenario = Scenario(
             config=GossipConfig.small(), kind=AttackKind.TRADE, rounds=5
         )
+        sets_task = GossipSweepTask(scenario=scenario)
         bitset_task = GossipSweepTask(
-            config=GossipConfig.small().replace(backend="bitset"),
-            kind=AttackKind.TRADE,
-            rounds=5,
+            scenario=scenario, execution=ExecutionConfig(backend="bitset")
         )
-        assert sets_task.cache_fingerprint() != bitset_task.cache_fingerprint()
+        assert sets_task.cache_fingerprint() == bitset_task.cache_fingerprint()
+
+    def test_fingerprint_distinguishes_network_and_schedule(self):
+        from repro.bargossip.network import NetworkModel
+
+        base = GossipSweepTask(
+            scenario=Scenario(config=GossipConfig.small(), rounds=5)
+        )
+        churny = GossipSweepTask(
+            scenario=Scenario(
+                config=GossipConfig.small(),
+                rounds=5,
+                schedule="event",
+                network=NetworkModel(loss_rate=0.1),
+            )
+        )
+        assert base.cache_fingerprint() != churny.cache_fingerprint()
 
 
 class TestModelSweeps:
