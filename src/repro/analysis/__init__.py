@@ -1,0 +1,53 @@
+"""``lotus-lint``: AST-based determinism & resource-discipline analyzer.
+
+Static backstop for the invariants the runtime parity suites pin:
+bit-exact simulation traces across backends, shard counts, memory
+modes and schedules.  The rules reject the known ways a change breaks
+those invariants — global-state randomness, unsorted set iteration in
+protocol code, wall-clock reads in the simulator core, protocol draws
+from the network/churn streams, leaked shared-memory segments,
+unguarded counter writes, and unpicklable pool task specs — at review
+time, before an expensive parity-matrix job has to find them.
+
+Entry points::
+
+    lotus-eater lint [--format text|json] [--baseline FILE] [paths...]
+
+    from repro.analysis import run_lint, LintConfig
+    result = run_lint(["src"], LintConfig())
+"""
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, finding_fingerprint
+from .rules import FileContext, LintConfig, Rule, all_rules, rule_codes
+from .runner import (
+    LintResult,
+    analyze_source,
+    detect_root,
+    format_json,
+    format_text,
+    iter_python_files,
+    run_lint,
+)
+from .suppressions import Suppression, scan_suppressions
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "analyze_source",
+    "detect_root",
+    "finding_fingerprint",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "rule_codes",
+    "run_lint",
+    "scan_suppressions",
+]

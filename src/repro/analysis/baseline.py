@@ -1,0 +1,136 @@
+"""Committed baseline of grandfathered ``lotus-lint`` findings.
+
+The baseline is a JSON file (``lint-baseline.json`` at the repo root by
+convention) listing findings that predate a rule and are accepted with
+a written justification.  A finding matching a baseline entry is
+reported as *baselined* instead of failing the run; a baseline entry
+matching nothing is *stale* and should be pruned (``lotus-eater lint
+--write-baseline`` does so).  Entries without a justification are
+invalid: they fail the run exactly like the finding they hide, so the
+baseline can never become a silent dumping ground.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..core.errors import ConfigurationError
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    message: str = ""
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.fingerprint)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "fingerprint": self.fingerprint,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "BaselineEntry":
+        unknown = set(payload) - {"rule", "path", "fingerprint", "message", "justification"}
+        if unknown:
+            raise ConfigurationError(
+                f"baseline entry has unknown keys: {sorted(unknown)}"
+            )
+        for required in ("rule", "path", "fingerprint"):
+            if required not in payload:
+                raise ConfigurationError(
+                    f"baseline entry missing required key {required!r}: {payload}"
+                )
+        return cls(**payload)
+
+    @classmethod
+    def from_finding(cls, finding: Finding, justification: str) -> "BaselineEntry":
+        return cls(
+            rule=finding.rule,
+            path=finding.path,
+            fingerprint=finding.fingerprint,
+            message=finding.message,
+            justification=justification,
+        )
+
+
+class Baseline:
+    """The set of grandfathered findings, keyed by fingerprint."""
+
+    def __init__(self, entries: Optional[Iterable[BaselineEntry]] = None) -> None:
+        self.entries: List[BaselineEntry] = list(entries or [])
+        index: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        for entry in self.entries:
+            if entry.key() in index:
+                raise ConfigurationError(
+                    f"duplicate baseline entry for {entry.rule} at {entry.path} "
+                    f"(fingerprint {entry.fingerprint})"
+                )
+            index[entry.key()] = entry
+        self._index = index
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def match(self, finding: Finding) -> Optional[BaselineEntry]:
+        return self._index.get((finding.rule, finding.path, finding.fingerprint))
+
+    def stale_entries(self, matched: Iterable[BaselineEntry]) -> List[BaselineEntry]:
+        """Entries that matched no finding in the run just completed."""
+        hit = {entry.key() for entry in matched}
+        return [entry for entry in self.entries if entry.key() not in hit]
+
+    def invalid_entries(self) -> List[BaselineEntry]:
+        """Entries lacking a written justification."""
+        return [entry for entry in self.entries if not entry.justification.strip()]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"baseline file {path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"baseline file {path} must hold a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline file {path} has version {version!r}; "
+                f"this analyzer reads version {BASELINE_VERSION}"
+            )
+        entries = [BaselineEntry.from_dict(raw) for raw in payload.get("entries", [])]
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key())
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")

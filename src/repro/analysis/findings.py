@@ -1,0 +1,82 @@
+"""Finding model for the ``lotus-lint`` static analyzer.
+
+A :class:`Finding` is one rule violation anchored to a file position.
+Findings carry a *fingerprint* — a stable hash of the rule, the file,
+and the offending source line's text (plus an occurrence index for
+repeated identical lines) — so the committed baseline keeps matching a
+grandfathered finding even when unrelated edits shift line numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+__all__ = ["Finding", "SEVERITIES", "finding_fingerprint"]
+
+#: Recognised severities, most severe first.  ``error`` findings fail
+#: the lint run; ``warning`` findings are reported but do not.
+SEVERITIES = ("error", "warning")
+
+_FINGERPRINT_BYTES = 8
+
+
+def finding_fingerprint(rule: str, path: str, snippet: str, occurrence: int = 0) -> str:
+    """Stable fingerprint for a finding.
+
+    Line numbers are deliberately excluded: the baseline must survive
+    unrelated edits above the finding.  ``occurrence`` disambiguates
+    identical lines within one file (0 = first such line).
+    """
+    digest = hashlib.blake2b(digest_size=_FINGERPRINT_BYTES)
+    digest.update(rule.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(path.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(snippet.strip().encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(str(int(occurrence)).encode("ascii"))
+    return digest.hexdigest()
+
+
+@dataclass
+class Finding:
+    """One rule violation at a file position.
+
+    ``path`` is the repo-relative POSIX path of the analyzed file (or
+    the virtual path given to :func:`analyze_source`); ``line`` and
+    ``col`` are 1-based / 0-based as in :mod:`ast`.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+    #: Stripped text of the offending source line (fingerprint input).
+    snippet: str = ""
+    #: Filled in by the runner once per-file occurrence indices are known.
+    fingerprint: str = field(default="")
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )

@@ -1,0 +1,348 @@
+"""Resource-discipline rules: SHM005, API006 and PKL008.
+
+* **SHM005** — every ``SharedMemory(create=True)`` must pair with a
+  reachable ``close``/``unlink`` call or a ``weakref.finalize``/
+  ``atexit.register`` registration in the same function or class.  A
+  leaked segment outlives the process and fills ``/dev/shm`` on CI
+  runners.
+* **API006** — counter columns are mutated only through
+  ``ServiceCounters.add()`` / ``CounterColumnView`` setters (which
+  carry the overflow and negative-delta guards) or the audited
+  batched-phase scatter-add sites; raw subscript writes anywhere else
+  bypass the guards.
+* **PKL008** — dataclasses shipped across process boundaries as pool
+  task specs must stay picklable: no lambdas, no locally-defined
+  functions, no RNG objects or open handles in their fields.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from .findings import Finding
+from .rules import FileContext, LintConfig, Rule, dotted_name, register
+
+__all__ = [
+    "SharedMemoryLifecycleRule",
+    "CounterMutationRule",
+    "TaskSpecPicklabilityRule",
+]
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+@register
+class SharedMemoryLifecycleRule(Rule):
+    code = "SHM005"
+    title = "SharedMemory(create=True) pairs with close/unlink or a finalizer"
+    rationale = (
+        "a segment with no reachable release path outlives the process "
+        "and leaks /dev/shm on every crashed run"
+    )
+    include = ("src/repro/*",)
+
+    _RELEASE_ATTRS = frozenset({"close", "unlink"})
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        # Map every node to its enclosing function/class chain once.
+        for creation, scopes in self._creations_with_scopes(ctx.tree):
+            if not any(self._scope_releases(scope) for scope in scopes):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        config,
+                        creation,
+                        "SharedMemory(create=True) with no reachable close/"
+                        "unlink or weakref.finalize/atexit.register in the "
+                        "enclosing function or class — the segment leaks if "
+                        "this scope raises",
+                    )
+                )
+        return findings
+
+    def _creations_with_scopes(self, tree: ast.Module):
+        """Yield ``(call, [enclosing scopes])`` for each creation."""
+        results = []
+
+        def walk(node: ast.AST, scopes) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                scopes = scopes + [node]
+            for child in ast.iter_child_nodes(node):
+                walk(child, scopes)
+            if isinstance(node, ast.Call) and self._is_creation(node):
+                results.append((node, scopes or [tree]))
+
+        walk(tree, [])
+        return results
+
+    @staticmethod
+    def _is_creation(node: ast.Call) -> bool:
+        if _call_name(node) != "SharedMemory":
+            return False
+        for keyword in node.keywords:
+            if keyword.arg == "create":
+                return (
+                    isinstance(keyword.value, ast.Constant)
+                    and bool(keyword.value.value)
+                )
+        if len(node.args) >= 2:
+            second = node.args[1]
+            return isinstance(second, ast.Constant) and bool(second.value)
+        return False
+
+    def _scope_releases(self, scope: ast.AST) -> bool:
+        for node in ast.walk(scope):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in self._RELEASE_ATTRS:
+                return True
+            if name == "finalize":  # weakref.finalize(...) or bare finalize
+                return True
+            if name == "register":
+                chain = dotted_name(node.func)
+                if chain and chain[0] == "atexit":
+                    return True
+        return False
+
+
+@register
+class CounterMutationRule(Rule):
+    code = "API006"
+    title = "counter columns mutated only through the guarded APIs"
+    rationale = (
+        "raw writes into the counters matrix bypass the int64 overflow "
+        "and negative-delta guards in ServiceCounters/CounterColumnView"
+    )
+    include = ("src/repro/*",)
+    exclude = (
+        "src/repro/bargossip/population.py",
+        "src/repro/bargossip/node.py",
+    )
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        rule = self
+        findings: List[Finding] = []
+        allowed = frozenset(config.api006_allowed_functions)
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.stack: List[str] = []
+                # Per-scope names bound to a counters matrix.
+                self.bound: List[Set[str]] = [set()]
+
+            def _enter(self, node) -> None:
+                self.stack.append(node.name)
+                self.bound.append(set())
+                self.generic_visit(node)
+                self.bound.pop()
+                self.stack.pop()
+
+            visit_FunctionDef = _enter
+            visit_AsyncFunctionDef = _enter
+
+            def _is_counters_expr(self, node: ast.AST) -> bool:
+                if isinstance(node, ast.Attribute) and node.attr == "counters":
+                    return True
+                if isinstance(node, ast.Name):
+                    return node.id in self.bound[-1]
+                if isinstance(node, ast.Call) and _call_name(node) == "counters_view":
+                    return True
+                return False
+
+            def _track(self, node: ast.Assign) -> None:
+                is_counters = self._is_counters_expr(node.value)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if is_counters:
+                            self.bound[-1].add(target.id)
+                        else:
+                            self.bound[-1].discard(target.id)
+
+            def _check_target(self, target: ast.AST, node: ast.AST) -> None:
+                for sub in ast.walk(target):
+                    if not isinstance(sub, ast.Subscript):
+                        continue
+                    if not self._is_counters_expr(sub.value):
+                        continue
+                    if any(name in allowed for name in self.stack):
+                        continue
+                    findings.append(
+                        rule.finding(
+                            ctx,
+                            config,
+                            node,
+                            "raw write into a counters matrix — mutate through "
+                            "ServiceCounters.add()/CounterColumnView setters, "
+                            "or Population.add_counter_deltas() for batches",
+                        )
+                    )
+
+            def visit_Assign(self, node: ast.Assign) -> None:
+                for target in node.targets:
+                    self._check_target(target, node)
+                self._track(node)
+                self.generic_visit(node)
+
+            def visit_AugAssign(self, node: ast.AugAssign) -> None:
+                self._check_target(node.target, node)
+                self.generic_visit(node)
+
+        Visitor().visit(ctx.tree)
+        return findings
+
+
+#: Type tokens that make a task-spec field unpicklable (or picklable
+#: only by dragging process-local state across the boundary).
+_FORBIDDEN_ANNOTATION = re.compile(
+    r"\b(Callable|Generator|RngStreams|Random|RandomState|TextIO|BinaryIO)\b|\bIO\["
+)
+
+
+@register
+class TaskSpecPicklabilityRule(Rule):
+    code = "PKL008"
+    title = "pool task specs stay picklable"
+    rationale = (
+        "task specs cross process boundaries; lambdas, local functions, "
+        "RNG objects and open handles fail or misbehave under pickle"
+    )
+    include = ("src/repro/*",)
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        findings.extend(self._check_definitions(ctx, config))
+        findings.extend(self._check_constructions(ctx, config))
+        return findings
+
+    def _is_spec_name(self, name: str, config: LintConfig) -> bool:
+        return name in config.pkl008_spec_classes or name.endswith(
+            tuple(config.pkl008_spec_suffixes)
+        )
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            chain = dotted_name(target)
+            if chain and chain[-1] == "dataclass":
+                return True
+        return False
+
+    def _check_definitions(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not self._is_spec_name(node.name, config):
+                continue
+            if not self._is_dataclass(node):
+                continue
+            for statement in node.body:
+                if not isinstance(statement, ast.AnnAssign):
+                    continue
+                yield from self._check_field(ctx, config, node, statement)
+
+    def _check_field(
+        self,
+        ctx: FileContext,
+        config: LintConfig,
+        owner: ast.ClassDef,
+        statement: ast.AnnAssign,
+    ) -> Iterable[Finding]:
+        field_name = (
+            statement.target.id if isinstance(statement.target, ast.Name) else "?"
+        )
+        try:
+            annotation_text = ast.unparse(statement.annotation)
+        except Exception:  # pragma: no cover - unparse of exotic nodes
+            annotation_text = ""
+        match = _FORBIDDEN_ANNOTATION.search(annotation_text)
+        if match:
+            yield self.finding(
+                ctx,
+                config,
+                statement,
+                f"task spec {owner.name}.{field_name} is annotated "
+                f"{annotation_text!r} — {match.group(0)} fields do not "
+                "survive the process boundary; ship plain data and "
+                "reconstruct in the worker",
+            )
+        if isinstance(statement.value, ast.Lambda):
+            yield self.finding(
+                ctx,
+                config,
+                statement,
+                f"task spec {owner.name}.{field_name} defaults to a lambda — "
+                "lambdas cannot be pickled; use a module-level function",
+            )
+
+    def _check_constructions(
+        self, ctx: FileContext, config: LintConfig
+    ) -> Iterable[Finding]:
+        rule = self
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                self.local_functions: List[Set[str]] = []
+                self.results: List[Finding] = []
+
+            def _enter(self, node) -> None:
+                if self.local_functions:
+                    # A def nested inside another function is local.
+                    self.local_functions[-1].add(node.name)
+                self.local_functions.append(set())
+                self.generic_visit(node)
+                self.local_functions.pop()
+
+            visit_FunctionDef = _enter
+            visit_AsyncFunctionDef = _enter
+
+            def _is_local_function(self, name: str) -> bool:
+                return any(name in scope for scope in self.local_functions)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                name = _call_name(node)
+                if name is not None and rule._is_spec_name(name, config):
+                    values = list(node.args) + [kw.value for kw in node.keywords]
+                    for value in values:
+                        if isinstance(value, ast.Lambda):
+                            self.results.append(
+                                rule.finding(
+                                    ctx,
+                                    config,
+                                    value,
+                                    f"lambda passed into task spec {name}() — "
+                                    "lambdas cannot be pickled; use a "
+                                    "module-level function",
+                                )
+                            )
+                        elif isinstance(value, ast.Name) and self._is_local_function(
+                            value.id
+                        ):
+                            self.results.append(
+                                rule.finding(
+                                    ctx,
+                                    config,
+                                    value,
+                                    f"locally-defined function {value.id!r} "
+                                    f"passed into task spec {name}() — local "
+                                    "functions cannot be pickled; move it to "
+                                    "module level",
+                                )
+                            )
+                self.generic_visit(node)
+
+        visitor = Visitor()
+        visitor.visit(ctx.tree)
+        return visitor.results

@@ -1,0 +1,226 @@
+"""Rule framework for ``lotus-lint``.
+
+Each rule is an :mod:`ast`-level checker with a stable code (``DET001``
+…), a severity, and default path scoping expressed as ``fnmatch``
+patterns over the repo-relative POSIX path (``*`` crosses ``/``).  The
+:class:`LintConfig` can enable a subset of rules, override severities,
+and replace a rule's include/exclude patterns — the test corpus uses
+that to aim rules at fixture files.
+
+Rules register themselves via the :func:`register` decorator; the
+runner instantiates every registered rule per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Type
+
+from .findings import Finding
+
+__all__ = [
+    "FileContext",
+    "LintConfig",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_codes",
+    "ImportTracker",
+    "dotted_name",
+]
+
+
+@dataclass
+class FileContext:
+    """One parsed file handed to every applicable rule."""
+
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+
+    def snippet(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass
+class LintConfig:
+    """Analyzer configuration.
+
+    The defaults encode this repository's invariants; everything is
+    overridable so tests (and future repos) can re-scope rules.
+    """
+
+    #: ``None`` enables every registered rule.
+    enabled: Optional[frozenset] = None
+    severity_overrides: Mapping[str, str] = field(default_factory=dict)
+    #: Per-rule replacement of the default include/exclude patterns.
+    include_overrides: Mapping[str, Sequence[str]] = field(default_factory=dict)
+    exclude_overrides: Mapping[str, Sequence[str]] = field(default_factory=dict)
+
+    # RNG004 — event-schedule scopes allowed to draw the network/churn
+    # streams (the PR 6 guarantee: protocol phases never touch them).
+    rng004_allowed_functions: Tuple[str, ...] = (
+        "_step_event",
+        "_transmit",
+        "_deliverable",
+        "_arm_churn",
+        "_bootstrap",
+        "_sample_delivery_times",
+    )
+    rng004_allowed_prefixes: Tuple[str, ...] = ("_on_",)
+
+    # API006 — the batched-phase scatter-add sites allowed to write
+    # counter columns directly (cells are node-disjoint, so += is an
+    # exact scatter-add there).
+    api006_allowed_functions: Tuple[str, ...] = (
+        "run_exchanges_batched",
+        "_push_pass_batched",
+    )
+
+    # PKL008 — dataclasses that cross a process boundary as pool task
+    # specs (by exact name, or by class-name suffix).
+    pkl008_spec_classes: Tuple[str, ...] = (
+        "ShardStatic",
+        "ShardState",
+        "ShardOutcome",
+        "SharedShardOutcome",
+    )
+    pkl008_spec_suffixes: Tuple[str, ...] = ("Task",)
+
+    def is_enabled(self, code: str) -> bool:
+        return self.enabled is None or code in self.enabled
+
+    def severity_for(self, rule: "Rule") -> str:
+        return self.severity_overrides.get(rule.code, rule.severity)
+
+    def patterns_for(self, rule: "Rule") -> Tuple[Sequence[str], Sequence[str]]:
+        include = self.include_overrides.get(rule.code, rule.include)
+        exclude = self.exclude_overrides.get(rule.code, rule.exclude)
+        return include, exclude
+
+
+def _matches(rel_path: str, patterns: Sequence[str]) -> bool:
+    return any(fnmatch(rel_path, pattern) for pattern in patterns)
+
+
+class Rule:
+    """Base class: one invariant, one code, one checker."""
+
+    code: str = ""
+    title: str = ""
+    rationale: str = ""
+    severity: str = "error"
+    #: fnmatch patterns over the repo-relative POSIX path.
+    include: Tuple[str, ...] = ("src/repro/*",)
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str, config: LintConfig) -> bool:
+        include, exclude = config.patterns_for(self)
+        return _matches(rel_path, include) and not _matches(rel_path, exclude)
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        config: LintConfig,
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=self.code,
+            path=ctx.rel_path,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=config.severity_for(self),
+            snippet=ctx.snippet(line),
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"rule {rule_class.__name__} has no code")
+    if code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {code}")
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` as ``["a", "b", "c"]``; ``None`` for non-name chains."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class ImportTracker(ast.NodeVisitor):
+    """Resolve local names to the modules/objects they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``.  Used by rules to
+    recognise ``np.random.shuffle`` or ``_time.perf_counter`` regardless
+    of aliasing.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            # `import a.b` binds `a`; `import a.b as c` binds `c -> a.b`.
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports never reach stdlib random/time
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of ``node``, if importable."""
+        parts = dotted_name(node)
+        if not parts:
+            return None
+        head = self.aliases.get(parts[0])
+        if head is None:
+            return None
+        return ".".join([head] + parts[1:])
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportTracker":
+        tracker = cls()
+        tracker.visit(tree)
+        return tracker

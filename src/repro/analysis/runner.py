@@ -1,0 +1,303 @@
+"""File discovery, orchestration and output for ``lotus-lint``.
+
+The runner walks the given paths, parses each ``*.py`` file once, runs
+every enabled rule whose path scope matches, applies inline
+suppressions and the committed baseline, and renders text or JSON.
+
+Exit-code contract (what CI gates on):
+
+* ``0`` — no active error findings, no invalid baseline entries.
+* ``1`` — at least one active error-severity finding, a syntax error
+  in an analyzed file, or a baseline entry lacking a justification.
+
+Stale baseline entries and malformed suppression comments are reported
+as warnings; they nag without blocking.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, finding_fingerprint
+from .rules import FileContext, LintConfig, all_rules
+from .suppressions import Suppression, scan_suppressions
+
+# Imported for their @register side effect.
+from . import determinism as _determinism  # noqa: F401
+from . import resources as _resources  # noqa: F401
+
+__all__ = [
+    "LintResult",
+    "analyze_source",
+    "run_lint",
+    "iter_python_files",
+    "detect_root",
+    "format_text",
+    "format_json",
+]
+
+#: Meta-diagnostic codes (not AST rules, always on).
+MALFORMED_SUPPRESSION = "LNT001"
+SYNTAX_ERROR = "LNT002"
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Tuple[Finding, Suppression]] = field(default_factory=list)
+    baselined: List[Tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    invalid_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors or self.invalid_baseline:
+            return 1
+        return 0
+
+
+def detect_root(start: Optional[Path] = None) -> Path:
+    """Repo root: nearest ancestor holding ``pyproject.toml``.
+
+    Falls back to ``start`` itself so the analyzer still runs on loose
+    files outside any project.
+    """
+    origin = Path(start or Path.cwd()).resolve()
+    probe = origin if origin.is_dir() else origin.parent
+    for candidate in [probe] + list(probe.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    return probe
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``*.py`` files under ``paths``, sorted, hidden dirs skipped."""
+    found = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_file() and path.suffix == ".py":
+            found.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if any(part.startswith(".") for part in candidate.parts):
+                    continue
+                found.add(candidate.resolve())
+    return sorted(found)
+
+
+def _finalize_fingerprints(findings: List[Finding]) -> None:
+    """Assign occurrence-indexed fingerprints (stable across line shifts)."""
+    seen: Dict[Tuple[str, str, str], int] = {}
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        finding.fingerprint = finding_fingerprint(
+            finding.rule, finding.path, finding.snippet, occurrence
+        )
+
+
+def analyze_source(
+    source: str,
+    rel_path: str,
+    config: Optional[LintConfig] = None,
+) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
+    """Analyze one in-memory file.
+
+    ``rel_path`` is the virtual repo-relative path used for rule
+    scoping — the fixture corpus points it at protocol-module paths.
+    Returns ``(active findings, suppressed findings)``; fingerprints
+    are already assigned.
+    """
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        findings.append(
+            Finding(
+                rule=SYNTAX_ERROR,
+                path=rel_path,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                message=f"file does not parse: {error.msg}",
+                severity="error",
+            )
+        )
+        _finalize_fingerprints(findings)
+        return findings, []
+
+    ctx = FileContext(
+        rel_path=rel_path,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    for rule in all_rules():
+        if not config.is_enabled(rule.code):
+            continue
+        if not rule.applies_to(rel_path, config):
+            continue
+        findings.extend(rule.check(ctx, config))
+
+    suppressions, malformed_lines = scan_suppressions(source)
+    for line in malformed_lines:
+        findings.append(
+            Finding(
+                rule=MALFORMED_SUPPRESSION,
+                path=rel_path,
+                line=line,
+                col=0,
+                message=(
+                    "malformed suppression comment — the syntax is "
+                    "'# lotus: ignore[RULE1,RULE2] reason'"
+                ),
+                severity="warning",
+                snippet=ctx.snippet(line),
+            )
+        )
+
+    active: List[Finding] = []
+    suppressed: List[Tuple[Finding, Suppression]] = []
+    for finding in findings:
+        hit = None
+        for suppression in suppressions.get(finding.line, []):
+            if finding.rule.upper() in suppression.rules:
+                hit = suppression
+                suppression.used = True
+                break
+        if hit is None:
+            active.append(finding)
+        else:
+            suppressed.append((finding, hit))
+
+    _finalize_fingerprints(active + [pair[0] for pair in suppressed])
+    active.sort(key=Finding.sort_key)
+    return active, suppressed
+
+
+def run_lint(
+    paths: Sequence[Path],
+    config: Optional[LintConfig] = None,
+    root: Optional[Path] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    ``root`` anchors the repo-relative paths rules and baselines match
+    against; by default it is detected from the first path.
+    """
+    config = config or LintConfig()
+    files = iter_python_files(paths)
+    if root is None:
+        root = detect_root(files[0] if files else None)
+    root = Path(root).resolve()
+
+    result = LintResult()
+    raw: List[Finding] = []
+    for file_path in files:
+        try:
+            rel_path = file_path.relative_to(root).as_posix()
+        except ValueError:
+            rel_path = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        active, suppressed = analyze_source(source, rel_path, config)
+        raw.extend(active)
+        result.suppressed.extend(suppressed)
+        result.files_checked += 1
+
+    matched_entries: List[BaselineEntry] = []
+    if baseline is not None and len(baseline):
+        for finding in raw:
+            entry = baseline.match(finding)
+            if entry is not None and entry.justification.strip():
+                result.baselined.append((finding, entry))
+                matched_entries.append(entry)
+            else:
+                result.findings.append(finding)
+        result.stale_baseline = baseline.stale_entries(matched_entries)
+        result.invalid_baseline = baseline.invalid_entries()
+    else:
+        result.findings = raw
+
+    result.findings.sort(key=Finding.sort_key)
+    return result
+
+
+def format_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report."""
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(finding.render())
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for entry in result.invalid_baseline:
+        lines.append(
+            f"{entry.path}: baseline entry for {entry.rule} "
+            f"(fingerprint {entry.fingerprint}) has no justification — "
+            "every grandfathered finding needs a written reason"
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry for {entry.rule} "
+            f"(fingerprint {entry.fingerprint}) no longer matches any "
+            "finding — prune it with --write-baseline"
+        )
+    if verbose:
+        for finding, suppression in result.suppressed:
+            reason = suppression.reason or "(no reason given)"
+            lines.append(f"suppressed: {finding.render()} — {reason}")
+    summary = (
+        f"{result.files_checked} files checked: "
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s), "
+        f"{len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    """Machine-readable report (the CI job consumes this)."""
+    payload = {
+        "findings": [finding.to_dict() for finding in result.findings],
+        "suppressed": [
+            {
+                "finding": finding.to_dict(),
+                "reason": suppression.reason,
+                "comment_line": suppression.comment_line,
+            }
+            for finding, suppression in result.suppressed
+        ],
+        "baselined": [
+            {"finding": finding.to_dict(), "justification": entry.justification}
+            for finding, entry in result.baselined
+        ],
+        "stale_baseline": [entry.to_dict() for entry in result.stale_baseline],
+        "invalid_baseline": [entry.to_dict() for entry in result.invalid_baseline],
+        "summary": {
+            "files_checked": result.files_checked,
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "exit_code": result.exit_code,
+        },
+    }
+    return json.dumps(payload, indent=2)

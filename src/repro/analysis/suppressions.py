@@ -1,0 +1,106 @@
+"""Inline suppression comments for ``lotus-lint``.
+
+Syntax::
+
+    risky_line()  # lotus: ignore[DET001] one-line justification
+    # lotus: ignore[DET002,DET003] applies to the next line
+    the_next_line()
+
+A trailing suppression applies to findings reported on its own physical
+line; a standalone suppression comment applies to the line directly
+below it (so long statements keep their justification readable).  The
+rule list is mandatory — a bare ``# lotus: ignore`` is reported as a
+malformed suppression so typos never silently disable the analyzer.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+_SUPPRESS_RE = re.compile(
+    r"lotus:\s*ignore\[(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\]\s*(?P<reason>.*)$"
+)
+_MARKER_RE = re.compile(r"lotus:\s*ignore")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# lotus: ignore[...]`` comment."""
+
+    #: Physical line of the comment itself.
+    comment_line: int
+    #: Line whose findings this suppression covers.
+    target_line: int
+    rules: frozenset
+    reason: str = ""
+    used: bool = False
+
+    def covers(self, rule: str, line: int) -> bool:
+        return line == self.target_line and rule.upper() in self.rules
+
+
+def _iter_comments(source: str) -> List[Tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every comment token.
+
+    Tokenization fails on files with invalid syntax; those fall back to
+    a line-based scan, which is exact except for ``#`` inside string
+    literals (acceptable for a diagnostics path).
+    """
+    comments: List[Tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+        for number, text in enumerate(source.splitlines(), start=1):
+            position = text.find("#")
+            if position >= 0:
+                comments.append((number, position, text[position:]))
+    return comments
+
+
+def scan_suppressions(source: str) -> Tuple[Dict[int, List[Suppression]], List[int]]:
+    """Parse all suppressions in ``source``.
+
+    Returns ``(by_target_line, malformed_lines)`` where the mapping
+    keys are the lines each suppression covers.
+    """
+    by_line: Dict[int, List[Suppression]] = {}
+    malformed: List[int] = []
+    for line, col, text in _iter_comments(source):
+        if not _MARKER_RE.search(text):
+            continue
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            malformed.append(line)
+            continue
+        rules = frozenset(
+            part.strip().upper() for part in match.group("rules").split(",")
+        )
+        # A comment with nothing but whitespace before it on the line
+        # stands alone and covers the next line; a trailing comment
+        # covers its own line.
+        standalone = col == 0 or not _line_prefix_has_code(source, line, col)
+        target = line + 1 if standalone else line
+        suppression = Suppression(
+            comment_line=line,
+            target_line=target,
+            rules=rules,
+            reason=match.group("reason").strip(),
+        )
+        by_line.setdefault(target, []).append(suppression)
+    return by_line, malformed
+
+
+def _line_prefix_has_code(source: str, line: int, col: int) -> bool:
+    lines = source.splitlines()
+    if not 1 <= line <= len(lines):
+        return False
+    return bool(lines[line - 1][:col].strip())

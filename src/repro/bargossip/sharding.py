@@ -790,7 +790,9 @@ _WORKER_STORE: Optional[WordPopulationStore] = None
 
 
 def _init_shard_worker(static: ShardStatic) -> None:
-    global _WORKER_STATIC, _WORKER_STORE
+    # Pool-initializer pattern: worker-global state is the only way to
+    # hand a shared-memory attachment to every task in the worker.
+    global _WORKER_STATIC, _WORKER_STORE  # noqa: PLW0603
     _WORKER_STATIC = static
     if _WORKER_STORE is not None:
         _WORKER_STORE.close()

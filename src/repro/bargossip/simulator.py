@@ -1370,11 +1370,11 @@ class GossipSimulator(RoundSimulator):
                     seeded_set -= skipped
                     self.network_stats.seeds_to_departed += len(skipped)
             if self._pool is not None:
-                self._pool.seed(list(seeded_set), first_col + offset)
+                self._pool.seed(sorted(seeded_set), first_col + offset)
             else:
                 for node in self.nodes:
                     node.store.announce(update, node.node_id in seeded_set)
-            for node_id in seeded_set:
+            for node_id in sorted(seeded_set):
                 if not self.nodes[node_id].evicted:
                     self.attack.observe_seeding(node_id, (update,))
         return fresh

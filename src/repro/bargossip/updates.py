@@ -558,9 +558,20 @@ def shared_memory_available() -> bool:
         probe = shared_memory.SharedMemory(create=True, size=_WORD_BYTES)
     except (ImportError, OSError):
         return False
-    probe.close()
-    probe.unlink()
-    return True
+    # The probe segment must not outlive this call on any exit path: a
+    # failing close() may not skip the unlink, and a failing unlink()
+    # (e.g. another probe raced us on a shared tmpfs) must not leak out
+    # of a capability check.
+    usable = True
+    try:
+        probe.close()
+    except (BufferError, OSError):
+        usable = False
+    try:
+        probe.unlink()
+    except (FileNotFoundError, OSError):
+        usable = False
+    return usable
 
 
 class _WordRows:

@@ -51,7 +51,9 @@ def as_gf2_matrix(rows: Iterable[Sequence[int]], width: Optional[int] = None) ->
     try:
         matrix = np.array(row_list, dtype=np.int64)
     except ValueError as error:  # ragged rows
-        raise ConfigurationError(f"rows must form a rectangular matrix: {error}")
+        raise ConfigurationError(
+            f"rows must form a rectangular matrix: {error}"
+        ) from error
     if matrix.ndim != 2 or (width is not None and matrix.shape[1] != width):
         raise ConfigurationError("rows must form a rectangular matrix")
     if not np.isin(matrix, (0, 1)).all():

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -120,7 +120,7 @@ def assign_roles(
     total: int,
     byzantine_fraction: float,
     obedient_fraction: float = 0.0,
-    rng: np.random.Generator = None,
+    rng: Optional[np.random.Generator] = None,
 ) -> RoleAssignment:
     """Assign BAR behaviours to ``total`` nodes.
 

@@ -90,6 +90,7 @@ def run_rounds(
     """
     if max_rounds < 0:
         raise SimulationError(f"max_rounds must be non-negative, got {max_rounds}")
+    # lotus: ignore[DET003] wall_seconds is reporting-only metadata on RunResult, never simulation state
     started = _time.perf_counter()
     observations: List[Any] = []
     executed = 0
@@ -111,5 +112,5 @@ def run_rounds(
         rounds=executed,
         stopped_early=stopped_early,
         observations=observations,
-        wall_seconds=_time.perf_counter() - started,
+        wall_seconds=_time.perf_counter() - started,  # lotus: ignore[DET003] reporting-only, see above
     )

@@ -132,7 +132,7 @@ class RankSatiation(SatiationFunction):
         # on the coding package at module-import time.
         from ..coding.gf2 import rank_of_vectors
 
-        vectors = [token for token in tokens if isinstance(token, tuple)]
+        vectors = sorted(token for token in tokens if isinstance(token, tuple))
         if not vectors:
             return False
         return rank_of_vectors(vectors, self._dimension) >= self._dimension

@@ -232,7 +232,7 @@ class ResultCache:
             experiment=experiment,
             x=float(x),
             seed=int(seed),
-            created=time.time(),
+            created=time.time(),  # lotus: ignore[DET003] cache-record LRU metadata, not simulation state
         )
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)

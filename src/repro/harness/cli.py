@@ -21,6 +21,9 @@ Installed as ``lotus-eater`` (see ``pyproject.toml``)::
     lotus-eater bench --fast --output BENCH_summary.json
     lotus-eater bench-diff BENCH_previous.json BENCH_summary.json
     lotus-eater bench-trend --history-dir .bench-history
+    lotus-eater lint src tests benchmarks examples
+    lotus-eater lint --format json
+    lotus-eater lint --write-baseline --justification "pre-DET002 code"
 
 Sweep-based commands (the figures, the per-model ``sweep-*``
 subcommands, ``table1``'s baseline, ``bench``) fan their (grid-point,
@@ -115,7 +118,7 @@ def _parse_latency(text: str):
         raise argparse.ArgumentTypeError(
             f"bad latency {text!r}: expected MEAN, KIND:MEAN or "
             "uniform:MEAN:JITTER (kinds: fixed, uniform, exponential)"
-        )
+        ) from None
     if kind not in ("fixed", "uniform", "exponential"):
         raise argparse.ArgumentTypeError(
             f"bad latency kind {kind!r}: expected fixed, uniform or exponential"
@@ -132,7 +135,7 @@ def _parse_churn(text: str):
     except (ValueError, IndexError):
         raise argparse.ArgumentTypeError(
             f"bad churn {text!r}: expected LEAVE or LEAVE:JOIN rates"
-        )
+        ) from None
     return (leave, join)
 
 
@@ -261,7 +264,9 @@ def _parse_grid(text: str) -> List[float]:
     try:
         grid = [float(part) for part in text.split(",") if part.strip()]
     except ValueError:
-        raise argparse.ArgumentTypeError(f"bad grid {text!r}: expected comma-separated numbers")
+        raise argparse.ArgumentTypeError(
+            f"bad grid {text!r}: expected comma-separated numbers"
+        ) from None
     if not grid:
         raise argparse.ArgumentTypeError("grid must name at least one value")
     return grid
@@ -467,6 +472,133 @@ def _jobs_value(text: str) -> int:
     return value
 
 
+def _build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lotus-eater lint",
+        description=(
+            "lotus-lint: AST-based determinism & resource-discipline "
+            "analyzer.  Rejects the known ways a change silently breaks "
+            "the bit-exact parity invariants (global-state randomness, "
+            "unsorted set iteration, wall-clock reads, protocol draws "
+            "from the network/churn streams, leaked SharedMemory "
+            "segments, unguarded counter writes, unpicklable task specs)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src tests benchmarks "
+        "examples, whichever exist under the repo root)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (json is what the CI lint-analysis job reads)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline JSON of grandfathered findings "
+        "(default: <repo root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current error finding into the baseline "
+        "(requires --justification) and prune stale entries",
+    )
+    parser.add_argument(
+        "--justification",
+        default="",
+        help="written reason stored with entries --write-baseline adds "
+        "(entries without one fail the next run)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list inline-suppressed findings with their reasons",
+    )
+    return parser
+
+
+def _cmd_lint(argv: List[str]) -> int:
+    """The ``lotus-eater lint`` subcommand (own parser, own positionals)."""
+    from pathlib import Path
+
+    from ..analysis import (
+        Baseline,
+        BaselineEntry,
+        LintConfig,
+        detect_root,
+        format_json,
+        format_text,
+        run_lint,
+    )
+
+    args = _build_lint_parser().parse_args(argv)
+    root = detect_root(Path(args.paths[0]).resolve() if args.paths else None)
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(
+            "lotus-eater lint: no such path(s): " + ", ".join(missing),
+            file=sys.stderr,
+        )
+        return 2
+    paths = [Path(p) for p in args.paths] or [
+        root / name
+        for name in ("src", "tests", "benchmarks", "examples")
+        if (root / name).is_dir()
+    ]
+    baseline_path = Path(args.baseline) if args.baseline else root / "lint-baseline.json"
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+    enabled = None
+    if args.rules:
+        enabled = frozenset(code.strip().upper() for code in args.rules.split(","))
+    result = run_lint(
+        paths, config=LintConfig(enabled=enabled), root=root, baseline=baseline
+    )
+
+    if args.write_baseline:
+        if not args.justification.strip():
+            print(
+                "lotus-eater lint: --write-baseline requires --justification "
+                "(every grandfathered finding carries a written reason)",
+                file=sys.stderr,
+            )
+            return 2
+        entries = [entry for _, entry in result.baselined]
+        entries.extend(
+            BaselineEntry.from_finding(finding, args.justification.strip())
+            for finding in result.findings
+            if finding.severity == "error"
+        )
+        Baseline(entries).save(baseline_path)
+        print(
+            f"[lint] wrote {len(entries)} baseline entr"
+            f"{'y' if len(entries) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(format_json(result))
+    else:
+        print(format_text(result, verbose=args.verbose))
+    return result.exit_code
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lotus-eater",
@@ -611,7 +743,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "table1", "figure1", "figure2", "figure3",
             "tokenmodel", "scrip", "bittorrent",
             "sweep-gossip", "sweep-scrip", "sweep-token", "sweep-swarm",
-            "bench", "bench-diff", "bench-trend",
+            "bench", "bench-diff", "bench-trend", "lint",
         ],
         help="which experiment to regenerate",
     )
@@ -632,8 +764,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    # `lint` has its own positionals (paths...), which the experiment
+    # parser's `previous`/`current` slots would swallow — route it to a
+    # dedicated parser before the main one sees the argv.
+    if raw and raw[0] == "lint":
+        return _cmd_lint(raw[1:])
     parser = _build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     commands: Dict[str, Callable[[argparse.Namespace], int]] = {
         "table1": _cmd_table1,
         "figure1": lambda a: _figure_command(figure1, a),
@@ -649,6 +787,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _cmd_bench,
         "bench-diff": _cmd_bench_diff,
         "bench-trend": _cmd_bench_trend,
+        # Reached only when global flags precede the word `lint`
+        # (otherwise the fast-path above routed it with its paths).
+        "lint": lambda a: _cmd_lint([]),
     }
     try:
         return commands[args.command](args)

@@ -85,9 +85,11 @@ def load_bench_summary(path: str) -> Dict[str, Any]:
         with open(path, "r", encoding="utf-8") as handle:
             summary = json.load(handle)
     except FileNotFoundError:
-        raise AnalysisError(f"bench summary not found: {path}")
+        raise AnalysisError(f"bench summary not found: {path}") from None
     except json.JSONDecodeError as error:
-        raise AnalysisError(f"bench summary {path} is not valid JSON: {error}")
+        raise AnalysisError(
+            f"bench summary {path} is not valid JSON: {error}"
+        ) from error
     if not isinstance(summary, dict):
         raise AnalysisError(f"bench summary {path} is not a JSON object")
     return summary

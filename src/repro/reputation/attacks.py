@@ -14,7 +14,7 @@ a large fraction requires a proportionally large Sybil army.
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, Optional, Set
 
 from ..core.errors import ConfigurationError
 from .system import ReputationSystem
@@ -41,7 +41,7 @@ class RatingInflationAttack:
         self,
         targets: Iterable[int],
         n_sybils: int = 1,
-        pin_to: float = None,
+        pin_to: Optional[float] = None,
     ) -> None:
         self.targets: Set[int] = set(targets)
         if not self.targets:

@@ -111,9 +111,9 @@ def build_rare_resource_agents(
     providers = set(rare_providers)
     if not providers:
         raise ConfigurationError("need at least one rare provider")
-    bad = [p for p in providers if not 0 <= p < config.n_agents]
+    bad = [p for p in sorted(providers) if not 0 <= p < config.n_agents]
     if bad:
-        raise ConfigurationError(f"unknown provider agents: {sorted(bad)}")
+        raise ConfigurationError(f"unknown provider agents: {bad}")
     common = frozenset(
         t for t in range(config.n_resource_types) if t != rare_type
     )

@@ -1,0 +1,160 @@
+"""Baseline add / match / expire round-trip, on a real tmp repo tree."""
+
+import json
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    BaselineEntry,
+    LintConfig,
+    run_lint,
+)
+from repro.core.errors import ConfigurationError
+
+BAD_PROTOCOL = dedent(
+    """
+    import random
+
+    def draw():
+        return random.random()
+    """
+)
+
+CLEAN_PROTOCOL = dedent(
+    """
+    def draw(rng):
+        return rng.random()
+    """
+)
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A minimal repo layout so path scoping matches the real tree."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='fixture'\n")
+    module_dir = tmp_path / "src" / "repro" / "bargossip"
+    module_dir.mkdir(parents=True)
+    (module_dir / "proto.py").write_text(BAD_PROTOCOL)
+    return tmp_path
+
+
+def lint_repo(repo, baseline=None):
+    return run_lint(
+        [repo / "src"], config=LintConfig(), root=repo, baseline=baseline
+    )
+
+
+class TestRoundTrip:
+    def test_finding_without_baseline_fails(self, repo):
+        result = lint_repo(repo)
+        assert result.exit_code == 1
+        assert {f.rule for f in result.findings} == {"DET001"}
+
+    def test_baselined_finding_passes_and_is_reported(self, repo):
+        first = lint_repo(repo)
+        entries = [
+            BaselineEntry.from_finding(f, "pre-rule code, tracked in #7")
+            for f in first.findings
+        ]
+        baseline = Baseline(entries)
+        second = lint_repo(repo, baseline=baseline)
+        assert second.exit_code == 0
+        assert second.findings == []
+        assert len(second.baselined) == len(entries)
+        assert second.stale_baseline == []
+
+    def test_fixing_the_code_expires_the_entry(self, repo):
+        first = lint_repo(repo)
+        baseline = Baseline(
+            [BaselineEntry.from_finding(f, "grandfathered") for f in first.findings]
+        )
+        (repo / "src" / "repro" / "bargossip" / "proto.py").write_text(CLEAN_PROTOCOL)
+        second = lint_repo(repo, baseline=baseline)
+        assert second.exit_code == 0  # stale entries nag, never block
+        assert second.findings == []
+        assert len(second.stale_baseline) == len(baseline.entries)
+
+    def test_entry_without_justification_does_not_suppress(self, repo):
+        first = lint_repo(repo)
+        baseline = Baseline(
+            [BaselineEntry.from_finding(f, "") for f in first.findings]
+        )
+        second = lint_repo(repo, baseline=baseline)
+        # The findings stay active AND the invalid entries fail the run.
+        assert second.findings
+        assert second.invalid_baseline
+        assert second.exit_code == 1
+
+    def test_baseline_survives_unrelated_line_shifts(self, repo):
+        first = lint_repo(repo)
+        baseline = Baseline(
+            [BaselineEntry.from_finding(f, "grandfathered") for f in first.findings]
+        )
+        proto = repo / "src" / "repro" / "bargossip" / "proto.py"
+        proto.write_text("# leading comment\n# another\n" + BAD_PROTOCOL)
+        second = lint_repo(repo, baseline=baseline)
+        assert second.exit_code == 0
+        assert second.findings == []
+
+
+class TestSerialization:
+    def test_save_load_round_trip(self, tmp_path):
+        entries = [
+            BaselineEntry(
+                rule="DET001",
+                path="src/repro/bargossip/proto.py",
+                fingerprint="abcd1234",
+                message="call to random.random()",
+                justification="pre-rule code",
+            )
+        ]
+        path = tmp_path / "lint-baseline.json"
+        Baseline(entries).save(path)
+        loaded = Baseline.load(path)
+        assert [e.to_dict() for e in loaded.entries] == [
+            e.to_dict() for e in entries
+        ]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            Baseline.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ConfigurationError, match="version"):
+            Baseline.load(path)
+
+    def test_unknown_entry_keys_rejected(self, tmp_path):
+        path = tmp_path / "lint-baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "DET001",
+                            "path": "x.py",
+                            "fingerprint": "ff",
+                            "surprise": True,
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            Baseline.load(path)
+
+    def test_duplicate_entries_rejected(self):
+        entry = BaselineEntry(
+            rule="DET001", path="x.py", fingerprint="ff", justification="why"
+        )
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Baseline([entry, entry])

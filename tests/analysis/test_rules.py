@@ -1,0 +1,684 @@
+"""Fixture corpus for every lotus-lint rule: one firing and one
+non-firing snippet per rule (plus the edge cases each rule's
+implementation carves out)."""
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import LintConfig, analyze_source
+
+PROTOCOL_PATH = "src/repro/bargossip/fixture.py"
+
+
+def codes(source, path=PROTOCOL_PATH, config=None):
+    findings, _ = analyze_source(dedent(source), path, config or LintConfig())
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# DET001 — global-state randomness
+# ---------------------------------------------------------------------------
+
+
+class TestDet001:
+    def test_stdlib_random_call_fires(self):
+        assert "DET001" in codes(
+            """
+            import random
+
+            def draw():
+                return random.random()
+            """
+        )
+
+    def test_stdlib_random_aliased_import_fires(self):
+        assert "DET001" in codes(
+            """
+            import random as rnd
+
+            def shuffle(items):
+                rnd.shuffle(items)
+            """
+        )
+
+    def test_from_import_of_random_fires(self):
+        assert "DET001" in codes("from random import shuffle\n")
+
+    def test_legacy_np_random_fires(self):
+        assert "DET001" in codes(
+            """
+            import numpy as np
+
+            def draw():
+                return np.random.rand(3)
+            """
+        )
+
+    def test_np_random_seed_fires(self):
+        assert "DET001" in codes(
+            """
+            import numpy as np
+
+            np.random.seed(0)
+            """
+        )
+
+    def test_default_rng_is_clean(self):
+        assert codes(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(seed)
+            """
+        ) == []
+
+    def test_seed_sequence_is_clean(self):
+        assert codes(
+            """
+            import numpy as np
+
+            def make(seed):
+                return np.random.default_rng(np.random.SeedSequence(seed))
+            """
+        ) == []
+
+    def test_rng_streams_usage_is_clean(self):
+        assert codes(
+            """
+            from repro.core.rng import RngStreams
+
+            def draw(streams: RngStreams):
+                return streams.get("broadcaster").integers(10)
+            """
+        ) == []
+
+    def test_out_of_scope_path_is_clean(self):
+        source = """
+        import random
+
+        random.random()
+        """
+        assert codes(source, path="tests/fixture.py") == []
+
+    def test_local_variable_named_random_is_clean(self):
+        # No import of the stdlib module: `random` is just a name.
+        assert codes(
+            """
+            def draw(random):
+                return random.random()
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# DET002 — unsorted set iteration in protocol modules
+# ---------------------------------------------------------------------------
+
+
+class TestDet002:
+    def test_for_over_set_call_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(items):
+                for item in set(items):
+                    print(item)
+            """
+        )
+
+    def test_for_over_set_literal_fires(self):
+        assert "DET002" in codes(
+            """
+            for item in {3, 1, 2}:
+                print(item)
+            """
+        )
+
+    def test_for_over_tracked_variable_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(items):
+                pending = set(items)
+                for item in pending:
+                    print(item)
+            """
+        )
+
+    def test_annotated_parameter_fires(self):
+        assert "DET002" in codes(
+            """
+            from typing import Set
+
+            def run(pending: Set[int]):
+                for item in pending:
+                    print(item)
+            """
+        )
+
+    def test_list_over_set_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(items):
+                return list(frozenset(items))
+            """
+        )
+
+    def test_sum_over_set_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(items):
+                return sum(set(items))
+            """
+        )
+
+    def test_comprehension_over_set_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(items):
+                held = set(items)
+                return [item + 1 for item in held]
+            """
+        )
+
+    def test_set_union_fires(self):
+        assert "DET002" in codes(
+            """
+            def run(a, b):
+                left = set(a)
+                for item in left | set(b):
+                    print(item)
+            """
+        )
+
+    def test_sorted_iteration_is_clean(self):
+        assert codes(
+            """
+            def run(items):
+                pending = set(items)
+                for item in sorted(pending):
+                    print(item)
+            """
+        ) == []
+
+    def test_sorted_comprehension_is_clean(self):
+        # The idiomatic fix for filtered iteration keeps the
+        # comprehension but hands it straight to sorted().
+        assert codes(
+            """
+            def run(tokens):
+                held = set(tokens)
+                return sorted(token for token in held if token)
+            """
+        ) == []
+
+    def test_membership_and_len_are_clean(self):
+        assert codes(
+            """
+            def run(items, probe):
+                pending = set(items)
+                return probe in pending and len(pending) > 0
+            """
+        ) == []
+
+    def test_reassigned_to_list_is_clean(self):
+        assert codes(
+            """
+            def run(items):
+                pending = set(items)
+                pending = sorted(pending)
+                for item in pending:
+                    print(item)
+            """
+        ) == []
+
+    def test_harness_module_out_of_scope(self):
+        source = """
+        def run(items):
+            for item in set(items):
+                print(item)
+        """
+        assert codes(source, path="src/repro/harness/sweep.py") == []
+
+
+# ---------------------------------------------------------------------------
+# DET003 — wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+class TestDet003:
+    def test_time_time_fires(self):
+        assert "DET003" in codes(
+            """
+            import time
+
+            stamp = time.time()
+            """
+        )
+
+    def test_aliased_perf_counter_fires(self):
+        assert "DET003" in codes(
+            """
+            import time as _time
+
+            started = _time.perf_counter()
+            """
+        )
+
+    def test_from_import_call_fires(self):
+        assert "DET003" in codes(
+            """
+            from time import monotonic
+
+            stamp = monotonic()
+            """
+        )
+
+    def test_datetime_now_fires(self):
+        assert "DET003" in codes(
+            """
+            from datetime import datetime
+
+            stamp = datetime.now()
+            """
+        )
+
+    def test_virtual_time_is_clean(self):
+        assert codes(
+            """
+            def advance(clock, dt):
+                return clock + dt
+            """
+        ) == []
+
+    def test_bench_harness_exempt(self):
+        source = """
+        import time
+
+        started = time.perf_counter()
+        """
+        assert codes(source, path="src/repro/harness/bench.py") == []
+        assert codes(source, path="src/repro/harness/trend.py") == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert codes(
+            """
+            import time
+
+            def pause():
+                time.sleep(0)
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# RNG004 — network/churn streams only in event-schedule code
+# ---------------------------------------------------------------------------
+
+
+class TestRng004:
+    def test_draw_in_protocol_phase_fires(self):
+        assert "RNG004" in codes(
+            """
+            class Simulator:
+                def run_exchanges(self):
+                    if self._net_rng.random() < 0.5:
+                        return None
+            """
+        )
+
+    def test_draw_at_module_scope_fires(self):
+        assert "RNG004" in codes("value = _churn_rng.exponential(1.0)\n")
+
+    def test_draw_in_event_handler_is_clean(self):
+        assert codes(
+            """
+            class Simulator:
+                def _on_exchange_deliver(self, event):
+                    return self._net_rng.random()
+
+                def _arm_churn(self, now):
+                    return self._churn_rng.exponential(1.0)
+            """
+        ) == []
+
+    def test_wiring_assignment_is_clean(self):
+        assert codes(
+            """
+            class Simulator:
+                def __init__(self, streams):
+                    self._net_rng = streams.get("network")
+                    self._churn_rng = streams.get("churn")
+            """
+        ) == []
+
+    def test_events_module_exempt(self):
+        source = """
+        def sample(self):
+            return self._net_rng.random()
+        """
+        assert codes(source, path="src/repro/bargossip/events.py") == []
+        assert codes(source, path="src/repro/bargossip/network.py") == []
+
+    def test_allowed_functions_configurable(self):
+        source = """
+        class Simulator:
+            def custom_event_loop(self):
+                return self._net_rng.random()
+        """
+        assert "RNG004" in codes(source)
+        config = LintConfig(rng004_allowed_functions=("custom_event_loop",))
+        assert codes(source, config=config) == []
+
+
+# ---------------------------------------------------------------------------
+# SHM005 — SharedMemory lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestShm005:
+    def test_unreleased_segment_fires(self):
+        assert "SHM005" in codes(
+            """
+            from multiprocessing import shared_memory
+
+            def leak():
+                block = shared_memory.SharedMemory(create=True, size=64)
+                return block.buf[0]
+            """
+        )
+
+    def test_positional_create_fires(self):
+        assert "SHM005" in codes(
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak():
+                block = SharedMemory(None, True, 64)
+                return block
+            """
+        )
+
+    def test_close_unlink_in_scope_is_clean(self):
+        assert codes(
+            """
+            from multiprocessing import shared_memory
+
+            def probe():
+                block = shared_memory.SharedMemory(create=True, size=64)
+                try:
+                    return True
+                finally:
+                    block.close()
+                    block.unlink()
+            """
+        ) == []
+
+    def test_finalizer_in_class_is_clean(self):
+        assert codes(
+            """
+            import weakref
+            from multiprocessing import shared_memory
+
+            class Store:
+                def __init__(self):
+                    self._shm = shared_memory.SharedMemory(create=True, size=64)
+                    self._finalizer = weakref.finalize(self, self._shm.close)
+            """
+        ) == []
+
+    def test_release_in_sibling_method_is_clean(self):
+        # close() lives in another method of the same class: reachable.
+        assert codes(
+            """
+            from multiprocessing import shared_memory
+
+            class Store:
+                def __init__(self):
+                    self._shm = shared_memory.SharedMemory(create=True, size=64)
+
+                def close(self):
+                    self._shm.close()
+                    self._shm.unlink()
+            """
+        ) == []
+
+    def test_attach_without_create_is_clean(self):
+        assert codes(
+            """
+            from multiprocessing import shared_memory
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# API006 — counter columns mutated only through the guarded APIs
+# ---------------------------------------------------------------------------
+
+
+class TestApi006:
+    def test_raw_attribute_write_fires(self):
+        assert "API006" in codes(
+            """
+            def cheat(population, row):
+                population.counters[row, 0] = 99
+            """
+        )
+
+    def test_raw_augmented_write_fires(self):
+        assert "API006" in codes(
+            """
+            def cheat(population, rows):
+                counters = population.counters
+                counters[rows, 2] += 1
+            """
+        )
+
+    def test_counters_view_write_fires(self):
+        assert "API006" in codes(
+            """
+            def cheat(population, row):
+                population.counters_view(row)[3] = 1
+            """
+        )
+
+    def test_guarded_api_is_clean(self):
+        assert codes(
+            """
+            def record(node, ids, deltas, population):
+                node.counters.add(updates_sent=1)
+                node.counters.updates_received += 1
+                population.add_counter_deltas(ids, deltas)
+            """
+        ) == []
+
+    def test_batched_phase_scatter_add_allowed(self):
+        assert codes(
+            """
+            class Engine:
+                def run_exchanges_batched(self, rows):
+                    counters = self.population.counters
+                    counters[rows, 0] += 1
+            """
+        ) == []
+
+    def test_population_module_exempt(self):
+        source = """
+        def materialize(self, rows, deltas):
+            self.counters[rows] += deltas
+        """
+        assert codes(source, path="src/repro/bargossip/population.py") == []
+        assert codes(source, path="src/repro/bargossip/node.py") == []
+
+    def test_read_is_clean(self):
+        assert codes(
+            """
+            def read(population, row):
+                return population.counters[row, 0]
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# PKL008 — task-spec picklability
+# ---------------------------------------------------------------------------
+
+
+class TestPkl008:
+    def test_callable_field_fires(self):
+        assert "PKL008" in codes(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(frozen=True)
+            class BrokenSweepTask:
+                metric: Callable[[int], float]
+            """
+        )
+
+    def test_rng_field_fires(self):
+        assert "PKL008" in codes(
+            """
+            from dataclasses import dataclass
+            import numpy as np
+
+            @dataclass(frozen=True)
+            class ShardStatic:
+                rng: np.random.Generator
+            """
+        )
+
+    def test_lambda_default_fires(self):
+        assert "PKL008" in codes(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class BrokenTask:
+                factory: object = lambda: 3
+            """
+        )
+
+    def test_lambda_argument_fires(self):
+        assert "PKL008" in codes(
+            """
+            def build():
+                return ShardStatic(metric=lambda x: x)
+            """
+        )
+
+    def test_local_function_argument_fires(self):
+        assert "PKL008" in codes(
+            """
+            def build():
+                def metric(x):
+                    return x
+                return GossipSweepTask(metric=metric)
+            """
+        )
+
+    def test_plain_data_spec_is_clean(self):
+        assert codes(
+            """
+            from dataclasses import dataclass
+            from typing import Tuple
+
+            @dataclass(frozen=True)
+            class GossipSweepTask:
+                label: str
+                fractions: Tuple[float, ...]
+                seed: int
+            """
+        ) == []
+
+    def test_module_level_function_argument_is_clean(self):
+        assert codes(
+            """
+            def metric(x):
+                return x
+
+            def build():
+                return GossipSweepTask(metric=metric)
+            """
+        ) == []
+
+    def test_non_spec_dataclass_ignored(self):
+        assert codes(
+            """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class NotASpec:
+                metric: Callable[[int], float]
+            """
+        ) == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting framework behavior
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_syntax_error_reported(self):
+        findings, _ = analyze_source("def broken(:\n", PROTOCOL_PATH, LintConfig())
+        assert [finding.rule for finding in findings] == ["LNT002"]
+        assert findings[0].severity == "error"
+
+    def test_enabled_subset(self):
+        source = dedent(
+            """
+            import random
+
+            for item in set(random.random() for _ in range(3)):
+                print(item)
+            """
+        )
+        only_det002 = LintConfig(enabled=frozenset({"DET002"}))
+        assert set(codes(source, config=only_det002)) == {"DET002"}
+
+    def test_severity_override(self):
+        config = LintConfig(severity_overrides={"DET001": "warning"})
+        findings, _ = analyze_source(
+            "import random\nrandom.random()\n", PROTOCOL_PATH, config
+        )
+        assert findings and all(f.severity == "warning" for f in findings)
+
+    def test_include_override_rescopes_rule(self):
+        config = LintConfig(include_overrides={"DET001": ("*",)})
+        findings, _ = analyze_source(
+            "import random\nrandom.random()\n", "anywhere/at/all.py", config
+        )
+        assert [finding.rule for finding in findings] == ["DET001"]
+
+    def test_fingerprints_stable_across_line_shifts(self):
+        bad = "import random\nrandom.random()\n"
+        shifted = "\n\n# a comment\n" + bad
+        first, _ = analyze_source(bad, PROTOCOL_PATH, LintConfig())
+        second, _ = analyze_source(shifted, PROTOCOL_PATH, LintConfig())
+        assert [f.fingerprint for f in first] == [f.fingerprint for f in second]
+
+    def test_duplicate_lines_get_distinct_fingerprints(self):
+        source = "import random\nrandom.random()\nrandom.random()\n"
+        findings, _ = analyze_source(source, PROTOCOL_PATH, LintConfig())
+        calls = [f for f in findings if "call" in f.message]
+        assert len(calls) == 2
+        assert calls[0].fingerprint != calls[1].fingerprint
+
+    def test_all_seven_rules_registered(self):
+        from repro.analysis import rule_codes
+
+        assert set(rule_codes()) == {
+            "DET001",
+            "DET002",
+            "DET003",
+            "RNG004",
+            "SHM005",
+            "API006",
+            "PKL008",
+        }

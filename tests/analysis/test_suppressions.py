@@ -1,0 +1,104 @@
+"""Inline ``# lotus: ignore[...]`` suppression handling."""
+
+from textwrap import dedent
+
+from repro.analysis import LintConfig, analyze_source, scan_suppressions
+
+PROTOCOL_PATH = "src/repro/bargossip/fixture.py"
+
+
+def lint(source):
+    return analyze_source(dedent(source), PROTOCOL_PATH, LintConfig())
+
+
+class TestScan:
+    def test_trailing_comment_covers_own_line(self):
+        by_line, malformed = scan_suppressions(
+            "x = 1  # lotus: ignore[DET001] seeded elsewhere\n"
+        )
+        assert malformed == []
+        (suppression,) = by_line[1]
+        assert suppression.target_line == 1
+        assert suppression.rules == frozenset({"DET001"})
+        assert suppression.reason == "seeded elsewhere"
+
+    def test_standalone_comment_covers_next_line(self):
+        by_line, _ = scan_suppressions(
+            "# lotus: ignore[DET002] fixture ordering is irrelevant\nx = 1\n"
+        )
+        (suppression,) = by_line[2]
+        assert suppression.comment_line == 1
+        assert suppression.target_line == 2
+
+    def test_multiple_rules(self):
+        by_line, _ = scan_suppressions("x = 1  # lotus: ignore[DET001, DET003]\n")
+        (suppression,) = by_line[1]
+        assert suppression.rules == frozenset({"DET001", "DET003"})
+
+    def test_malformed_without_brackets_reported(self):
+        by_line, malformed = scan_suppressions("x = 1  # lotus: ignore DET001\n")
+        assert by_line == {}
+        assert malformed == [1]
+
+    def test_ordinary_comments_ignored(self):
+        by_line, malformed = scan_suppressions("# plain comment\nx = 1  # note\n")
+        assert by_line == {}
+        assert malformed == []
+
+
+class TestApplication:
+    def test_suppression_silences_matching_rule(self):
+        active, suppressed = lint(
+            """
+            import random
+
+            value = random.random()  # lotus: ignore[DET001] fixture noise source
+            """
+        )
+        assert active == []
+        assert [f.rule for f, _ in suppressed] == ["DET001"]
+        assert suppressed[0][1].reason == "fixture noise source"
+
+    def test_wrong_rule_does_not_suppress(self):
+        active, suppressed = lint(
+            """
+            import time
+
+            stamp = time.time()  # lotus: ignore[DET001] wrong code on purpose
+            """
+        )
+        assert [f.rule for f in active] == ["DET003"]
+        assert suppressed == []
+
+    def test_standalone_suppression_covers_statement_below(self):
+        active, suppressed = lint(
+            """
+            def run(items):
+                pending = set(items)
+                # lotus: ignore[DET002] consumer is order-insensitive
+                for item in pending:
+                    print(item)
+            """
+        )
+        assert active == []
+        assert len(suppressed) == 1
+
+    def test_malformed_suppression_becomes_warning_finding(self):
+        active, _ = lint(
+            """
+            x = 1  # lotus: ignore-spelled-wrong
+            """
+        )
+        assert [f.rule for f in active] == ["LNT001"]
+        assert active[0].severity == "warning"
+
+    def test_case_insensitive_rule_codes(self):
+        active, suppressed = lint(
+            """
+            import time
+
+            stamp = time.time()  # lotus: ignore[det003] metadata stamp
+            """
+        )
+        assert active == []
+        assert len(suppressed) == 1
