@@ -1,0 +1,216 @@
+"""Incremental result cache for ``lotus-lint``.
+
+Per-file analysis results are keyed by a blake2b digest of the file's
+source plus the analyzer version and the :class:`LintConfig` signature,
+under ``.lotus-lint-cache/cache.json`` — an unchanged tree re-lints
+without re-parsing.  The flow tier is cached under one whole-project
+digest (every project file hashed together): interprocedural results
+depend on *callees*, so any file change conservatively invalidates the
+flow entry.
+
+Entries for files that were not seen in the current run are pruned at
+save time, so the cache never outgrows the tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from .findings import Finding
+from .rules import LintConfig
+from .suppressions import Suppression
+
+__all__ = ["CACHE_DIR_NAME", "LintCache", "config_signature"]
+
+CACHE_DIR_NAME = ".lotus-lint-cache"
+_CACHE_FILE = "cache.json"
+
+#: Bump when rule semantics change: stale cached findings must never
+#: survive an analyzer upgrade.
+ANALYZER_VERSION = 2
+
+_CACHE_FORMAT = 1
+
+
+def _digest(*parts: str) -> str:
+    hasher = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        hasher.update(part.encode("utf-8"))
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def config_signature(config: LintConfig) -> str:
+    """Canonical digest of every config knob that affects findings."""
+    payload = {}
+    for field in dataclasses.fields(config):
+        value = getattr(config, field.name)
+        if isinstance(value, frozenset):
+            value = sorted(value)
+        elif isinstance(value, dict) or (
+            hasattr(value, "items") and not isinstance(value, (list, tuple))
+        ):
+            value = sorted((str(k), str(v)) for k, v in value.items())
+        payload[field.name] = value
+    return _digest(repr(sorted(payload.items())))
+
+
+def _suppression_to_dict(suppression: Suppression) -> Dict:
+    return {
+        "comment_line": suppression.comment_line,
+        "target_line": suppression.target_line,
+        "rules": sorted(suppression.rules),
+        "reason": suppression.reason,
+    }
+
+
+def _suppression_from_dict(payload: Dict) -> Suppression:
+    return Suppression(
+        comment_line=payload["comment_line"],
+        target_line=payload["target_line"],
+        rules=frozenset(payload["rules"]),
+        reason=payload.get("reason", ""),
+        used=True,
+    )
+
+
+def _encode_pairs(pairs: List[Tuple[Finding, Suppression]]) -> List[Dict]:
+    return [
+        {"finding": finding.to_dict(), "suppression": _suppression_to_dict(sup)}
+        for finding, sup in pairs
+    ]
+
+
+def _decode_pairs(payload: List[Dict]) -> List[Tuple[Finding, Suppression]]:
+    return [
+        (
+            Finding.from_dict(entry["finding"]),
+            _suppression_from_dict(entry["suppression"]),
+        )
+        for entry in payload
+    ]
+
+
+class LintCache:
+    """Digest-keyed store of per-file and flow-tier results."""
+
+    def __init__(self, directory: Path, config: LintConfig) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / _CACHE_FILE
+        self.signature = config_signature(config)
+        self._files: Dict[str, Dict] = {}
+        self._flow: Optional[Dict] = None
+        self._seen: set = set()
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            payload.get("format") != _CACHE_FORMAT
+            or payload.get("analyzer") != ANALYZER_VERSION
+            or payload.get("config") != self.signature
+        ):
+            self._dirty = True  # stale schema: rewrite on save
+            return
+        self._files = payload.get("files", {})
+        self._flow = payload.get("flow")
+
+    # -- per-file tier -------------------------------------------------
+
+    def file_digest(self, rel_path: str, source: str) -> str:
+        return _digest(rel_path, source)
+
+    def get_file(
+        self, rel_path: str, source: str
+    ) -> Optional[Tuple[List[Finding], List[Tuple[Finding, Suppression]]]]:
+        self._seen.add(rel_path)
+        entry = self._files.get(rel_path)
+        if entry is None or entry.get("digest") != self.file_digest(rel_path, source):
+            self.misses += 1
+            return None
+        self.hits += 1
+        active = [Finding.from_dict(item) for item in entry.get("active", [])]
+        suppressed = _decode_pairs(entry.get("suppressed", []))
+        return active, suppressed
+
+    def put_file(
+        self,
+        rel_path: str,
+        source: str,
+        active: List[Finding],
+        suppressed: List[Tuple[Finding, Suppression]],
+    ) -> None:
+        self._seen.add(rel_path)
+        self._files[rel_path] = {
+            "digest": self.file_digest(rel_path, source),
+            "active": [finding.to_dict() for finding in active],
+            "suppressed": _encode_pairs(suppressed),
+        }
+        self._dirty = True
+
+    # -- flow tier -----------------------------------------------------
+
+    def flow_digest(self, sources: Dict[str, str]) -> str:
+        parts = [
+            f"{rel_path}:{self.file_digest(rel_path, sources[rel_path])}"
+            for rel_path in sorted(sources)
+        ]
+        return _digest(*parts)
+
+    def get_flow(
+        self, sources: Dict[str, str]
+    ) -> Optional[Tuple[List[Finding], List[Tuple[Finding, Suppression]]]]:
+        if self._flow is None or self._flow.get("digest") != self.flow_digest(sources):
+            return None
+        active = [Finding.from_dict(item) for item in self._flow.get("active", [])]
+        suppressed = _decode_pairs(self._flow.get("suppressed", []))
+        return active, suppressed
+
+    def put_flow(
+        self,
+        sources: Dict[str, str],
+        active: List[Finding],
+        suppressed: List[Tuple[Finding, Suppression]],
+    ) -> None:
+        self._flow = {
+            "digest": self.flow_digest(sources),
+            "active": [finding.to_dict() for finding in active],
+            "suppressed": _encode_pairs(suppressed),
+        }
+        self._dirty = True
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self) -> None:
+        """Write the cache, dropping entries for files not seen this run."""
+        pruned = {path for path in self._files if path not in self._seen}
+        if pruned:
+            for path in pruned:
+                del self._files[path]
+            self._dirty = True
+        if not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "analyzer": ANALYZER_VERSION,
+            "config": self.signature,
+            "files": self._files,
+            "flow": self._flow,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(
+                json.dumps(payload, indent=1, sort_keys=True), encoding="utf-8"
+            )
+        except OSError:
+            pass  # a read-only checkout just runs uncached

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List
 
 __all__ = ["Finding", "SEVERITIES", "finding_fingerprint"]
 
@@ -59,6 +59,10 @@ class Finding:
     snippet: str = ""
     #: Filled in by the runner once per-file occurrence indices are known.
     fingerprint: str = field(default="")
+    #: Call-chain evidence for interprocedural (flow-tier) findings:
+    #: the qualified names from an entry point down to the function the
+    #: finding anchors in.  Empty for per-file findings.
+    trace: List[str] = field(default_factory=list)
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule)
@@ -73,10 +77,28 @@ class Finding:
             "message": self.message,
             "snippet": self.snippet,
             "fingerprint": self.fingerprint,
+            "trace": list(self.trace),
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            rule=payload["rule"],
+            path=payload["path"],
+            line=payload["line"],
+            col=payload["col"],
+            message=payload["message"],
+            severity=payload.get("severity", "error"),
+            snippet=payload.get("snippet", ""),
+            fingerprint=payload.get("fingerprint", ""),
+            trace=list(payload.get("trace", [])),
+        )
+
     def render(self) -> str:
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.rule} {self.severity}: {self.message}"
         )
+        if self.trace:
+            text += f"\n    via: {' -> '.join(self.trace)}"
+        return text

@@ -1,0 +1,862 @@
+"""Interprocedural flow rules FLW010–FLW013.
+
+Each rule sees the whole :class:`FlowContext` — project model, call
+graph, and interprocedural summaries — instead of one file, so a
+violation three calls away from the invariant's anchor point is still
+caught.  Findings carry a ``trace`` (qualname call chain) as evidence.
+
+To write a new flow rule: subclass :class:`FlowRule`, give it a stable
+``FLWxxx`` code, implement ``check(ctx)`` yielding findings built with
+``self.finding(...)``, and decorate with :func:`register_flow`.  Keep
+the rule *sound where it claims soundness*: prefer missing a finding
+(document the approximation) over flagging correct code.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from ..findings import Finding
+from ..rules import LintConfig, dotted_name
+from .callgraph import CallGraph, build_call_graph
+from .project import ClassModel, DataclassField, ModuleModel, ProjectModel
+from .summaries import (
+    FlowSummaries,
+    build_summaries,
+    derive_names,
+    names_in,
+)
+
+__all__ = [
+    "FlowContext",
+    "FlowRule",
+    "all_flow_rules",
+    "flow_rule_codes",
+    "register_flow",
+    "run_flow",
+]
+
+#: Annotation tokens that kill pickling of a pool task spec (mirrors
+#: the per-file PKL008 rule in :mod:`repro.analysis.resources`).
+_FORBIDDEN_ANNOTATION = re.compile(
+    r"\b(Callable|Generator|RngStreams|Random|RandomState|TextIO|BinaryIO)\b|\bIO\["
+)
+
+
+@dataclass
+class FlowContext:
+    """Whole-program inputs shared by every flow rule."""
+
+    project: ProjectModel
+    graph: CallGraph
+    summaries: FlowSummaries
+    config: LintConfig
+
+
+class FlowRule:
+    """Base class for whole-program rules."""
+
+    code: str = ""
+    title: str = ""
+    rationale: str = ""
+    severity: str = "error"
+    include: Tuple[str, ...] = ("src/repro/*",)
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def anchors_in_scope(self, rel_path: str) -> bool:
+        return any(fnmatch(rel_path, pattern) for pattern in self.include)
+
+    def finding(
+        self,
+        ctx: FlowContext,
+        module: ModuleModel,
+        line: int,
+        col: int,
+        message: str,
+        trace: Optional[Sequence[str]] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.code,
+            path=module.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            severity=ctx.config.severity_overrides.get(self.code, self.severity),
+            snippet=module.snippet(line),
+            trace=list(trace or []),
+        )
+
+
+_FLOW_REGISTRY: Dict[str, Type[FlowRule]] = {}
+
+
+def register_flow(rule_class: Type[FlowRule]) -> Type[FlowRule]:
+    code = rule_class.code
+    if not code:
+        raise ValueError(f"flow rule {rule_class.__name__} has no code")
+    if code in _FLOW_REGISTRY:
+        raise ValueError(f"duplicate flow rule code {code}")
+    _FLOW_REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_flow_rules() -> List[FlowRule]:
+    return [_FLOW_REGISTRY[code]() for code in sorted(_FLOW_REGISTRY)]
+
+
+def flow_rule_codes() -> List[str]:
+    return sorted(_FLOW_REGISTRY)
+
+
+def run_flow(sources: Dict[str, str], config: Optional[LintConfig] = None) -> List[Finding]:
+    """Run every enabled flow rule over ``{rel_path: source}``.
+
+    Only files matching ``config.flow_project_patterns`` enter the
+    project model.  Fingerprints are **not** assigned here — the runner
+    finalizes them alongside the per-file tier.
+    """
+    config = config or LintConfig()
+    scoped = {
+        rel_path: source
+        for rel_path, source in sources.items()
+        if any(fnmatch(rel_path, pattern) for pattern in config.flow_project_patterns)
+    }
+    project = ProjectModel.build(scoped)
+    graph = build_call_graph(project)
+    summaries = build_summaries(project, graph, config)
+    ctx = FlowContext(project=project, graph=graph, summaries=summaries, config=config)
+
+    findings: List[Finding] = []
+    seen: Set[Tuple[str, str, int, int, str]] = set()
+    for rule in all_flow_rules():
+        if not config.is_enabled(rule.code):
+            continue
+        for finding in rule.check(ctx):
+            key = (finding.rule, finding.path, finding.line, finding.col, finding.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _call_args(node: ast.Call) -> List[ast.expr]:
+    args: List[ast.expr] = []
+    for arg in node.args:
+        args.append(arg.value if isinstance(arg, ast.Starred) else arg)
+    args.extend(keyword.value for keyword in node.keywords)
+    return args
+
+
+# ----------------------------------------------------------------------
+# FLW010 — shard-write disjointness
+# ----------------------------------------------------------------------
+
+
+@register_flow
+class ShardDisjointWriteRule(FlowRule):
+    code = "FLW010"
+    title = "unguarded write to a shared population buffer in shard-reachable code"
+    rationale = (
+        "Shard workers share one Population counters matrix / "
+        "WordPopulationStore buffer; every write reachable from a shard "
+        "entry point must be indexed by the shard's row arrays (or an "
+        "equivalent cell-disjoint selection), or two workers can race "
+        "on the same rows."
+    )
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        config = ctx.config
+        reach = ctx.graph.reachable(config.flw010_roots)
+        exempt = set(config.flw010_exempt_modules)
+        for qualname in sorted(reach):
+            facts = ctx.summaries.facts.get(qualname)
+            if facts is None:
+                continue
+            function = facts.function
+            if function.rel_path in exempt or not self.anchors_in_scope(function.rel_path):
+                continue
+            module = ctx.project.modules.get(function.module)
+            if module is None:
+                continue
+            chain = reach[qualname]
+            yield from self._direct_writes(ctx, module, facts, chain)
+            yield from self._failed_obligations(ctx, module, facts, chain)
+            yield from self._escaping_calls(ctx, module, facts, chain)
+
+    def _direct_writes(self, ctx, module, facts, chain):
+        for write in facts.writes:
+            if write.kind != "buffer" or write.guarded:
+                continue
+            if write.index_params:
+                # Guard may arrive through a caller: the obligation
+                # machinery judges every call site instead.
+                continue
+            yield self.finding(
+                ctx,
+                module,
+                write.line,
+                write.col,
+                (
+                    f"write to shared population buffer '{write.base}' is not "
+                    "guarded by shard row arrays — workers sharing the buffer "
+                    "can race on the written rows"
+                ),
+                trace=chain,
+            )
+
+    def _failed_obligations(self, ctx, module, facts, chain):
+        failures = ctx.summaries.obligation_failures.get(facts.function.qualname, [])
+        for line, col, params, evidence, callee_qual in failures:
+            yield self.finding(
+                ctx,
+                module,
+                line,
+                col,
+                (
+                    f"rows passed to '{callee_qual}' "
+                    f"({', '.join(sorted(params))}) are neither shard row "
+                    "arrays nor derived from this function's parameters — the "
+                    f"buffer write below is unguarded ({' -> '.join(evidence)})"
+                ),
+                trace=list(chain) + [callee_qual],
+            )
+
+    def _escaping_calls(self, ctx, module, facts, chain):
+        config = ctx.config
+        for site in ctx.graph.sites.get(facts.function.qualname, []):
+            for callee_qual in site.callees:
+                callee_facts = ctx.summaries.facts.get(callee_qual)
+                if callee_facts is None:
+                    continue
+                table = ctx.summaries.unguarded_write_params.get(callee_qual, {})
+                if not table:
+                    continue
+                for arg, bound in site.bind_args(callee_facts.function):
+                    if bound is None or bound not in table:
+                        continue
+                    if facts.is_shared_expr(arg, config.flw010_buffer_attrs):
+                        evidence = " -> ".join(table[bound])
+                        yield self.finding(
+                            ctx,
+                            module,
+                            site.line,
+                            site.node.col_offset,
+                            (
+                                f"shared population buffer escapes into parameter "
+                                f"'{bound}' of '{callee_qual}', which writes it "
+                                f"without a row guard ({evidence})"
+                            ),
+                            trace=list(chain) + [callee_qual],
+                        )
+
+
+# ----------------------------------------------------------------------
+# FLW011 — RNG-stream taint
+# ----------------------------------------------------------------------
+
+
+@register_flow
+class RngStreamTaintRule(FlowRule):
+    code = "FLW011"
+    title = "network/churn RNG stream value flows into a protocol draw"
+    rationale = (
+        "The schedule streams (_net_rng/_churn_rng) exist so latency "
+        "and churn sampling cannot perturb protocol randomness; a value "
+        "derived from them entering a protocol-draw call site couples "
+        "the two streams and breaks cross-backend determinism."
+    )
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        config = ctx.config
+        sinks = set(config.flw011_protocol_sinks)
+        stream_names = set(config.flw011_stream_names)
+        handle_names = set(config.flw011_handle_names)
+        spec_names = set(config.pkl008_spec_classes)
+        spec_suffixes = tuple(config.pkl008_spec_suffixes)
+
+        def stream_read(expr: ast.expr) -> bool:
+            return any(
+                isinstance(node, ast.Attribute) and node.attr in stream_names
+                for node in ast.walk(expr)
+            )
+
+        def handle_read(expr: ast.expr) -> bool:
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Attribute) and node.attr in handle_names:
+                    return True
+                if isinstance(node, ast.Name) and node.id in handle_names:
+                    return True
+            return False
+
+        for qualname, facts in sorted(ctx.summaries.facts.items()):
+            function = facts.function
+            if not self.anchors_in_scope(function.rel_path):
+                continue
+            module = ctx.project.modules.get(function.module)
+            if module is None:
+                continue
+            tainted = derive_names(function.node, set(), predicate=stream_read)
+            handles = derive_names(function.node, set(), predicate=handle_read)
+
+            def arg_is(arg: ast.expr, derived: Set[str], pred) -> bool:
+                return pred(arg) or bool(names_in(arg) & derived)
+
+            for site in ctx.graph.sites.get(qualname, []):
+                args = _call_args(site.node)
+                if site.name in sinks:
+                    for arg in args:
+                        if arg_is(arg, tainted, stream_read):
+                            yield self.finding(
+                                ctx,
+                                module,
+                                site.line,
+                                site.node.col_offset,
+                                (
+                                    f"value derived from a schedule RNG stream "
+                                    f"reaches protocol draw '{site.name}' — "
+                                    "network/churn randomness must never feed "
+                                    "protocol decisions"
+                                ),
+                                trace=[qualname, site.name],
+                            )
+                            break
+                    continue
+                # Transitive: tainted value handed to a parameter that a
+                # (resolved) callee eventually feeds into a sink.
+                for callee_qual in site.callees:
+                    callee_facts = ctx.summaries.facts.get(callee_qual)
+                    if callee_facts is None:
+                        continue
+                    table = ctx.summaries.sink_params.get(callee_qual, {})
+                    if not table:
+                        continue
+                    for arg, bound in site.bind_args(callee_facts.function):
+                        if bound is None or bound not in table:
+                            continue
+                        if arg_is(arg, tainted, stream_read):
+                            evidence = " -> ".join(table[bound])
+                            yield self.finding(
+                                ctx,
+                                module,
+                                site.line,
+                                site.node.col_offset,
+                                (
+                                    f"schedule-stream-derived value passed to "
+                                    f"parameter '{bound}' of '{callee_qual}' "
+                                    f"reaches a protocol draw ({evidence})"
+                                ),
+                                trace=[qualname, callee_qual],
+                            )
+                # Handle escape: a stream/RngStreams handle in a task spec.
+                is_spec = site.name in spec_names or site.name.endswith(spec_suffixes)
+                if is_spec and site.name[:1].isupper():
+                    for arg in args:
+                        if arg_is(arg, handles, handle_read):
+                            yield self.finding(
+                                ctx,
+                                module,
+                                site.line,
+                                site.node.col_offset,
+                                (
+                                    f"RNG stream handle escapes into pool task "
+                                    f"spec '{site.name}' — workers must derive "
+                                    "their own streams from seeds, not inherit "
+                                    "parent handles"
+                                ),
+                                trace=[qualname, site.name],
+                            )
+                            break
+
+
+# ----------------------------------------------------------------------
+# FLW012 — SharedMemory lifecycle as dataflow
+# ----------------------------------------------------------------------
+
+
+def _is_shm_creation(node: ast.Call) -> bool:
+    """``SharedMemory(..., create=True)`` (or truthy second positional)."""
+    tail = None
+    if isinstance(node.func, ast.Name):
+        tail = node.func.id
+    elif isinstance(node.func, ast.Attribute):
+        tail = node.func.attr
+    if tail != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create":
+            return isinstance(keyword.value, ast.Constant) and bool(keyword.value.value)
+    if len(node.args) >= 2:
+        arg = node.args[1]
+        return isinstance(arg, ast.Constant) and bool(arg.value)
+    return False
+
+
+_RELEASE_METHODS = ("close", "unlink")
+_REGISTER_CALLS = ("finalize", "register")
+
+_BEFORE, _LIVE, _RELEASED = "before", "live", "released"
+
+
+@dataclass
+class _ShmPathState:
+    status: str = _BEFORE
+    terminated: bool = False
+
+    def copy(self) -> "_ShmPathState":
+        return _ShmPathState(self.status, self.terminated)
+
+
+class _ShmWalker:
+    """Structured-path walker: does one creation reach a release on
+    every path?  Approximations: loops are walked once and merged with
+    the skip path; exception handlers of the try that *contains* the
+    creation start un-created; attribute-level aliasing beyond a single
+    ``self.X = handle`` store is not tracked."""
+
+    def __init__(
+        self,
+        creation_stmt: ast.stmt,
+        var: Optional[str],
+        class_model: Optional[ClassModel],
+    ) -> None:
+        self.creation_stmt = creation_stmt
+        self.var = var
+        self.class_model = class_model
+        #: (line, col, message) leak evidence.
+        self.leaks: List[Tuple[int, int, str]] = []
+
+    # -- helpers -------------------------------------------------------
+
+    def _mentions_var_name(self, expr: ast.expr) -> bool:
+        return self.var is not None and self.var in names_in(expr)
+
+    def _is_release_call(self, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        func = expr.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _RELEASE_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == self.var
+        ):
+            return True
+        # finalize/atexit registration (or any call taking the bare
+        # handle: ownership transfer).
+        for arg in _call_args(expr):
+            if isinstance(arg, ast.Name) and arg.id == self.var:
+                return True
+        return False
+
+    def _class_releases_attr(self, attr: str) -> bool:
+        if self.class_model is None:
+            return False
+        for method in self.class_model.methods.values():
+            if _method_releases_self_attr(method.node, attr):
+                return True
+        return False
+
+    # -- walking -------------------------------------------------------
+
+    def walk(self, stmts: Sequence[ast.stmt], state: _ShmPathState) -> _ShmPathState:
+        for stmt in stmts:
+            if state.terminated:
+                return state
+            state = self._step(stmt, state)
+        return state
+
+    def _step(self, stmt: ast.stmt, state: _ShmPathState) -> _ShmPathState:
+        if stmt is self.creation_stmt:
+            state.status = _LIVE
+            if self.var is None:
+                self_attr = _creation_self_attr(stmt)
+                if self_attr is not None:
+                    # `self.X = SharedMemory(create=True, ...)`: ownership
+                    # lives on the instance from the start.
+                    if not self._class_releases_attr(self_attr):
+                        self.leaks.append(
+                            (
+                                stmt.lineno,
+                                stmt.col_offset,
+                                f"SharedMemory handle stored on self.{self_attr} "
+                                "but no method of the class closes/unlinks or "
+                                "finalize-registers it",
+                            )
+                        )
+                else:
+                    self.leaks.append(
+                        (
+                            stmt.lineno,
+                            stmt.col_offset,
+                            "SharedMemory(create=True) result is dropped — the "
+                            "segment can never be closed or unlinked",
+                        )
+                    )
+                state.status = _RELEASED  # don't re-report downstream
+            return state
+
+        if isinstance(stmt, ast.Return):
+            if state.status == _LIVE:
+                if stmt.value is not None and self._mentions_var_name(stmt.value):
+                    state.status = _RELEASED  # ownership escapes to caller
+                else:
+                    self.leaks.append(
+                        (
+                            stmt.lineno,
+                            stmt.col_offset,
+                            "return on a path where the created SharedMemory "
+                            "segment has not been closed/unlinked or handed off",
+                        )
+                    )
+            state.terminated = True
+            return state
+
+        if isinstance(stmt, ast.Raise):
+            if state.status == _LIVE:
+                self.leaks.append(
+                    (
+                        stmt.lineno,
+                        stmt.col_offset,
+                        "raise on a path where the created SharedMemory "
+                        "segment has not been closed/unlinked or handed off",
+                    )
+                )
+            state.terminated = True
+            return state
+
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return self._step_assign(stmt, state)
+
+        if isinstance(stmt, ast.Expr):
+            if state.status == _LIVE and self._is_release_call(stmt.value):
+                state.status = _RELEASED
+            return state
+
+        if isinstance(stmt, ast.If):
+            then_state = self.walk(stmt.body, state.copy())
+            else_state = self.walk(stmt.orelse, state.copy())
+            return _merge(then_state, else_state)
+
+        if isinstance(stmt, (ast.For, ast.While)):
+            body_state = self.walk(stmt.body, state.copy())
+            if stmt.orelse:
+                body_state = self.walk(stmt.orelse, body_state)
+            return _merge(state, body_state)
+
+        if isinstance(stmt, ast.With):
+            return self.walk(stmt.body, state)
+
+        if isinstance(stmt, ast.Try):
+            contains_creation = _contains_stmt(stmt.body, self.creation_stmt)
+            handler_entry = state.copy() if contains_creation else None
+            body_state = self.walk(stmt.body, state.copy())
+            if handler_entry is None:
+                handler_entry = body_state.copy()
+                handler_entry.terminated = False
+            for handler in stmt.handlers:
+                self.walk(handler.body, handler_entry.copy())
+            if stmt.finalbody:
+                body_state = self.walk(stmt.finalbody, body_state)
+            return body_state
+
+        return state
+
+    def _step_assign(self, stmt: ast.stmt, state: _ShmPathState) -> _ShmPathState:
+        value = getattr(stmt, "value", None)
+        if state.status != _LIVE or value is None:
+            return state
+        # Registration / ownership transfer on the RHS.
+        for call in ast.walk(value):
+            if isinstance(call, ast.Call) and self._is_release_call(call):
+                state.status = _RELEASED
+                return state
+        # `self.X = handle`: ownership moves to the instance; some
+        # method of the class must then release self.X.
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if isinstance(value, ast.Name) and value.id == self.var:
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    if self._class_releases_attr(target.attr):
+                        state.status = _RELEASED
+                    else:
+                        self.leaks.append(
+                            (
+                                stmt.lineno,
+                                stmt.col_offset,
+                                f"SharedMemory handle stored on self.{target.attr} "
+                                "but no method of the class closes/unlinks or "
+                                "finalize-registers it",
+                            )
+                        )
+                        state.status = _RELEASED  # reported once, stop tracking
+                    return state
+        return state
+
+
+def _merge(left: _ShmPathState, right: _ShmPathState) -> _ShmPathState:
+    if left.terminated and right.terminated:
+        return _ShmPathState(_RELEASED, True)
+    if left.terminated:
+        return right
+    if right.terminated:
+        return left
+    order = {_BEFORE: 0, _RELEASED: 1, _LIVE: 2}
+    status = left.status if order[left.status] >= order[right.status] else right.status
+    return _ShmPathState(status, False)
+
+
+def _contains_stmt(stmts: Sequence[ast.stmt], needle: ast.stmt) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if node is needle:
+                return True
+    return False
+
+
+def _method_releases_self_attr(method: ast.FunctionDef, attr: str) -> bool:
+    """Does ``method`` release ``self.<attr>`` — directly, through a
+    local bound from it (tuple unpack included), or by passing it to a
+    finalize/registration call?"""
+    bound_locals: Set[str] = set()
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign):
+            pairs: List[Tuple[ast.expr, ast.expr]] = []
+            for target in node.targets:
+                if isinstance(target, (ast.Tuple, ast.List)) and isinstance(
+                    node.value, (ast.Tuple, ast.List)
+                ):
+                    pairs.extend(zip(target.elts, node.value.elts))
+                else:
+                    pairs.append((target, node.value))
+            for tgt, val in pairs:
+                if (
+                    isinstance(tgt, ast.Name)
+                    and isinstance(val, ast.Attribute)
+                    and val.attr == attr
+                    and isinstance(val.value, ast.Name)
+                    and val.value.id == "self"
+                ):
+                    bound_locals.add(tgt.id)
+
+    def _is_self_attr(expr: ast.expr) -> bool:
+        return (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == attr
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        )
+
+    for node in ast.walk(method):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _RELEASE_METHODS:
+            receiver = func.value
+            if _is_self_attr(receiver):
+                return True
+            if isinstance(receiver, ast.Name) and receiver.id in bound_locals:
+                return True
+        for arg in _call_args(node):
+            if _is_self_attr(arg):
+                return True
+            if isinstance(arg, ast.Name) and arg.id in bound_locals:
+                tail = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+                if tail in _REGISTER_CALLS:
+                    return True
+    return False
+
+
+@register_flow
+class ShmLifecycleFlowRule(FlowRule):
+    code = "FLW012"
+    title = "SharedMemory(create=True) does not reach a release on every path"
+    rationale = (
+        "A created shared-memory segment outlives the process unless "
+        "every path through its owner closes/unlinks it, registers a "
+        "finalizer, or hands the handle off; a single early return "
+        "without cleanup leaks the segment on the host."
+    )
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        for qualname, function in sorted(ctx.project.functions.items()):
+            if not self.anchors_in_scope(function.rel_path):
+                continue
+            module = ctx.project.modules.get(function.module)
+            if module is None:
+                continue
+            class_model = None
+            if function.class_name is not None:
+                class_model = module.classes.get(function.class_name)
+            for creation_stmt, var in _find_creations(function.node):
+                walker = _ShmWalker(creation_stmt, var, class_model)
+                end = walker.walk(function.node.body, _ShmPathState())
+                if not end.terminated and end.status == _LIVE:
+                    walker.leaks.append(
+                        (
+                            creation_stmt.lineno,
+                            creation_stmt.col_offset,
+                            "SharedMemory segment created here is not "
+                            "closed/unlinked or handed off on the fall-through "
+                            "path",
+                        )
+                    )
+                for line, col, message in walker.leaks:
+                    yield self.finding(
+                        ctx, module, line, col, message, trace=[qualname]
+                    )
+
+
+def _creation_self_attr(stmt: ast.stmt) -> Optional[str]:
+    """Attribute name when the creation is ``self.X = SharedMemory(...)``."""
+    if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+        return None
+    target = stmt.targets[0]
+    if (
+        isinstance(target, ast.Attribute)
+        and isinstance(target.value, ast.Name)
+        and target.value.id == "self"
+    ):
+        return target.attr
+    return None
+
+
+def _find_creations(
+    function_node: ast.FunctionDef,
+) -> List[Tuple[ast.stmt, Optional[str]]]:
+    creations: List[Tuple[ast.stmt, Optional[str]]] = []
+    for node in ast.walk(function_node):
+        if isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Call) and _is_shm_creation(node.value):
+                var = None
+                if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                    var = node.targets[0].id
+                creations.append((node, var))
+        elif isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Call) and _is_shm_creation(node.value):
+                creations.append((node, None))
+    return creations
+
+
+# ----------------------------------------------------------------------
+# FLW013 — transitive picklability of task specs
+# ----------------------------------------------------------------------
+
+
+@register_flow
+class TransitivePicklabilityRule(FlowRule):
+    code = "FLW013"
+    title = "task spec reaches an unpicklable type through nested dataclasses"
+    rationale = (
+        "Pool task specs cross the process boundary with pickle; PKL008 "
+        "checks their direct field annotations, but a Callable buried "
+        "two dataclasses deep fails at submission time just the same."
+    )
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        config = ctx.config
+        specs = ctx.project.spec_classes(
+            config.pkl008_spec_classes, config.pkl008_spec_suffixes
+        )
+        for spec in specs:
+            if not self.anchors_in_scope(spec.rel_path):
+                continue
+            module = ctx.project.modules.get(spec.module)
+            if module is None:
+                continue
+            for spec_field in spec.fields:
+                yield from self._chase_field(ctx, module, spec, spec_field)
+
+    def _chase_field(
+        self,
+        ctx: FlowContext,
+        root_module: ModuleModel,
+        spec: ClassModel,
+        root_field: DataclassField,
+    ) -> Iterable[Finding]:
+        max_depth = ctx.config.flw013_max_depth
+        visited: Set[str] = {spec.qualname}
+        # Stack of (class, via-path) to expand; depth 0 is the spec
+        # itself, whose direct annotations PKL008 already covers.
+        stack: List[Tuple[ClassModel, List[str], int]] = []
+        for nested in self._nested_dataclasses(ctx, root_module, root_field.annotation):
+            if nested.qualname not in visited:
+                visited.add(nested.qualname)
+                stack.append((nested, [spec.name, nested.name], 1))
+        while stack:
+            model, path, depth = stack.pop()
+            module = ctx.project.modules.get(model.module)
+            if module is None:
+                continue
+            for nested_field in model.fields:
+                rendered = _render_annotation(nested_field.annotation)
+                if _FORBIDDEN_ANNOTATION.search(rendered):
+                    yield self.finding(
+                        ctx,
+                        root_module,
+                        root_field.line,
+                        root_field.col,
+                        (
+                            f"field '{root_field.name}' of task spec "
+                            f"'{spec.name}' reaches unpicklable annotation "
+                            f"'{rendered}' at {model.name}.{nested_field.name} "
+                            f"(via {' -> '.join(path)})"
+                        ),
+                        trace=path,
+                    )
+                if depth < max_depth:
+                    for nested in self._nested_dataclasses(
+                        ctx, module, nested_field.annotation
+                    ):
+                        if nested.qualname not in visited:
+                            visited.add(nested.qualname)
+                            stack.append((nested, path + [nested.name], depth + 1))
+
+    def _nested_dataclasses(
+        self, ctx: FlowContext, module: ModuleModel, annotation: ast.expr
+    ) -> List[ClassModel]:
+        models: List[ClassModel] = []
+        for name in _annotation_type_names(annotation):
+            qualname = ctx.project.resolve_qualname(module, name)
+            model = ctx.project.classes.get(qualname) if qualname else None
+            if model is None:
+                model = ctx.project.unique_class(name.rpartition(".")[2])
+            if model is not None and model.is_dataclass and model not in models:
+                models.append(model)
+        return models
+
+
+_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def _annotation_type_names(annotation: ast.expr) -> List[str]:
+    """Candidate type names inside an annotation, forward refs included."""
+    names: List[str] = []
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            names.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            parts = dotted_name(node)
+            if parts:
+                names.append(".".join(parts))
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.extend(_IDENTIFIER.findall(node.value))
+    return names
+
+
+def _render_annotation(annotation: ast.expr) -> str:
+    try:
+        return ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<annotation>"

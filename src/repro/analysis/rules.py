@@ -92,6 +92,101 @@ class LintConfig:
     )
     pkl008_spec_suffixes: Tuple[str, ...] = ("Task",)
 
+    # ------------------------------------------------------------------
+    # Flow tier (FLW010–FLW013) — whole-program knobs.  Per-file rules
+    # above see one module; the flow analyzer sees every module matching
+    # ``flow_project_patterns`` at once.
+    # ------------------------------------------------------------------
+
+    #: Modules (fnmatch over repo-relative paths) forming the analyzed
+    #: project for the call graph.  Tests and benchmarks are excluded:
+    #: the invariants below are about shipped worker code.
+    flow_project_patterns: Tuple[str, ...] = ("src/*",)
+
+    # FLW010 — shard-disjointness.  Entry points whose reachable set is
+    # scanned for writes into shared population buffers.
+    flw010_roots: Tuple[str, ...] = (
+        "run_shard",
+        "run_shard_shared",
+        "run_exchanges_batched",
+        "_push_pass_batched",
+    )
+    #: Attribute names identifying a shared population buffer when the
+    #: base object is not function-local (``pop.counters``,
+    #: ``store.have_words`` …).
+    flw010_buffer_attrs: Tuple[str, ...] = (
+        "counters",
+        "have_words",
+        "missing_words",
+        "extra",
+    )
+    #: Index names treated as shard row guards: exact names plus
+    #: prefixes (``rows``, ``rows_i`` …).
+    flw010_row_names: Tuple[str, ...] = ("row", "rows")
+    flw010_row_prefixes: Tuple[str, ...] = ("row_", "rows_")
+    #: Calls whose results are cell-disjoint row selections; a name
+    #: assigned from one of these is a row guard too.
+    flw010_row_sources: Tuple[str, ...] = (
+        "_rows_of_ids",
+        "_split_cell_pairs",
+        "flatnonzero",
+        "nonzero",
+        "arange",
+    )
+    #: Constructors producing *shard-local* stores/populations: buffers
+    #: hanging off a locally-constructed object are private to the
+    #: worker, so unguarded writes to them are fine.
+    flw010_local_factories: Tuple[str, ...] = (
+        "Population",
+        "WordPopulationStore",
+        "BitsetPopulationStore",
+        "UpdateStore",
+        "BitsetUpdateStore",
+    )
+    #: Modules hosting the guarded write APIs themselves (the row-offset
+    #: bookkeeping FLW010 cannot see through `self._row` attributes).
+    flw010_exempt_modules: Tuple[str, ...] = (
+        "src/repro/bargossip/population.py",
+        "src/repro/bargossip/node.py",
+        "src/repro/bargossip/updates.py",
+    )
+
+    # FLW011 — RNG-stream taint.  Attribute/name spellings whose reads
+    # taint a value as schedule-stream derived.
+    flw011_stream_names: Tuple[str, ...] = ("_net_rng", "_churn_rng")
+    #: Handle spellings that must not escape into pool task specs.
+    flw011_handle_names: Tuple[str, ...] = (
+        "_net_rng",
+        "_churn_rng",
+        "_streams",
+        "RngStreams",
+    )
+    #: Protocol-draw entry points: a schedule-stream-tainted value
+    #: arriving at any of these (directly or through helpers) is a leak.
+    flw011_protocol_sinks: Tuple[str, ...] = (
+        "_exchange_directed",
+        "_push_directed",
+        "interact_exchange",
+        "attacker_dump",
+        "maybe_report",
+        "_push_bitset",
+        "_record_push",
+        "run_exchanges",
+        "run_pushes",
+        "run_exchanges_batched",
+        "run_pushes_batched",
+        "_push_pass_batched",
+        "plan_balanced_exchange",
+        "plan_optimistic_push",
+        "bitset_exchange",
+        "batched_word_exchange",
+        "batched_word_push",
+    )
+
+    # FLW013 — transitive picklability: recursion bound when chasing
+    # field types through nested dataclasses.
+    flw013_max_depth: int = 6
+
     def is_enabled(self, code: str) -> bool:
         return self.enabled is None or code in self.enabled
 

@@ -23,7 +23,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .baseline import Baseline, BaselineEntry
+from .cache import LintCache
 from .findings import Finding, finding_fingerprint
+from .flow import run_flow
 from .rules import FileContext, LintConfig, all_rules
 from .suppressions import Suppression, scan_suppressions
 
@@ -39,6 +41,7 @@ __all__ = [
     "detect_root",
     "format_text",
     "format_json",
+    "format_github",
 ]
 
 #: Meta-diagnostic codes (not AST rules, always on).
@@ -56,6 +59,11 @@ class LintResult:
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
     invalid_baseline: List[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
+    #: True when the interprocedural flow tier ran.
+    flow: bool = False
+    #: Cache statistics for the run (``None`` when caching was off).
+    cache_hits: Optional[int] = None
+    cache_misses: Optional[int] = None
 
     @property
     def errors(self) -> List[Finding]:
@@ -156,7 +164,7 @@ def analyze_source(
             continue
         findings.extend(rule.check(ctx, config))
 
-    suppressions, malformed_lines = scan_suppressions(source)
+    suppressions, malformed_lines = scan_suppressions(source, tree=tree)
     for line in malformed_lines:
         findings.append(
             Finding(
@@ -192,16 +200,48 @@ def analyze_source(
     return active, suppressed
 
 
+def _apply_suppressions(
+    findings: List[Finding],
+    sources: Dict[str, str],
+) -> Tuple[List[Finding], List[Tuple[Finding, Suppression]]]:
+    """Split flow-tier findings against each file's inline suppressions."""
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        by_path.setdefault(finding.path, []).append(finding)
+    active: List[Finding] = []
+    suppressed: List[Tuple[Finding, Suppression]] = []
+    for path, path_findings in by_path.items():
+        source = sources.get(path)
+        suppressions = scan_suppressions(source)[0] if source is not None else {}
+        for finding in path_findings:
+            hit = None
+            for suppression in suppressions.get(finding.line, []):
+                if finding.rule.upper() in suppression.rules:
+                    hit = suppression
+                    suppression.used = True
+                    break
+            if hit is None:
+                active.append(finding)
+            else:
+                suppressed.append((finding, hit))
+    return active, suppressed
+
+
 def run_lint(
     paths: Sequence[Path],
     config: Optional[LintConfig] = None,
     root: Optional[Path] = None,
     baseline: Optional[Baseline] = None,
+    flow: bool = False,
+    cache_dir: Optional[Path] = None,
 ) -> LintResult:
     """Lint every python file under ``paths``.
 
     ``root`` anchors the repo-relative paths rules and baselines match
-    against; by default it is detected from the first path.
+    against; by default it is detected from the first path.  With
+    ``flow=True`` the interprocedural tier (FLW010–FLW013) runs over
+    every analyzed file matching ``config.flow_project_patterns``.
+    ``cache_dir`` enables the incremental result cache there.
     """
     config = config or LintConfig()
     files = iter_python_files(paths)
@@ -209,18 +249,46 @@ def run_lint(
         root = detect_root(files[0] if files else None)
     root = Path(root).resolve()
 
-    result = LintResult()
+    cache = LintCache(cache_dir, config) if cache_dir is not None else None
+
+    result = LintResult(flow=flow)
     raw: List[Finding] = []
+    sources: Dict[str, str] = {}
     for file_path in files:
         try:
             rel_path = file_path.relative_to(root).as_posix()
         except ValueError:
             rel_path = file_path.as_posix()
         source = file_path.read_text(encoding="utf-8")
-        active, suppressed = analyze_source(source, rel_path, config)
+        sources[rel_path] = source
+        cached = cache.get_file(rel_path, source) if cache is not None else None
+        if cached is not None:
+            active, suppressed = cached
+        else:
+            active, suppressed = analyze_source(source, rel_path, config)
+            if cache is not None:
+                cache.put_file(rel_path, source, active, suppressed)
         raw.extend(active)
         result.suppressed.extend(suppressed)
         result.files_checked += 1
+
+    if flow:
+        cached_flow = cache.get_flow(sources) if cache is not None else None
+        if cached_flow is not None:
+            flow_active, flow_suppressed = cached_flow
+        else:
+            flow_findings = run_flow(sources, config)
+            flow_active, flow_suppressed = _apply_suppressions(flow_findings, sources)
+            _finalize_fingerprints(flow_active + [pair[0] for pair in flow_suppressed])
+            if cache is not None:
+                cache.put_flow(sources, flow_active, flow_suppressed)
+        raw.extend(flow_active)
+        result.suppressed.extend(flow_suppressed)
+
+    if cache is not None:
+        cache.save()
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
 
     matched_entries: List[BaselineEntry] = []
     if baseline is not None and len(baseline):
@@ -298,6 +366,49 @@ def format_json(result: LintResult) -> str:
             "errors": len(result.errors),
             "warnings": len(result.warnings),
             "exit_code": result.exit_code,
+            "flow": result.flow,
         },
     }
     return json.dumps(payload, indent=2)
+
+
+def _annotation_escape(text: str) -> str:
+    """GitHub workflow-command escaping for annotation messages."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands: findings annotate the PR diff."""
+    lines: List[str] = []
+    for finding in result.findings:
+        level = "error" if finding.severity == "error" else "warning"
+        message = finding.message
+        if finding.trace:
+            message += f" [via {' -> '.join(finding.trace)}]"
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title=lotus-lint {finding.rule}::"
+            f"{_annotation_escape(message)}"
+        )
+    for entry in result.invalid_baseline:
+        lines.append(
+            f"::error file={entry.path},title=lotus-lint baseline::"
+            + _annotation_escape(
+                f"baseline entry for {entry.rule} has no justification"
+            )
+        )
+    for entry in result.stale_baseline:
+        lines.append(
+            f"::warning file={entry.path},title=lotus-lint baseline::"
+            + _annotation_escape(
+                f"stale baseline entry for {entry.rule} — prune it with "
+                "--prune-baseline"
+            )
+        )
+    lines.append(
+        f"{result.files_checked} files checked: "
+        f"{len(result.errors)} error(s), {len(result.warnings)} warning(s)"
+    )
+    return "\n".join(lines)

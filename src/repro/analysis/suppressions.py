@@ -8,20 +8,27 @@ Syntax::
 
 A trailing suppression applies to findings reported on its own physical
 line; a standalone suppression comment applies to the line directly
-below it (so long statements keep their justification readable).  The
-rule list is mandatory — a bare ``# lotus: ignore`` is reported as a
-malformed suppression so typos never silently disable the analyzer.
+below it (so long statements keep their justification readable).  When
+the covered line opens a *multi-line simple statement* (a parenthesized
+call, a continued assignment …), the suppression covers every physical
+line of that statement — a finding anchored on a continuation line is
+still inside the statement the author annotated.  Compound statements
+(``def``, ``for``, ``with`` …) are deliberately not expanded: a comment
+on a ``def`` line must not silence the whole body.  The rule list is
+mandatory — a bare ``# lotus: ignore`` is reported as a malformed
+suppression so typos never silently disable the analyzer.
 """
 
 from __future__ import annotations
 
+import ast
 import io
 import re
 import tokenize
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
-__all__ = ["Suppression", "scan_suppressions"]
+__all__ = ["Suppression", "expand_statement_spans", "scan_suppressions"]
 
 _SUPPRESS_RE = re.compile(
     r"lotus:\s*ignore\[(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\]\s*(?P<reason>.*)$"
@@ -66,11 +73,16 @@ def _iter_comments(source: str) -> List[Tuple[int, int, str]]:
     return comments
 
 
-def scan_suppressions(source: str) -> Tuple[Dict[int, List[Suppression]], List[int]]:
+def scan_suppressions(
+    source: str, tree: Optional[ast.Module] = None
+) -> Tuple[Dict[int, List[Suppression]], List[int]]:
     """Parse all suppressions in ``source``.
 
     Returns ``(by_target_line, malformed_lines)`` where the mapping
-    keys are the lines each suppression covers.
+    keys are the lines each suppression covers.  When the file parses
+    (pass ``tree`` to reuse an existing parse), suppressions targeting
+    the first line of a multi-line simple statement are expanded to
+    cover the whole statement.
     """
     by_line: Dict[int, List[Suppression]] = {}
     malformed: List[int] = []
@@ -96,7 +108,58 @@ def scan_suppressions(source: str) -> Tuple[Dict[int, List[Suppression]], List[i
             reason=match.group("reason").strip(),
         )
         by_line.setdefault(target, []).append(suppression)
+    if by_line:
+        if tree is None:
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                tree = None
+        if tree is not None:
+            expand_statement_spans(by_line, tree)
     return by_line, malformed
+
+
+#: Statement types a suppression span may expand over.  Compound
+#: statements are excluded on purpose: covering a whole function body
+#: from one comment would hide unrelated findings.
+_SIMPLE_STATEMENTS = (
+    ast.Assign,
+    ast.AnnAssign,
+    ast.AugAssign,
+    ast.Expr,
+    ast.Return,
+    ast.Raise,
+    ast.Assert,
+    ast.Delete,
+)
+
+
+def expand_statement_spans(
+    by_line: Dict[int, List[Suppression]], tree: ast.Module
+) -> Dict[int, List[Suppression]]:
+    """Extend suppressions over the full span of multi-line statements.
+
+    A suppression whose target line opens a simple statement that
+    continues onto later physical lines (parenthesized arguments,
+    continued right-hand sides …) is registered for every line of that
+    statement, so findings anchored on continuation lines are covered.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, _SIMPLE_STATEMENTS):
+            continue
+        end_line = getattr(node, "end_lineno", None) or node.lineno
+        if end_line <= node.lineno:
+            continue
+        owners = by_line.get(node.lineno)
+        if not owners:
+            continue
+        for extra_line in range(node.lineno + 1, end_line + 1):
+            registered = by_line.setdefault(extra_line, [])
+            for suppression in owners:
+                if all(existing is not suppression for existing in registered):
+                    registered.append(suppression)
+    return by_line
+
 
 
 def _line_prefix_has_code(source: str, line: int, col: int) -> bool:

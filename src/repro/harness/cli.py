@@ -492,9 +492,34 @@ def _build_lint_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "github"],
         default="text",
-        help="report format (json is what the CI lint-analysis job reads)",
+        help="report format (json is what the CI lint-analysis job reads; "
+        "github emits ::error/::warning annotations for PR diffs)",
+    )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="also run the interprocedural flow tier (FLW010-FLW013: "
+        "shard-write disjointness, RNG-stream taint, SHM lifecycle, "
+        "transitive picklability)",
+    )
+    parser.add_argument(
+        "--no-flow",
+        action="store_true",
+        help="force the flow tier off (overrides --flow)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental result cache under "
+        "<repo root>/.lotus-lint-cache/",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="rewrite the baseline without its stale entries; exits "
+        "non-zero when entries were removed so CI keeps the file tight",
     )
     parser.add_argument(
         "--baseline",
@@ -539,10 +564,12 @@ def _cmd_lint(argv: List[str]) -> int:
     from pathlib import Path
 
     from ..analysis import (
+        CACHE_DIR_NAME,
         Baseline,
         BaselineEntry,
         LintConfig,
         detect_root,
+        format_github,
         format_json,
         format_text,
         run_lint,
@@ -568,8 +595,39 @@ def _cmd_lint(argv: List[str]) -> int:
     if args.rules:
         enabled = frozenset(code.strip().upper() for code in args.rules.split(","))
     result = run_lint(
-        paths, config=LintConfig(enabled=enabled), root=root, baseline=baseline
+        paths,
+        config=LintConfig(enabled=enabled),
+        root=root,
+        baseline=baseline,
+        flow=args.flow and not args.no_flow,
+        cache_dir=None if args.no_cache else root / CACHE_DIR_NAME,
     )
+
+    if args.prune_baseline:
+        if baseline is None:
+            print(
+                "lotus-eater lint: --prune-baseline needs a baseline "
+                "(conflicts with --no-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        stale_keys = {
+            (entry.rule, entry.path, entry.fingerprint)
+            for entry in result.stale_baseline
+        }
+        kept = [
+            entry
+            for entry in baseline.entries
+            if (entry.rule, entry.path, entry.fingerprint) not in stale_keys
+        ]
+        removed = len(baseline.entries) - len(kept)
+        Baseline(kept).save(baseline_path)
+        print(
+            f"[lint] pruned {removed} stale baseline entr"
+            f"{'y' if removed == 1 else 'ies'} from {baseline_path} "
+            f"({len(kept)} kept)"
+        )
+        return 1 if removed else 0
 
     if args.write_baseline:
         if not args.justification.strip():
@@ -594,6 +652,8 @@ def _cmd_lint(argv: List[str]) -> int:
 
     if args.format == "json":
         print(format_json(result))
+    elif args.format == "github":
+        print(format_github(result))
     else:
         print(format_text(result, verbose=args.verbose))
     return result.exit_code

@@ -1,0 +1,308 @@
+"""Project model, name resolution and call-graph construction."""
+
+from textwrap import dedent
+
+from repro.analysis.flow import (
+    ProjectModel,
+    build_call_graph,
+    module_name_of,
+)
+from repro.analysis.flow.summaries import build_summaries, derive_names
+from repro.analysis.rules import LintConfig
+
+import ast
+
+
+def project_of(**files):
+    """Build a ProjectModel from ``{rel_path_with_underscores: source}``."""
+    sources = {path.replace("~", "/"): dedent(src) for path, src in files.items()}
+    return ProjectModel.build(sources)
+
+
+class TestModuleNames:
+    def test_src_layout(self):
+        assert module_name_of("src/repro/bargossip/updates.py") == (
+            "repro.bargossip.updates"
+        )
+
+    def test_package_init(self):
+        assert module_name_of("src/repro/core/__init__.py") == "repro.core"
+
+    def test_non_python_and_weird_paths(self):
+        assert module_name_of("README.md") is None
+        assert module_name_of("src/repro/not-a-module.py") is None
+
+
+class TestImportResolution:
+    def test_relative_import_resolves_cross_module(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def helper():
+                    return 1
+                """,
+                "src~pkg~b.py": """
+                from .a import helper
+
+                def caller():
+                    return helper()
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        assert graph.callees_of("pkg.b.caller") == ["pkg.a.helper"]
+
+    def test_relative_import_with_alias(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def helper():
+                    return 1
+                """,
+                "src~pkg~b.py": """
+                from .a import helper as h
+
+                def caller():
+                    return h()
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        assert graph.callees_of("pkg.b.caller") == ["pkg.a.helper"]
+
+    def test_absolute_import(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def helper():
+                    return 1
+                """,
+                "src~pkg~b.py": """
+                from pkg.a import helper
+
+                def caller():
+                    return helper()
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        assert graph.callees_of("pkg.b.caller") == ["pkg.a.helper"]
+
+
+class TestReceiverTypes:
+    def test_constructor_typed_local_resolves_method(self):
+        project = project_of(
+            **{
+                "src~pkg~engine.py": """
+                class Engine:
+                    def run(self):
+                        return 0
+                """,
+                "src~pkg~main.py": """
+                from .engine import Engine
+
+                def drive():
+                    engine = Engine()
+                    return engine.run()
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        callees = graph.callees_of("pkg.main.drive")
+        assert "pkg.engine.Engine.run" in callees
+
+    def test_self_method_call(self):
+        project = project_of(
+            **{
+                "src~pkg~engine.py": """
+                class Engine:
+                    def run(self):
+                        return self._step()
+
+                    def _step(self):
+                        return 1
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        assert graph.callees_of("pkg.engine.Engine.run") == ["pkg.engine.Engine._step"]
+
+    def test_self_attribute_type_from_init(self):
+        project = project_of(
+            **{
+                "src~pkg~engine.py": """
+                class Inner:
+                    def tick(self):
+                        return 1
+
+                class Outer:
+                    def __init__(self):
+                        self._inner = Inner()
+
+                    def run(self):
+                        return self._inner.tick()
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        assert "pkg.engine.Inner.tick" in graph.callees_of("pkg.engine.Outer.run")
+
+    def test_name_fallback_for_opaque_receiver(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                class Store:
+                    def merge(self, rows):
+                        return rows
+                """,
+                "src~pkg~b.py": """
+                def caller(store):
+                    return store.merge([1])
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        sites = graph.sites["pkg.b.caller"]
+        assert sites[0].fallback
+        assert sites[0].callees == ["pkg.a.Store.merge"]
+
+    def test_plain_name_calls_never_fall_back(self):
+        """An unimported bare name is a builtin, not a project helper."""
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def len(x):
+                    return 0
+                """,
+                "src~pkg~b.py": """
+                def caller(xs):
+                    return len(xs)
+                """,
+            }
+        )
+        graph = build_call_graph(project)
+        assert graph.callees_of("pkg.b.caller") == []
+
+
+class TestReachability:
+    def test_chain_records_path_from_root(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def run_shard():
+                    middle()
+
+                def middle():
+                    leaf()
+
+                def leaf():
+                    pass
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        reach = graph.reachable(("run_shard",))
+        assert reach["pkg.a.leaf"] == ["pkg.a.run_shard", "pkg.a.middle", "pkg.a.leaf"]
+
+    def test_unreachable_function_absent(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def run_shard():
+                    pass
+
+                def island():
+                    pass
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        reach = graph.reachable(("run_shard",))
+        assert "pkg.a.island" not in reach
+
+
+class TestSummaries:
+    def test_unguarded_write_param_propagates_three_deep(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def level1(buf):
+                    level2(buf)
+
+                def level2(data):
+                    level3(data)
+
+                def level3(arr):
+                    arr[0] = 1
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        summaries = build_summaries(project, graph, LintConfig())
+        assert "buf" in summaries.unguarded_write_params["pkg.a.level1"]
+        chain = summaries.unguarded_write_params["pkg.a.level1"]["buf"]
+        assert chain[-1].startswith("pkg.a.level3:")
+
+    def test_row_guarded_write_produces_no_summary(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def write(buf, rows):
+                    buf[rows] = 1
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        summaries = build_summaries(project, graph, LintConfig())
+        assert summaries.unguarded_write_params["pkg.a.write"] == {}
+
+    def test_sink_param_detected_through_helper(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                def helper(value):
+                    _exchange_directed(0, value, 1)
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        summaries = build_summaries(project, graph, LintConfig())
+        assert "value" in summaries.sink_params["pkg.a.helper"]
+
+    def test_index_obligation_seeded_and_discharged(self):
+        project = project_of(
+            **{
+                "src~pkg~a.py": """
+                import numpy as np
+
+                def batched(pool, initiators):
+                    sel = np.asarray(initiators)
+                    pool.have_words[sel] = 1
+
+                def run_shard(pool, ids):
+                    rows = np.flatnonzero(ids)
+                    batched(pool, rows)
+                """
+            }
+        )
+        graph = build_call_graph(project)
+        summaries = build_summaries(project, graph, LintConfig())
+        assert frozenset({"initiators"}) in summaries.index_obligations["pkg.a.batched"]
+        # run_shard passes flatnonzero-derived rows: obligation discharged.
+        assert summaries.obligation_failures.get("pkg.a.run_shard", []) == []
+
+
+class TestDeriveNames:
+    def test_tuple_unpack_and_loops(self):
+        node = ast.parse(
+            dedent(
+                """
+                def f(rows):
+                    left, right = rows[:, 0], rows[:, 1]
+                    for a, b in ((left, right), (right, left)):
+                        use(a, b)
+                """
+            )
+        ).body[0]
+        derived = derive_names(node, {"rows"})
+        assert {"left", "right", "a", "b"} <= derived

@@ -1,0 +1,416 @@
+"""Flow-tier rules (FLW010-FLW013): fixtures plus seeded mutations of the real tree.
+
+The fixture tests exercise each rule on small synthetic projects; the
+mutation tests load the shipped sources, introduce one representative
+defect, and assert the analyzer catches it (and nothing else regresses).
+"""
+
+import glob
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow import run_flow
+from repro.analysis.rules import LintConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def findings_for(sources, config=None):
+    fixed = {path: textwrap.dedent(src) for path, src in sources.items()}
+    return run_flow(fixed, config or LintConfig())
+
+
+def rules_fired(sources, config=None):
+    return sorted({f.rule for f in findings_for(sources, config)})
+
+
+class TestFLW010Fixtures:
+    def test_constant_index_write_in_root_fires(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            def run_shard(state):
+                state.counters[0, 3] += 1
+            """
+        }
+        found = findings_for(sources)
+        assert [f.rule for f in found] == ["FLW010"]
+        assert found[0].path == "src/repro/shardfix.py"
+
+    def test_row_guarded_write_is_clean(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            def run_shard(state, rows):
+                state.counters[rows, 3] += 1
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_local_factory_store_is_exempt(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            def run_shard(n):
+                pop = Population(n)
+                pop.counters[0, 3] += 1
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_unreachable_function_is_ignored(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            def offline_report(state):
+                state.counters[0, 3] += 1
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_escape_two_calls_deep_fires_with_trace(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            def run_shard(state):
+                level1(state.counters)
+
+            def level1(arr):
+                level2(arr)
+
+            def level2(buf):
+                buf[0] = 1
+            """
+        }
+        found = findings_for(sources)
+        assert [f.rule for f in found] == ["FLW010"]
+        assert found[0].trace, "interprocedural finding must carry a call chain"
+
+    def test_derived_row_index_is_clean(self):
+        sources = {
+            "src/repro/shardfix.py": """
+            import numpy as np
+
+            def run_shard(state, active):
+                rows = np.flatnonzero(active)
+                state.counters[rows, 3] += 1
+            """
+        }
+        assert rules_fired(sources) == []
+
+
+class TestFLW011Fixtures:
+    def test_net_rng_reaching_protocol_sink_fires(self):
+        sources = {
+            "src/repro/simfix.py": """
+            class Sim:
+                def step(self):
+                    partner = int(self._net_rng.integers(4))
+                    self._exchange_directed(0, partner, 1)
+            """
+        }
+        assert rules_fired(sources) == ["FLW011"]
+
+    def test_protocol_rng_is_clean(self):
+        sources = {
+            "src/repro/simfix.py": """
+            class Sim:
+                def step(self):
+                    partner = int(self._proto_rng.integers(4))
+                    self._exchange_directed(0, partner, 1)
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_net_rng_feeding_latency_model_is_clean(self):
+        sources = {
+            "src/repro/simfix.py": """
+            class Sim:
+                def step(self):
+                    delay = float(self._net_rng.exponential(0.5))
+                    self._schedule(delay)
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_handle_escaping_into_task_spec_fires(self):
+        sources = {
+            "src/repro/simfix.py": """
+            class Sim:
+                def make_task(self):
+                    return ExchangeTask(rng=self._net_rng)
+            """
+        }
+        assert rules_fired(sources) == ["FLW011"]
+
+
+class TestFLW012Fixtures:
+    def test_leak_on_one_return_path_fires(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            def run_shard(size):
+                seg = shared_memory.SharedMemory(create=True, size=size)
+                if size > 4096:
+                    return False
+                seg.close()
+                seg.unlink()
+                return True
+            """
+        }
+        assert rules_fired(sources) == ["FLW012"]
+
+    def test_try_finally_release_is_clean(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            def run_shard(size):
+                seg = shared_memory.SharedMemory(create=True, size=size)
+                try:
+                    work(seg)
+                finally:
+                    seg.close()
+                    seg.unlink()
+                return True
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_returned_handle_is_callers_problem(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            def run_shard(size):
+                seg = shared_memory.SharedMemory(create=True, size=size)
+                return seg
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_attach_without_create_is_clean(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            def run_shard(name):
+                seg = shared_memory.SharedMemory(name=name)
+                value = seg.buf[0]
+                seg.close()
+                return value
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_stored_on_self_released_elsewhere_is_clean(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            class Store:
+                def run_shard(self, size):
+                    self._shm = shared_memory.SharedMemory(create=True, size=size)
+
+                def close(self):
+                    shm, self._shm = self._shm, None
+                    shm.close()
+                    shm.unlink()
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_stored_on_self_never_released_fires(self):
+        sources = {
+            "src/repro/shmfix.py": """
+            from multiprocessing import shared_memory
+
+            class Store:
+                def run_shard(self, size):
+                    self._shm = shared_memory.SharedMemory(create=True, size=size)
+            """
+        }
+        assert rules_fired(sources) == ["FLW012"]
+
+
+class TestFLW013Fixtures:
+    def test_callable_two_dataclasses_deep_fires(self):
+        sources = {
+            "src/repro/specfix.py": """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass(frozen=True)
+            class Inner:
+                fn: "Callable[[int], int]"
+
+            @dataclass(frozen=True)
+            class Middle:
+                inner: "Inner"
+
+            @dataclass(frozen=True)
+            class FanoutTask:
+                middle: "Middle"
+            """
+        }
+        found = findings_for(sources)
+        assert [f.rule for f in found] == ["FLW013"]
+        # Anchored at the spec-class field, with the nesting path in the trace.
+        assert "FanoutTask" in found[0].message
+        assert found[0].trace
+
+    def test_plain_value_fields_are_clean(self):
+        sources = {
+            "src/repro/specfix.py": """
+            from dataclasses import dataclass
+            from typing import Tuple
+
+            @dataclass(frozen=True)
+            class Inner:
+                counts: Tuple[int, ...]
+
+            @dataclass(frozen=True)
+            class FanoutTask:
+                inner: "Inner"
+                label: str
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_non_spec_dataclass_may_hold_callables(self):
+        sources = {
+            "src/repro/specfix.py": """
+            from dataclasses import dataclass
+            from typing import Callable
+
+            @dataclass
+            class LocalHook:
+                fn: "Callable[[int], int]"
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_cycle_between_dataclasses_terminates(self):
+        sources = {
+            "src/repro/specfix.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class A:
+                other: "B"
+
+            @dataclass
+            class B:
+                other: "A"
+
+            @dataclass
+            class LoopTask:
+                a: "A"
+            """
+        }
+        assert rules_fired(sources) == []
+
+
+# ---------------------------------------------------------------------------
+# Seeded mutations of the shipped tree: each ISSUE-specified defect must be
+# caught by exactly the intended rule, at the mutated location.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tree_sources():
+    sources = {}
+    for path in glob.glob(str(REPO_ROOT / "src" / "**" / "*.py"), recursive=True):
+        rel = str(Path(path).relative_to(REPO_ROOT))
+        sources[rel] = Path(path).read_text()
+    return sources
+
+
+def tree_findings(sources):
+    return [(f.rule, f.path, f.line) for f in run_flow(sources, LintConfig())]
+
+
+class TestSeededMutations:
+    def test_shipped_tree_is_flow_clean(self, tree_sources):
+        assert tree_findings(tree_sources) == []
+
+    def test_flw010_unguarded_counter_write(self, tree_sources):
+        sim = tree_sources["src/repro/bargossip/simulator.py"]
+        needle = "counters[rows_i, CI_EXCHANGES_INITIATED] += 1"
+        assert needle in sim
+        mutated = dict(tree_sources)
+        mutated["src/repro/bargossip/simulator.py"] = sim.replace(
+            needle, "counters[7, CI_EXCHANGES_INITIATED] += 1"
+        )
+        fired = tree_findings(mutated)
+        assert fired, "removing the row guard must surface FLW010"
+        assert all(rule == "FLW010" for rule, _, _ in fired)
+        assert all(path == "src/repro/bargossip/simulator.py" for _, path, _ in fired)
+
+    def test_flw011_net_rng_routed_into_exchange(self, tree_sources):
+        sim = tree_sources["src/repro/bargossip/simulator.py"]
+        match = re.search(
+            r"self\._engine\._exchange_directed\(\s*"
+            r"self\._event_round, event\.initiator, event\.partner\s*\)",
+            sim,
+        )
+        assert match, "expected _exchange_directed delivery call site"
+        mutated = dict(tree_sources)
+        mutated["src/repro/bargossip/simulator.py"] = (
+            sim[: match.start()]
+            + "self._engine._exchange_directed("
+            "self._event_round, int(self._net_rng.integers(2)), event.partner)"
+            + sim[match.end() :]
+        )
+        fired = tree_findings(mutated)
+        assert fired, "a network-stream draw feeding a protocol sink must surface FLW011"
+        assert all(rule == "FLW011" for rule, _, _ in fired)
+
+    def test_flw012_missing_unlink_on_one_path(self, tree_sources):
+        mutated = dict(tree_sources)
+        mutated["src/repro/bargossip/updates.py"] = tree_sources[
+            "src/repro/bargossip/updates.py"
+        ] + textwrap.dedent(
+            '''
+
+            def _mut_probe_segment(size: int) -> bool:
+                from multiprocessing import shared_memory
+
+                seg = shared_memory.SharedMemory(create=True, size=size)
+                if size > 4096:
+                    return False
+                seg.close()
+                seg.unlink()
+                return True
+            '''
+        )
+        fired = tree_findings(mutated)
+        assert fired, "a leaked segment on an early return must surface FLW012"
+        assert all(rule == "FLW012" for rule, _, _ in fired)
+        assert all(path == "src/repro/bargossip/updates.py" for _, path, _ in fired)
+
+    def test_flw013_callable_nested_in_shard_static(self, tree_sources):
+        shd = tree_sources["src/repro/bargossip/sharding.py"]
+        assert "class ShardStatic:" in shd
+        inject = textwrap.dedent(
+            '''
+
+            @dataclass(frozen=True)
+            class _MutPayloadInner:
+                fn: "Callable[[int], int]"
+
+
+            @dataclass(frozen=True)
+            class _MutPayload:
+                inner: "_MutPayloadInner"
+            '''
+        )
+        mutated = dict(tree_sources)
+        mutated["src/repro/bargossip/sharding.py"] = (shd + inject).replace(
+            "class ShardStatic:",
+            'class ShardStatic:\n    payload: "_MutPayload" = None',
+            1,
+        )
+        fired = tree_findings(mutated)
+        assert fired, "a Callable two dataclasses deep must surface FLW013"
+        assert all(rule == "FLW013" for rule, _, _ in fired)
+        assert all(path == "src/repro/bargossip/sharding.py" for _, path, _ in fired)

@@ -29,6 +29,20 @@ class TestShippedTree:
         assert result.exit_code == 0, f"lotus-lint findings:\n{rendered}"
         assert result.files_checked > 100
 
+    def test_tree_is_clean_with_flow_tier(self):
+        """The flow tier (FLW010-FLW013) also runs clean on the tree."""
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        result = run_lint(
+            repo_paths(),
+            config=LintConfig(),
+            root=REPO_ROOT,
+            baseline=baseline,
+            flow=True,
+        )
+        rendered = "\n".join(f.render() for f in result.findings)
+        assert result.exit_code == 0, f"lotus-lint --flow findings:\n{rendered}"
+        assert result.flow
+
     def test_every_suppression_in_tree_has_a_reason(self):
         """Inline suppressions in the shipped tree must carry a written
         justification, mirroring the baseline-justification rule."""
@@ -134,6 +148,80 @@ class TestCli:
         assert code == 0
         payload = json.loads(baseline_path.read_text())
         assert payload["entries"] == []
+
+    def test_github_format(self, fixture_repo, capsys):
+        code = main(["lint", "--format", "github", str(fixture_repo / "src")])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "::error file=src/repro/bargossip/proto.py,line=" in out
+        assert "title=lotus-lint DET001::" in out
+
+    def test_prune_baseline_removes_stale_entries(self, fixture_repo, capsys):
+        main(
+            [
+                "lint",
+                "--write-baseline",
+                "--justification",
+                "pre-rule fixture code",
+                str(fixture_repo / "src"),
+            ]
+        )
+        capsys.readouterr()
+        baseline_path = fixture_repo / "lint-baseline.json"
+
+        # Nothing stale yet: prune is a no-op and exits 0.
+        assert main(["lint", "--prune-baseline", str(fixture_repo / "src")]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+        assert len(json.loads(baseline_path.read_text())["entries"]) == 1
+
+        # Fix the finding; the entry goes stale and prune removes it (exit 1).
+        proto = fixture_repo / "src" / "repro" / "bargossip" / "proto.py"
+        proto.write_text("def draw(rng):\n    return rng.random()\n")
+        assert main(["lint", "--prune-baseline", str(fixture_repo / "src")]) == 1
+        assert "pruned 1" in capsys.readouterr().out
+        assert json.loads(baseline_path.read_text())["entries"] == []
+
+    def test_prune_baseline_conflicts_with_no_baseline(self, fixture_repo, capsys):
+        code = main(
+            ["lint", "--prune-baseline", "--no-baseline", str(fixture_repo / "src")]
+        )
+        assert code == 2
+        assert "--prune-baseline" in capsys.readouterr().err
+
+    def test_flow_flag_runs_flow_tier(self, fixture_repo, capsys):
+        proto = fixture_repo / "src" / "repro" / "bargossip" / "proto.py"
+        # Only visible interprocedurally: the raw write is to a plain
+        # name, so the per-file tier (API006) cannot see it.
+        proto.write_text(
+            "def run_shard(state):\n"
+            "    bump(state.counters)\n"
+            "\n"
+            "\n"
+            "def bump(arr):\n"
+            "    arr[0] = 1\n"
+        )
+        code = main(
+            ["lint", "--flow", "--format", "json", str(fixture_repo / "src")]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["flow"] is True
+        assert "FLW010" in {f["rule"] for f in payload["findings"]}
+
+        # --no-flow wins over --flow.
+        code = main(
+            [
+                "lint",
+                "--flow",
+                "--no-flow",
+                "--format",
+                "json",
+                str(fixture_repo / "src"),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["flow"] is False
 
     def test_nonexistent_path_is_an_error(self, fixture_repo, capsys):
         """A typo'd explicit path must not pass green (exit 2, not 0)."""

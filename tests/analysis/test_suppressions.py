@@ -102,3 +102,65 @@ class TestApplication:
         )
         assert active == []
         assert len(suppressed) == 1
+
+
+class TestStatementSpans:
+    def test_trailing_comment_covers_parenthesized_continuation(self):
+        active, suppressed = lint(
+            """
+            import random
+
+            values = (  # lotus: ignore[DET001] fixture pair
+                random.random(),
+                random.random(),
+            )
+            """
+        )
+        assert active == []
+        assert [f.rule for f, _ in suppressed] == ["DET001", "DET001"]
+        # Both findings map back to the one comment.
+        assert {s.comment_line for _, s in suppressed} == {
+            suppressed[0][1].comment_line
+        }
+
+    def test_scan_expands_simple_statement_span(self):
+        source = "x = (  # lotus: ignore[DET001] span\n    1,\n    2,\n)\n"
+        by_line, malformed = scan_suppressions(source)
+        assert malformed == []
+        assert set(by_line) == {1, 2, 3, 4}
+        # Same Suppression object on every line, not copies.
+        assert by_line[1][0] is by_line[4][0]
+
+    def test_standalone_comment_covers_whole_statement_below(self):
+        active, suppressed = lint(
+            """
+            import random
+
+            # lotus: ignore[DET001] fixture pair
+            values = (
+                random.random(),
+                random.random(),
+            )
+            """
+        )
+        assert active == []
+        assert len(suppressed) == 2
+
+    def test_compound_statement_header_does_not_cover_body(self):
+        active, suppressed = lint(
+            """
+            import random
+
+            for _ in range(3):  # lotus: ignore[DET001] header only
+                value = random.random()
+            """
+        )
+        assert "DET001" in [f.rule for f in active]
+        assert suppressed == []
+
+    def test_unparsable_source_keeps_line_level_behavior(self):
+        by_line, malformed = scan_suppressions(
+            "x = 1  # lotus: ignore[DET001] fine\ndef broken(:\n"
+        )
+        assert malformed == []
+        assert set(by_line) == {1}
