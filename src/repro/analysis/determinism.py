@@ -379,12 +379,17 @@ class WallClockRule(Rule):
     title = "no wall-clock reads outside the bench harness"
     rationale = (
         "simulator core runs on virtual time only; wall clocks belong "
-        "to harness/bench.py, harness/trend.py and benchmarks/"
+        "to harness/bench.py, harness/trend.py, harness/supervise.py "
+        "and benchmarks/"
     )
     include = ("src/repro/*",)
     exclude = (
         "src/repro/harness/bench.py",
         "src/repro/harness/trend.py",
+        # Supervision is *about* real time: deadlines, liveness polls
+        # and backoff all read the monotonic clock — and never touch
+        # simulation state (tasks stay pure functions of their payload).
+        "src/repro/harness/supervise.py",
     )
 
     def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:

@@ -262,11 +262,21 @@ class CallGraph:
                     seen.append(callee)
         return seen
 
-    def reachable(self, root_names: Tuple[str, ...]) -> Dict[str, List[str]]:
+    def reachable(
+        self,
+        root_names: Tuple[str, ...],
+        *,
+        fallback_edges: bool = True,
+    ) -> Dict[str, List[str]]:
         """BFS from every function whose bare name is in ``root_names``.
 
         Returns ``{qualname: chain}`` where ``chain`` is the qualname
         path from a root to the function (roots map to ``[root]``).
+
+        ``fallback_edges=False`` drops edges produced by bare-name
+        fallback resolution (``dict.get`` resolving to every project
+        ``get``): rules whose invariant is strict enough that one
+        spurious edge drowns the signal trade a little recall for it.
         """
         chains: Dict[str, List[str]] = {}
         queue = deque()
@@ -277,10 +287,13 @@ class CallGraph:
                     queue.append(model.qualname)
         while queue:
             current = queue.popleft()
-            for callee in self.callees_of(current):
-                if callee not in chains:
-                    chains[callee] = chains[current] + [callee]
-                    queue.append(callee)
+            for site in self.sites.get(current, []):
+                if site.fallback and not fallback_edges:
+                    continue
+                for callee in site.callees:
+                    if callee not in chains:
+                        chains[callee] = chains[current] + [callee]
+                        queue.append(callee)
         return chains
 
 

@@ -1,4 +1,4 @@
-"""Interprocedural flow rules FLW010–FLW013.
+"""Interprocedural flow rules FLW010–FLW014.
 
 Each rule sees the whole :class:`FlowContext` — project model, call
 graph, and interprocedural summaries — instead of one file, so a
@@ -835,6 +835,136 @@ class TransitivePicklabilityRule(FlowRule):
             if model is not None and model.is_dataclass and model not in models:
                 models.append(model)
         return models
+
+
+# ----------------------------------------------------------------------
+# FLW014 — fault-injection discipline
+# ----------------------------------------------------------------------
+
+
+@register_flow
+class FaultSiteDisciplineRule(FlowRule):
+    code = "FLW014"
+    title = "fault_point sites registered; retry machinery protocol-free"
+    rationale = (
+        "A fault_point with a typo'd or computed site silently never "
+        "fires (the chaos suite would pin nothing); and the retry/"
+        "recovery machinery must never read protocol RNG streams or "
+        "call protocol draws, or a recovered run could diverge from an "
+        "undisturbed one."
+    )
+
+    def check(self, ctx: FlowContext) -> Iterable[Finding]:
+        yield from self._check_sites(ctx)
+        yield from self._check_retry_paths(ctx)
+
+    def _check_sites(self, ctx: FlowContext) -> Iterable[Finding]:
+        """Every ``fault_point(<literal>)`` names a registered site."""
+        registered = set(ctx.config.flw014_sites)
+        for qualname, sites in sorted(ctx.graph.sites.items()):
+            function = ctx.project.functions.get(qualname)
+            if function is None or not self.anchors_in_scope(function.rel_path):
+                continue
+            module = ctx.project.modules.get(function.module)
+            if module is None:
+                continue
+            for site in sites:
+                if site.name != "fault_point":
+                    continue
+                arg = self._site_arg(site.node)
+                if not (
+                    isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                ):
+                    yield self.finding(
+                        ctx,
+                        module,
+                        site.line,
+                        site.node.col_offset,
+                        (
+                            "fault_point site must be a string literal — a "
+                            "computed site cannot be checked against the "
+                            "registry and may silently never fire"
+                        ),
+                        trace=[qualname],
+                    )
+                elif arg.value not in registered:
+                    yield self.finding(
+                        ctx,
+                        module,
+                        site.line,
+                        site.node.col_offset,
+                        (
+                            f"fault_point site {arg.value!r} is not registered "
+                            f"(known sites: {', '.join(sorted(registered))}) — "
+                            "a FaultPlan targeting it would silently never fire"
+                        ),
+                        trace=[qualname],
+                    )
+
+    @staticmethod
+    def _site_arg(node: ast.Call) -> Optional[ast.expr]:
+        if node.args:
+            arg = node.args[0]
+            return arg.value if isinstance(arg, ast.Starred) else arg
+        for keyword in node.keywords:
+            if keyword.arg == "site":
+                return keyword.value
+        return None
+
+    def _check_retry_paths(self, ctx: FlowContext) -> Iterable[Finding]:
+        """Nothing reachable from a retry root touches protocol RNG.
+
+        Reuses the FLW011 taint vocabulary: protected stream attribute
+        reads and protocol-draw sink calls.  The roots are the
+        decision/recovery paths only (see ``flw014_retry_roots``) —
+        the dispatch paths that re-*execute* protocol code on retry
+        are exactly as deterministic as first execution and stay out
+        of scope.
+        """
+        config = ctx.config
+        protected = set(config.flw014_protected_streams)
+        sinks = set(config.flw011_protocol_sinks)
+        # Fallback edges off: `dict.get` inside the fault library must
+        # not drag every project `get` method into the retry cone.
+        reach = ctx.graph.reachable(
+            tuple(config.flw014_retry_roots), fallback_edges=False
+        )
+        for qualname in sorted(reach):
+            function = ctx.project.functions.get(qualname)
+            if function is None or not self.anchors_in_scope(function.rel_path):
+                continue
+            module = ctx.project.modules.get(function.module)
+            if module is None:
+                continue
+            chain = reach[qualname]
+            for node in ast.walk(function.node):
+                if isinstance(node, ast.Attribute) and node.attr in protected:
+                    yield self.finding(
+                        ctx,
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        (
+                            f"retry/recovery code reads protected RNG stream "
+                            f"'{node.attr}' — recovery must be a pure replay, "
+                            "never a fresh draw"
+                        ),
+                        trace=chain,
+                    )
+            for site in ctx.graph.sites.get(qualname, []):
+                if site.name in sinks:
+                    yield self.finding(
+                        ctx,
+                        module,
+                        site.line,
+                        site.node.col_offset,
+                        (
+                            f"retry/recovery code calls protocol draw "
+                            f"'{site.name}' — recovery must not re-enter the "
+                            "protocol outside a full deterministic re-run"
+                        ),
+                        trace=chain,
+                    )
 
 
 _IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")

@@ -187,6 +187,42 @@ class LintConfig:
     # field types through nested dataclasses.
     flw013_max_depth: int = 6
 
+    # FLW014 — fault-injection discipline.  The registered site names:
+    # every ``fault_point("...")`` call must use one of these literals
+    # (mirrors ``repro.faults.FAULT_SITES``; the analysis layer keeps
+    # its own copy so lint has no runtime import of the library —
+    # ``tests/analysis`` pins the two in sync).
+    flw014_sites: Tuple[str, ...] = (
+        "worker:cell",
+        "worker:shard",
+        "worker:shard-shared",
+        "shm:attach",
+        "cache:record",
+    )
+    #: Entry points of the retry/recovery machinery (bare function
+    #: names): everything reachable from these must stay protocol-free
+    #: — no reads of the schedule/protocol RNG streams, no calls into
+    #: protocol-draw sinks.  Deliberately the *decision* paths only
+    #: (backoff, snapshot/restore, injection), not the dispatch paths
+    #: that legitimately re-execute protocol code on retry.
+    flw014_retry_roots: Tuple[str, ...] = (
+        "backoff_delay",
+        "_shared_round_snapshot",
+        "_restore_shared_round",
+        "fault_point",
+        "_claim_hit",
+        "_quarantine",
+    )
+    #: Stream attributes the retry machinery must never read — the
+    #: FLW011 schedule streams plus the protocol-order stream and the
+    #: simulator's stream bundle.
+    flw014_protected_streams: Tuple[str, ...] = (
+        "_net_rng",
+        "_churn_rng",
+        "_order_rng",
+        "_streams",
+    )
+
     def is_enabled(self, code: str) -> bool:
         return self.enabled is None or code in self.enabled
 

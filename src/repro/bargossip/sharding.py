@@ -37,7 +37,6 @@ same function, so worker count can never change results.
 from __future__ import annotations
 
 import atexit
-import multiprocessing
 import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -45,7 +44,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..core.behaviors import Behavior
-from ..core.errors import ConfigurationError
+from ..core.errors import ConfigurationError, WorkerCrash
+from ..faults import FaultPlan, arm as _arm_faults, fault_point
 from .attacker import AttackerCoalition, AttackKind
 from .config import GossipConfig
 from .defenses import EvictionAuthority, ReportingPolicy
@@ -789,10 +789,17 @@ _WORKER_STATIC: Optional[ShardStatic] = None
 _WORKER_STORE: Optional[WordPopulationStore] = None
 
 
-def _init_shard_worker(static: ShardStatic) -> None:
+def _init_shard_worker(
+    static: ShardStatic, fault_plan: Optional[FaultPlan] = None
+) -> None:
     # Pool-initializer pattern: worker-global state is the only way to
     # hand a shared-memory attachment to every task in the worker.
+    # Runs again in every *respawned* worker, which is what re-attaches
+    # the shared segment after a crash.  The fault plan (chaos tests
+    # only) arms before the attach so ``shm:attach`` faults can fire.
     global _WORKER_STATIC, _WORKER_STORE  # noqa: PLW0603
+    if fault_plan is not None:
+        _arm_faults(fault_plan)
     _WORKER_STATIC = static
     if _WORKER_STORE is not None:
         _WORKER_STORE.close()
@@ -812,15 +819,17 @@ def _init_shard_worker(static: ShardStatic) -> None:
 
 
 def _run_shard_in_worker(state: ShardState) -> ShardOutcome:
+    fault_point("worker:shard")
     return run_shard(_WORKER_STATIC, state)
 
 
 def _run_shared_in_worker(state: ShardState) -> SharedShardOutcome:
+    fault_point("worker:shard-shared")
     return run_shard_shared(_WORKER_STATIC, state, _WORKER_STORE)
 
 
 class ShardPool:
-    """A persistent process pool executing shard slices round by round.
+    """A persistent, supervised process pool executing shard slices.
 
     Parameters
     ----------
@@ -831,28 +840,83 @@ class ShardPool:
     mp_context:
         Optional :mod:`multiprocessing` start-method name; None uses
         the platform default.
+    retries:
+        Re-attempts per heap-mode shard task after a worker crash or
+        missed deadline.  ``run_shard`` is a pure function of its
+        slice, so a retried shard reproduces the lost outcome
+        bit-exactly.  Shared-memory phases never retry at this level
+        (the phase mutates the segment in place — recovery belongs to
+        the coordinator, which restores the round snapshot).
+    phase_timeout:
+        Per-shard dispatch deadline in seconds (None = no deadline); a
+        worker that misses it is terminated and treated as crashed.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` armed in every
+        worker (chaos tests only).
 
     The pool is bound to one simulation's :class:`ShardStatic` at a
     time (shipped through the worker initializer); running a different
     simulation through the same pool transparently restarts the
-    workers.
+    workers.  Worker loss is survived: the supervising pool respawns
+    the member (re-running the initializer, which re-attaches shared
+    memory) and re-runs only the lost shard — except in shared mode,
+    where the first loss tears the whole pool down and raises
+    :class:`~repro.core.errors.WorkerCrash` so no surviving worker can
+    mutate the segment while the coordinator restores it.
     """
 
-    def __init__(self, workers: int, mp_context: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        mp_context: Optional[str] = None,
+        retries: int = 2,
+        phase_timeout: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if phase_timeout is not None and phase_timeout <= 0:
+            raise ConfigurationError(
+                f"phase_timeout must be > 0 or None, got {phase_timeout}"
+            )
         self.workers = workers
         self.mp_context = mp_context
-        self._pool: Optional["multiprocessing.pool.Pool"] = None
+        self.retries = retries
+        self.phase_timeout = phase_timeout
+        self.fault_plan = fault_plan
+        self._pool = None  # Optional[supervise.SupervisedPool]
         self._static: Optional[ShardStatic] = None
 
     def run(
         self, static: ShardStatic, states: Sequence[ShardState]
     ) -> List[ShardOutcome]:
-        """Execute the round's shard states; results in submission order."""
+        """Execute the round's shard states; results in submission order.
+
+        Heap-mode shards are pure functions of their slice, so a crashed
+        or wedged worker costs one transparent re-run of the lost shard;
+        only a shard failing past its retry budget raises
+        :class:`WorkerCrash` (after the pool is torn down).
+        """
         if self.workers < 2 or len(states) < 2:
             return [run_shard(static, state) for state in states]
-        return self._ensure(static).map(_run_shard_in_worker, states)
+        from ..harness.supervise import SupervisionPolicy  # deferred: cycle
+
+        policy = SupervisionPolicy(
+            retries=self.retries, task_timeout=self.phase_timeout
+        )
+        outcomes, failures = self._ensure(static).run(
+            _run_shard_in_worker,
+            states,
+            policy=policy,
+            labels=[f"shard {i} (round {s.round_now})" for i, s in enumerate(states)],
+        )
+        if failures:
+            self.terminate()
+            first = failures[0]
+            raise WorkerCrash(first.label, first.fate, first.error)
+        return outcomes
 
     def run_shared(
         self,
@@ -866,36 +930,69 @@ class ShardPool:
         the in-process fallback uses the coordinator's ``local_store``.
         Returning is the phase barrier: every shard's phase has been
         applied before the coordinator proceeds.
+
+        A shared-memory phase is *not* idempotent (rows mutate in
+        place), so worker loss cannot be retried here: the first failed
+        attempt terminates every worker — no survivor may touch the
+        segment — and raises :class:`WorkerCrash` for the coordinator,
+        which restores its round snapshot and re-runs the round on a
+        fresh pool.
         """
         if self.workers < 2 or len(states) < 2:
             return [
                 run_shard_shared(static, state, local_store)
                 for state in states
             ]
-        return self._ensure(static).map(_run_shared_in_worker, states)
+        from ..harness.supervise import SupervisionPolicy  # deferred: cycle
 
-    def _ensure(self, static: ShardStatic) -> "multiprocessing.pool.Pool":
+        policy = SupervisionPolicy(
+            retries=0, task_timeout=self.phase_timeout
+        )
+        try:
+            outcomes, _failures = self._ensure(static).run(
+                _run_shared_in_worker,
+                states,
+                policy=policy,
+                labels=[
+                    f"shared shard {i} ({s.phase}, round {s.round_now})"
+                    for i, s in enumerate(states)
+                ],
+                abort_on_failure=True,
+            )
+        except WorkerCrash:
+            # The supervising pool already terminated every worker; drop
+            # the dead pool so the coordinator's re-run builds a fresh
+            # one through the initializer (re-attaching the segment).
+            self._pool = None
+            self._static = None
+            _LIVE_POOLS.discard(self)
+            raise
+        return outcomes
+
+    def _ensure(self, static: ShardStatic):
         if self._pool is None or self._static is not static:
             self.close()
-            context = (
-                multiprocessing.get_context(self.mp_context)
-                if self.mp_context
-                else multiprocessing
-            )
-            self._pool = context.Pool(
-                processes=self.workers,
+            from ..harness.supervise import SupervisedPool  # deferred: cycle
+
+            self._pool = SupervisedPool(
+                self.workers,
                 initializer=_init_shard_worker,
-                initargs=(static,),
+                initargs=(static, self.fault_plan),
+                mp_context=self.mp_context,
             )
+            self._pool.start()
             self._static = static
             _LIVE_POOLS.add(self)
         return self._pool
 
-    def close(self) -> None:
-        """Shut the workers down (idempotent; a later run reopens them)."""
+    def close(self, join_deadline: float = 5.0) -> None:
+        """Shut the workers down (idempotent; a later run reopens them).
+
+        Waits up to ``join_deadline`` seconds for a graceful exit, then
+        terminates stragglers.
+        """
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            self._pool.close(join_deadline=join_deadline)
             self._pool = None
             self._static = None
         _LIVE_POOLS.discard(self)
@@ -909,7 +1006,6 @@ class ShardPool:
         """
         if self._pool is not None:
             self._pool.terminate()
-            self._pool.join()
             self._pool = None
             self._static = None
         _LIVE_POOLS.discard(self)

@@ -34,7 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..core.behaviors import Behavior
 from ..core.engine import RoundSimulator
-from ..core.errors import ConfigurationError, SimulationError
+from ..core.errors import ConfigurationError, SimulationError, WorkerCrash
 from ..core.metrics import DeliveryStats, tally_group_codes
 from ..core.rng import RngStreams
 from .attacker import DEFAULT_SATIATE_FRACTION, AttackKind, AttackerCoalition
@@ -1038,23 +1038,114 @@ class GossipSimulator(RoundSimulator):
         messages carry cells, the evicted mask and the coalition /
         authority slices out — and counters, evictions and reports
         back; rows never travel.
+
+        Crash safety: shared phases mutate the segment in place, so a
+        worker killed mid-phase leaves half-applied rows behind.  The
+        coordinator snapshots the full round state (segment + the
+        coalition/authority/eviction state a merge touches) at the
+        round boundary; on :class:`WorkerCrash` — the pool has already
+        stopped every surviving worker, so nothing races the restore —
+        it rewrites the snapshot in place and re-runs the round from
+        the exchange phase on a fresh pool.  Rounds are pure functions
+        of the boundary state, so the re-run is bit-identical to an
+        undisturbed round (pinned by the chaos suite).
         """
-        for phase in ("exchange", "push"):
-            states = [
-                extract_shard(self, cells, round_now, phase=phase)
-                for cells in shards
-            ]
-            if self._shard_pool is not None:
-                outcomes = self._shard_pool.run_shared(
-                    self._shard_static, states, self._pool
-                )
-            else:
-                outcomes = [
-                    run_shard_shared(self._shard_static, state, self._pool)
-                    for state in states
+        if self._shard_pool is None:
+            for phase in ("exchange", "push"):
+                states = [
+                    extract_shard(self, cells, round_now, phase=phase)
+                    for cells in shards
                 ]
-            for state, outcome in zip(states, outcomes):
-                merge_shard_shared(self, state, outcome)
+                for state in states:
+                    merge_shard_shared(
+                        self,
+                        state,
+                        run_shard_shared(self._shard_static, state, self._pool),
+                    )
+            return
+
+        budget = self._shard_pool.retries
+        attempt = 0
+        snapshot = self._shared_round_snapshot()
+        while True:
+            try:
+                for phase in ("exchange", "push"):
+                    states = [
+                        extract_shard(self, cells, round_now, phase=phase)
+                        for cells in shards
+                    ]
+                    outcomes = self._shard_pool.run_shared(
+                        self._shard_static, states, self._pool
+                    )
+                    for state, outcome in zip(states, outcomes):
+                        merge_shard_shared(self, state, outcome)
+                return
+            except WorkerCrash:
+                attempt += 1
+                if attempt > budget:
+                    raise
+                self._restore_shared_round(snapshot)
+
+    def _shared_round_snapshot(self) -> Dict[str, object]:
+        """Copy everything a shared round mutates, at the round boundary.
+
+        The word rows and counter columns live in the shared segment
+        (``have_words``/``missing_words``/``extra`` are views over it);
+        eviction flags, the attacker coalition and the reporting
+        authority live on the coordinator's heap but are written to by
+        the per-phase merges.  Together these are the entire mutable
+        round state — nodes read everything else through views of the
+        same arrays.
+        """
+        pool = self._pool
+        snapshot: Dict[str, object] = {
+            "have_words": pool.have_words.copy(),
+            "missing_words": pool.missing_words.copy(),
+            "extra": pool.extra.copy(),
+            "evicted": self.population.evicted.copy(),
+            "evicted_ids": set(self._evicted_ids),
+            "attack_nodes": set(self.attack.nodes),
+            "attack_pool": set(self.attack.pool),
+            "attack_satiated": set(self.attack.satiated_targets),
+            "updates_served": self.attack.updates_served,
+        }
+        if self.authority is not None:
+            snapshot["authority_reports"] = {
+                offender: set(reporters)
+                for offender, reporters in self.authority.reports.items()
+            }
+            snapshot["authority_evicted"] = set(self.authority.evicted)
+        return snapshot
+
+    def _restore_shared_round(self, snapshot: Dict[str, object]) -> None:
+        """Rewrite the round-boundary snapshot in place (crash recovery).
+
+        In-place (``arr[:] = ...``, ``set.clear()`` + update) because
+        nodes, the population and the engine all hold live views/
+        references into these structures — replacing the objects would
+        orphan them.
+        """
+        pool = self._pool
+        pool.have_words[:] = snapshot["have_words"]
+        pool.missing_words[:] = snapshot["missing_words"]
+        pool.extra[:] = snapshot["extra"]
+        self.population.evicted[:] = snapshot["evicted"]
+        self._evicted_ids.clear()
+        self._evicted_ids.update(snapshot["evicted_ids"])
+        attack = self.attack
+        attack.nodes.clear()
+        attack.nodes.update(snapshot["attack_nodes"])
+        attack.pool.clear()
+        attack.pool.update(snapshot["attack_pool"])
+        attack.satiated_targets.clear()
+        attack.satiated_targets.update(snapshot["attack_satiated"])
+        attack.updates_served = snapshot["updates_served"]
+        if self.authority is not None:
+            self.authority.reports.clear()
+            for offender, reporters in snapshot["authority_reports"].items():
+                self.authority.reports[offender] = set(reporters)
+            self.authority.evicted.clear()
+            self.authority.evicted.update(snapshot["authority_evicted"])
 
     # ------------------------------------------------------------------
     # Event schedule (virtual time)

@@ -46,6 +46,7 @@ from typing import Dict, Iterable, List, Optional, Set
 import numpy as np
 
 from ..core.errors import ConfigurationError, SimulationError
+from ..faults import fault_point
 
 __all__ = [
     "update_id",
@@ -697,6 +698,9 @@ class WordPopulationStore:
                     create=True, size=n_words * _WORD_BYTES
                 )
             else:
+                # Injection site sits *before* the attach so a faulted
+                # attach (chaos tests) leaves no segment handle behind.
+                fault_point("shm:attach")
                 # Attaching re-registers the name with the resource
                 # tracker; pool workers share the coordinator's tracker
                 # (fork and POSIX spawn both inherit its fd), so the

@@ -21,9 +21,12 @@ the executor's across-cells axis.  ``lotus-eater bench-diff`` (see
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import pickle
 import platform
+import shutil
+import tempfile
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -31,10 +34,18 @@ from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
 from ..bargossip.network import NetworkModel
 from ..bargossip.scenario import ExecutionConfig, Scenario, run_experiment
-from ..bargossip.sharding import ShardPool, extract_shard, run_shard, run_shard_shared
+from ..bargossip.sharding import (
+    ShardPool,
+    _init_shard_worker,
+    _run_shard_in_worker,
+    extract_shard,
+    run_shard,
+    run_shard_shared,
+)
 from ..bargossip.simulator import GossipSimulator
 from ..bargossip.updates import shared_memory_available
 from ..core.metrics import USABILITY_THRESHOLD, TimeSeries
+from ..faults import FaultPlan, FaultSpec
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
 from .parallel import SweepExecutor, resolve_jobs
 from .tables import baseline_check
@@ -46,6 +57,7 @@ __all__ = [
     "run_memory_bench",
     "run_counters_bench",
     "run_event_bench",
+    "run_fault_bench",
     "run_bench",
     "render_bench_summary",
     "write_bench_summary",
@@ -602,6 +614,159 @@ def run_event_bench(
     }
 
 
+class _UnsupervisedShardPool:
+    """A raw ``multiprocessing.Pool`` with the ShardPool interface.
+
+    Exists only as the fault bench's baseline: the pre-supervision
+    execution path (plain ``Pool.map``, no liveness checks, no
+    deadlines, no retry bookkeeping), so ``supervised_overhead_ratio``
+    measures exactly what the supervision layer costs when nothing
+    fails.  Heap mode only — never use this outside the bench; it hangs
+    forever if a worker dies.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = workers
+        self._pool = None
+        self._static = None
+
+    def run(self, static, states):
+        if self._pool is None or self._static is not static:
+            self.close()
+            self._pool = multiprocessing.Pool(
+                processes=self.workers,
+                initializer=_init_shard_worker,
+                initargs=(static, None),
+            )
+            self._static = static
+        return self._pool.map(_run_shard_in_worker, states)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._static = None
+
+    def terminate(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._static = None
+
+
+def run_fault_bench(
+    n_nodes: int = 20000,
+    rounds: int = 10,
+    workers: int = 4,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Measure what fault tolerance costs, and what recovery costs.
+
+    Three timed passes of the same sharded no-attack run (words
+    backend, 20,000-node headline scale), asserting bit-identical
+    delivery aggregates across all of them:
+
+    * ``unsupervised_seconds`` — heap-mode shards on a raw
+      ``multiprocessing.Pool`` (the pre-supervision execution path);
+    * ``supervised_seconds`` — the same run on the supervised
+      :class:`ShardPool`; ``supervised_overhead_ratio`` is the price of
+      liveness checks, deadlines and retry bookkeeping when nothing
+      fails (target: ≤ 1.02);
+    * ``faulted_seconds`` — shared-memory mode (heap where no segment
+      is available) with a :class:`~repro.faults.FaultPlan` killing one
+      worker mid-round; ``recovery_seconds`` is the wall-clock the
+      crash + respawn + snapshot-restore + round re-run added over the
+      matching clean pass.
+
+    ``parity_ok`` covers every pass against the first — the bench-level
+    restatement of the chaos suite's bit-exactness pin.
+    """
+    config = GossipConfig(n_nodes=n_nodes)
+    heap = ExecutionConfig(backend="words", memory="heap", shards=workers)
+    reference = None
+    parity_ok = True
+
+    def _check(aggregates) -> None:
+        nonlocal reference, parity_ok
+        if reference is None:
+            reference = aggregates
+        else:
+            parity_ok = parity_ok and aggregates == reference
+
+    plain = _UnsupervisedShardPool(workers)
+    try:
+        unsupervised_seconds, aggregates = _time_rounds(
+            config, heap, rounds, seed, pool=plain
+        )
+    finally:
+        plain.close()
+    _check(aggregates)
+
+    supervised = ShardPool(workers)
+    try:
+        supervised_seconds, aggregates = _time_rounds(
+            config, heap, rounds, seed, pool=supervised
+        )
+    finally:
+        supervised.close()
+    _check(aggregates)
+
+    shared_ok = shared_memory_available()
+    faulted_execution = (
+        ExecutionConfig(backend="words", memory="shared", shards=workers)
+        if shared_ok
+        else heap
+    )
+    clean_pool = ShardPool(workers)
+    try:
+        clean_seconds, aggregates = _time_rounds(
+            config, faulted_execution, rounds, seed, pool=clean_pool
+        )
+    finally:
+        clean_pool.close()
+    _check(aggregates)
+
+    token_dir = tempfile.mkdtemp(prefix="lotus-fault-bench-")
+    site = "worker:shard-shared" if shared_ok else "worker:shard"
+    plan = FaultPlan(
+        seed=seed,
+        specs=(FaultSpec(site=site, kind="crash", when=2),),
+        token_dir=token_dir,
+    )
+    faulted_pool = ShardPool(workers, fault_plan=plan)
+    try:
+        faulted_seconds, aggregates = _time_rounds(
+            config, faulted_execution, rounds, seed, pool=faulted_pool
+        )
+    finally:
+        faulted_pool.close()
+        shutil.rmtree(token_dir, ignore_errors=True)
+    _check(aggregates)
+
+    return {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "workers": workers,
+        "pool_undersubscribed": _pool_undersubscribed(workers),
+        "shared_available": shared_ok,
+        "faulted_memory": faulted_execution.memory,
+        "unsupervised_seconds": unsupervised_seconds,
+        "supervised_seconds": supervised_seconds,
+        "supervised_overhead_ratio": (
+            supervised_seconds / unsupervised_seconds
+            if unsupervised_seconds > 0
+            else None
+        ),
+        "clean_seconds": clean_seconds,
+        "faulted_seconds": faulted_seconds,
+        "recovery_seconds": max(0.0, faulted_seconds - clean_seconds),
+        "parity_ok": parity_ok,
+        "delivery_fraction": reference[-1] if reference else None,
+    }
+
+
 def run_bench(
     fast: bool = True,
     jobs: Optional[int] = None,
@@ -693,7 +858,13 @@ def run_bench(
         seed=root_seed,
     )
     event_bench = run_event_bench(n_nodes=memory_nodes, seed=root_seed)
+    fault_bench = run_fault_bench(
+        n_nodes=memory_nodes,
+        workers=shard_workers,
+        seed=root_seed,
+    )
     executor_stats = executor.stats()
+    executor_stats["failures"] = executor.failure_records()
     if own_executor:
         executor.close()
     return {
@@ -715,6 +886,7 @@ def run_bench(
         "memory_bench": memory_bench,
         "counters_bench": counters_bench,
         "event_bench": event_bench,
+        "fault_bench": fault_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -853,6 +1025,27 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
                 f"t90 {t90_text} rounds, reached {reached_text}, "
                 f"delivery {delivery_text}"
             )
+    fault = summary.get("fault_bench")
+    if fault:
+        parity = "ok" if fault["parity_ok"] else "MISMATCH"
+        undersubscribed = (
+            ", POOL UNDERSUBSCRIBED" if fault.get("pool_undersubscribed") else ""
+        )
+        overhead = fault["supervised_overhead_ratio"]
+        overhead_text = f"{overhead:.3f}x" if overhead is not None else "n/a"
+        lines.append(
+            f"fault ({fault['n_nodes']} nodes, {fault['rounds']} rounds, "
+            f"{fault['workers']} workers): unsupervised "
+            f"{fault['unsupervised_seconds']:.2f}s, supervised "
+            f"{fault['supervised_seconds']:.2f}s (overhead "
+            f"{overhead_text}, parity {parity}{undersubscribed})"
+        )
+        lines.append(
+            f"  one worker kill ({fault['faulted_memory']} memory): clean "
+            f"{fault['clean_seconds']:.2f}s, faulted "
+            f"{fault['faulted_seconds']:.2f}s (recovery "
+            f"{fault['recovery_seconds']:.2f}s)"
+        )
     return "\n".join(lines)
 
 

@@ -24,11 +24,13 @@ import json
 import os
 import tempfile
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
 from ..core.errors import AnalysisError
+from ..faults import fault_point
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -134,6 +136,10 @@ class CellRecord:
     version: str = RESULT_CODE_VERSION
 
 
+class _StaleRecord(ValueError):
+    """A structurally valid record from a different code generation."""
+
+
 class ResultCache:
     """A directory of content-addressed sweep cell records.
 
@@ -163,6 +169,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.quarantines = 0
         self._count: Optional[int] = None
 
     def path_for(self, key: str) -> Path:
@@ -172,10 +179,14 @@ class ResultCache:
     def get(self, key: str) -> Optional[CellRecord]:
         """Return the cached record for ``key``, or None on a miss.
 
-        A corrupt record (truncated, hand-edited, wrong schema) or one
-        stamped by a different code generation counts as a miss and is
-        removed so the slot can be recomputed.  A hit refreshes the
-        record's timestamp, which is what the LRU eviction orders by.
+        Never raises out of a sweep.  A record stamped by a different
+        code generation is deleted (stale, by design — see
+        :data:`RESULT_CODE_VERSION`); a *corrupt* record (truncated,
+        torn, hand-edited, garbage JSON — i.e. something went wrong on
+        disk) is quarantined under a ``*.corrupt`` name with a warning,
+        so the evidence survives for diagnosis while the slot recomputes
+        cleanly.  A hit refreshes the record's timestamp, which is what
+        the LRU eviction orders by.
         """
         path = self.path_for(key)
         try:
@@ -189,7 +200,7 @@ class ResultCache:
                 raise TypeError(f"bad cached value {value!r}")
             version = str(raw["version"])
             if version != RESULT_CODE_VERSION:
-                raise ValueError(f"stale record version {version!r}")
+                raise _StaleRecord(f"stale record version {version!r}")
             record = CellRecord(
                 value=value if value is None else float(value),
                 experiment=str(raw["experiment"]),
@@ -201,10 +212,14 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+        except _StaleRecord:
             path.unlink(missing_ok=True)
             if self._count is not None and self._count > 0:
                 self._count -= 1
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            self._quarantine(path, exc)
             self.misses += 1
             return None
         try:
@@ -213,6 +228,35 @@ class ResultCache:
             pass
         self.hits += 1
         return record
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt record aside (``*.corrupt``) and warn.
+
+        The rename takes the file out of :meth:`keys` (which globs
+        ``*.json``) without destroying the evidence; if even the rename
+        fails the record is deleted — a sweep must never die on a bad
+        cache file.
+        """
+        quarantined = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            path.unlink(missing_ok=True)
+            quarantined = None
+        if self._count is not None and self._count > 0:
+            self._count -= 1
+        self.quarantines += 1
+        destination = (
+            f"quarantined as {quarantined.name}"
+            if quarantined is not None
+            else "deleted"
+        )
+        warnings.warn(
+            f"corrupt cache record {path.name} "
+            f"({type(reason).__name__}: {reason}); {destination}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def put(
         self,
@@ -245,6 +289,9 @@ class ResultCache:
             with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
                 handle.write(payload)
             os.replace(temp_name, path)
+            # Injection site for the chaos suite: tears the *committed*
+            # record, exactly the damage a crashed host leaves behind.
+            fault_point("cache:record", path=str(path))
         except BaseException:
             try:
                 os.unlink(temp_name)
@@ -309,6 +356,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "quarantines": self.quarantines,
         }
 
     def __repr__(self) -> str:

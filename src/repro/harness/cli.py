@@ -93,16 +93,29 @@ def build_executor(args: argparse.Namespace) -> SweepExecutor:
             "LOTUS_EATER_CACHE_DIR", DEFAULT_CACHE_DIR
         )
         cache = ResultCache(cache_dir)
-    return SweepExecutor(jobs=1 if args.jobs is None else args.jobs, cache=cache)
+    return SweepExecutor(
+        jobs=1 if args.jobs is None else args.jobs,
+        cache=cache,
+        retries=getattr(args, "retries", 2),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        on_failure=getattr(args, "on_failure", "raise"),
+    )
 
 
 def _report_executor(executor: SweepExecutor) -> None:
     stats = executor.stats()
     print(
         f"[sweep] jobs={stats['jobs']} cells executed={stats['cells_executed']} "
-        f"cached={stats['cells_cached']}",
+        f"cached={stats['cells_cached']} failed={stats['cells_failed']}",
         file=sys.stderr,
     )
+    for failure in executor.failures:
+        print(
+            f"[sweep] FAILED cell x={failure.x} seed={failure.seed}: "
+            f"{failure.fate} after {failure.attempts} attempt(s) "
+            f"({failure.error})",
+            file=sys.stderr,
+        )
 
 
 def _parse_latency(text: str):
@@ -228,6 +241,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         mismatched.append("counters_bench")
     if not summary["event_bench"]["parity_ok"]:
         mismatched.append("event_bench")
+    if not summary["fault_bench"]["parity_ok"]:
+        mismatched.append("fault_bench")
     if summary["shard_bench"].get("pool_undersubscribed") or summary[
         "memory_bench"
     ].get("pool_undersubscribed"):
@@ -688,6 +703,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="re-attempts per sweep cell after a worker crash, missed "
+        "deadline, or raised exception before the cell fails "
+        "terminally (default 2; cells are pure functions of their "
+        "seed, so retries cannot change results)",
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-cell deadline; a worker that misses it is presumed "
+        "wedged, terminated, and the cell re-runs elsewhere "
+        "(default: no deadline)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        choices=["raise", "skip", "serial"],
+        default="raise",
+        help="what to do with cells that exhaust their retry budget: "
+        "abort the sweep (raise, default), drop the samples (skip), "
+        "or re-run the quarantined cells serially in-process (serial)",
     )
     parser.add_argument(
         "--output",

@@ -86,7 +86,21 @@ def sweep(
         samples = values[index * repetitions : (index + 1) * repetitions]
         valid = [value for value in samples if value is not None]
         if not valid:
-            raise AnalysisError(f"no valid samples at grid point {x}")
+            # With on_failure="skip" a point can lose every sample to
+            # terminal cell failures; name them instead of letting the
+            # generic message hide what actually went wrong.
+            lost = [
+                failure
+                for failure in executor.failures
+                if failure.x == float(x)
+            ]
+            detail = (
+                f" ({len(lost)} cell(s) failed terminally: "
+                f"{lost[0].fate} — {lost[0].error})"
+                if lost
+                else ""
+            )
+            raise AnalysisError(f"no valid samples at grid point {x}{detail}")
         center, half_width = confidence_interval_95(valid)
         points.append(
             SweepPoint(x=float(x), mean=center, half_width_95=half_width, samples=len(valid))

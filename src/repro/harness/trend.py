@@ -76,6 +76,11 @@ _TRACKED: List = [
     (("event_bench", "ideal_seconds"), "event-engine ideal-network wall-clock", "lower"),
     (("event_bench", "latency_loss_churn_seconds"), "event-engine churny-network wall-clock", "lower"),
     (("event_bench", "event_overhead_vs_rounds"), "event-engine overhead vs rounds", "lower"),
+    # fault_bench landed after event_bench (supervised execution
+    # layer); older artifacts diff as "no baseline, skipped".
+    (("fault_bench", "supervised_seconds"), "supervised sharded wall-clock", "lower"),
+    (("fault_bench", "supervised_overhead_ratio"), "supervision overhead ratio", "lower"),
+    (("fault_bench", "recovery_seconds"), "worker-kill recovery wall-clock", "lower"),
 ]
 
 

@@ -310,6 +310,78 @@ class TestFLW013Fixtures:
         assert rules_fired(sources) == []
 
 
+class TestFLW014Fixtures:
+    def test_registered_literal_site_is_clean(self):
+        sources = {
+            "src/repro/faultfix.py": """
+            def _run_cell(payload):
+                fault_point("worker:cell")
+                return payload
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_unregistered_site_fires(self):
+        sources = {
+            "src/repro/faultfix.py": """
+            def _run_cell(payload):
+                fault_point("worker:celll")
+                return payload
+            """
+        }
+        found = findings_for(sources)
+        assert [f.rule for f in found] == ["FLW014"]
+        assert "worker:celll" in found[0].message
+
+    def test_computed_site_fires(self):
+        sources = {
+            "src/repro/faultfix.py": """
+            def _run_cell(payload, site_name):
+                fault_point(site_name)
+                return payload
+            """
+        }
+        assert rules_fired(sources) == ["FLW014"]
+
+    def test_retry_path_reading_protocol_stream_fires(self):
+        sources = {
+            "src/repro/retryfix.py": """
+            class Policy:
+                def backoff_delay(self, attempt):
+                    return self._jitter(attempt)
+
+                def _jitter(self, attempt):
+                    return attempt * float(self._net_rng.random())
+            """
+        }
+        found = findings_for(sources)
+        assert [f.rule for f in found] == ["FLW014"]
+        assert found[0].trace, "retry-path finding must carry the call chain"
+
+    def test_retry_path_calling_protocol_sink_fires(self):
+        sources = {
+            "src/repro/retryfix.py": """
+            def _restore_shared_round(snapshot, engine):
+                run_exchanges(engine, snapshot)
+            """
+        }
+        assert rules_fired(sources) == ["FLW014"]
+
+    def test_dispatch_path_reexecuting_protocol_is_clean(self):
+        sources = {
+            "src/repro/retryfix.py": """
+            def run_round(engine, snapshot):
+                run_exchanges(engine, snapshot)
+            """
+        }
+        assert rules_fired(sources) == []
+
+    def test_lint_registry_matches_runtime_registry(self):
+        from repro.faults import FAULT_SITES
+
+        assert set(LintConfig().flw014_sites) == set(FAULT_SITES)
+
+
 # ---------------------------------------------------------------------------
 # Seeded mutations of the shipped tree: each ISSUE-specified defect must be
 # caught by exactly the intended rule, at the mutated location.
@@ -414,3 +486,30 @@ class TestSeededMutations:
         assert fired, "a Callable two dataclasses deep must surface FLW013"
         assert all(rule == "FLW013" for rule, _, _ in fired)
         assert all(path == "src/repro/bargossip/sharding.py" for _, path, _ in fired)
+
+    def test_flw014_typoed_fault_site(self, tree_sources):
+        cache = tree_sources["src/repro/harness/cache.py"]
+        needle = 'fault_point("cache:record"'
+        assert needle in cache
+        mutated = dict(tree_sources)
+        mutated["src/repro/harness/cache.py"] = cache.replace(
+            needle, 'fault_point("cache:records"'
+        )
+        fired = tree_findings(mutated)
+        assert fired, "a typo'd fault site must surface FLW014"
+        assert all(rule == "FLW014" for rule, _, _ in fired)
+        assert all(path == "src/repro/harness/cache.py" for _, path, _ in fired)
+
+    def test_flw014_backoff_drawing_protocol_stream(self, tree_sources):
+        sup = tree_sources["src/repro/harness/supervise.py"]
+        needle = "return delay * (0.5 + 0.5 * float(rng.random()))"
+        assert needle in sup
+        mutated = dict(tree_sources)
+        mutated["src/repro/harness/supervise.py"] = sup.replace(
+            needle,
+            "return delay * (0.5 + 0.5 * float(self._net_rng.random()))",
+        )
+        fired = tree_findings(mutated)
+        assert fired, "backoff touching a protocol stream must surface FLW014"
+        assert all(rule == "FLW014" for rule, _, _ in fired)
+        assert all(path == "src/repro/harness/supervise.py" for _, path, _ in fired)

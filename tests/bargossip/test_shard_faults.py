@@ -1,0 +1,244 @@
+"""Chaos suite: worker loss mid-shard-round, heap and shared memory.
+
+The sharded parity suite proves shard count and worker pools never
+change results; this suite proves the same with workers *dying* —
+killed (``os._exit``), wedged (missed deadline), or raising — in the
+middle of a round.  Heap-mode shards are pure functions of their slice,
+so the supervisor transparently re-runs the lost shard; shared-memory
+phases mutate the segment in place, so recovery is the coordinator's
+round-boundary snapshot restore plus a fresh pool.  Either way the
+final per-node state must be bit-identical to the undisturbed
+in-process run, with no leaked children and no leaked ``/dev/shm``
+segments afterwards.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.bargossip.attacker import AttackKind, AttackerCoalition
+from repro.bargossip.config import GossipConfig
+from repro.bargossip.defenses import ReportingPolicy
+from repro.bargossip.scenario import ExecutionConfig
+from repro.bargossip.sharding import ShardPool
+from repro.bargossip.simulator import GossipSimulator
+from repro.bargossip.updates import shared_memory_available
+from repro.core.errors import WorkerCrash
+from repro.core.rng import RngStreams
+from repro.faults import FaultPlan, FaultSpec
+
+needs_shared_memory = pytest.mark.skipif(
+    not shared_memory_available(), reason="no shared memory on this host"
+)
+
+ROUNDS = 6
+
+
+def run_simulation(execution, shard_pool=None, rounds=ROUNDS, reporting=None):
+    """One deterministic sharded run with an active TRADE coalition."""
+    config = GossipConfig.small().replace(obedient_fraction=0.5)
+    streams = RngStreams(7)
+    coalition = AttackerCoalition.build(
+        AttackKind.TRADE,
+        n_nodes=config.n_nodes,
+        attacker_fraction=0.25,
+        rng=streams.get("coalition"),
+    )
+    simulator = GossipSimulator(
+        config,
+        attack=coalition,
+        seed=7,
+        shard_pool=shard_pool,
+        execution=execution,
+        reporting=reporting,
+    )
+    for _ in range(rounds):
+        simulator.step()
+    return simulator
+
+
+def assert_full_parity(reference, recovered):
+    """Bit-exact equality of everything a run can observe."""
+    assert reference.stats.delivered == recovered.stats.delivered
+    assert reference.stats.missed == recovered.stats.missed
+    assert reference.per_node_delivered == recovered.per_node_delivered
+    assert reference.per_node_missed == recovered.per_node_missed
+    assert reference.per_node_windows == recovered.per_node_windows
+    for node_ref, node_rec in zip(reference.nodes, recovered.nodes):
+        assert node_ref.counters == node_rec.counters
+        assert node_ref.evicted == node_rec.evicted
+        assert node_ref.store.have == node_rec.store.have
+        assert node_ref.store.missing == node_rec.store.missing
+    assert reference.attack.updates_served == recovered.attack.updates_served
+    if reference.authority is not None:
+        assert reference.authority.reports == recovered.authority.reports
+        assert reference.authority.evicted == recovered.authority.evicted
+
+
+def assert_no_leaked_children():
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+def crash_plan(tmp_path, site, when=2, **kwargs):
+    return FaultPlan(
+        specs=(FaultSpec(site=site, kind="crash", when=when, **kwargs),),
+        token_dir=str(tmp_path / "tokens"),
+    )
+
+
+def fired_hits(plan):
+    """How many hits the plan's token dir has on the books."""
+    return len(os.listdir(plan.token_dir)) if os.path.isdir(plan.token_dir) else 0
+
+
+class TestHeapShardChaos:
+    def test_worker_killed_mid_round_recovers_bit_identically(self, tmp_path):
+        execution = ExecutionConfig(backend="bitset", shards=4)
+        reference = run_simulation(execution)
+        plan = crash_plan(tmp_path, "worker:shard", when=3)
+        with ShardPool(2, fault_plan=plan) as pool:
+            recovered = run_simulation(execution, shard_pool=pool)
+            assert fired_hits(plan) >= 3  # the crash actually fired
+            assert pool._pool is not None and pool._pool.respawns >= 1
+            assert_full_parity(reference, recovered)
+        assert_no_leaked_children()
+
+    def test_wedged_worker_misses_phase_deadline_and_recovers(self, tmp_path):
+        execution = ExecutionConfig(backend="bitset", shards=4)
+        reference = run_simulation(execution)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker:shard",
+                    kind="delay",
+                    when=3,
+                    delay_seconds=30.0,
+                ),
+            ),
+            token_dir=str(tmp_path / "tokens"),
+        )
+        with ShardPool(2, phase_timeout=1.0, fault_plan=plan) as pool:
+            recovered = run_simulation(execution, shard_pool=pool)
+            assert_full_parity(reference, recovered)
+        assert_no_leaked_children()
+
+    def test_reporting_defense_state_survives_recovery(self, tmp_path):
+        """The shared-state deltas (reports, evictions, service totals)
+        merge identically when a shard had to be re-run."""
+        policy = ReportingPolicy(excess_threshold=2, reports_to_evict=2)
+        execution = ExecutionConfig(backend="bitset", shards=4)
+        reference = run_simulation(execution, rounds=12, reporting=policy)
+        plan = crash_plan(tmp_path, "worker:shard", when=5)
+        with ShardPool(2, fault_plan=plan) as pool:
+            recovered = run_simulation(
+                execution, shard_pool=pool, rounds=12, reporting=policy
+            )
+            assert_full_parity(reference, recovered)
+        assert_no_leaked_children()
+
+    def test_retry_budget_exhaustion_raises_and_releases(self, tmp_path):
+        execution = ExecutionConfig(backend="bitset", shards=4)
+        plan = FaultPlan(
+            # Every shard dispatch crashes, in every worker, forever.
+            specs=(FaultSpec(site="worker:shard", kind="crash", times=10_000),),
+        )
+        pool = ShardPool(2, retries=1, fault_plan=plan)
+        with pytest.raises(WorkerCrash) as excinfo:
+            run_simulation(execution, shard_pool=pool, rounds=1)
+        assert excinfo.value.fate == "crashed"
+        assert pool._pool is None  # torn down, not left half-alive
+        assert_no_leaked_children()
+
+
+@needs_shared_memory
+class TestSharedShardChaos:
+    EXECUTION = ExecutionConfig(backend="words", memory="shared", shards=4)
+
+    def test_worker_killed_mid_phase_restores_round_snapshot(self, tmp_path):
+        reference = run_simulation(self.EXECUTION)
+        plan = crash_plan(tmp_path, "worker:shard-shared", when=3)
+        with ShardPool(2, fault_plan=plan) as pool:
+            recovered = run_simulation(self.EXECUTION, shard_pool=pool)
+            assert fired_hits(plan) >= 3  # the kill happened mid-round
+            assert_full_parity(reference, recovered)
+            shm_name = recovered._shard_static.shm_name
+        assert_no_leaked_children()
+        # The simulator still owns its segment until closed...
+        recovered.close()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)
+
+    def test_kill_during_push_phase_too(self, tmp_path):
+        """Crash later in the round (the push barrier) — the snapshot
+        must cover both phases, not just the first."""
+        reference = run_simulation(self.EXECUTION)
+        # 4 shards x 2 phases per round: hit 6 lands in round 1's push.
+        plan = crash_plan(tmp_path, "worker:shard-shared", when=6)
+        with ShardPool(2, fault_plan=plan) as pool:
+            recovered = run_simulation(self.EXECUTION, shard_pool=pool)
+            assert_full_parity(reference, recovered)
+            recovered.close()
+        assert_no_leaked_children()
+
+    def test_repeated_kills_exhaust_coordinator_budget(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker:shard-shared", kind="crash", times=10_000
+                ),
+            ),
+        )
+        pool = ShardPool(2, retries=1, fault_plan=plan)
+        simulator = None
+        with pytest.raises(WorkerCrash):
+            simulator = run_simulation(
+                self.EXECUTION, shard_pool=pool, rounds=1
+            )
+        assert pool._pool is None
+        assert_no_leaked_children()
+        assert simulator is None  # the failing step never returned
+
+    def test_shm_attach_fault_is_survived(self, tmp_path):
+        """An injected attach failure kills the worker in its
+        initializer; the supervisor respawns through the same path and
+        the round completes bit-identically."""
+        reference = run_simulation(self.EXECUTION)
+        plan = FaultPlan(
+            specs=(FaultSpec(site="shm:attach", kind="raise", when=1),),
+            token_dir=str(tmp_path / "tokens"),
+        )
+        with ShardPool(2, fault_plan=plan) as pool:
+            recovered = run_simulation(self.EXECUTION, shard_pool=pool)
+            assert_full_parity(reference, recovered)
+            recovered.close()
+        assert_no_leaked_children()
+
+    def test_no_segment_leak_after_budget_exhaustion(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker:shard-shared", kind="crash", times=10_000
+                ),
+            ),
+        )
+        config = GossipConfig.small()
+        pool = ShardPool(2, retries=0, fault_plan=plan)
+        simulator = GossipSimulator(
+            config, seed=3, shard_pool=pool, execution=self.EXECUTION
+        )
+        shm_name = simulator._shard_static.shm_name
+        with pytest.raises(WorkerCrash):
+            simulator.step()
+        simulator.close()
+        assert_no_leaked_children()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shm_name)

@@ -94,7 +94,12 @@ class TestResultCache:
         assert record is not None
         assert record.value == pytest.approx(0.75)
         assert record.experiment == "exp"
-        assert cache.stats() == {"hits": 1, "misses": 1, "evictions": 0}
+        assert cache.stats() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "quarantines": 0,
+        }
 
     def test_cached_none_distinct_from_miss(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
