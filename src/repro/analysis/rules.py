@@ -80,6 +80,11 @@ class LintConfig:
     api006_allowed_functions: Tuple[str, ...] = (
         "run_exchanges_batched",
         "_push_pass_batched",
+        "_exchange_apply_clean",
+        "_exchange_pass_mixed",
+        "_push_pass_mixed",
+        "_apply_dump",
+        "_attack_out_of_band",
     )
 
     # PKL008 — dataclasses that cross a process boundary as pool task
@@ -181,6 +186,12 @@ class LintConfig:
         "bitset_exchange",
         "batched_word_exchange",
         "batched_word_push",
+        "batched_word_dump",
+        "_exchange_apply_clean",
+        "_exchange_pass_mixed",
+        "_push_pass_mixed",
+        "_apply_dump",
+        "_file_dump_report",
     )
 
     # FLW013 — transitive picklability: recursion bound when chasing

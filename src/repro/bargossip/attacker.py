@@ -192,6 +192,24 @@ class AttackerCoalition:
         self.updates_served += len(give)
         return give
 
+    def pool_mask(self, base: int, capacity: int) -> int:
+        """The pooled haves as one logical bitmask over the live window.
+
+        Bit ``c`` set means the coalition holds update ``base + c`` —
+        the batched interaction paths intersect this one row against
+        every receiver's missing row at once instead of materializing
+        ``pool & missing`` sets per target.  Pool entries outside the
+        window (none in steady state; :meth:`expire` runs each round)
+        are dropped, which is exact: a receiver's missing row never
+        holds out-of-window bits either.
+        """
+        mask = 0
+        for update in self.pool:
+            col = update - base
+            if 0 <= col < capacity:
+                mask |= 1 << col
+        return mask
+
     def expire(self, updates: Sequence[int]) -> None:
         """Drop expired updates from the pooled knowledge."""
         for update in updates:

@@ -41,6 +41,8 @@ __all__ = [
     "apply_exchange",
     "bitset_exchange",
     "batched_word_exchange",
+    "batched_word_dump",
+    "exchange_dump_limits",
 ]
 
 
@@ -254,3 +256,52 @@ def batched_word_exchange(
     have[rows_r] = have_r | selected_responder
     missing[rows_r] = miss_r & ~selected_responder
     return count_initiator, count_responder
+
+
+def exchange_dump_limits(
+    config, obedient: "np.ndarray", capacity: int
+) -> "np.ndarray":
+    """Per-receiver cap on an attacker dump through the exchange channel.
+
+    The exchange channel itself is uncapped (the coalition "dumps" the
+    pooled haves, Section 5's lotus-eater move), so the limit is the
+    window capacity — effectively unlimited — unless the Figure 3
+    ``accept_cap`` defense applies, which only obedient receivers
+    honor.
+    """
+    limits = np.full(len(obedient), capacity, dtype=np.int64)
+    if config.accept_cap is not None:
+        limits[obedient] = config.accept_cap
+    return limits
+
+
+def batched_word_dump(
+    pool: WordPopulationStore,
+    pool_words: "np.ndarray",
+    receivers: "np.ndarray",
+    limits: "np.ndarray",
+) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Many attacker dumps in one masked word sweep.
+
+    ``pool_words`` is the coalition's pooled-have row (one packed row
+    covering every update any coalition member holds); each receiver
+    gains the oldest ``limits[k]`` of the pooled updates it is missing
+    — the exact ascending-id prefix
+    :meth:`~repro.bargossip.attacker.AttackerCoalition.dump_for`
+    selects per node.  Receivers must be pairwise distinct within one
+    call (cell pairs are node-disjoint), which makes the scatter
+    write-back exact.
+
+    Returns ``(counts, selected)``: the per-receiver transfer count
+    and the selected word rows (the report path materializes id tuples
+    only for the few rows the reporting policy flags).
+    """
+    missing = pool.missing_words
+    give = missing[receivers] & pool_words[None, :]
+    n_give = word_popcounts(give)
+    counts = np.minimum(n_give, limits)
+    selected = give.copy()
+    truncate_word_rows(selected, give, counts, n_give, prefer_newest=False)
+    pool.have_words[receivers] |= selected
+    missing[receivers] = missing[receivers] & ~selected
+    return counts, selected

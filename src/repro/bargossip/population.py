@@ -161,6 +161,26 @@ class Population:
         if len(rows):
             self.counters[np.asarray(rows, dtype=np.intp)] += deltas
 
+    # -- memory accounting ---------------------------------------------
+
+    def memory_breakdown(self) -> "Dict[str, int]":
+        """Bytes held per columnar component.
+
+        ``counter_bytes`` covers the (n, 8) int64 tallies matrix —
+        counted here even when the matrix views a shared-memory
+        segment, since the segment exists either way;
+        ``code_column_bytes`` covers the two int8 role columns and the
+        eviction flags (3 bytes per node).
+        """
+        return {
+            "counter_bytes": int(self.counters.nbytes),
+            "code_column_bytes": int(
+                self.group_codes.nbytes
+                + self.behavior_codes.nbytes
+                + self.evicted.nbytes
+            ),
+        }
+
     # -- lifecycle -----------------------------------------------------
 
     def materialize(self) -> None:

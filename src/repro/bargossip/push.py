@@ -55,6 +55,7 @@ __all__ = [
     "push_window_masks",
     "batched_push_eligibility",
     "batched_word_push",
+    "push_dump_limits",
 ]
 
 
@@ -296,3 +297,17 @@ def batched_word_push(
     have[rows_i] = have_i | to_initiator
     missing[rows_i] = miss_i & ~to_initiator
     return responder_counts, initiator_counts
+
+
+def push_dump_limits(config: GossipConfig, obedient: "np.ndarray") -> "np.ndarray":
+    """Per-receiver cap on an attacker dump through the push channel.
+
+    A dump riding the push channel is capped at ``push_size`` like any
+    push payload; the Figure 3 ``accept_cap`` defense tightens that
+    further for obedient receivers.  Mirrors the per-pair limit
+    arithmetic of ``InteractionEngine.attacker_dump``.
+    """
+    limits = np.full(len(obedient), config.push_size, dtype=np.int64)
+    if config.accept_cap is not None:
+        limits[obedient] = min(config.push_size, config.accept_cap)
+    return limits

@@ -71,6 +71,12 @@ class ExecutionConfig:
     shards: int = 0
     #: Worker processes for sweep fan-out (dispatch only; 0 = serial).
     jobs: int = 1
+    #: Cache-blocking for the batched phase sweeps: whole-phase word
+    #: sweeps are cut into blocks of this many pairs so each block's
+    #: gathered rows stay cache-resident at million-node scale
+    #: (0 = one unchunked sweep per phase).  Pure execution knob —
+    #: cells are node-disjoint, so any blocking is trace-identical.
+    phase_chunk_pairs: int = 32768
 
     def replace(self, **changes: Any) -> "ExecutionConfig":
         """A copy of this configuration with ``changes`` applied."""
@@ -117,6 +123,11 @@ class ExecutionConfig:
         if self.jobs < 0:
             raise ConfigurationError(
                 f"jobs must be >= 0 (0 = serial), got {self.jobs}"
+            )
+        if self.phase_chunk_pairs < 0:
+            raise ConfigurationError(
+                "phase_chunk_pairs must be >= 0 (0 = unchunked), "
+                f"got {self.phase_chunk_pairs}"
             )
 
 

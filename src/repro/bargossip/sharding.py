@@ -128,12 +128,58 @@ class ShardedPartnerSchedule(RoundWindowSchedule):
     def __init__(self, n_nodes: int, rng: np.random.Generator) -> None:
         super().__init__(n_nodes, rng)
         self._cells: Dict[int, Tuple[Cell, ...]] = {}
+        self._perms: Dict[int, np.ndarray] = {}
+
+    def _perm_for_round(self, round_now: int) -> np.ndarray:
+        """The round's raw permutation draw (window-checked)."""
+        if round_now not in self._perms:
+            self._materialize_through(round_now)
+        return self._perms[round_now]
 
     def cells_for_round(self, round_now: int) -> Tuple[Cell, ...]:
-        """The round's cells (tuples of node ids, permutation order)."""
+        """The round's cells (tuples of node ids, permutation order).
+
+        Built lazily from the raw permutation: the batched words path
+        consumes :meth:`round_pairs` instead, so the O(n) Python tuple
+        materialization only runs for shard slicing and the per-pair
+        executors.
+        """
         if round_now not in self._cells:
-            self._materialize_through(round_now)
+            permutation = self._perm_for_round(round_now).tolist()
+            self._cells[round_now] = tuple(
+                tuple(permutation[start : start + CELL_SIZE])
+                for start in range(0, self._n_nodes, CELL_SIZE)
+            )
         return self._cells[round_now]
+
+    def round_pairs(self, round_now: int, purpose: Purpose) -> np.ndarray:
+        """The round's interaction pairs for one purpose, as an (m, 2) array.
+
+        Cells are contiguous ``CELL_SIZE`` blocks of the permutation, so
+        the per-cell pairings of :func:`cell_exchange_pairs` /
+        :func:`cell_push_pairs` are strided slices of the raw draw — no
+        Python cell walk.  Pair *order* differs from the flattened cell
+        walk (pushes list every cell's first pair before the second),
+        which cannot change the trace: islands are node-disjoint, so
+        any order within a directed pass applies the same per-island
+        sequence.
+        """
+        perm = self._perm_for_round(round_now)
+        n = self._n_nodes
+        if purpose is Purpose.EXCHANGE:
+            m = n - (n % 2)
+            return np.column_stack((perm[0:m:2], perm[1:m:2]))
+        m = n - (n % CELL_SIZE)
+        parts = [
+            np.column_stack((perm[0:m:4], perm[2:m:4])),
+            np.column_stack((perm[1:m:4], perm[3:m:4])),
+        ]
+        tail = n - m
+        if tail == 3:
+            parts.append(np.asarray([[perm[m], perm[m + 2]]], dtype=perm.dtype))
+        elif tail == 2:
+            parts.append(np.asarray([[perm[m], perm[m + 1]]], dtype=perm.dtype))
+        return np.concatenate(parts)
 
     def round_order(self, round_now: int) -> Tuple[int, ...]:
         """Canonical initiation order of the round: permutation order.
@@ -190,16 +236,13 @@ class ShardedPartnerSchedule(RoundWindowSchedule):
         return self._cache[key]
 
     def _draw_round_entries(self, round_now: int) -> None:
-        permutation = [int(node) for node in self._rng.permutation(self._n_nodes)]
-        self._cells[round_now] = tuple(
-            tuple(permutation[start : start + CELL_SIZE])
-            for start in range(0, self._n_nodes, CELL_SIZE)
-        )
+        self._perms[round_now] = self._rng.permutation(self._n_nodes)
 
     def _discard_before(self, cutoff_round: int) -> None:
         super()._discard_before(cutoff_round)
-        for stale in [r for r in self._cells if r < cutoff_round]:
-            del self._cells[stale]
+        for cache in (self._cells, self._perms):
+            for stale in [r for r in cache if r < cutoff_round]:
+                del cache[stale]
 
 
 # ----------------------------------------------------------------------
@@ -556,6 +599,12 @@ def run_shard(static: ShardStatic, state: ShardState) -> ShardOutcome:
         slice_pool = WordPopulationStore(
             len(node_ids), config.updates_per_round, config.update_lifetime
         )
+        # Under the ring scheme the live window's bit offset is a pure
+        # function of ``base`` (``base % 64``), so adopting the
+        # coordinator's base and copying raw word rows reproduces its
+        # exact bit layout — no re-packing.  The same property is what
+        # would let a *remote* host adopt a compacted-store slice from
+        # a wire message (see ROADMAP: multi-host execution).
         slice_pool.base = state.base
         slice_pool.have_words[:] = state.have_words
         slice_pool.missing_words[:] = state.missing_words

@@ -53,8 +53,10 @@ from .events import (
 from .network import DeliveryTimeTracker, NetworkModel, NetworkStats
 from .exchange import (
     apply_exchange,
+    batched_word_dump,
     batched_word_exchange,
     bitset_exchange,
+    exchange_dump_limits,
     plan_balanced_exchange,
 )
 from .messages import sign_receipt
@@ -68,13 +70,12 @@ from .push import (
     bitset_apply_push,
     bitset_plan_push,
     plan_optimistic_push,
+    push_dump_limits,
 )
 from .sharding import (
     ShardedPartnerSchedule,
     ShardPool,
     ShardStatic,
-    cell_exchange_pairs,
-    cell_push_pairs,
     extract_shard,
     merge_shard,
     merge_shard_shared,
@@ -86,6 +87,9 @@ from .updates import (
     UpdateLedger,
     WordPopulationStore,
     creation_round,
+    iter_bits,
+    word_popcounts,
+    words_to_int,
 )
 
 __all__ = [
@@ -150,6 +154,7 @@ class InteractionEngine:
         pool: Optional[BitsetPopulationStore] = None,
         rows: Optional[List[int]] = None,
         population: Optional[Population] = None,
+        chunk_pairs: int = 0,
     ) -> None:
         self.nodes = list(nodes)
         self.config = config
@@ -157,6 +162,9 @@ class InteractionEngine:
         self.authority = authority
         self.pool = pool
         self.population = population
+        #: Cache-block size (in pairs) for the batched whole-phase
+        #: sweeps; 0 disables chunking (shard slices are already small).
+        self.chunk_pairs = chunk_pairs
         self._node_of: Dict[int, GossipNode] = {
             node.node_id: node for node in self.nodes
         }
@@ -169,6 +177,9 @@ class InteractionEngine:
         #: paths keep the dict).  Built lazily: only the batched word
         #: dispatch needs it.
         self._row_lookup: Optional[np.ndarray] = None
+        #: Dense row -> node-id map; built lazily by the (rare) report
+        #: materialization path of the batched dumps.
+        self._ids_by_row: Optional[np.ndarray] = None
 
     def _rows_of_ids(self, ids: "np.ndarray") -> "np.ndarray":
         """Population/pool rows of an array of global node ids.
@@ -177,6 +188,21 @@ class InteractionEngine:
         path would KeyError; the -1 sentinel must not silently index
         the last row instead).
         """
+        self._ensure_row_lookup()
+        if int(ids.max(initial=-1)) >= len(self._row_lookup):
+            raise SimulationError(
+                f"node id {int(ids.max())} not in this engine's slice"
+            )
+        rows = self._row_lookup[ids]
+        if (rows < 0).any():
+            unknown = ids[rows < 0].ravel()
+            raise SimulationError(
+                f"node id {int(unknown[0])} not in this engine's slice"
+            )
+        return rows
+
+    def _ensure_row_lookup(self) -> "np.ndarray":
+        """Build (once) the dense node-id -> row map; -1 marks foreign ids."""
         if self._row_lookup is None:
             own_ids = np.fromiter(
                 (node.node_id for node in self.nodes),
@@ -190,17 +216,26 @@ class InteractionEngine:
                 count=len(self.nodes),
             )
             self._row_lookup = lookup
-        if int(ids.max(initial=-1)) >= len(self._row_lookup):
-            raise SimulationError(
-                f"node id {int(ids.max())} not in this engine's slice"
-            )
-        rows = self._row_lookup[ids]
-        if (rows < 0).any():
-            unknown = ids[rows < 0].ravel()
-            raise SimulationError(
-                f"node id {int(unknown[0])} not in this engine's slice"
-            )
-        return rows
+        return self._row_lookup
+
+    def _satiated_row_mask(self) -> "np.ndarray":
+        """Per-row mask of the coalition's satiated targets.
+
+        Built from the coalition's target id set — the same membership
+        the scalar ``is_satiated_target`` gate consults — NOT from the
+        population's group column: shard-local populations do not carry
+        the satiated/isolated split (their nodes are all marked
+        ISOLATED).  Targets outside this engine's slice are dropped.
+        """
+        mask = np.zeros(len(self.population.evicted), dtype=bool)
+        targets = self.attack.satiated_targets
+        if not targets:
+            return mask
+        lookup = self._ensure_row_lookup()
+        ids = np.fromiter(targets, dtype=np.intp, count=len(targets))
+        rows = lookup[ids[ids < len(lookup)]]
+        mask[rows[rows >= 0]] = True
+        return mask
 
     def run_exchanges(self, round_now: int, order, partners) -> None:
         """One balanced-exchange phase.
@@ -232,27 +267,56 @@ class InteractionEngine:
         self.interact_exchange(round_now, initiator, partner)
 
     def _split_cell_pairs(self, pairs):
-        """Partition cell pairs into batched and scalar islands.
+        """Partition cell pairs into clean and mixed two-node islands.
 
-        Returns ``(fast_rows, slow)``: ``fast_rows`` is an ``(m, 2)``
-        array of population rows — correct, non-evicted two-node
-        islands safe for the vectorized passes — and ``slow`` holds the
-        directed id pairs (both directions, island-local order) that
-        must take the scalar path because an attacker or evicted node
-        is involved.  The split itself is a masked array op over the
-        population's behaviour/eviction columns, not a Python walk.
+        Returns ``(clean_rows, mixed_rows)``, both ``(m, 2)`` arrays of
+        population rows in schedule order.  Clean islands (two live
+        correct nodes) run through the plain exchange/push sweeps;
+        mixed islands — an attacker or evicted member present — run
+        through the masked dump/eviction sweeps
+        (:meth:`_exchange_pass_mixed` / :meth:`_push_pass_mixed`).  The
+        split itself is one masked array op over the population's
+        behaviour/eviction columns, not a Python walk, and *both*
+        classes stay on the batched word path: the per-pair scalar
+        methods survive only as the sets/bitset parity oracle.
         """
         ids = np.asarray(pairs, dtype=np.intp).reshape(-1, 2)
         rows = self._rows_of_ids(ids)
         population = self.population
-        bad_node = population.byzantine_mask | population.evicted
-        bad = bad_node[rows].any(axis=1)
-        slow: List[tuple] = []
-        if bad.any():
-            for left_id, right_id in ids[bad].tolist():
-                slow.append((left_id, right_id))
-                slow.append((right_id, left_id))
-        return rows[~bad], slow
+        special = (population.byzantine_mask | population.evicted)[rows]
+        mixed = special.any(axis=1)
+        return rows[~mixed], rows[mixed]
+
+    def _pair_chunks(self, rows):
+        """Cache-sized blocks of an ``(m, 2)`` pair-row array.
+
+        Both directions of one chunk run before the next chunk starts:
+        bit-exact, because islands are node-disjoint (a chunk's state
+        never feeds another chunk's plan), and cache-friendly because a
+        chunk's gathered word rows stay resident across its two
+        directed passes.  ``chunk_pairs == 0`` disables chunking.
+        """
+        if self.chunk_pairs <= 0 or len(rows) <= self.chunk_pairs:
+            if len(rows):
+                yield rows
+            return
+        for start in range(0, len(rows), self.chunk_pairs):
+            yield rows[start : start + self.chunk_pairs]
+
+    def _attack_pool_words(self):
+        """The coalition's pooled-have word row, or None when it cannot dump.
+
+        One O(|pool|) mask build per phase (the pool holds at most
+        ``capacity`` ids) replaces the per-target ``pool & missing``
+        set intersections of the scalar path.
+        """
+        attack = self.attack
+        if not attack.trades() or not attack.pool:
+            return None
+        mask = attack.pool_mask(self.pool.base, self.pool.capacity)
+        if not mask:
+            return None
+        return self.pool.mask_words(mask)
 
     def run_exchanges_batched(self, round_now: int, pairs) -> None:
         """One balanced-exchange phase over disjoint cell pairs, batched.
@@ -262,44 +326,173 @@ class InteractionEngine:
         dispatcher walks the permutation order.  Because cell pairs are
         node-disjoint, the phase decomposes into two-node islands whose
         internal order (first the left node initiates, then the right)
-        is all that matters — so the correct-correct islands run as two
-        whole-phase word-array sweeps whose counter updates land as
-        scatter-adds on the counters matrix, and only islands
-        containing an attacker or evicted node take the scalar path.
-        Requires the words backend and a population.
+        is all that matters — so clean islands run as chunked
+        whole-phase word sweeps whose counter updates land as
+        scatter-adds on the counters matrix, and islands containing an
+        attacker or evicted node run through the masked coalition-dump
+        sweep.  Requires the words backend and a population.
         """
-        if not pairs:
+        if len(pairs) == 0:
             return
-        fast_rows, slow = self._split_cell_pairs(pairs)
-        for initiator_id, partner_id in slow:
-            self._exchange_directed(round_now, initiator_id, partner_id)
-        if not len(fast_rows):
-            return
-        config = self.config
+        clean_rows, mixed_rows = self._split_cell_pairs(pairs)
         counters = self.population.counters
-        left, right = fast_rows[:, 0], fast_rows[:, 1]
-        for rows_i, rows_r in ((left, right), (right, left)):
-            to_initiator, to_partner = batched_word_exchange(
-                self.pool,
-                rows_i,
-                rows_r,
-                cap=config.exchange_cap,
-                unbalanced=config.unbalanced_exchange,
-                prefer_newest=config.exchange_prefer_newest,
+        for block in self._pair_chunks(clean_rows):
+            left, right = block[:, 0], block[:, 1]
+            for rows_i, rows_r in ((left, right), (right, left)):
+                # Rows are pairwise disjoint within a pass, so
+                # fancy-index += is an exact scatter-add (no np.add.at
+                # needed).
+                counters[rows_i, CI_EXCHANGES_INITIATED] += 1
+                self._exchange_apply_clean(rows_i, rows_r)
+        if len(mixed_rows):
+            pool_words = self._attack_pool_words()
+            satiated = (
+                self._satiated_row_mask() if pool_words is not None else None
             )
-            # Rows are pairwise disjoint within a pass, so fancy-index
-            # += is an exact scatter-add (no np.add.at needed).
-            counters[rows_i, CI_EXCHANGES_INITIATED] += 1
-            moved = (to_initiator > 0) | (to_partner > 0)
-            if not moved.any():
-                continue
-            rows_i, rows_r = rows_i[moved], rows_r[moved]
-            gained, given = to_initiator[moved], to_partner[moved]
-            counters[rows_i, CI_UPDATES_SENT] += given
-            counters[rows_i, CI_UPDATES_RECEIVED] += gained
-            counters[rows_r, CI_UPDATES_SENT] += gained
-            counters[rows_r, CI_UPDATES_RECEIVED] += given
-            counters[rows_i, CI_EXCHANGES_NONEMPTY] += 1
+            left, right = mixed_rows[:, 0], mixed_rows[:, 1]
+            for rows_i, rows_r in ((left, right), (right, left)):
+                self._exchange_pass_mixed(
+                    round_now, rows_i, rows_r, pool_words, satiated
+                )
+
+    def _exchange_apply_clean(self, rows_i, rows_r) -> None:
+        """Apply one direction's correct-correct exchanges (no booking)."""
+        config = self.config
+        to_initiator, to_partner = batched_word_exchange(
+            self.pool,
+            rows_i,
+            rows_r,
+            cap=config.exchange_cap,
+            unbalanced=config.unbalanced_exchange,
+            prefer_newest=config.exchange_prefer_newest,
+        )
+        moved = (to_initiator > 0) | (to_partner > 0)
+        if not moved.any():
+            return
+        counters = self.population.counters
+        rows_i, rows_r = rows_i[moved], rows_r[moved]
+        gained, given = to_initiator[moved], to_partner[moved]
+        counters[rows_i, CI_UPDATES_SENT] += given
+        counters[rows_i, CI_UPDATES_RECEIVED] += gained
+        counters[rows_r, CI_UPDATES_SENT] += gained
+        counters[rows_r, CI_UPDATES_RECEIVED] += given
+        counters[rows_i, CI_EXCHANGES_NONEMPTY] += 1
+
+    def _exchange_pass_mixed(
+        self, round_now: int, rows_i, rows_r, pool_words, satiated_rows
+    ) -> None:
+        """One direction of the exchange phase over mixed islands.
+
+        The scalar ``_exchange_directed`` → ``interact_exchange``
+        decision tree as masked sweeps: islands with an evicted member
+        drop out, live initiators book (crash/ideal attackers never
+        initiate), attacker-correct islands become one coalition dump
+        onto the satiated side, and both-attacker islands are no-ops
+        (the coalition already pools knowledge).  Both-correct live
+        islands cannot occur here — such an island is clean by
+        definition of the split.  Eviction masks refresh between the
+        two directed passes, exactly when the scalar order observes
+        them: an eviction only ever hits the evicted node's own
+        island, and each node sits in exactly one island per phase.
+        """
+        population = self.population
+        byz = population.byzantine_mask
+        evicted = population.evicted
+        i_byz = byz[rows_i]
+        r_byz = byz[rows_r]
+        alive = ~(evicted[rows_i] | evicted[rows_r])
+        book = alive if self.attack.trades() else (alive & ~i_byz)
+        population.counters[rows_i[book], CI_EXCHANGES_INITIATED] += 1
+        if pool_words is None:
+            return
+        dumped = alive & (i_byz ^ r_byz)
+        if not dumped.any():
+            return
+        givers = np.where(i_byz, rows_i, rows_r)[dumped]
+        receivers = np.where(i_byz, rows_r, rows_i)[dumped]
+        satiated = satiated_rows[receivers]
+        if not satiated.any():
+            return
+        givers, receivers = givers[satiated], receivers[satiated]
+        limits = exchange_dump_limits(
+            self.config, population.obedient_mask[receivers], self.pool.capacity
+        )
+        self._apply_dump(
+            round_now, givers, receivers, pool_words, limits, Purpose.EXCHANGE
+        )
+
+    def _apply_dump(
+        self, round_now: int, givers, receivers, pool_words, limits, purpose
+    ) -> None:
+        """Batched ``attacker_dump``: one masked word sweep per pass.
+
+        ``receivers`` are already satiated-gated; ``givers`` are the
+        attacker rows of the same islands (rows pairwise disjoint, so
+        the scatter-adds are exact).  ``updates_served`` sums the
+        per-receiver counts including zeros, matching the scalar
+        ``dump_for`` accounting.  Reports materialize id tuples only
+        for the rows the policy flags.
+        """
+        counts, selected = batched_word_dump(
+            self.pool, pool_words, receivers, limits
+        )
+        self.attack.updates_served += int(counts.sum())
+        gave = counts > 0
+        if not gave.any():
+            return
+        counters = self.population.counters
+        counters[receivers[gave], CI_UPDATES_RECEIVED] += counts[gave]
+        counters[givers[gave], CI_UPDATES_SENT] += counts[gave]
+        authority = self.authority
+        if authority is None:
+            return
+        flagged = (
+            gave
+            & (counts > authority.policy.excess_threshold)
+            & self.population.obedient_mask[receivers]
+        )
+        for k in np.flatnonzero(flagged):
+            self._file_dump_report(
+                round_now, int(givers[k]), int(receivers[k]), selected[k], purpose
+            )
+
+    def _file_dump_report(
+        self, round_now: int, giver_row: int, receiver_row: int,
+        selected_row, purpose,
+    ) -> None:
+        """Sign and file one flagged dump (the rare id-materializing path)."""
+        ids = self._ids_of_rows()
+        pool = self.pool
+        bits = words_to_int(selected_row) >> pool.offset
+        base = pool.base
+        receipt = sign_receipt(
+            round_now,
+            giver=int(ids[giver_row]),
+            receiver=int(ids[receiver_row]),
+            purpose=purpose,
+            updates_given=tuple(base + col for col in iter_bits(bits)),
+            updates_returned=(),
+        )
+        evicted_now = self.authority.file_report(int(ids[receiver_row]), receipt)
+        if evicted_now:
+            self.population.evicted[giver_row] = True
+            self.attack.evict(int(ids[giver_row]))
+
+    def _ids_of_rows(self) -> "np.ndarray":
+        """Dense row -> node-id map (report materialization only)."""
+        if self._ids_by_row is None:
+            n = len(self.nodes)
+            own_rows = np.fromiter(
+                (self._row_of[node.node_id] for node in self.nodes),
+                dtype=np.intp,
+                count=n,
+            )
+            lookup = np.full(int(own_rows.max()) + 1, -1, dtype=np.intp)
+            lookup[own_rows] = np.fromiter(
+                (node.node_id for node in self.nodes), dtype=np.intp, count=n
+            )
+            self._ids_by_row = lookup
+        return self._ids_by_row
 
     def interact_exchange(
         self, round_now: int, initiator: GossipNode, partner: GossipNode
@@ -468,23 +661,97 @@ class InteractionEngine:
         """One optimistic-push phase over disjoint cell pairs, batched.
 
         Mirrors :meth:`run_exchanges_batched`: each undirected cell
-        pair initiates in both directions, correct-correct islands run
-        as whole-phase word-array sweeps (the second direction's
+        pair initiates in both directions, clean islands run as
+        chunked whole-phase word sweeps (the second direction's
         willingness is evaluated after the first has been applied, as
-        in the per-pair order), attacker/evicted islands fall back to
-        the scalar path.
+        in the per-pair order), and attacker/evicted islands run
+        through the masked dump sweep of :meth:`_push_pass_mixed`.
         """
-        if not pairs:
+        if len(pairs) == 0:
             return
-        fast_rows, slow = self._split_cell_pairs(pairs)
-        for initiator_id, partner_id in slow:
-            self._push_directed(round_now, initiator_id, partner_id)
-        if not len(fast_rows):
-            return
+        clean_rows, mixed_rows = self._split_cell_pairs(pairs)
         obedient = self.population.obedient_mask
-        left, right = fast_rows[:, 0], fast_rows[:, 1]
-        for rows_i, rows_r in ((left, right), (right, left)):
-            self._push_pass_batched(round_now, rows_i, rows_r, obedient)
+        for block in self._pair_chunks(clean_rows):
+            left, right = block[:, 0], block[:, 1]
+            for rows_i, rows_r in ((left, right), (right, left)):
+                self._push_pass_batched(round_now, rows_i, rows_r, obedient)
+        if len(mixed_rows):
+            pool_words = self._attack_pool_words()
+            satiated = (
+                self._satiated_row_mask() if pool_words is not None else None
+            )
+            left, right = mixed_rows[:, 0], mixed_rows[:, 1]
+            for rows_i, rows_r in ((left, right), (right, left)):
+                self._push_pass_mixed(
+                    round_now, rows_i, rows_r, pool_words, obedient, satiated
+                )
+
+    def _push_pass_mixed(
+        self, round_now: int, rows_i, rows_r, pool_words, obedient,
+        satiated_rows,
+    ) -> None:
+        """One direction of the push phase over mixed islands.
+
+        The scalar ``_push_directed`` decision tree as masked sweeps.
+        A live attacker initiator never books a push — under the trade
+        attack it answers with a push-capped dump when its responder
+        is a live correct satiated target.  A live correct initiator
+        books when willing (the batched eligibility sweep) and its
+        responder is live; a booked push landing on a trading attacker
+        comes back as a reverse dump onto the initiator.  Both-correct
+        live islands cannot occur here (they are clean by the split's
+        definition), so no plain push transfer ever happens in this
+        pass.
+        """
+        population = self.population
+        byz = population.byzantine_mask
+        evicted = population.evicted
+        i_byz = byz[rows_i]
+        r_byz = byz[rows_r]
+        alive = ~(evicted[rows_i] | evicted[rows_r])
+        if pool_words is not None:
+            forward = alive & i_byz & ~r_byz
+            if forward.any():
+                receivers = rows_r[forward]
+                satiated = satiated_rows[receivers]
+                if satiated.any():
+                    receivers = receivers[satiated]
+                    self._apply_dump(
+                        round_now,
+                        rows_i[forward][satiated],
+                        receivers,
+                        pool_words,
+                        push_dump_limits(self.config, obedient[receivers]),
+                        Purpose.PUSH,
+                    )
+        correct_i = ~i_byz & ~evicted[rows_i]
+        if not correct_i.any():
+            return
+        rows_ci = rows_i[correct_i]
+        rows_cr = rows_r[correct_i]
+        wants = batched_push_eligibility(
+            self.pool, rows_ci, obedient[rows_ci], self.config, round_now
+        )
+        book = wants & ~evicted[rows_cr]
+        population.counters[rows_ci[book], CI_PUSHES_INITIATED] += 1
+        if pool_words is None:
+            return
+        back = book & byz[rows_cr]
+        if not back.any():
+            return
+        receivers = rows_ci[back]
+        satiated = satiated_rows[receivers]
+        if not satiated.any():
+            return
+        receivers = receivers[satiated]
+        self._apply_dump(
+            round_now,
+            rows_cr[back][satiated],
+            receivers,
+            pool_words,
+            push_dump_limits(self.config, obedient[receivers]),
+            Purpose.PUSH,
+        )
 
     def _push_pass_batched(
         self, round_now: int, rows_i, rows_r, obedient
@@ -760,6 +1027,7 @@ class GossipSimulator(RoundSimulator):
             self.authority,
             pool=self._pool,
             population=self.population,
+            chunk_pairs=self.execution.phase_chunk_pairs,
         )
         self._shard_static = (
             ShardStatic(
@@ -811,6 +1079,31 @@ class GossipSimulator(RoundSimulator):
     # ------------------------------------------------------------------
     # Resource lifecycle
     # ------------------------------------------------------------------
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Per-component bytes of the flat population state (words backend).
+
+        The scaling budget: word rows (have + missing), the counters
+        matrix, and the per-node role/eviction code columns.  The
+        store's reserved ``extra`` tail is never added separately — on
+        ``memory="shared"`` it *is* the counter region the population
+        views, so counting both would double the tally.
+        """
+        if not isinstance(self._pool, WordPopulationStore):
+            raise SimulationError(
+                "memory_breakdown requires the words backend, "
+                f"got backend={self.execution.backend!r}"
+            )
+        store = self._pool.memory_breakdown()
+        population = self.population.memory_breakdown()
+        breakdown = {
+            "word_row_bytes": store["word_row_bytes"],
+            "counter_bytes": population["counter_bytes"],
+            "code_column_bytes": population["code_column_bytes"],
+        }
+        breakdown["total_bytes"] = sum(breakdown.values())
+        breakdown["bytes_per_node"] = breakdown["total_bytes"] // self.config.n_nodes
+        return breakdown
 
     def close(self) -> None:
         """Release backing resources (the shared-memory block, if any).
@@ -982,14 +1275,11 @@ class GossipSimulator(RoundSimulator):
         schedule = self._partners
         if self.execution.shards == 1:
             if isinstance(self._pool, WordPopulationStore):
-                cells = schedule.cells_for_round(round_now)
                 self._engine.run_exchanges_batched(
-                    round_now,
-                    [pair for cell in cells for pair in cell_exchange_pairs(cell)],
+                    round_now, schedule.round_pairs(round_now, Purpose.EXCHANGE)
                 )
                 self._engine.run_pushes_batched(
-                    round_now,
-                    [pair for cell in cells for pair in cell_push_pairs(cell)],
+                    round_now, schedule.round_pairs(round_now, Purpose.PUSH)
                 )
                 return
             order = schedule.round_order(round_now)
@@ -1471,10 +1761,40 @@ class GossipSimulator(RoundSimulator):
         return fresh
 
     def _attack_out_of_band(self) -> None:
-        """Ideal attack: broadcast the coalition's pool to all targets."""
+        """Ideal attack: broadcast the coalition's pool to all targets.
+
+        On the words backend this is one masked word sweep over all
+        target rows (pooled-have AND per-target missing), so the ideal
+        attack stays off the per-node scalar path at scale; targets are
+        independent receivers of a read-only pool, so the batch is
+        order-exact against the per-target loop.
+        """
         if not self.attack.broadcasts_out_of_band():
             return
         departed = self._departed
+        pool = self._pool
+        if isinstance(pool, WordPopulationStore):
+            rows = np.fromiter(
+                (
+                    target
+                    for target in self.attack.satiated_targets
+                    if departed is None or not departed[target]
+                ),
+                dtype=np.intp,
+            )
+            if not len(rows):
+                return
+            mask = self.attack.pool_mask(pool.base, pool.capacity)
+            give = pool.missing_words[rows] & pool.mask_words(mask)[None, :]
+            counts = word_popcounts(give)
+            pool.have_words[rows] |= give
+            pool.missing_words[rows] = pool.missing_words[rows] & ~give
+            self.attack.updates_served += int(counts.sum())
+            gained = counts > 0
+            self.population.counters[rows[gained], CI_UPDATES_RECEIVED] += counts[
+                gained
+            ]
+            return
         for target in self.attack.satiated_targets:
             if departed is not None and departed[target]:
                 continue  # not there to receive the out-of-band dump

@@ -63,6 +63,7 @@ __all__ = [
     "words_to_int",
     "int_to_words",
     "word_popcounts",
+    "word_popcount_matrix",
     "truncate_word_rows",
     "shared_memory_available",
     "WORD_BITS",
@@ -506,6 +507,10 @@ if hasattr(np, "bitwise_count"):  # numpy >= 2.0
         """Per-row popcount of packed word rows (last axis summed)."""
         return np.bitwise_count(words).sum(axis=-1, dtype=np.int64)
 
+    def word_popcount_matrix(words: "np.ndarray") -> "np.ndarray":
+        """Per-*word* popcounts of packed rows (no axis reduction)."""
+        return np.bitwise_count(words).astype(np.int64)
+
 else:  # pragma: no cover - exercised only on numpy < 2.0
 
     _POP16 = np.array(
@@ -516,6 +521,13 @@ else:  # pragma: no cover - exercised only on numpy < 2.0
         """Per-row popcount via a 16-bit lookup table (numpy < 2.0)."""
         halves = np.ascontiguousarray(words).view(np.uint16)
         return _POP16[halves].sum(axis=-1, dtype=np.int64)
+
+    def word_popcount_matrix(words: "np.ndarray") -> "np.ndarray":
+        """Per-*word* popcounts via the 16-bit table (numpy < 2.0)."""
+        halves = np.ascontiguousarray(words).view(np.uint16)
+        return _POP16[halves].reshape(words.shape + (4,)).sum(
+            axis=-1, dtype=np.int64
+        )
 
 
 def truncate_word_rows(
@@ -528,11 +540,68 @@ def truncate_word_rows(
     """Overwrite ``selected`` rows whose transfer count is capped.
 
     The batched planners start from ``selected = available`` (the
-    common full-take case costs nothing); a row whose count falls
-    short of its availability is re-picked with the exact
-    :func:`top_bits` / :func:`bottom_bits` rule on the
-    arbitrary-precision view of that one row, so selection order stays
-    bit-identical to the other backends.
+    common full-take case costs nothing); every row whose count falls
+    short of its availability is re-picked with the exact top-k /
+    bottom-k set-bit rule as one masked word sweep.  Per-word
+    popcounts locate each capped row's *boundary word* — the word the
+    k-th chosen bit lands in — in a single cumulative-sum pass; words
+    strictly inside the kept side survive whole, words on the dropped
+    side zero out, and the boundary words themselves split bit-by-bit
+    through one ``unpackbits``/``cumsum``/``packbits`` pass over all
+    capped rows at once.  Selection stays bit-identical to
+    :func:`top_bits` / :func:`bottom_bits` (pinned by the parity tests
+    against :func:`_truncate_word_rows_scalar`).
+    """
+    rows = np.flatnonzero(counts < n_available)
+    if not len(rows):
+        return
+    avail = available[rows]
+    need = np.asarray(counts, dtype=np.int64)[rows]
+    n_words = avail.shape[1]
+    per_word = word_popcount_matrix(avail)
+    idx = np.arange(len(rows))
+    if prefer_newest:
+        # suffix[:, j] = set bits at word j and above; non-increasing
+        # in j, so the boundary is the last word whose suffix still
+        # reaches the target (argmax of the reversed True-prefix).
+        suffix = per_word[:, ::-1].cumsum(axis=1)[:, ::-1]
+        boundary = n_words - 1 - np.argmax(
+            (suffix >= need[:, None])[:, ::-1], axis=1
+        )
+        outside = suffix[idx, boundary] - per_word[idx, boundary]
+        full = np.arange(n_words)[None, :] > boundary[:, None]
+    else:
+        prefix = per_word.cumsum(axis=1)
+        boundary = np.argmax(prefix >= need[:, None], axis=1)
+        outside = prefix[idx, boundary] - per_word[idx, boundary]
+        full = np.arange(n_words)[None, :] < boundary[:, None]
+    # Bits still owed once every fully-kept word is taken; resolved
+    # inside the boundary word (0 <= owed <= popcount(boundary word)).
+    owed = need - outside
+    result = avail * full
+    octets = avail[idx, boundary].reshape(-1, 1).view(np.uint8)
+    bits = np.unpackbits(octets, axis=1, bitorder="little")
+    if prefer_newest:
+        rank = bits[:, ::-1].cumsum(axis=1)[:, ::-1]
+    else:
+        rank = bits.cumsum(axis=1)
+    keep = bits & (rank <= owed[:, None])
+    packed = np.packbits(keep, axis=1, bitorder="little")
+    result[idx, boundary] = packed.view(np.uint64).ravel()
+    selected[rows] = result
+
+
+def _truncate_word_rows_scalar(
+    selected: "np.ndarray",
+    available: "np.ndarray",
+    counts: "np.ndarray",
+    n_available: "np.ndarray",
+    prefer_newest: bool,
+) -> None:
+    """Per-row oracle for :func:`truncate_word_rows` (parity tests).
+
+    The original loop over arbitrary-precision row views; kept only so
+    the vectorized sweep has an independently-simple reference.
     """
     take = top_bits if prefer_newest else bottom_bits
     n_words = available.shape[1]
@@ -585,30 +654,38 @@ class _WordRows:
     exchange/push planners, shard extraction — works unchanged against
     the word-array backend.  The hot paths bypass this view and sweep
     the underlying array directly.
+
+    The view translates between logical bitmasks (bit 0 == window
+    ``base``) and the store's physical layout, whose window floats at
+    ``store.offset`` bits into each row under the ring scheme.
     """
 
-    __slots__ = ("_words", "_n_bytes")
+    __slots__ = ("_words", "_n_bytes", "_store")
 
-    def __init__(self, words: "np.ndarray") -> None:
+    def __init__(self, words: "np.ndarray", store: "WordPopulationStore") -> None:
         self._words = words
         self._n_bytes = words.shape[1] * _WORD_BYTES
+        self._store = store
 
     def __len__(self) -> int:
         return len(self._words)
 
     def __getitem__(self, row: int) -> int:
-        return int.from_bytes(self._words[row].tobytes(), "little")
+        raw = int.from_bytes(self._words[row].tobytes(), "little")
+        return raw >> self._store.offset
 
     def __setitem__(self, row: int, bits: int) -> None:
         self._words[row] = np.frombuffer(
-            bits.to_bytes(self._n_bytes, "little"), dtype=np.uint64
+            (bits << self._store.offset).to_bytes(self._n_bytes, "little"),
+            dtype=np.uint64,
         )
 
     def __iter__(self) -> Iterable[int]:
         flat = self._words.tobytes()
         stride = self._n_bytes
+        offset = self._store.offset
         for start in range(0, len(flat), stride):
-            yield int.from_bytes(flat[start : start + stride], "little")
+            yield int.from_bytes(flat[start : start + stride], "little") >> offset
 
 
 def _release_shared_block(shm: object, owner: bool) -> None:
@@ -636,8 +713,10 @@ class WordPopulationStore:
     "words"``): semantically identical to
     :class:`BitsetPopulationStore` — same columns, same base/window
     arithmetic, bit-identical traces — but each row is
-    ``ceil(capacity / 64)`` 64-bit words in one flat numpy buffer
-    instead of a Python int.  The fixed layout is what enables
+    ``ceil((capacity + 63) / 64)`` 64-bit words in one flat numpy
+    buffer instead of a Python int, with the live window floating
+    ``offset = base % 64`` bits into the row (the ring scheme of
+    :meth:`advance_to`).  The fixed layout is what enables
 
     * whole-population numpy sweeps (window slide, broadcast, expiry
       scoring and the batched exchange/push phases are array
@@ -681,7 +760,10 @@ class WordPopulationStore:
         self.base = 0
         self.full_mask = (1 << self.capacity) - 1
         self.memory = memory
-        self.words_per_row = -(-self.capacity // WORD_BITS)
+        # One slack word beyond ceil(capacity / 64): under the ring
+        # scheme the live window floats up to 63 bits into the row
+        # (``offset``), so a row must hold ``capacity + 63`` bits.
+        self.words_per_row = (self.capacity + 2 * (WORD_BITS - 1)) // WORD_BITS
         #: Extra int64 slots reserved at the tail of the flat buffer —
         #: the columnar counter region when ``memory == "shared"``
         #: (attaching processes must pass the creator's count so the
@@ -722,8 +804,8 @@ class WordPopulationStore:
         #: ``extra_int64 == 0``); zeroed with the rest of the buffer.
         self.extra = flat[2 * rows :].view(np.int64)
         #: Int-compatible row views (the BitsetPopulationStore protocol).
-        self.have_bits = _WordRows(self.have_words)
-        self.missing_bits = _WordRows(self.missing_words)
+        self.have_bits = _WordRows(self.have_words, self)
+        self.missing_bits = _WordRows(self.missing_words, self)
         # _shm enters the instance dict after the array views so an
         # un-closed store tears down views first, letting the segment's
         # own __del__ close its mmap without exported-buffer errors.
@@ -823,36 +905,62 @@ class WordPopulationStore:
             mask |= 1 << self.col_of(update)
         return mask
 
+    @property
+    def offset(self) -> int:
+        """Physical bit position of logical column 0 (ring scheme).
+
+        A pure function of ``base``, so shard slices that copy rows and
+        adopt the coordinator's ``base`` land on the same layout with
+        no extra bookkeeping: update ``u`` always lives at physical bit
+        ``u - WORD_BITS * (base // WORD_BITS)`` of its row.
+        """
+        return self.base % WORD_BITS
+
     def mask_words(self, mask: int) -> "np.ndarray":
-        """An in-window bitmask as one packed word row."""
-        return int_to_words(mask, self.words_per_row)
+        """An in-window (logical) bitmask as one packed word row."""
+        return int_to_words(mask << self.offset, self.words_per_row)
 
     def advance_to(self, round_now: int) -> None:
-        """Slide the window so round ``round_now``'s fresh ids fit."""
+        """Slide the window so round ``round_now``'s fresh ids fit.
+
+        Ring/compaction scheme: rather than bit-shifting every word of
+        every row each round, the window *floats* inside the row — bit
+        0 of the buffer stays pinned to update ``64 * (base // 64)``
+        and logical column 0 sits at bit ``offset``.  A slide then
+        costs one masked AND over the leading word(s) to zero the
+        expired columns, plus a whole-word left compaction only when
+        the window crosses a 64-bit boundary (every
+        ``64 / updates_per_round`` rounds at the paper config).  The
+        recycled columns come back zeroed for the fresh release, and
+        id order still equals bit order, which the top/bottom-k
+        planners rely on.
+        """
         new_base = max(0, round_now - self.lifetime + 1) * self.updates_per_round
         shift = new_base - self.base
         if shift <= 0:
             return
-        self._shift_rows_right(self.have_words, shift)
-        self._shift_rows_right(self.missing_words, shift)
-        self.base = new_base
-
-    @staticmethod
-    def _shift_rows_right(rows: "np.ndarray", shift: int) -> None:
-        """In-place ``>>= shift`` of every packed row (one numpy pass)."""
-        n_words = rows.shape[1]
-        whole, rem = divmod(shift, WORD_BITS)
+        if shift >= self.capacity:
+            self.have_words[:] = 0
+            self.missing_words[:] = 0
+            self.base = new_base
+            return
+        # Zero the expired columns: physical bits [offset, offset+shift).
+        offset = self.offset
+        drop = int_to_words(((1 << shift) - 1) << offset, self.words_per_row)
+        last = (offset + shift - 1) // WORD_BITS
+        keep = ~drop[: last + 1]
+        self.have_words[:, : last + 1] &= keep
+        self.missing_words[:, : last + 1] &= keep
+        # Compact away fully-expired leading words (one memmove; with
+        # shift < capacity the surviving window always fits — see the
+        # slack word in ``words_per_row``).
+        whole = new_base // WORD_BITS - self.base // WORD_BITS
         if whole:
-            if whole >= n_words:
-                rows[:] = 0
-                return
-            rows[:, : n_words - whole] = rows[:, whole:]
-            rows[:, n_words - whole :] = 0
-        if rem:
-            down = np.uint64(rem)
-            up = np.uint64(WORD_BITS - rem)
-            rows[:, :-1] = (rows[:, :-1] >> down) | (rows[:, 1:] << up)
-            rows[:, -1] >>= down
+            n_words = self.words_per_row
+            for rows in (self.have_words, self.missing_words):
+                rows[:, : n_words - whole] = rows[:, whole:]
+                rows[:, n_words - whole :] = 0
+        self.base = new_base
 
     def announce_fresh(self, first_col: int, count: int) -> None:
         """Mark ``count`` fresh columns missing for every node."""
@@ -862,7 +970,7 @@ class WordPopulationStore:
     def seed(self, node_ids: Iterable[int], col: int) -> None:
         """Flip one fresh column to held for the seeded nodes."""
         rows = list(node_ids)
-        word, bit = divmod(col, WORD_BITS)
+        word, bit = divmod(col + self.offset, WORD_BITS)
         set_bit = np.uint64(1 << bit)
         self.have_words[rows, word] |= set_bit
         self.missing_words[rows, word] &= ~set_bit
@@ -876,6 +984,23 @@ class WordPopulationStore:
     def masked_have_popcounts(self, mask: int) -> "np.ndarray":
         """Per-node count of held updates under ``mask`` (expiry scoring)."""
         return word_popcounts(self.have_words & self.mask_words(mask))
+
+    def memory_breakdown(self) -> Dict[str, int]:
+        """Exact flat-buffer bytes, split by role.
+
+        ``word_row_bytes`` covers both packed row matrices (have +
+        missing); ``extra_bytes`` is the reserved tail — the columnar
+        counter region when ``memory == "shared"``, empty otherwise.
+        The budget is the scaling headline: bytes here grow linearly
+        with ``n_nodes`` and are independent of run length.
+        """
+        word_row_bytes = 2 * self.n_nodes * self.words_per_row * _WORD_BYTES
+        extra_bytes = self.extra_int64 * _WORD_BYTES
+        return {
+            "word_row_bytes": word_row_bytes,
+            "extra_bytes": extra_bytes,
+            "total_bytes": word_row_bytes + extra_bytes,
+        }
 
 
 #: Live shared-memory stores, swept by ``atexit`` so a crashed run

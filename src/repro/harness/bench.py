@@ -28,7 +28,7 @@ import platform
 import shutil
 import tempfile
 import time
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..bargossip.attacker import AttackKind
 from ..bargossip.config import GossipConfig
@@ -52,14 +52,17 @@ from .tables import baseline_check
 
 __all__ = [
     "BENCH_FIGURES",
+    "SCALE_BENCH_POINTS",
     "run_backend_bench",
     "run_shard_bench",
     "run_memory_bench",
     "run_counters_bench",
     "run_event_bench",
     "run_fault_bench",
+    "run_scale_bench",
     "run_bench",
     "render_bench_summary",
+    "render_scale_bench",
     "write_bench_summary",
 ]
 
@@ -767,6 +770,115 @@ def run_fault_bench(
     }
 
 
+#: Population sizes the scale bench sweeps (the fast profile keeps only
+#: the first).  The top point is the tentpole claim: one full figure-1
+#: trade configuration at a million nodes on one box.
+SCALE_BENCH_POINTS = (100_000, 1_000_000)
+
+#: Attacker fraction of the scale bench's figure-1 trade point.
+SCALE_BENCH_ATTACKER_FRACTION = 0.2
+
+
+def _scale_point_worker(n_nodes: int, rounds: int, seed: int) -> Dict[str, Any]:
+    """Measure one scale point; run in a fresh process for honest RSS.
+
+    One figure-1 trade configuration (paper parameters, 20% attacker
+    coalition) on the serial words backend, timed over ``rounds``
+    steady-state rounds after one warm-up round.  Returns the
+    per-round wall clock, the flat-buffer byte budget and the
+    process-lifetime peak RSS — which is why isolation matters:
+    ``ru_maxrss`` never decreases, so points sharing a process would
+    all report the largest point's peak.
+    """
+    import resource
+
+    from ..bargossip.attacker import AttackerCoalition
+    from ..bargossip.updates import word_popcounts
+    from ..core.rng import RngStreams
+
+    config = GossipConfig.paper().replace(n_nodes=n_nodes)
+    streams = RngStreams(seed)
+    coalition = AttackerCoalition.build(
+        AttackKind.TRADE,
+        n_nodes=n_nodes,
+        attacker_fraction=SCALE_BENCH_ATTACKER_FRACTION,
+        rng=streams.get("coalition"),
+    )
+    init_start = time.perf_counter()
+    simulator = GossipSimulator(
+        config,
+        attack=coalition,
+        seed=seed,
+        execution=ExecutionConfig(backend="words", shards=1),
+    )
+    init_seconds = time.perf_counter() - init_start
+    simulator.step()  # warm-up: first broadcast and store growth
+    start = time.perf_counter()
+    for _ in range(rounds):
+        simulator.step()
+    round_ms = (time.perf_counter() - start) / rounds * 1000.0
+    memory = simulator.memory_breakdown()
+    point = {
+        "n_nodes": n_nodes,
+        "rounds": rounds,
+        "init_seconds": init_seconds,
+        "round_ms": round_ms,
+        "memory": memory,
+        "bytes_per_node": memory["bytes_per_node"],
+        "peak_rss_bytes": (
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+        ),
+        "delivery_fraction": simulator.delivery_fraction("correct"),
+        # Determinism fingerprint: the live-window have bits and the
+        # counter matrix summarize every interaction the run made, so
+        # two runs agreeing here agree on the whole trace.
+        "aggregates": [
+            int(word_popcounts(simulator._pool.have_words).sum()),
+            int(simulator.population.counters.sum()),
+            simulator.attack.updates_served,
+        ],
+    }
+    simulator.close()
+    return point
+
+
+def run_scale_bench(
+    points=SCALE_BENCH_POINTS,
+    rounds: int = 12,
+    seed: int = 0,
+    isolate: bool = True,
+) -> Dict[str, Any]:
+    """Measure figure-1 rounds at population scale, point by point.
+
+    Each point runs :func:`_scale_point_worker` in its own spawned
+    subprocess (``isolate=False`` keeps everything in-process — the
+    test-suite escape hatch, at the cost of peak-RSS figures that
+    accumulate across points and inherit the parent).  The smallest
+    point runs twice; ``parity_ok`` asserts the two runs' delivery
+    aggregates are identical — the scale sweep's determinism check.
+    """
+    context = multiprocessing.get_context("spawn") if isolate else None
+
+    def _measure(n_nodes: int) -> Dict[str, Any]:
+        if context is None:
+            return _scale_point_worker(n_nodes, rounds, seed)
+        with context.Pool(1) as pool:
+            return pool.apply(_scale_point_worker, (n_nodes, rounds, seed))
+
+    results = {str(n): _measure(n) for n in sorted(points)}
+    smallest = str(min(points))
+    rerun = _measure(min(points))
+    parity_ok = results[smallest]["aggregates"] == rerun["aggregates"]
+    return {
+        "rounds": rounds,
+        "attacker_fraction": SCALE_BENCH_ATTACKER_FRACTION,
+        "backend": "words",
+        "isolated": isolate,
+        "points": results,
+        "parity_ok": parity_ok,
+    }
+
+
 def run_bench(
     fast: bool = True,
     jobs: Optional[int] = None,
@@ -778,6 +890,9 @@ def run_bench(
     shard_rounds: int = 50,
     memory_nodes: int = 20000,
     memory_rounds: int = 30,
+    scale_points=None,
+    scale_rounds: int = 12,
+    scale_isolate: bool = True,
 ) -> Dict[str, Any]:
     """Run the benchmark suite and return the summary dictionary.
 
@@ -794,7 +909,14 @@ def run_bench(
     (:func:`run_memory_bench`); like the backend bench these
     deliberately run at the same headline scale in both profiles so
     consecutive CI artifacts stay comparable.
+
+    ``scale_points`` parameterizes the ``scale_bench`` section
+    (:func:`run_scale_bench`); None keeps the tracked defaults — the
+    10^5 point under ``--fast``, 10^5 and 10^6 on the full profile —
+    so trend baselines stay comparable at each point independently.
     """
+    if scale_points is None:
+        scale_points = SCALE_BENCH_POINTS[:1] if fast else SCALE_BENCH_POINTS
     fractions = FAST_FRACTIONS if fast else DEFAULT_FRACTIONS
     rounds = 30 if fast else 50
     own_executor = executor is None
@@ -863,6 +985,12 @@ def run_bench(
         workers=shard_workers,
         seed=root_seed,
     )
+    scale_bench = run_scale_bench(
+        points=scale_points,
+        rounds=scale_rounds,
+        seed=root_seed,
+        isolate=scale_isolate,
+    )
     executor_stats = executor.stats()
     executor_stats["failures"] = executor.failure_records()
     if own_executor:
@@ -887,6 +1015,7 @@ def run_bench(
         "counters_bench": counters_bench,
         "event_bench": event_bench,
         "fault_bench": fault_bench,
+        "scale_bench": scale_bench,
         "figures": figures,
         "totals": {
             "wall_clock_serial_s": total_serial,
@@ -1025,6 +1154,9 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
                 f"t90 {t90_text} rounds, reached {reached_text}, "
                 f"delivery {delivery_text}"
             )
+    scale = summary.get("scale_bench")
+    if scale:
+        lines.extend(render_scale_bench(scale))
     fault = summary.get("fault_bench")
     if fault:
         parity = "ok" if fault["parity_ok"] else "MISMATCH"
@@ -1047,6 +1179,28 @@ def render_bench_summary(summary: Dict[str, Any]) -> str:
             f"{fault['recovery_seconds']:.2f}s)"
         )
     return "\n".join(lines)
+
+
+def render_scale_bench(scale: Dict[str, Any]) -> List[str]:
+    """The ``scale_bench`` section's digest lines (shared with the
+    standalone ``lotus-eater scale-bench`` subcommand)."""
+    parity = "ok" if scale["parity_ok"] else "MISMATCH"
+    isolation = "" if scale.get("isolated", True) else ", IN-PROCESS RSS"
+    lines = [
+        f"scale (figure-1 trade, words backend, {scale['rounds']} "
+        f"rounds/point): determinism {parity}{isolation}"
+    ]
+    for key in sorted(scale["points"], key=int):
+        point = scale["points"][key]
+        delivery = point["delivery_fraction"]
+        delivery_text = f"{delivery:.3f}" if delivery is not None else "n/a"
+        lines.append(
+            f"  {int(key):,} nodes: {point['round_ms']:.0f} ms/round, "
+            f"{point['bytes_per_node']} B/node flat state, peak RSS "
+            f"{point['peak_rss_bytes'] / 1e6:.0f} MB, "
+            f"delivery {delivery_text}"
+        )
+    return lines
 
 
 def write_bench_summary(summary: Dict[str, Any], path: str) -> str:

@@ -19,6 +19,7 @@ Installed as ``lotus-eater`` (see ``pyproject.toml``)::
     lotus-eater figure1 --schedule event --latency exponential:0.3 --loss 0.05
     lotus-eater sweep-gossip --schedule event --churn 0.002:0.05
     lotus-eater bench --fast --output BENCH_summary.json
+    lotus-eater scale-bench --scale-nodes 100000,1000000
     lotus-eater bench-diff BENCH_previous.json BENCH_summary.json
     lotus-eater bench-trend --history-dir .bench-history
     lotus-eater lint src tests benchmarks examples
@@ -62,7 +63,14 @@ from ..bargossip.scenario import ExecutionConfig
 from ..core.errors import ReproError
 from ..core.metrics import USABILITY_THRESHOLD
 from .ascii import render_chart, render_series_table, render_table
-from .bench import render_bench_summary, run_bench, write_bench_summary
+from .bench import (
+    SCALE_BENCH_POINTS,
+    render_bench_summary,
+    render_scale_bench,
+    run_bench,
+    run_scale_bench,
+    write_bench_summary,
+)
 from .cache import ResultCache
 from .figures import DEFAULT_FRACTIONS, FAST_FRACTIONS, crossovers, figure1, figure2, figure3
 from .parallel import SweepExecutor
@@ -222,6 +230,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             # shard bench" here: the section always runs so trend
             # artifacts stay comparable across runs.
             shard_workers=args.shards or 4,
+            scale_points=args.scale_nodes,
+            scale_rounds=args.scale_rounds,
         )
     print(render_bench_summary(summary))
     path = write_bench_summary(summary, args.output)
@@ -243,6 +253,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         mismatched.append("event_bench")
     if not summary["fault_bench"]["parity_ok"]:
         mismatched.append("fault_bench")
+    if not summary["scale_bench"]["parity_ok"]:
+        mismatched.append("scale_bench")
     if summary["shard_bench"].get("pool_undersubscribed") or summary[
         "memory_bench"
     ].get("pool_undersubscribed"):
@@ -312,6 +324,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(render_table([x_label, task.metric, "95% half-width", "samples"], rows))
     _report_executor(executor)
+    return 0
+
+
+def _cmd_scale_bench(args: argparse.Namespace) -> int:
+    """Run only the population-scale sweep (no figures, no artifact).
+
+    ``lotus-eater bench`` embeds the same section in its JSON summary;
+    this subcommand exists for quick spot checks at custom sizes
+    (``--scale-nodes 1000000``) without paying for the full suite.
+    """
+    points = tuple(args.scale_nodes) if args.scale_nodes else (
+        SCALE_BENCH_POINTS[:1] if args.fast else SCALE_BENCH_POINTS
+    )
+    report = run_scale_bench(
+        points=points, rounds=args.scale_rounds, seed=args.seed
+    )
+    print("\n".join(render_scale_bench(report)))
+    if not report["parity_ok"]:
+        print("scale-bench: determinism check failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -476,6 +508,21 @@ def _cmd_bittorrent(args: argparse.Namespace) -> int:
         rows,
     ))
     return 0
+
+
+def _parse_scale_nodes(text: str) -> List[int]:
+    """``--scale-nodes`` spec: comma-separated population sizes."""
+    try:
+        points = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad scale-nodes {text!r}: expected comma-separated integers"
+        ) from None
+    if not points or any(point < 8 for point in points):
+        raise argparse.ArgumentTypeError(
+            "scale-nodes must name at least one population of >= 8 nodes"
+        )
+    return points
 
 
 def _jobs_value(text: str) -> int:
@@ -832,6 +879,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "(default 10)",
     )
     parser.add_argument(
+        "--scale-nodes",
+        type=_parse_scale_nodes,
+        default=None,
+        metavar="N,N",
+        help="population sizes the bench/scale-bench scale sweep "
+        "measures (comma-separated; default: the tracked points — "
+        "100000 under --fast, plus 1000000 on the full profile — "
+        "so trend baselines stay comparable)",
+    )
+    parser.add_argument(
+        "--scale-rounds",
+        type=int,
+        default=12,
+        help="steady-state rounds timed per scale-sweep point "
+        "(default 12)",
+    )
+    parser.add_argument(
         "--min-sustained",
         type=int,
         default=3,
@@ -844,7 +908,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "table1", "figure1", "figure2", "figure3",
             "tokenmodel", "scrip", "bittorrent",
             "sweep-gossip", "sweep-scrip", "sweep-token", "sweep-swarm",
-            "bench", "bench-diff", "bench-trend", "lint",
+            "bench", "scale-bench", "bench-diff", "bench-trend", "lint",
         ],
         help="which experiment to regenerate",
     )
@@ -886,6 +950,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep-token": _cmd_sweep,
         "sweep-swarm": _cmd_sweep,
         "bench": _cmd_bench,
+        "scale-bench": _cmd_scale_bench,
         "bench-diff": _cmd_bench_diff,
         "bench-trend": _cmd_bench_trend,
         # Reached only when global flags precede the word `lint`

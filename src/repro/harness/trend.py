@@ -81,6 +81,16 @@ _TRACKED: List = [
     (("fault_bench", "supervised_seconds"), "supervised sharded wall-clock", "lower"),
     (("fault_bench", "supervised_overhead_ratio"), "supervision overhead ratio", "lower"),
     (("fault_bench", "recovery_seconds"), "worker-kill recovery wall-clock", "lower"),
+    # scale_bench landed after fault_bench (million-node rounds);
+    # older artifacts diff as "no baseline, skipped".  The 10^6 point
+    # only exists in full-profile artifacts — fast-profile runs skip
+    # those three rows the same way.
+    (("scale_bench", "points", "100000", "round_ms"), "scale 100k ms/round", "lower"),
+    (("scale_bench", "points", "100000", "bytes_per_node"), "scale 100k bytes/node", "lower"),
+    (("scale_bench", "points", "100000", "peak_rss_bytes"), "scale 100k peak RSS", "lower"),
+    (("scale_bench", "points", "1000000", "round_ms"), "scale 1M ms/round", "lower"),
+    (("scale_bench", "points", "1000000", "bytes_per_node"), "scale 1M bytes/node", "lower"),
+    (("scale_bench", "points", "1000000", "peak_rss_bytes"), "scale 1M peak RSS", "lower"),
 ]
 
 

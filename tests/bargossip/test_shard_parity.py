@@ -160,6 +160,47 @@ class TestDefenseAndRotationParity:
         _check_config(config, AttackKind.TRADE, rounds=30)
 
 
+class TestAdversarialLoadParity:
+    """The batched attacker/evicted/capped cell classes under load.
+
+    The million-node work routed whole phases through masked word
+    sweeps; these configs are chosen so those sweeps carry the
+    majority of the traffic — attacker-majority coalitions, a
+    hair-trigger eviction policy, and caps tight enough that almost
+    every transfer truncates — and must still reproduce the scalar
+    backends bit for bit at every shard count.
+    """
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.6])
+    def test_attacker_heavy_coalitions(self, fraction):
+        _check_config(
+            GossipConfig.paper(), AttackKind.TRADE, rounds=12,
+            attacker_fraction=fraction,
+        )
+
+    def test_mass_eviction(self):
+        # The most trigger-happy policy the defense layer admits: any
+        # imbalance beyond 1 draws a report, one report evicts.
+        policy = ReportingPolicy(excess_threshold=1, reports_to_evict=1)
+        config = GossipConfig.small().replace(obedient_fraction=1.0)
+        storm = _run_sharded(
+            config, AttackKind.TRADE, 1, rounds=20, reporting=policy,
+            attacker_fraction=0.3,
+            execution=ExecutionConfig(backend="words"),
+        )
+        assert sum(node.evicted for node in storm.nodes) >= 2
+        _check_config(
+            config, AttackKind.TRADE, rounds=20, reporting=policy,
+            attacker_fraction=0.3,
+        )
+
+    def test_capped_push_and_exchange_sizes(self):
+        config = GossipConfig.paper().replace(
+            push_size=1, exchange_cap=3, accept_cap=2
+        )
+        _check_config(config, AttackKind.TRADE, rounds=12)
+
+
 class TestWorkerPoolParity:
     """Processes are an execution detail: pooled == in-process == serial."""
 

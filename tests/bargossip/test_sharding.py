@@ -137,6 +137,11 @@ class TestShardedWindowContract:
     def test_cells_window_pruned(self):
         schedule = make_schedule(seed=0)
         schedule.partners_for_round(5, Purpose.EXCHANGE)
+        # The raw draws keep the full look-back window; the cell tuples
+        # are materialized lazily, so only the requested round exists.
+        assert set(schedule._perms) == {4, 5}
+        assert set(schedule._cells) == {5}
+        schedule.cells_for_round(4)  # still in the window: materializes
         assert set(schedule._cells) == {4, 5}
 
     def test_bad_initiator_rejected(self):

@@ -144,6 +144,60 @@ class TestDefenseAndRotationParity:
         _assert_parity(config, AttackKind.TRADE, rounds=30)
 
 
+class TestAdversarialLoadParity:
+    """sets == bitset == words under attacker-heavy, mass-eviction and
+    tightly-capped configurations (the cell classes the batched word
+    sweeps special-case), on the classic schedule."""
+
+    @staticmethod
+    def _assert_three_backend_parity(config, kind, **kwargs):
+        reference = _snapshot(
+            _run(config, kind, ExecutionConfig(backend="sets"), **kwargs)
+        )
+        bitset = _snapshot(
+            _run(config, kind, ExecutionConfig(backend="bitset"), **kwargs)
+        )
+        assert bitset == reference
+        for memory in MEMORY_MODES:
+            vectorized = _snapshot(
+                _run(
+                    config,
+                    kind,
+                    ExecutionConfig(backend="words", memory=memory),
+                    **kwargs,
+                )
+            )
+            assert vectorized == reference, f"memory={memory}"
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.6])
+    def test_attacker_heavy_coalitions(self, fraction):
+        self._assert_three_backend_parity(
+            GossipConfig.paper(),
+            AttackKind.TRADE,
+            rounds=12,
+            attacker_fraction=fraction,
+        )
+
+    def test_mass_eviction(self):
+        policy = ReportingPolicy(excess_threshold=1, reports_to_evict=1)
+        self._assert_three_backend_parity(
+            GossipConfig.small().replace(obedient_fraction=1.0),
+            AttackKind.TRADE,
+            rounds=20,
+            attacker_fraction=0.3,
+            reporting=policy,
+        )
+
+    def test_capped_push_and_exchange_sizes(self):
+        self._assert_three_backend_parity(
+            GossipConfig.paper().replace(
+                push_size=1, exchange_cap=3, accept_cap=2
+            ),
+            AttackKind.TRADE,
+            rounds=12,
+        )
+
+
 class TestMemoryConfigValidation:
     def test_shared_requires_words_backend(self):
         for backend in ("sets", "bitset"):

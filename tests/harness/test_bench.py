@@ -7,11 +7,13 @@ import pytest
 from repro.harness.bench import (
     BENCH_FIGURES,
     EVENT_BENCH_POINTS,
+    SCALE_BENCH_POINTS,
     render_bench_summary,
     run_bench,
     run_counters_bench,
     run_event_bench,
     run_memory_bench,
+    run_scale_bench,
     run_shard_bench,
     write_bench_summary,
 )
@@ -24,6 +26,9 @@ from repro.harness.parallel import SweepExecutor
 SMALL_SHARD_BENCH = dict(
     shard_nodes=400, shard_rounds=25, shard_workers=2,
     memory_nodes=400, memory_rounds=10,
+    # In-process scale points: the real sweep spawns a subprocess per
+    # point for honest peak-RSS numbers, which the unit suite skips.
+    scale_points=(300,), scale_rounds=3, scale_isolate=False,
 )
 
 
@@ -210,6 +215,46 @@ class TestRunBench:
         assert report["latency_loss_churn_seconds"] > 0
         assert report["points"]["ideal"]["correct_fraction"] is not None
 
+    def test_scale_bench_section(self, summary):
+        scale = summary["scale_bench"]
+        assert scale["backend"] == "words"
+        assert scale["parity_ok"] is True
+        assert scale["isolated"] is False
+        assert set(scale["points"]) == {"300"}
+        point = scale["points"]["300"]
+        assert point["round_ms"] > 0
+        assert point["init_seconds"] > 0
+        assert point["peak_rss_bytes"] > 0
+        # The tentpole's byte budget: word rows + counters + code
+        # columns, and nothing else, on the figure-1 hot path.
+        memory = point["memory"]
+        assert point["bytes_per_node"] == memory["bytes_per_node"]
+        assert memory["total_bytes"] == (
+            memory["word_row_bytes"]
+            + memory["counter_bytes"]
+            + memory["code_column_bytes"]
+        )
+        assert memory["bytes_per_node"] == memory["total_bytes"] // 300
+        rendered = render_bench_summary(summary)
+        assert "scale (figure-1 trade" in rendered
+        assert "B/node flat state" in rendered
+        assert "IN-PROCESS RSS" in rendered
+
+    def test_scale_bench_default_points(self):
+        """The tracked sweep pins 10^5 and the 10^6 tentpole point."""
+        assert SCALE_BENCH_POINTS == (100_000, 1_000_000)
+
+    def test_scale_bench_standalone_determinism(self):
+        report = run_scale_bench(points=(200, 350), rounds=4, isolate=False)
+        assert report["parity_ok"] is True
+        assert set(report["points"]) == {"200", "350"}
+        fingerprint = report["points"]["200"]["aggregates"]
+        assert len(fingerprint) == 3 and all(
+            value > 0 for value in fingerprint
+        )
+        rerun = run_scale_bench(points=(200,), rounds=4, isolate=False)
+        assert rerun["points"]["200"]["aggregates"] == fingerprint
+
     def test_undersubscription_flag(self, monkeypatch):
         monkeypatch.setattr("repro.harness.bench.os.cpu_count", lambda: 1)
         report = run_shard_bench(n_nodes=120, rounds=4, workers=2)
@@ -266,6 +311,12 @@ class TestBenchCli:
             "repro.harness.bench.run_event_bench",
             lambda **kwargs: run_event_bench(n_nodes=200, rounds=25),
         )
+        monkeypatch.setattr(
+            "repro.harness.bench.run_scale_bench",
+            lambda **kwargs: run_scale_bench(
+                points=(200,), rounds=3, isolate=False
+            ),
+        )
         monkeypatch.chdir(tmp_path)
         out = tmp_path / "BENCH_summary.json"
         assert main(["--fast", "--no-cache", "--output", str(out), "bench"]) == 0
@@ -280,3 +331,12 @@ class TestBenchCli:
         assert "memory (" in captured.out
         assert "counters (" in captured.out
         assert "event (" in captured.out
+        assert "scale (" in captured.out
+
+    def test_scale_bench_subcommand(self, capsys):
+        assert main(
+            ["--scale-nodes", "250", "--scale-rounds", "3", "scale-bench"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "scale (figure-1 trade" in captured.out
+        assert "250 nodes" in captured.out
